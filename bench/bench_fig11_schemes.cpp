@@ -1,0 +1,57 @@
+// Figure 11: allocation-scheme comparison (worst fit, first fit, best
+// fit, realloc) over the simulated arrival/departure workload: 100
+// epochs, Poisson(2)/Poisson(1), uniform app mix, 10 trials. Reports the
+// distribution (box statistics) of utilization, percentage of elastic
+// apps reallocated, fairness, and allocation failure rate across all
+// epochs and trials.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "stats/summary.hpp"
+
+namespace artmt::bench {
+namespace {
+
+void run_scheme(alloc::Scheme scheme) {
+  std::vector<double> utilization;
+  std::vector<double> realloc_pct;
+  std::vector<double> fairness;
+  std::vector<double> failure_rate;
+  for (u32 trial = 0; trial < 10; ++trial) {
+    ChurnConfig config;
+    config.epochs = 100;
+    config.seed = 300 + trial;
+    const auto metrics =
+        run_churn(config, scheme, alloc::MutantPolicy::most_constrained());
+    for (const auto& m : metrics) {
+      utilization.push_back(m.utilization);
+      if (m.elastic_residents > 0) {
+        realloc_pct.push_back(100.0 * m.reallocated / m.elastic_residents);
+      }
+      fairness.push_back(m.fairness);
+      if (m.arrivals > 0) {
+        failure_rate.push_back(static_cast<double>(m.failures) / m.arrivals);
+      }
+    }
+  }
+  std::printf("\n### scheme: %s\n", alloc::scheme_name(scheme));
+  std::printf("utilization:   %s\n", stats::summarize(utilization).to_string().c_str());
+  std::printf("realloc %%:     %s\n", stats::summarize(realloc_pct).to_string().c_str());
+  std::printf("fairness:      %s\n", stats::summarize(fairness).to_string().c_str());
+  std::printf("failure rate:  %s\n", stats::summarize(failure_rate).to_string().c_str());
+}
+
+}  // namespace
+}  // namespace artmt::bench
+
+int main() {
+  std::printf(
+      "=== Figure 11: allocation schemes (100 epochs x 10 trials, "
+      "most-constrained) ===\n");
+  for (const auto scheme :
+       {artmt::alloc::Scheme::kWorstFit, artmt::alloc::Scheme::kFirstFit,
+        artmt::alloc::Scheme::kBestFit, artmt::alloc::Scheme::kRealloc}) {
+    artmt::bench::run_scheme(scheme);
+  }
+  return 0;
+}

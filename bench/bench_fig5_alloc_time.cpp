@@ -1,0 +1,110 @@
+// Figure 5: control-plane allocation time.
+//   (a) 500 consecutive arrivals of each pure workload (cache, heavy
+//       hitter, load balancer) under the most- and least-constrained
+//       mutant policies; time collapses once placements start failing.
+//   (b) mixed workload (uniform kind per arrival), 10 random trials,
+//       EWMA(alpha = 0.1) over per-epoch allocation time.
+#include <cstdio>
+
+#include "alloc/mutant.hpp"
+#include "common/ewma.hpp"
+#include "harness.hpp"
+
+namespace artmt::bench {
+namespace {
+
+void pure_workloads(const char* policy_name,
+                    const alloc::MutantPolicy& policy) {
+  for (const auto kind :
+       {workload::AppKind::kCache, workload::AppKind::kHeavyHitter,
+        workload::AppKind::kLoadBalancer}) {
+    const auto metrics = run_arrivals(500, kind, alloc::Scheme::kWorstFit,
+                                      policy);
+    stats::Series series(app_kind_name(kind));
+    u32 first_failure = 0;
+    double success_time = 0.0;
+    double failure_time = 0.0;
+    u32 successes = 0;
+    u32 failures = 0;
+    for (const auto& m : metrics) {
+      series.add(m.epoch, m.alloc_ms);
+      if (m.failures > 0) {
+        if (first_failure == 0) first_failure = m.epoch;
+        failure_time += m.alloc_ms;
+        ++failures;
+      } else {
+        success_time += m.alloc_ms;
+        ++successes;
+      }
+    }
+    std::printf("\n## Fig 5a [%s, %s]: allocation time per arrival (ms)\n",
+                app_kind_name(kind), policy_name);
+    print_series("epoch,alloc_ms", series, 25);
+    std::printf(
+        "summary: first_failure_epoch=%u mean_success_ms=%.3f "
+        "mean_failure_ms=%.3f admitted=%u\n",
+        first_failure, successes ? success_time / successes : 0.0,
+        failures ? failure_time / failures : 0.0, successes);
+  }
+}
+
+void mixed_workload(const char* policy_name,
+                    const alloc::MutantPolicy& policy) {
+  std::printf("\n## Fig 5b [%s]: mixed workload, 10 trials, EWMA(0.1)\n",
+              policy_name);
+  // Average the EWMA across trials per epoch, like the paper's solid line.
+  constexpr u32 kEpochs = 500;
+  constexpr u32 kTrials = 10;
+  std::vector<double> sum(kEpochs, 0.0);
+  for (u32 trial = 0; trial < kTrials; ++trial) {
+    ChurnConfig config;
+    config.epochs = kEpochs;
+    config.arrival_mean = 1.0;  // one arrival per epoch in expectation
+    config.departures_enabled = false;
+    config.seed = 1000 + trial;
+    const auto metrics =
+        run_churn(config, alloc::Scheme::kWorstFit, policy);
+    Ewma ewma(0.1);
+    for (u32 e = 0; e < kEpochs; ++e) {
+      sum[e] += ewma.update(metrics[e].alloc_ms);
+    }
+  }
+  stats::Series series("ewma_ms");
+  for (u32 e = 0; e < kEpochs; ++e) {
+    series.add(e, sum[e] / kTrials);
+  }
+  print_series("epoch,mean_ewma_alloc_ms", series, 25);
+}
+
+void mutant_counts() {
+  std::printf("\n## Section 6.1: mutants considered per application\n");
+  const alloc::StageGeometry geom = kGeometry;
+  for (const auto kind :
+       {workload::AppKind::kCache, workload::AppKind::kHeavyHitter,
+        workload::AppKind::kLoadBalancer}) {
+    const auto& request = request_for(kind);
+    const auto mc = alloc::enumerate_mutants(
+        request, geom, alloc::MutantPolicy::most_constrained());
+    const auto lc = alloc::enumerate_mutants(
+        request, geom, alloc::MutantPolicy::least_constrained(1));
+    std::printf("%s: most_constrained=%zu least_constrained=%zu\n",
+                app_kind_name(kind), mc.size(), lc.size());
+  }
+}
+
+}  // namespace
+}  // namespace artmt::bench
+
+int main() {
+  std::printf("=== Figure 5: control-plane allocation time ===\n");
+  artmt::bench::mutant_counts();
+  artmt::bench::pure_workloads(
+      "most-constrained", artmt::alloc::MutantPolicy::most_constrained());
+  artmt::bench::pure_workloads(
+      "least-constrained", artmt::alloc::MutantPolicy::least_constrained(1));
+  artmt::bench::mixed_workload(
+      "most-constrained", artmt::alloc::MutantPolicy::most_constrained());
+  artmt::bench::mixed_workload(
+      "least-constrained", artmt::alloc::MutantPolicy::least_constrained(1));
+  return 0;
+}

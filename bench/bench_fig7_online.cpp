@@ -1,0 +1,116 @@
+// Figure 7: the online scenario -- Poisson arrivals (mean 2) and
+// departures (mean 1) over 1000 epochs, uniform application mix, 10
+// trials, both mutant policies. Reports:
+//   (a) utilization (mean and min-max band across trials),
+//   (b) resident-application count,
+//   (c) fraction of elastic apps reallocated per epoch (EWMA 0.6),
+//   (d) Jain fairness across cache instances.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/ewma.hpp"
+#include "harness.hpp"
+
+namespace artmt::bench {
+namespace {
+
+constexpr u32 kEpochs = 1000;
+constexpr u32 kTrials = 10;
+
+struct Aggregates {
+  std::vector<double> util_mean, util_min, util_max;
+  std::vector<double> residents_mean;
+  std::vector<double> realloc_frac_ewma;  // mean of per-trial EWMA
+  std::vector<double> fairness_mean;
+  double admitted_late = 0.0;  // admission ratio after epoch 500
+  double arrivals_late = 0.0;
+};
+
+Aggregates run_policy(const alloc::MutantPolicy& policy) {
+  Aggregates agg;
+  agg.util_mean.assign(kEpochs, 0.0);
+  agg.util_min.assign(kEpochs, 1.0);
+  agg.util_max.assign(kEpochs, 0.0);
+  agg.residents_mean.assign(kEpochs, 0.0);
+  agg.realloc_frac_ewma.assign(kEpochs, 0.0);
+  agg.fairness_mean.assign(kEpochs, 0.0);
+
+  for (u32 trial = 0; trial < kTrials; ++trial) {
+    ChurnConfig config;
+    config.epochs = kEpochs;
+    config.seed = 40 + trial;
+    const auto metrics =
+        run_churn(config, alloc::Scheme::kWorstFit, policy);
+    Ewma ewma(0.6);
+    for (u32 e = 0; e < kEpochs; ++e) {
+      const auto& m = metrics[e];
+      agg.util_mean[e] += m.utilization / kTrials;
+      agg.util_min[e] = std::min(agg.util_min[e], m.utilization);
+      agg.util_max[e] = std::max(agg.util_max[e], m.utilization);
+      agg.residents_mean[e] += static_cast<double>(m.residents) / kTrials;
+      const double frac =
+          m.elastic_residents == 0
+              ? 0.0
+              : static_cast<double>(m.reallocated) / m.elastic_residents;
+      agg.realloc_frac_ewma[e] += ewma.update(frac) / kTrials;
+      agg.fairness_mean[e] += m.fairness / kTrials;
+      if (e >= kEpochs / 2) {
+        agg.admitted_late += m.admitted;
+        agg.arrivals_late += m.arrivals;
+      }
+    }
+  }
+  return agg;
+}
+
+void report(const char* policy_name, const Aggregates& agg) {
+  std::printf("\n### policy: %s\n", policy_name);
+
+  stats::Series util("util_mean");
+  stats::Series lo("util_min");
+  stats::Series hi("util_max");
+  stats::Series residents("residents");
+  stats::Series realloc_frac("realloc_frac");
+  stats::Series fairness("fairness");
+  for (u32 e = 0; e < kEpochs; ++e) {
+    util.add(e, agg.util_mean[e]);
+    lo.add(e, agg.util_min[e]);
+    hi.add(e, agg.util_max[e]);
+    residents.add(e, agg.residents_mean[e]);
+    realloc_frac.add(e, agg.realloc_frac_ewma[e]);
+    fairness.add(e, agg.fairness_mean[e]);
+  }
+  std::printf("## Fig 7a: utilization (mean over %u trials)\n", kTrials);
+  print_series("epoch,utilization", util, 50);
+  std::printf("band: min(final)=%.3f max(final)=%.3f\n", lo.last_y(),
+              hi.last_y());
+  std::printf("## Fig 7b: resident applications\n");
+  print_series("epoch,residents", residents, 50);
+  std::printf("## Fig 7c: reallocated fraction of elastic apps, EWMA(0.6)\n");
+  print_series("epoch,realloc_fraction", realloc_frac, 50);
+  std::printf("## Fig 7d: Jain fairness among elastic instances\n");
+  print_series("epoch,fairness", fairness, 50);
+  std::printf(
+      "summary: final_utilization=%.3f final_residents=%.1f "
+      "final_fairness=%.4f late_admission_ratio=%.3f\n",
+      agg.util_mean.back(), agg.residents_mean.back(),
+      agg.fairness_mean.back(),
+      agg.arrivals_late > 0 ? agg.admitted_late / agg.arrivals_late : 0.0);
+}
+
+}  // namespace
+}  // namespace artmt::bench
+
+int main() {
+  std::printf(
+      "=== Figure 7: online arrivals/departures (Poisson 2/1, %u epochs, "
+      "%u trials) ===\n",
+      artmt::bench::kEpochs, artmt::bench::kTrials);
+  const auto mc =
+      artmt::bench::run_policy(artmt::alloc::MutantPolicy::most_constrained());
+  artmt::bench::report("most-constrained", mc);
+  const auto lc = artmt::bench::run_policy(
+      artmt::alloc::MutantPolicy::least_constrained(1));
+  artmt::bench::report("least-constrained", lc);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the core data-plane and
+// control-plane primitives: capsule parse/serialize, instruction
+// execution, hashing, mutant enumeration, and single allocations.
+#include <benchmark/benchmark.h>
+
+#include "active/assembler.hpp"
+#include "alloc/allocator.hpp"
+#include "apps/programs.hpp"
+#include "packet/active_packet.hpp"
+#include "rmt/hash.hpp"
+#include "runtime/runtime.hpp"
+
+namespace artmt {
+namespace {
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+  const auto program = apps::cache_query_program();
+  const auto pkt = packet::ActivePacket::make_program(
+      1, packet::ArgumentHeader{{1, 2, 3, 4}}, program);
+  for (auto _ : state) {
+    auto frame = pkt.serialize();
+    benchmark::DoNotOptimize(packet::ActivePacket::parse(frame));
+  }
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+void BM_RuntimeCacheQuery(benchmark::State& state) {
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipeline(cfg);
+  runtime::ActiveRuntime runtime(pipeline);
+  for (u32 s = 0; s < 20; ++s) pipeline.stage(s).install(1, 0, 4096, 0);
+  const auto program = apps::cache_query_program();
+  for (auto _ : state) {
+    auto pkt = packet::ActivePacket::make_program(
+        1, packet::ArgumentHeader{{10, 2, 3, 0}}, program);
+    benchmark::DoNotOptimize(runtime.execute(pkt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeCacheQuery);
+
+void BM_RuntimeMonitorProgram(benchmark::State& state) {
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipeline(cfg);
+  runtime::ActiveRuntime runtime(pipeline);
+  for (u32 s = 0; s < 20; ++s) pipeline.stage(s).install(1, 0, 4096, 0);
+  const auto program = apps::hh_monitor_program();
+  u32 key = 0;
+  for (auto _ : state) {
+    auto pkt = packet::ActivePacket::make_program(
+        1, packet::ArgumentHeader{{++key, key * 3, 0, 0}}, program);
+    benchmark::DoNotOptimize(runtime.execute(pkt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeMonitorProgram);
+
+void BM_HashWords(benchmark::State& state) {
+  const std::array<Word, 4> words{1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmt::hash_words(words, 1));
+  }
+}
+BENCHMARK(BM_HashWords);
+
+void BM_EnumerateCacheMutants(benchmark::State& state) {
+  const auto request = apps::cache_request();
+  const alloc::StageGeometry geom{20, 10};
+  const auto policy = state.range(0) == 0
+                          ? alloc::MutantPolicy::most_constrained()
+                          : alloc::MutantPolicy::least_constrained(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::enumerate_mutants(request, geom, policy));
+  }
+}
+BENCHMARK(BM_EnumerateCacheMutants)->Arg(0)->Arg(1);
+
+void BM_AllocateCacheInstance(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    alloc::Allocator allocator({20, 10}, 368);
+    for (int i = 0; i < state.range(0); ++i) {
+      allocator.allocate(apps::cache_request());
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(allocator.allocate(apps::cache_request()));
+  }
+}
+BENCHMARK(BM_AllocateCacheInstance)->Arg(0)->Arg(20)->Arg(100);
+
+void BM_AssembleListing1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::cache_query_program());
+  }
+}
+BENCHMARK(BM_AssembleListing1);
+
+}  // namespace
+}  // namespace artmt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Shared driver for the evaluation-section reproductions: arrival /
+// departure sequences over the allocator (Figs. 5-7, 11, 12) or the full
+// controller (Fig. 8a), with per-epoch metric collection.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "apps/programs.hpp"
+#include "common/fairness.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "stats/series.hpp"
+#include "workload/arrivals.hpp"
+
+namespace artmt::bench {
+
+inline const alloc::AllocationRequest& request_for(workload::AppKind kind) {
+  static const alloc::AllocationRequest cache = apps::cache_request();
+  static const alloc::AllocationRequest hh = apps::hh_request();
+  static const alloc::AllocationRequest lb = apps::lb_request();
+  switch (kind) {
+    case workload::AppKind::kHeavyHitter:
+      return hh;
+    case workload::AppKind::kLoadBalancer:
+      return lb;
+    default:
+      return cache;
+  }
+}
+
+// Paper-default geometry: 20 stages, 368 one-KB blocks each.
+inline constexpr alloc::StageGeometry kGeometry{20, 10};
+inline constexpr u32 kBlocksPerStage = 368;
+
+struct EpochMetrics {
+  u32 epoch = 0;
+  double alloc_ms = 0.0;      // total allocation compute time this epoch
+  u32 arrivals = 0;
+  u32 admitted = 0;
+  u32 failures = 0;
+  u32 reallocated = 0;        // resident apps disturbed this epoch
+  u32 residents = 0;
+  u32 elastic_residents = 0;
+  double utilization = 0.0;
+  double fairness = 1.0;      // Jain index over elastic totals
+};
+
+struct ChurnConfig {
+  u32 epochs = 100;
+  double arrival_mean = 2.0;
+  double departure_mean = 1.0;
+  std::optional<workload::AppKind> pure_kind;  // nullopt = uniform mix
+  bool departures_enabled = true;
+  u64 seed = 1;
+};
+
+// Runs one trial of the online experiment against a fresh allocator.
+inline std::vector<EpochMetrics> run_churn(
+    const ChurnConfig& config, alloc::Scheme scheme,
+    const alloc::MutantPolicy& policy, u32 blocks_per_stage = kBlocksPerStage) {
+  alloc::Allocator allocator(kGeometry, blocks_per_stage, scheme, policy);
+  workload::ArrivalProcess process(config.arrival_mean,
+                                   config.departure_mean, config.seed);
+  if (config.pure_kind) process.fix_kind(*config.pure_kind);
+  Rng departure_rng(config.seed ^ 0x5eed);
+
+  std::vector<alloc::AppId> resident;
+  std::vector<EpochMetrics> out;
+  out.reserve(config.epochs);
+
+  for (u32 epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto plan = process.next_epoch();
+    EpochMetrics m;
+    m.epoch = epoch;
+
+    if (config.departures_enabled) {
+      for (u32 d = 0; d < plan.departures && !resident.empty(); ++d) {
+        const std::size_t pick = departure_rng.uniform(resident.size());
+        Stopwatch watch;
+        allocator.deallocate(resident[pick]);
+        m.alloc_ms += watch.elapsed_ms();
+        resident.erase(resident.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+
+    for (const workload::AppKind kind : plan.arrivals) {
+      ++m.arrivals;
+      const auto outcome = allocator.allocate(request_for(kind));
+      m.alloc_ms += outcome.search_ms + outcome.assign_ms;
+      if (outcome.success) {
+        ++m.admitted;
+        m.reallocated += static_cast<u32>(outcome.reallocated.size());
+        resident.push_back(outcome.app);
+      } else {
+        ++m.failures;
+      }
+    }
+
+    m.residents = allocator.resident_count();
+    m.utilization = allocator.utilization();
+    const auto totals = allocator.elastic_totals();
+    m.elastic_residents = static_cast<u32>(totals.size());
+    m.fairness = jain_fairness(totals);
+    out.push_back(m);
+  }
+  return out;
+}
+
+// Arrival-only sequence (Figs. 5a, 6, 12): one arrival per epoch.
+inline std::vector<EpochMetrics> run_arrivals(
+    u32 count, workload::AppKind kind, alloc::Scheme scheme,
+    const alloc::MutantPolicy& policy, u32 blocks_per_stage = kBlocksPerStage) {
+  alloc::Allocator allocator(kGeometry, blocks_per_stage, scheme, policy);
+  std::vector<EpochMetrics> out;
+  out.reserve(count);
+  for (u32 epoch = 0; epoch < count; ++epoch) {
+    EpochMetrics m;
+    m.epoch = epoch;
+    m.arrivals = 1;
+    const auto outcome = allocator.allocate(request_for(kind));
+    m.alloc_ms = outcome.search_ms + outcome.assign_ms;
+    if (outcome.success) {
+      m.admitted = 1;
+      m.reallocated = static_cast<u32>(outcome.reallocated.size());
+    } else {
+      m.failures = 1;
+    }
+    m.residents = allocator.resident_count();
+    m.utilization = allocator.utilization();
+    out.push_back(m);
+  }
+  return out;
+}
+
+// Prints a thinned "epoch,value" table with a caption.
+inline void print_series(const std::string& caption,
+                         const stats::Series& series, std::size_t stride) {
+  std::printf("# %s\n", caption.c_str());
+  const stats::Series thinned = stats::thin(series, stride);
+  for (const auto& point : thinned.points()) {
+    std::printf("%g,%g\n", point.x, point.y);
+  }
+}
+
+}  // namespace artmt::bench

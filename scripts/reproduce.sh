@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the test suite, and regenerates every figure
+# of the paper's evaluation into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" | tee "results/$name.txt"
+done
+echo "All figure outputs written to results/."

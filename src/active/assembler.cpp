@@ -1,0 +1,124 @@
+#include "active/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace artmt::active {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw CompileError("line " + std::to_string(line_no) + ": " + message);
+}
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses "Lk" into k; returns 0 if the token is not a label.
+u8 parse_label(std::string_view token) {
+  if (token.size() < 2 || token[0] != 'L') return 0;
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data() + 1, token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) return 0;
+  if (value == 0 || value > kMaxLabel) return 0;
+  return static_cast<u8>(value);
+}
+
+}  // namespace
+
+Program assemble(std::string_view text) {
+  Program program;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Drop comments.
+    if (const auto comment = line.find("//"); comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    line = strip(line);
+    if (line.empty()) continue;
+
+    Instruction insn;
+
+    // Optional leading label definition "Lk:".
+    if (const auto colon = line.find(':'); colon != std::string_view::npos) {
+      const u8 label = parse_label(strip(line.substr(0, colon)));
+      if (label == 0) fail(line_no, "bad label definition");
+      insn.label = label;
+      line = strip(line.substr(colon + 1));
+      if (line.empty()) fail(line_no, "label must prefix an instruction");
+    }
+
+    // Mnemonic token.
+    std::size_t space = line.find_first_of(" \t");
+    const std::string_view name =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    std::string_view rest =
+        space == std::string_view::npos ? std::string_view{}
+                                        : strip(line.substr(space));
+
+    const auto op = opcode_from_mnemonic(name);
+    if (!op) fail(line_no, "unknown mnemonic '" + std::string(name) + "'");
+    insn.op = *op;
+
+    const OpcodeInfo* info = opcode_info(*op);
+    switch (info->operand) {
+      case OperandKind::kArgIndex: {
+        // "$k" is optional and defaults to field 0, matching the paper's
+        // listings which omit it for implicit next-field semantics.
+        if (!rest.empty()) {
+          if (rest[0] != '$') fail(line_no, "expected $argIndex operand");
+          unsigned value = 0;
+          const auto [ptr, ec] = std::from_chars(
+              rest.data() + 1, rest.data() + rest.size(), value);
+          if (ec != std::errc{} || ptr != rest.data() + rest.size() ||
+              value >= kArgFields) {
+            fail(line_no, "argument index must be $0..$3");
+          }
+          insn.operand = static_cast<u8>(value);
+        }
+        break;
+      }
+      case OperandKind::kLabel: {
+        const u8 label = parse_label(rest);
+        if (label == 0) fail(line_no, "branch requires a label operand L1..L15");
+        if (insn.label != 0) fail(line_no, "a branch cannot also be a target");
+        insn.label = label;
+        break;
+      }
+      case OperandKind::kNone:
+        if (!rest.empty()) fail(line_no, "unexpected operand");
+        break;
+    }
+    if (insn.op == Opcode::kEof) fail(line_no, "EOF is implicit; do not write it");
+    program.push(insn);
+  }
+
+  // Validate forward-only branches and label existence.
+  const ProgramAnalysis analysis = analyze(program);
+  if (!analysis.branches_forward) {
+    throw CompileError("branch target missing or not after the branch");
+  }
+  return program;
+}
+
+}  // namespace artmt::active

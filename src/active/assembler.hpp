@@ -1,0 +1,26 @@
+// Text assembler for active programs. Grammar (one instruction per line):
+//
+//   [Lk:] MNEMONIC [$argIndex | Lk]   [// comment]
+//
+// Labels are L1..L15. A label definition prefixes the target instruction;
+// branch instructions name their target as the operand. Blank lines and
+// comment-only lines are ignored. Example (Listing 1 of the paper):
+//
+//   MAR_LOAD $0        // locate bucket
+//   MEM_READ           // first 4 bytes
+//   MBR_EQUALS_MBR2    // compare bytes
+//   CRET               // partial match?
+//   ...
+#pragma once
+
+#include <string_view>
+
+#include "active/program.hpp"
+
+namespace artmt::active {
+
+// Assembles program text; throws CompileError with a line number on any
+// syntax error, unknown mnemonic, missing operand, or backward branch.
+Program assemble(std::string_view text);
+
+}  // namespace artmt::active

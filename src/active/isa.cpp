@@ -1,0 +1,95 @@
+#include "active/isa.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace artmt::active {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, 46> kOpcodeTable = {{
+    // special
+    {Opcode::kEof, "EOF"},
+    {Opcode::kNop, "NOP"},
+    {Opcode::kAddrMask, "ADDR_MASK"},
+    {Opcode::kAddrOffset, "ADDR_OFFSET"},
+    // HASH's operand selects among the per-pipeline hash engines (distinct
+    // CRC configurations), giving CMS-style programs independent rows.
+    {Opcode::kHash, "HASH", OperandKind::kArgIndex},
+    // data copying
+    {Opcode::kMbrLoad, "MBR_LOAD", OperandKind::kArgIndex},
+    {Opcode::kMbrStore, "MBR_STORE", OperandKind::kArgIndex},
+    {Opcode::kMbr2Load, "MBR2_LOAD", OperandKind::kArgIndex},
+    {Opcode::kMarLoad, "MAR_LOAD", OperandKind::kArgIndex},
+    {Opcode::kCopyMbr2Mbr, "COPY_MBR2_MBR"},
+    {Opcode::kCopyMbrMbr2, "COPY_MBR_MBR2"},
+    {Opcode::kCopyMbrMar, "COPY_MBR_MAR"},
+    {Opcode::kCopyMarMbr, "COPY_MAR_MBR"},
+    {Opcode::kCopyHashdataMbr, "COPY_HASHDATA_MBR", OperandKind::kArgIndex},
+    {Opcode::kCopyHashdataMbr2, "COPY_HASHDATA_MBR2", OperandKind::kArgIndex},
+    {Opcode::kCopyHashdata5Tuple, "COPY_HASHDATA_5TUPLE"},
+    // data manipulation
+    {Opcode::kMbrAddMbr2, "MBR_ADD_MBR2"},
+    {Opcode::kMarAddMbr, "MAR_ADD_MBR"},
+    {Opcode::kMarAddMbr2, "MAR_ADD_MBR2"},
+    {Opcode::kMarMbrAddMbr2, "MAR_MBR_ADD_MBR2"},
+    {Opcode::kMbrSubtractMbr2, "MBR_SUBTRACT_MBR2"},
+    {Opcode::kBitAndMarMbr, "BIT_AND_MAR_MBR"},
+    {Opcode::kBitOrMbrMbr2, "BIT_OR_MBR_MBR2"},
+    {Opcode::kMbrEqualsMbr2, "MBR_EQUALS_MBR2"},
+    {Opcode::kMax, "MAX"},
+    {Opcode::kMin, "MIN"},
+    {Opcode::kRevMin, "REVMIN"},
+    {Opcode::kSwapMbrMbr2, "SWAP_MBR_MBR2"},
+    {Opcode::kMbrNot, "MBR_NOT"},
+    {Opcode::kMbrEqualsData, "MBR_EQUALS_DATA", OperandKind::kArgIndex},
+    // control flow
+    {Opcode::kReturn, "RETURN", OperandKind::kNone, false, false, true},
+    {Opcode::kCret, "CRET", OperandKind::kNone, false, false, true},
+    {Opcode::kCreti, "CRETI", OperandKind::kNone, false, false, true},
+    {Opcode::kCjump, "CJUMP", OperandKind::kLabel, false, true},
+    {Opcode::kCjumpi, "CJUMPI", OperandKind::kLabel, false, true},
+    {Opcode::kUjump, "UJUMP", OperandKind::kLabel, false, true},
+    // memory access
+    {Opcode::kMemWrite, "MEM_WRITE", OperandKind::kNone, true},
+    {Opcode::kMemRead, "MEM_READ", OperandKind::kNone, true},
+    {Opcode::kMemIncrement, "MEM_INCREMENT", OperandKind::kNone, true},
+    {Opcode::kMemMinread, "MEM_MINREAD", OperandKind::kNone, true},
+    {Opcode::kMemMinreadinc, "MEM_MINREADINC", OperandKind::kNone, true},
+    // packet forwarding
+    {Opcode::kDrop, "DROP", OperandKind::kNone, false, false, false, true},
+    {Opcode::kFork, "FORK", OperandKind::kNone, false, false, false, true},
+    {Opcode::kSetDst, "SET_DST", OperandKind::kNone, false, false, false,
+     true},
+    {Opcode::kRts, "RTS", OperandKind::kNone, false, false, false, true},
+    {Opcode::kCrts, "CRTS", OperandKind::kNone, false, false, false, true},
+}};
+
+}  // namespace
+
+const OpcodeInfo* opcode_info(Opcode op) {
+  for (const auto& info : kOpcodeTable) {
+    if (info.op == op) return &info;
+  }
+  return nullptr;
+}
+
+const OpcodeInfo* opcode_info(u8 raw) {
+  return opcode_info(static_cast<Opcode>(raw));
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view name) {
+  for (const auto& info : kOpcodeTable) {
+    if (info.mnemonic == name) return info.op;
+  }
+  return std::nullopt;
+}
+
+std::string_view mnemonic(Opcode op) {
+  const OpcodeInfo* info = opcode_info(op);
+  if (info == nullptr) throw UsageError("mnemonic: unknown opcode");
+  return info->mnemonic;
+}
+
+}  // namespace artmt::active

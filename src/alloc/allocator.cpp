@@ -1,0 +1,228 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace artmt::alloc {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kWorstFit:
+      return "worst-fit";
+    case Scheme::kBestFit:
+      return "best-fit";
+    case Scheme::kFirstFit:
+      return "first-fit";
+    case Scheme::kRealloc:
+      return "realloc";
+  }
+  return "unknown";
+}
+
+Allocator::Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
+                     Scheme scheme, MutantPolicy policy)
+    : geometry_(geometry),
+      blocks_per_stage_(blocks_per_stage),
+      scheme_(scheme),
+      policy_(policy) {
+  if (blocks_per_stage == 0) throw UsageError("Allocator: zero blocks");
+  stages_.reserve(geometry_.logical_stages);
+  for (u32 i = 0; i < geometry_.logical_stages; ++i) {
+    stages_.emplace_back(blocks_per_stage);
+  }
+}
+
+std::map<u32, u32> Allocator::stage_demands(const AllocationRequest& request,
+                                            const Mutant& mutant) const {
+  std::map<u32, u32> demands;
+  for (std::size_t i = 0; i < mutant.size(); ++i) {
+    const u32 stage = mutant[i] % geometry_.logical_stages;
+    const u32 demand = request.accesses[i].demand_blocks;
+    auto [it, inserted] = demands.emplace(stage, demand);
+    if (!inserted) it->second = std::max(it->second, demand);
+  }
+  return demands;
+}
+
+bool Allocator::feasible(const AllocationRequest& request,
+                         const std::map<u32, u32>& demands) const {
+  for (const auto& [stage, demand] : demands) {
+    const StageState& state = stages_[stage];
+    if (request.elastic ? !state.elastic_fits(demand)
+                        : !state.inelastic_fits(demand)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Allocator::score(const AllocationRequest& request,
+                        const std::map<u32, u32>& demands) const {
+  double total = 0.0;
+  for (const auto& [stage, demand] : demands) {
+    const StageState& state = stages_[stage];
+    switch (scheme_) {
+      case Scheme::kWorstFit:
+        // Prefer the most fungible memory: lower score = more fungible.
+        total -= state.fungible_blocks();
+        break;
+      case Scheme::kBestFit:
+        total += state.fungible_blocks();
+        break;
+      case Scheme::kRealloc: {
+        // Count resident apps this placement would disturb: every elastic
+        // member of a stage the new app shares (their shares rebalance),
+        // plus elastic members pushed by a frontier extension.
+        if (request.elastic || state.inelastic_needs_frontier(demand)) {
+          total += state.elastic_member_count();
+        }
+        break;
+      }
+      case Scheme::kFirstFit:
+        break;  // never scored
+    }
+  }
+  return total;
+}
+
+std::map<AppId, std::map<u32, Interval>> Allocator::snapshot() const {
+  std::map<AppId, std::map<u32, Interval>> out;
+  for (u32 s = 0; s < stages_.size(); ++s) {
+    for (const auto& [id, region] : stages_[s].regions()) {
+      out[id][s] = region;
+    }
+  }
+  return out;
+}
+
+std::vector<AppId> Allocator::diff_against(
+    const std::map<AppId, std::map<u32, Interval>>& before,
+    AppId exclude) const {
+  const auto after = snapshot();
+  std::vector<AppId> changed;
+  for (const auto& [id, regions] : after) {
+    if (id == exclude) continue;
+    const auto it = before.find(id);
+    if (it == before.end() || it->second != regions) changed.push_back(id);
+  }
+  for (const auto& [id, regions] : before) {
+    if (id != exclude && !after.contains(id) &&
+        std::find(changed.begin(), changed.end(), id) == changed.end()) {
+      changed.push_back(id);
+    }
+  }
+  return changed;
+}
+
+AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
+  AllocationOutcome outcome;
+  Stopwatch watch;
+
+  // --- Phase 1: systematic search over the mutant space. ---
+  bool found = false;
+  Mutant best;
+  double best_score = std::numeric_limits<double>::infinity();
+  outcome.mutants_considered = for_each_mutant(
+      request, geometry_, policy_, [&](const Mutant& candidate) {
+        const auto demands = stage_demands(request, candidate);
+        if (!feasible(request, demands)) return true;
+        if (scheme_ == Scheme::kFirstFit) {
+          best = candidate;
+          found = true;
+          return false;  // stop at the first feasible mutant
+        }
+        const double s = score(request, demands);
+        if (!found || s < best_score) {
+          best = candidate;
+          best_score = s;
+          found = true;
+        }
+        return true;
+      });
+  outcome.search_ms = watch.elapsed_ms();
+  if (!found) return outcome;
+
+  // --- Phase 2: final assignment for the new app and every resident app
+  // whose share shifts (this dominates allocation time; Section 6.1). ---
+  watch.reset();
+  const auto before = snapshot();
+  const AppId id = next_id_++;
+  const auto demands = stage_demands(request, best);
+  for (const auto& [stage, demand] : demands) {
+    if (request.elastic) {
+      stages_[stage].add_elastic(id, demand, request.elastic_cap_blocks);
+    } else {
+      stages_[stage].add_inelastic(id, demand);
+    }
+  }
+
+  AppRecord record;
+  record.id = id;
+  record.elastic = request.elastic;
+  record.chosen = best;
+  record.stage_demand = demands;
+  record.request = request;
+  apps_[id] = record;
+
+  outcome.success = true;
+  outcome.app = id;
+  outcome.chosen = best;
+  outcome.regions = regions_of(id);
+  outcome.reallocated = diff_against(before, id);
+  outcome.assign_ms = watch.elapsed_ms();
+  return outcome;
+}
+
+std::vector<AppId> Allocator::deallocate(AppId id) {
+  const auto it = apps_.find(id);
+  if (it == apps_.end()) throw UsageError("Allocator: unknown app id");
+  const auto before = snapshot();
+  for (const auto& [stage, demand] : it->second.stage_demand) {
+    if (it->second.elastic) {
+      stages_[stage].remove_elastic(id);
+    } else {
+      stages_[stage].remove_inelastic(id);
+    }
+  }
+  apps_.erase(it);
+  return diff_against(before, id);
+}
+
+double Allocator::utilization() const {
+  u64 allocated = 0;
+  for (const auto& stage : stages_) allocated += stage.allocated_blocks();
+  return static_cast<double>(allocated) /
+         (static_cast<double>(blocks_per_stage_) * stages_.size());
+}
+
+std::map<u32, Interval> Allocator::regions_of(AppId id) const {
+  std::map<u32, Interval> out;
+  for (u32 s = 0; s < stages_.size(); ++s) {
+    const auto& regions = stages_[s].regions();
+    if (const auto it = regions.find(id); it != regions.end()) {
+      out[s] = it->second;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Allocator::elastic_totals() const {
+  std::vector<double> totals;
+  for (const auto& [id, record] : apps_) {
+    if (!record.elastic) continue;
+    u64 blocks = 0;
+    for (const auto& [stage, region] : regions_of(id)) blocks += region.size();
+    totals.push_back(static_cast<double>(blocks));
+  }
+  return totals;
+}
+
+const StageState& Allocator::stage(u32 index) const {
+  if (index >= stages_.size()) throw UsageError("Allocator: bad stage index");
+  return stages_[index];
+}
+
+}  // namespace artmt::alloc

@@ -1,0 +1,107 @@
+// The online memory allocator (Section 4.2): admits one application at a
+// time, searching the application's mutant space for the placement that a
+// configured scheme scores best (worst-fit over fungible memory by
+// default), then computes final assignments for every (re)allocated
+// instance. Existing applications are never moved across stages.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/mutant.hpp"
+#include "alloc/request.hpp"
+#include "alloc/stage_state.hpp"
+#include "common/types.hpp"
+
+namespace artmt::alloc {
+
+// Allocation schemes compared in Section 6.4 / Figure 11.
+enum class Scheme {
+  kWorstFit,  // stages with the most fungible memory (default)
+  kBestFit,   // stages with the least fungible memory that still fit
+  kFirstFit,  // first feasible mutant in enumeration order
+  kRealloc,   // minimize the number of disturbed resident applications
+};
+
+const char* scheme_name(Scheme scheme);
+
+struct AppRecord {
+  AppId id = 0;
+  bool elastic = false;
+  Mutant chosen;                      // global logical stage per access
+  std::map<u32, u32> stage_demand;    // physical-logical stage -> blocks
+  AllocationRequest request;
+};
+
+struct AllocationOutcome {
+  bool success = false;
+  AppId app = 0;
+  Mutant chosen;
+  std::map<u32, Interval> regions;  // the new app's block regions per stage
+  std::vector<AppId> reallocated;   // resident apps whose regions changed
+  u64 mutants_considered = 0;
+  double search_ms = 0.0;  // feasibility search (fast; dominates failures)
+  double assign_ms = 0.0;  // final assignment for all (re)allocated apps
+};
+
+class Allocator {
+ public:
+  Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
+            Scheme scheme = Scheme::kWorstFit,
+            MutantPolicy policy = MutantPolicy::most_constrained());
+
+  // Admits an application (or fails, leaving state untouched).
+  AllocationOutcome allocate(const AllocationRequest& request);
+
+  // Releases an application; returns the apps rebalanced as a result.
+  std::vector<AppId> deallocate(AppId id);
+
+  // --- queries (drive the evaluation figures) ---
+  [[nodiscard]] double utilization() const;  // allocated / total blocks
+  [[nodiscard]] u32 resident_count() const {
+    return static_cast<u32>(apps_.size());
+  }
+  [[nodiscard]] const std::unordered_map<AppId, AppRecord>& apps() const {
+    return apps_;
+  }
+  [[nodiscard]] bool resident(AppId id) const { return apps_.contains(id); }
+  // The app's current block regions, stage -> interval.
+  [[nodiscard]] std::map<u32, Interval> regions_of(AppId id) const;
+  // Total blocks currently held by each elastic app (fairness input).
+  [[nodiscard]] std::vector<double> elastic_totals() const;
+  [[nodiscard]] const StageState& stage(u32 index) const;
+  [[nodiscard]] const StageGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] u32 blocks_per_stage() const { return blocks_per_stage_; }
+  [[nodiscard]] Scheme scheme() const { return scheme_; }
+  [[nodiscard]] const MutantPolicy& policy() const { return policy_; }
+
+ private:
+  // Per-stage demand of a request under a mutant (accesses in the same
+  // physical stage collapse to their maximum demand: one object per stage).
+  [[nodiscard]] std::map<u32, u32> stage_demands(
+      const AllocationRequest& request, const Mutant& mutant) const;
+
+  [[nodiscard]] bool feasible(const AllocationRequest& request,
+                              const std::map<u32, u32>& demands) const;
+
+  // Lower is better; used by worst/best/realloc schemes.
+  [[nodiscard]] double score(const AllocationRequest& request,
+                             const std::map<u32, u32>& demands) const;
+
+  // Snapshot of every app's regions (for reallocation diffing).
+  [[nodiscard]] std::map<AppId, std::map<u32, Interval>> snapshot() const;
+  [[nodiscard]] std::vector<AppId> diff_against(
+      const std::map<AppId, std::map<u32, Interval>>& before,
+      AppId exclude) const;
+
+  StageGeometry geometry_;
+  u32 blocks_per_stage_;
+  Scheme scheme_;
+  MutantPolicy policy_;
+  std::vector<StageState> stages_;
+  std::unordered_map<AppId, AppRecord> apps_;
+  AppId next_id_ = 1;
+};
+
+}  // namespace artmt::alloc

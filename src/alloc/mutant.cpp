@@ -1,0 +1,152 @@
+#include "alloc/mutant.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::alloc {
+
+namespace {
+
+void validate(const AllocationRequest& request) {
+  if (request.accesses.empty()) {
+    throw UsageError("mutants: request has no memory accesses");
+  }
+  for (std::size_t i = 0; i < request.accesses.size(); ++i) {
+    if (request.accesses[i].position >= request.program_length) {
+      throw UsageError("mutants: access position beyond program length");
+    }
+    if (i > 0 && request.accesses[i].position <=
+                     request.accesses[i - 1].position) {
+      throw UsageError("mutants: access positions must strictly increase");
+    }
+    if (request.accesses[i].alias >= 0 &&
+        static_cast<std::size_t>(request.accesses[i].alias) >= i) {
+      throw UsageError("mutants: alias must reference an earlier access");
+    }
+  }
+}
+
+// Shift applied to the instruction at compact index `idx` by mutant x:
+// instructions inherit the shift of the latest access at or before them.
+u32 shift_at(const AllocationRequest& request, const Mutant& x, u32 idx) {
+  u32 shift = 0;
+  for (std::size_t j = 0; j < request.accesses.size(); ++j) {
+    if (request.accesses[j].position <= idx) {
+      shift = x[j] - request.accesses[j].position;
+    }
+  }
+  return shift;
+}
+
+}  // namespace
+
+u32 mutated_length(const AllocationRequest& request, const Mutant& mutant) {
+  const auto& last = request.accesses.back();
+  return request.program_length + (mutant.back() - last.position);
+}
+
+bool rts_at_ingress(const AllocationRequest& request,
+                    const StageGeometry& geometry, const Mutant& mutant) {
+  if (!request.rts_position) return true;
+  const u32 rts = *request.rts_position + shift_at(request, mutant,
+                                                   *request.rts_position);
+  return rts % geometry.logical_stages < geometry.ingress_stages;
+}
+
+MutantConstraints derive_constraints(const AllocationRequest& request,
+                                     const StageGeometry& geometry,
+                                     const MutantPolicy& policy) {
+  validate(request);
+  const u32 n = geometry.logical_stages;
+  const u32 m = request.access_count();
+
+  MutantConstraints out;
+  out.lower_bounds.resize(m);
+  out.upper_bounds.resize(m);
+  out.min_gaps.resize(m);
+
+  // Minimum passes for the compact program, then the policy's extra budget.
+  const u32 base_passes = (request.program_length + n - 1) / n;
+  out.total_stage_budget = (base_passes + policy.extra_passes) * n;
+
+  u32 prev = 0;
+  for (u32 i = 0; i < m; ++i) {
+    const u32 pos = request.accesses[i].position;
+    out.lower_bounds[i] = pos;
+    out.min_gaps[i] = i == 0 ? pos : pos - prev;
+    prev = pos;
+  }
+  // Trailing instructions after the last access bound it from above; each
+  // earlier access is bounded by the minimum gaps to the accesses after it.
+  const u32 trailing =
+      request.program_length - 1 - request.accesses.back().position;
+  u32 ub = out.total_stage_budget - 1 - trailing;
+  for (u32 i = m; i-- > 0;) {
+    out.upper_bounds[i] = ub;
+    if (i > 0) ub -= out.min_gaps[i];
+  }
+  return out;
+}
+
+u64 for_each_mutant(const AllocationRequest& request,
+                    const StageGeometry& geometry, const MutantPolicy& policy,
+                    const std::function<bool(const Mutant&)>& visit) {
+  const MutantConstraints c = derive_constraints(request, geometry, policy);
+  const u32 m = request.access_count();
+  // Infeasible geometry (e.g. UB < LB) yields no mutants.
+  for (u32 i = 0; i < m; ++i) {
+    if (c.upper_bounds[i] < c.lower_bounds[i]) return 0;
+  }
+
+  // Depth-first lexicographic enumeration of x with gap constraints.
+  Mutant x(m);
+  u64 visited = 0;
+  bool stop = false;
+
+  const std::function<void(u32)> recurse = [&](u32 depth) {
+    if (stop) return;
+    if (depth == m) {
+      if (policy.enforce_rts_ingress &&
+          !rts_at_ingress(request, geometry, x)) {
+        return;
+      }
+      ++visited;
+      if (!visit(x)) stop = true;
+      return;
+    }
+    u32 lo = depth == 0 ? c.lower_bounds[0]
+                        : std::max(c.lower_bounds[depth],
+                                   x[depth - 1] + c.min_gaps[depth]);
+    u32 step = 1;
+    // Same-stage aliasing (e.g. a value read in pass 1 and updated in pass
+    // 2): only offsets congruent to the aliased access modulo the pipeline
+    // depth are admissible.
+    const i32 alias = request.accesses[depth].alias;
+    if (alias >= 0) {
+      const u32 n = geometry.logical_stages;
+      const u32 target = x[static_cast<u32>(alias)] % n;
+      lo += (target + n - lo % n) % n;
+      step = n;
+    }
+    for (u32 v = lo; v <= c.upper_bounds[depth] && !stop; v += step) {
+      x[depth] = v;
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+  return visited;
+}
+
+std::vector<Mutant> enumerate_mutants(const AllocationRequest& request,
+                                      const StageGeometry& geometry,
+                                      const MutantPolicy& policy) {
+  std::vector<Mutant> out;
+  for_each_mutant(request, geometry, policy, [&](const Mutant& x) {
+    out.push_back(x);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace artmt::alloc

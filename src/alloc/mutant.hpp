@@ -1,0 +1,61 @@
+// Mutant enumeration (Section 4.1/4.2). A mutant assigns each memory access
+// a global logical-stage index x_i (counting across recirculation passes);
+// NOP insertion realizes the assignment. The constraint system is the
+// paper's: LB <= x <= UB and A x >= B (consecutive accesses keep at least
+// their original instruction distance), plus the ingress restriction on RTS
+// when the policy demands it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "alloc/request.hpp"
+#include "common/types.hpp"
+
+namespace artmt::alloc {
+
+// Stage geometry the enumerator needs.
+struct StageGeometry {
+  u32 logical_stages = 20;
+  u32 ingress_stages = 10;
+};
+
+// One candidate placement: x[i] = global logical stage of access i
+// (0-based; values >= logical_stages imply recirculation).
+using Mutant = std::vector<u32>;
+
+// Derived constraint vectors, exposed for tests and diagnostics; mirrors
+// the paper's formulation (LB, UB, minimum distances B).
+struct MutantConstraints {
+  std::vector<u32> lower_bounds;  // LB
+  std::vector<u32> upper_bounds;  // UB
+  std::vector<u32> min_gaps;      // B (gap[0] = LB[0])
+  u32 total_stage_budget = 0;     // passes * logical_stages
+};
+
+MutantConstraints derive_constraints(const AllocationRequest& request,
+                                     const StageGeometry& geometry,
+                                     const MutantPolicy& policy);
+
+// Enumerates all mutants in lexicographic order (the "systematic
+// enumeration sequence" first-fit walks). Throws UsageError on a request
+// with unsorted accesses; returns empty when infeasible.
+std::vector<Mutant> enumerate_mutants(const AllocationRequest& request,
+                                      const StageGeometry& geometry,
+                                      const MutantPolicy& policy);
+
+// Visits mutants lazily; stops early when `visit` returns false. Returns
+// the number of mutants visited. Used by the allocator's search loop.
+u64 for_each_mutant(const AllocationRequest& request,
+                    const StageGeometry& geometry, const MutantPolicy& policy,
+                    const std::function<bool(const Mutant&)>& visit);
+
+// Whether a mutant keeps the request's RTS instruction in an ingress
+// half-pass (the mutated RTS index inherits the shift of its segment).
+bool rts_at_ingress(const AllocationRequest& request,
+                    const StageGeometry& geometry, const Mutant& mutant);
+
+// Length of the mutated program (compact length plus inserted NOPs).
+u32 mutated_length(const AllocationRequest& request, const Mutant& mutant);
+
+}  // namespace artmt::alloc

@@ -1,0 +1,49 @@
+// Allocation-request model (Section 4.2): an application characterizes its
+// memory access pattern as ordered access positions within its most-compact
+// program, per-access block demands, an overall elasticity class, and the
+// position of any instruction pinned to the ingress pipeline (RTS).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::alloc {
+
+// One memory access slot of the service's program.
+struct AccessDemand {
+  u32 position = 0;       // 0-based instruction index in the compact program
+  u32 demand_blocks = 1;  // inelastic: exact; elastic: minimum share
+  // Index of an earlier access whose physical stage this one must share
+  // (e.g. a threshold read in pass 1 updated in pass 2); -1 = none.
+  i32 alias = -1;
+};
+
+struct AllocationRequest {
+  std::vector<AccessDemand> accesses;  // strictly increasing positions
+  u32 program_length = 0;              // compact instruction count
+  std::optional<u32> rts_position;     // 0-based index of RTS, if any
+  bool elastic = false;                // Section 4.1 application class
+  // Optional cap on an elastic app's per-stage share (blocks); 0 = none.
+  u32 elastic_cap_blocks = 0;
+
+  [[nodiscard]] u32 access_count() const {
+    return static_cast<u32>(accesses.size());
+  }
+};
+
+// How aggressively the allocator explores mutants (Section 6.1):
+// most-constrained admits only mutants that add no recirculation and keep
+// RTS at ingress; least-constrained trades extra passes for flexibility.
+struct MutantPolicy {
+  u32 extra_passes = 0;            // allowed beyond the compact minimum
+  bool enforce_rts_ingress = true; // require RTS in an ingress half-pass
+
+  static MutantPolicy most_constrained() { return {0, true}; }
+  static MutantPolicy least_constrained(u32 extra = 1) {
+    return {extra, false};
+  }
+};
+
+}  // namespace artmt::alloc

@@ -1,0 +1,154 @@
+#include "alloc/stage_state.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace artmt::alloc {
+
+StageState::StageState(u32 capacity_blocks) : capacity_(capacity_blocks) {
+  if (capacity_blocks == 0) throw UsageError("StageState: zero capacity");
+}
+
+u32 StageState::elastic_min_total() const {
+  u32 sum = 0;
+  for (const auto& member : elastic_) sum += member.min_blocks;
+  return sum;
+}
+
+bool StageState::inelastic_fits(u32 demand) const {
+  if (demand == 0) throw UsageError("StageState: zero inelastic demand");
+  if (holes_.find_first_fit(demand)) return true;
+  // Extend the frontier: elastic members can be squeezed to their minima.
+  return capacity_ - frontier_ >= demand + elastic_min_total();
+}
+
+bool StageState::inelastic_needs_frontier(u32 demand) const {
+  return !holes_.find_first_fit(demand).has_value();
+}
+
+void StageState::add_inelastic(AppId id, u32 demand) {
+  if (inelastic_.contains(id) ||
+      std::any_of(elastic_.begin(), elastic_.end(),
+                  [id](const ElasticMember& m) { return m.id == id; })) {
+    throw UsageError("StageState: app already resident in stage");
+  }
+  Interval region;
+  if (const auto hole = holes_.find_first_fit(demand)) {
+    region = Interval{hole->begin, hole->begin + demand};
+    holes_.remove(region);
+  } else {
+    if (capacity_ - frontier_ < demand + elastic_min_total()) {
+      throw UsageError("StageState: inelastic demand does not fit");
+    }
+    region = Interval{frontier_, frontier_ + demand};
+    frontier_ += demand;
+  }
+  inelastic_[id] = region;
+  regions_[id] = region;
+  rebalance();
+}
+
+void StageState::remove_inelastic(AppId id) {
+  const auto it = inelastic_.find(id);
+  if (it == inelastic_.end()) {
+    throw UsageError("StageState: unknown inelastic app");
+  }
+  holes_.insert(it->second);
+  inelastic_.erase(it);
+  regions_.erase(id);
+  // Return frontier-adjacent free space to the elastic pool.
+  while (true) {
+    const auto& hs = holes_.intervals();
+    if (hs.empty() || hs.back().end != frontier_) break;
+    const Interval tail = hs.back();  // copy: remove() mutates the set
+    frontier_ = tail.begin;
+    holes_.remove(tail);
+  }
+  rebalance();
+}
+
+bool StageState::elastic_fits(u32 min_blocks) const {
+  if (min_blocks == 0) throw UsageError("StageState: zero elastic minimum");
+  return capacity_ - frontier_ >= elastic_min_total() + min_blocks;
+}
+
+void StageState::add_elastic(AppId id, u32 min_blocks, u32 cap_blocks) {
+  if (regions_.contains(id)) {
+    throw UsageError("StageState: app already resident in stage");
+  }
+  if (!elastic_fits(min_blocks)) {
+    throw UsageError("StageState: elastic minimum does not fit");
+  }
+  elastic_.push_back(ElasticMember{id, min_blocks, cap_blocks});
+  rebalance();
+}
+
+void StageState::remove_elastic(AppId id) {
+  const auto it =
+      std::find_if(elastic_.begin(), elastic_.end(),
+                   [id](const ElasticMember& m) { return m.id == id; });
+  if (it == elastic_.end()) throw UsageError("StageState: unknown elastic app");
+  elastic_.erase(it);
+  regions_.erase(id);
+  rebalance();
+}
+
+void StageState::rebalance() {
+  const u32 pool = capacity_ - frontier_;
+  // Progressive filling (the paper's max-min approximation): start every
+  // member at its minimum share, then hand out one block at a time to the
+  // member with the smallest share that is not yet at its cap.
+  std::vector<u32> share(elastic_.size());
+  u32 used = 0;
+  for (std::size_t i = 0; i < elastic_.size(); ++i) {
+    share[i] = elastic_[i].min_blocks;
+    used += share[i];
+  }
+  if (used > pool) {
+    throw UsageError("StageState::rebalance: minima exceed pool");
+  }
+
+  using Entry = std::pair<u32, std::size_t>;  // (share, member index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < elastic_.size(); ++i) heap.emplace(share[i], i);
+  u32 remaining = pool - used;
+  while (remaining > 0 && !heap.empty()) {
+    const auto [s, i] = heap.top();
+    heap.pop();
+    if (s != share[i]) continue;  // stale entry
+    const u32 cap = elastic_[i].cap_blocks;
+    if (cap != 0 && share[i] >= cap) continue;  // member is saturated
+    ++share[i];
+    --remaining;
+    heap.emplace(share[i], i);
+  }
+
+  // Contiguous layout in arrival order, with regions_ updated in place.
+  u32 cursor = frontier_;
+  for (std::size_t i = 0; i < elastic_.size(); ++i) {
+    regions_[elastic_[i].id] = Interval{cursor, cursor + share[i]};
+    cursor += share[i];
+  }
+}
+
+u32 StageState::allocated_blocks() const {
+  u32 sum = 0;
+  for (const auto& [id, region] : regions_) sum += region.size();
+  return sum;
+}
+
+u32 StageState::fungible_blocks() const {
+  return free_blocks() + [this] {
+    u32 beyond_min = 0;
+    for (const auto& member : elastic_) {
+      const auto it = regions_.find(member.id);
+      const u32 share = it == regions_.end() ? 0 : it->second.size();
+      beyond_min += share > member.min_blocks ? share - member.min_blocks : 0;
+    }
+    return beyond_min;
+  }();
+}
+
+}  // namespace artmt::alloc

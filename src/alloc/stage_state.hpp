@@ -1,0 +1,81 @@
+// Per-stage block accounting (Section 4.1/4.2). Inelastic applications are
+// pinned to the beginning of the stage's pool (low block indices) and hold
+// fixed contiguous regions; elastic applications share the remaining pool
+// [frontier, capacity) with max-min fair contiguous shares computed by
+// literal progressive filling. Departing inelastic apps leave holes that
+// only new inelastic apps reuse (the fragmentation the paper accepts);
+// holes touching the frontier are returned to the elastic pool.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/types.hpp"
+
+namespace artmt::alloc {
+
+using AppId = u32;
+
+class StageState {
+ public:
+  explicit StageState(u32 capacity_blocks);
+
+  // --- inelastic applications ---
+  // Whether a `demand`-block inelastic region fits (a low hole, or room at
+  // the frontier once elastic apps are squeezed to their minimum shares).
+  [[nodiscard]] bool inelastic_fits(u32 demand) const;
+  void add_inelastic(AppId id, u32 demand);
+  void remove_inelastic(AppId id);
+
+  // --- elastic applications ---
+  // Whether one more elastic member with the given minimum share fits.
+  [[nodiscard]] bool elastic_fits(u32 min_blocks) const;
+  void add_elastic(AppId id, u32 min_blocks, u32 cap_blocks = 0);
+  void remove_elastic(AppId id);
+
+  // Recomputes elastic shares (progressive filling) and the elastic layout.
+  // Must be called after any membership or frontier change; add/remove do
+  // it automatically.
+  void rebalance();
+
+  // --- queries ---
+  [[nodiscard]] const std::map<AppId, Interval>& regions() const {
+    return regions_;
+  }
+  [[nodiscard]] bool has_app(AppId id) const { return regions_.contains(id); }
+  [[nodiscard]] u32 capacity() const { return capacity_; }
+  [[nodiscard]] u32 allocated_blocks() const;
+  [[nodiscard]] u32 free_blocks() const { return capacity_ - allocated_blocks(); }
+  // Free blocks plus elastic memory beyond minimum shares -- the paper's
+  // "fungible" metric driving worst/best-fit costs.
+  [[nodiscard]] u32 fungible_blocks() const;
+  [[nodiscard]] u32 elastic_member_count() const {
+    return static_cast<u32>(elastic_.size());
+  }
+  [[nodiscard]] u32 inelastic_member_count() const {
+    return static_cast<u32>(inelastic_.size());
+  }
+  // True when admitting an inelastic `demand` would move the frontier
+  // (i.e. disturb elastic members) rather than fill an existing hole.
+  [[nodiscard]] bool inelastic_needs_frontier(u32 demand) const;
+
+ private:
+  struct ElasticMember {
+    AppId id;
+    u32 min_blocks;
+    u32 cap_blocks;  // 0 = uncapped
+  };
+
+  [[nodiscard]] u32 elastic_min_total() const;
+
+  u32 capacity_;
+  u32 frontier_ = 0;  // elastic pool is [frontier_, capacity_)
+  IntervalSet holes_;  // free blocks below the frontier
+  std::map<AppId, Interval> inelastic_;
+  std::vector<ElasticMember> elastic_;     // arrival order = layout order
+  std::map<AppId, Interval> regions_;      // all apps (derived)
+};
+
+}  // namespace artmt::alloc

@@ -1,0 +1,118 @@
+#include "apps/extra_services.hpp"
+
+#include "active/assembler.hpp"
+
+namespace artmt::apps {
+
+using client::ServiceSpec;
+
+active::Program sequencer_program() {
+  // Every capsule atomically takes the next sequence number of the group
+  // slot named in args[0] and carries it onward in args[1].
+  return active::assemble(R"(
+      MAR_LOAD $0      // group slot
+      MEM_INCREMENT    // seq = ++slot
+      MBR_STORE $1     // stamp into the packet
+      RETURN
+  )");
+}
+
+ServiceSpec sequencer_spec(u32 groups_blocks) {
+  ServiceSpec spec;
+  spec.program = sequencer_program();
+  spec.demands = {groups_blocks};
+  spec.elastic = false;  // the group count is fixed by the application
+  return spec;
+}
+
+active::Program bloom_insert_program() {
+  // Sets the key's bucket in both filter arrays (args[2] carries the
+  // constant 1). Forwards when done; membership is confirmed by testing.
+  return active::assemble(R"(
+      MBR_LOAD $0
+      MBR2_LOAD $1
+      COPY_HASHDATA_MBR $0
+      COPY_HASHDATA_MBR2 $1
+      HASH $0              // row 1 index
+      ADDR_MASK
+      ADDR_OFFSET
+      MBR_LOAD $2          // the constant 1
+      MEM_WRITE            // row 1
+      HASH $1              // row 2 index
+      ADDR_MASK
+      ADDR_OFFSET
+      MEM_WRITE            // row 2 (MBR still 1)
+      RETURN
+  )");
+}
+
+active::Program bloom_test_program() {
+  // Reads both buckets and ANDs them (min over {0,1}); a member RTSes
+  // back with args[3] = 1, a non-member forwards to its destination.
+  // The reply RTS sits past the ingress pipeline, so the service declares
+  // it best-effort (one extra recirculation on hits).
+  return active::assemble(R"(
+      MBR_LOAD $0
+      MBR2_LOAD $1
+      COPY_HASHDATA_MBR $0
+      COPY_HASHDATA_MBR2 $1
+      HASH $0
+      ADDR_MASK
+      ADDR_OFFSET
+      MEM_READ             // row 1 bit
+      COPY_MBR2_MBR        // stash it
+      HASH $1
+      ADDR_MASK
+      ADDR_OFFSET
+      MEM_MINREAD          // MBR = row1 AND row2
+      MBR_STORE $3         // membership verdict into the packet
+      CRTS                 // member -> reply to sender
+      RETURN               // non-member -> forward
+  )");
+}
+
+ServiceSpec bloom_spec(u32 min_blocks) {
+  ServiceSpec spec;
+  spec.program = bloom_test_program();
+  spec.demands = {min_blocks, min_blocks};
+  spec.elastic = true;  // more memory -> lower false-positive rate
+  spec.ignore_rts_constraint = true;
+  return spec;
+}
+
+active::Program flow_count_program() {
+  // Per-flow packet counting keyed by the parser-derived flow identity.
+  return active::assemble(R"(
+      COPY_HASHDATA_5TUPLE
+      HASH $0
+      ADDR_MASK
+      ADDR_OFFSET
+      MEM_INCREMENT
+      RETURN
+  )");
+}
+
+active::Program flow_probe_program() {
+  // Rides the same flow (same 5-tuple -> same counter) and returns the
+  // current count to the sender.
+  return active::assemble(R"(
+      COPY_HASHDATA_5TUPLE
+      HASH $0
+      ADDR_MASK
+      ADDR_OFFSET
+      MEM_READ
+      MBR_STORE $1
+      RTS
+      RETURN
+  )");
+}
+
+ServiceSpec flow_counter_spec(u32 min_blocks) {
+  ServiceSpec spec;
+  spec.program = flow_count_program();
+  spec.demands = {min_blocks};
+  spec.elastic = true;  // more memory -> fewer hash collisions
+  return spec;
+}
+
+}  // namespace artmt::apps

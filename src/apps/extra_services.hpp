@@ -1,0 +1,42 @@
+// Additional in-network services expressed in the ActiveRMT instruction
+// set, addressing the paper's Section 7.1 question of how general the
+// ISA is. Each comes with a compact program, a service spec for the
+// allocator, and client-side helpers; semantics are verified in
+// tests/test_extra_services.cpp.
+//
+//   * Sequencer -- a per-group packet sequencer (NOPaxos-style): every
+//     capsule atomically takes the next sequence number of its group.
+//   * Bloom filter -- set membership over two hash engines (e.g. a
+//     SYN-dedup or scanner-detection assist): one program inserts, one
+//     tests-and-returns.
+//   * Flow counter -- per-flow packet counting with RTS readback
+//     (INT-lite telemetry).
+#pragma once
+
+#include "active/program.hpp"
+#include "client/compiler.hpp"
+
+namespace artmt::apps {
+
+// ---- sequencer ----
+// Arguments: $0 = group slot address (client-translated), $1 = sequence
+// number (out). One access; inelastic.
+active::Program sequencer_program();
+client::ServiceSpec sequencer_spec(u32 groups_blocks = 1);
+
+// ---- Bloom filter (2 hash functions, 1 array per function) ----
+// Insert: sets both buckets for the key in $0/$1. Test: RTSes with
+// args[3] == 0 iff both buckets were set (membership); forwards
+// otherwise. Elastic (bigger filter = lower false-positive rate).
+active::Program bloom_insert_program();
+active::Program bloom_test_program();
+client::ServiceSpec bloom_spec(u32 min_blocks = 1);
+
+// ---- per-flow packet counter ----
+// Counts packets per flow (hash of the 5-tuple); a probe variant reads
+// the counter back to the sender. Elastic.
+active::Program flow_count_program();
+active::Program flow_probe_program();
+client::ServiceSpec flow_counter_spec(u32 min_blocks = 1);
+
+}  // namespace artmt::apps

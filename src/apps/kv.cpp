@@ -1,0 +1,30 @@
+#include "apps/kv.hpp"
+
+namespace artmt::apps {
+
+std::vector<u8> KvMessage::serialize() const {
+  ByteWriter out(kWireSize);
+  out.put_u8(static_cast<u8>(type));
+  out.put_u32(request_id);
+  out.put_u32(key_half0(key));
+  out.put_u32(key_half1(key));
+  out.put_u32(value);
+  return out.take();
+}
+
+std::optional<KvMessage> KvMessage::parse(std::span<const u8> bytes) {
+  if (bytes.size() < kWireSize) return std::nullopt;
+  ByteReader in(bytes);
+  KvMessage msg;
+  const u8 type = in.get_u8();
+  if (type > static_cast<u8>(Type::kMemSync)) return std::nullopt;
+  msg.type = static_cast<Type>(type);
+  msg.request_id = in.get_u32();
+  const Word half0 = in.get_u32();
+  const Word half1 = in.get_u32();
+  msg.key = join_key(half0, half1);
+  msg.value = in.get_u32();
+  return msg;
+}
+
+}  // namespace artmt::apps

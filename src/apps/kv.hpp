@@ -1,0 +1,48 @@
+// Application-level payload messages riding inside capsules and server
+// replies: the key-value GET/reply protocol of the cache case study and
+// the Cheetah SYN/cookie exchange. Active programs never inspect these
+// bytes (Section 3.3); only end hosts do.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace artmt::apps {
+
+struct KvMessage {
+  enum class Type : u8 {
+    kGet = 0,       // client -> server object request
+    kReply = 1,     // server -> client value
+    kPopulate = 2,  // cache populate capsule (RTS-acked)
+    kLbSyn = 3,     // Cheetah SYN (server echoes the cookie)
+    kLbCookie = 4,  // server -> client cookie echo
+    kLbData = 5,    // cookie-routed data packet
+    kMemSync = 6,   // correlates memory-sync capsules (request_id = index,
+                    // key = array tag)
+  };
+
+  Type type = Type::kGet;
+  u32 request_id = 0;
+  u64 key = 0;
+  u32 value = 0;
+
+  static constexpr std::size_t kWireSize = 17;
+
+  [[nodiscard]] std::vector<u8> serialize() const;
+  // Returns nullopt when the bytes are not a KvMessage.
+  static std::optional<KvMessage> parse(std::span<const u8> bytes);
+
+  friend bool operator==(const KvMessage&, const KvMessage&) = default;
+};
+
+// Splits an 8-byte key into the two argument words the cache programs
+// compare (key half 0 = high word).
+inline Word key_half0(u64 key) { return static_cast<Word>(key >> 32); }
+inline Word key_half1(u64 key) { return static_cast<Word>(key); }
+inline u64 join_key(Word half0, Word half1) {
+  return static_cast<u64>(half0) << 32 | half1;
+}
+
+}  // namespace artmt::apps

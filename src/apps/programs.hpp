@@ -1,0 +1,51 @@
+// The paper's three exemplar services as active programs (Section 3.4,
+// Section 6.1, Appendix B): the in-network cache (query + populate), the
+// count-min-sketch frequent-item monitor, and the Cheetah load balancer
+// (SYN server selection + cookie-based flow routing). Also exposes the
+// canonical allocation requests the evaluation section's allocator
+// experiments use.
+#pragma once
+
+#include "active/program.hpp"
+#include "alloc/request.hpp"
+#include "client/compiler.hpp"
+
+namespace artmt::apps {
+
+// ---- in-network cache (Listing 1) ----
+// Arguments: $0 = bucket address (client-translated) / value on reply,
+// $1/$2 = 8-byte key halves, $3 unused. Three accesses (key0, key1,
+// value); elastic demand.
+active::Program cache_query_program();
+// Arguments: $0 = bucket address, $1/$2 = key halves, $3 = value. Uses the
+// preload optimization so its accesses align with the query program's.
+active::Program cache_populate_program();
+// The service spec the allocator negotiates (query program is binding).
+client::ServiceSpec cache_service_spec();
+
+// ---- frequent-item monitor (Listing 2) ----
+// Arguments: $0/$1 = key halves, $2 = threshold-region virtual index width
+// (unused; reserved), $3 unused. Six accesses: two CMS rows, a threshold
+// read, key-half writes, and a threshold update aliased to the read's
+// stage. Inelastic (16 blocks by default).
+active::Program hh_monitor_program();
+// The default CMS row width (16 blocks = 4096 counters) keeps the
+// false-positive rate under 0.1% and is the per-stage bottleneck demand
+// the paper's admission experiments exhaust (Section 6.1).
+client::ServiceSpec hh_service_spec(u32 cms_blocks = 16,
+                                    u32 table_blocks = 2);
+
+// ---- Cheetah load balancer (Listings 3 & 4) ----
+// SYN path: $0 = pool-size address, $1 = counter address, $2 = pool base
+// address, $3 = cookie (out). Three accesses; inelastic (4 blocks).
+active::Program lb_select_program();
+// Non-SYN path: $0 = cookie; stateless (no memory accesses).
+active::Program lb_route_program();
+client::ServiceSpec lb_service_spec(u32 pool_blocks = 2);
+
+// ---- canonical allocator-facing requests (Section 6.1 apps) ----
+alloc::AllocationRequest cache_request();
+alloc::AllocationRequest hh_request();
+alloc::AllocationRequest lb_request();
+
+}  // namespace artmt::apps

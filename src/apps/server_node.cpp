@@ -1,0 +1,85 @@
+#include "apps/server_node.hpp"
+
+#include "common/logging.hpp"
+
+namespace artmt::apps {
+
+ServerNode::ServerNode(std::string name, packet::MacAddr mac)
+    : netsim::Node(std::move(name)), mac_(mac) {}
+
+std::optional<u32> ServerNode::get(u64 key) const {
+  const auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt : std::optional<u32>(it->second);
+}
+
+void ServerNode::reply(packet::MacAddr dst, const KvMessage& msg) {
+  // Replies are passive frames; the switch forwards them by L2 address.
+  ByteWriter out(64);
+  packet::EthernetHeader eth;
+  eth.src = mac_;
+  eth.dst = dst;
+  eth.ethertype = packet::kEtherTypeIpv4;
+  eth.serialize(out);
+  const auto payload = msg.serialize();
+  out.put_bytes(payload);
+  network().transmit(*this, 0, out.take());
+}
+
+void ServerNode::on_frame(netsim::Frame frame, u32 port) {
+  (void)port;
+  packet::ActivePacket pkt;
+  std::span<const u8> payload;
+  std::optional<packet::ActivePacket> parsed;
+  try {
+    parsed = packet::ActivePacket::parse(frame);
+    payload = parsed->payload;
+  } catch (const ParseError&) {
+    // Passive request: payload follows the Ethernet header directly.
+    if (frame.size() <= packet::EthernetHeader::kWireSize) {
+      ++stats_.ignored;
+      return;
+    }
+    payload = std::span<const u8>(frame).subspan(
+        packet::EthernetHeader::kWireSize);
+  }
+  const packet::MacAddr requester =
+      parsed ? parsed->ethernet.src : [&frame] {
+        ByteReader in(frame);
+        return packet::EthernetHeader::parse(in).src;
+      }();
+
+  const auto msg = KvMessage::parse(payload);
+  if (!msg) {
+    ++stats_.ignored;
+    return;
+  }
+  switch (msg->type) {
+    case KvMessage::Type::kGet: {
+      ++stats_.gets_served;
+      KvMessage response = *msg;
+      response.type = KvMessage::Type::kReply;
+      if (const auto value = get(msg->key)) response.value = *value;
+      reply(requester, response);
+      return;
+    }
+    case KvMessage::Type::kLbSyn: {
+      ++stats_.syns_answered;
+      KvMessage response = *msg;
+      response.type = KvMessage::Type::kLbCookie;
+      // The cookie was stamped into args[3] by the select program.
+      if (parsed && parsed->arguments) {
+        response.value = parsed->arguments->args[3];
+      }
+      reply(requester, response);
+      return;
+    }
+    case KvMessage::Type::kLbData:
+      ++stats_.data_packets;
+      return;
+    default:
+      ++stats_.ignored;
+      return;
+  }
+}
+
+}  // namespace artmt::apps

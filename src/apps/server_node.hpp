@@ -1,0 +1,42 @@
+// Application server: the authoritative key-value store object requests
+// fall through to on a cache miss, and the backend pool member of the
+// load-balancer experiments (echoes Cheetah cookies so clients can route
+// subsequent packets statelessly).
+#pragma once
+
+#include <unordered_map>
+
+#include "apps/kv.hpp"
+#include "netsim/network.hpp"
+#include "packet/active_packet.hpp"
+
+namespace artmt::apps {
+
+class ServerNode : public netsim::Node {
+ public:
+  ServerNode(std::string name, packet::MacAddr mac);
+
+  // Authoritative store management.
+  void put(u64 key, u32 value) { store_[key] = value; }
+  [[nodiscard]] std::optional<u32> get(u64 key) const;
+
+  void on_frame(netsim::Frame frame, u32 port) override;
+
+  struct Stats {
+    u64 gets_served = 0;
+    u64 syns_answered = 0;
+    u64 data_packets = 0;
+    u64 ignored = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] packet::MacAddr mac() const { return mac_; }
+
+ private:
+  void reply(packet::MacAddr dst, const KvMessage& msg);
+
+  packet::MacAddr mac_;
+  std::unordered_map<u64, u32> store_;
+  Stats stats_;
+};
+
+}  // namespace artmt::apps

@@ -1,0 +1,59 @@
+#include "baseline/monolithic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::baseline {
+
+MonolithicBaseline::MonolithicBaseline(const BaselineConfig& config)
+    : config_(config) {
+  if (config.pipes == 0 || config.stages_per_pipe == 0 ||
+      config.parallel_tables == 0 ||
+      config.reserved_stages >= config.stages_per_pipe) {
+    throw UsageError("MonolithicBaseline: bad configuration");
+  }
+}
+
+u32 MonolithicBaseline::max_instances(const StaticApp& app) const {
+  if (app.dependency_depth == 0) {
+    throw UsageError("MonolithicBaseline: zero dependency depth");
+  }
+  const u32 usable = config_.stages_per_pipe - config_.reserved_stages;
+  if (app.dependency_depth > usable) return 0;
+  const u32 chains_per_pipe =
+      usable * config_.parallel_tables / app.dependency_depth;
+  return chains_per_pipe * config_.pipes;
+}
+
+SimTime MonolithicBaseline::redeployment_latency() const {
+  return config_.compile_time + config_.reprovision_blackout;
+}
+
+SimTime MonolithicBaseline::traffic_disruption() const {
+  return config_.reprovision_blackout;
+}
+
+double MonolithicBaseline::static_utilization(const StaticApp& app,
+                                              u32 provisioned_instances,
+                                              u32 active_instances) const {
+  if (provisioned_instances == 0) return 0.0;
+  const u32 cap = max_instances(app);
+  const u32 provisioned = std::min(provisioned_instances, cap);
+  const u32 active = std::min(active_instances, provisioned);
+  // The image carves the memory of the stages each instance occupies into
+  // fixed shares (one share per co-resident chain); departed tenants
+  // strand theirs until the next image.
+  const u64 total_words = static_cast<u64>(config_.pipes) *
+                          config_.stages_per_pipe * config_.words_per_stage;
+  const u64 per_stage_share =
+      app.words_demanded != 0
+          ? app.words_demanded
+          : config_.words_per_stage / config_.parallel_tables;
+  const u64 used =
+      static_cast<u64>(active) * per_stage_share * app.memory_stages;
+  return static_cast<double>(std::min(used, total_words)) /
+         static_cast<double>(total_words);
+}
+
+}  // namespace artmt::baseline

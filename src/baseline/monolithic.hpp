@@ -1,0 +1,69 @@
+// The deployment model ActiveRMT replaces: a monolithic P4 image that
+// statically composes every service instance at compile time. Sections
+// 1, 2.1, 6.1 and 6.2 characterize it: each instance consumes dedicated
+// match-action resources laid out along its dependency chain, changing
+// the service set requires a full recompile (28.79 s measured for a
+// 22-instance cache image) plus a switch re-provision that blacks out
+// all traffic for tens of milliseconds, and memory shares are fixed
+// until the next recompile. Default parameters reproduce the paper's
+// 22-instance bound for the minimal two-stage cache.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::baseline {
+
+struct BaselineConfig {
+  u32 pipes = 2;             // independent ingress+egress pipe pairs used
+  u32 stages_per_pipe = 12;  // physical match-action stages per pipe
+  u32 reserved_stages = 1;   // parser/forwarding overhead per pipe
+  u32 parallel_tables = 2;   // independent table instances per stage
+  u32 words_per_stage = 94'208;
+
+  // Measured constants from the paper (Section 6.2 / [5]).
+  SimTime compile_time = static_cast<SimTime>(28.79 * kSecond);
+  SimTime reprovision_blackout = 50 * kMillisecond;
+};
+
+// A service as the static composer sees it: the length of its
+// read-after-read dependency chain (stages it must occupy in sequence)
+// and the register words it wants per memory stage.
+struct StaticApp {
+  u32 dependency_depth = 2;  // the minimal cache: key stage -> value stage
+  u32 memory_stages = 2;
+  u32 words_demanded = 0;  // 0 = takes an equal share
+};
+
+class MonolithicBaseline {
+ public:
+  explicit MonolithicBaseline(const BaselineConfig& config = {});
+
+  // Maximum isolated instances of `app` a single image can hold: each
+  // pipe stacks `parallel_tables` chains side by side along
+  // floor(usable_stages / depth) sequential slots.
+  [[nodiscard]] u32 max_instances(const StaticApp& app) const;
+
+  // Latency to change the deployed service set (any change: add, remove,
+  // or resize one instance): recompile + re-provision. Every packet of
+  // every service is disrupted for the blackout.
+  [[nodiscard]] SimTime redeployment_latency() const;
+  [[nodiscard]] SimTime traffic_disruption() const;
+
+  // Static memory partitioning: with `instances` equal-share tenants of
+  // `app`, the fraction of total register memory actually usable. Shares
+  // cannot be rebalanced between recompiles, so departed tenants' memory
+  // is stranded until the next image (the utilization penalty ActiveRMT's
+  // Section 4 removes).
+  [[nodiscard]] double static_utilization(const StaticApp& app,
+                                          u32 provisioned_instances,
+                                          u32 active_instances) const;
+
+  [[nodiscard]] const BaselineConfig& config() const { return config_; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace artmt::baseline

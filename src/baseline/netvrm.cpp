@@ -1,0 +1,62 @@
+#include "baseline/netvrm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::baseline {
+
+NetVrmModel::NetVrmModel(const NetVrmConfig& config) : config_(config) {
+  if (config.stages == 0 || config.words_per_stage == 0 ||
+      config.page_sizes_words.empty()) {
+    throw UsageError("NetVrmModel: bad configuration");
+  }
+  for (const u32 size : config_.page_sizes_words) {
+    if (size == 0 || (size & (size - 1)) != 0) {
+      throw UsageError("NetVrmModel: page sizes must be powers of two");
+    }
+  }
+  std::sort(config_.page_sizes_words.begin(),
+            config_.page_sizes_words.end());
+}
+
+u32 NetVrmModel::addressable_per_stage() const {
+  u32 pow2 = 1;
+  while (pow2 <= config_.words_per_stage / 2) pow2 <<= 1;
+  return pow2;
+}
+
+double NetVrmModel::addressable_fraction() const {
+  return static_cast<double>(addressable_per_stage()) /
+         config_.words_per_stage;
+}
+
+u32 NetVrmModel::words_granted(u32 words) const {
+  if (words == 0) return 0;
+  // Prefer the smallest page size that keeps the page count reasonable;
+  // NetVRM fixes the size per application at allocation time, so the
+  // model picks the size minimizing waste.
+  u32 best = 0;
+  for (const u32 page : config_.page_sizes_words) {
+    const u32 pages = (words + page - 1) / page;
+    const u32 granted = pages * page;
+    if (best == 0 || granted < best) best = granted;
+  }
+  return best;
+}
+
+double NetVrmModel::page_efficiency(u32 words) const {
+  if (words == 0) return 1.0;
+  return static_cast<double>(words) / words_granted(words);
+}
+
+u32 NetVrmModel::effective_stage_budget(u32 memory_accesses) const {
+  const u32 overhead = memory_accesses * config_.translation_stages;
+  return overhead >= config_.stages ? 0 : config_.stages - overhead;
+}
+
+double NetVrmModel::memory_efficiency(u32 words_per_app) const {
+  return addressable_fraction() * page_efficiency(words_per_app);
+}
+
+}  // namespace artmt::baseline

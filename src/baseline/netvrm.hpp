@@ -1,0 +1,56 @@
+// A model of NetVRM-style register virtualization, the prior
+// memory-virtualization system the paper compares against (Sections 2.3
+// and 5): pages of compile-time-fixed sizes, a power-of-two constraint on
+// the total addressable region per stage, and a two-stage runtime cost
+// for virtual-to-physical address translation. ActiveRMT's corresponding
+// costs are arbitrary-size block regions, full-SRAM addressability, and
+// translation folded into existing match entries.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::baseline {
+
+struct NetVrmConfig {
+  u32 stages = 20;
+  u32 words_per_stage = 94'208;
+  // Page sizes selectable at compile time (words); allocations pick one.
+  std::vector<u32> page_sizes_words = {256, 1024, 4096};
+  // Stages an application's program loses to address translation.
+  u32 translation_stages = 2;
+};
+
+class NetVrmModel {
+ public:
+  explicit NetVrmModel(const NetVrmConfig& config = {});
+
+  // Largest power of two <= words_per_stage: the addressable pool.
+  [[nodiscard]] u32 addressable_per_stage() const;
+  // Fraction of physical register memory reachable at all (~70% with the
+  // paper's geometry, before page fragmentation).
+  [[nodiscard]] double addressable_fraction() const;
+
+  // Words actually consumed to satisfy `words` of demand with the best
+  // available page size (internal fragmentation included).
+  [[nodiscard]] u32 words_granted(u32 words) const;
+
+  // Effective fraction of a demand that is usable (demand / granted).
+  [[nodiscard]] double page_efficiency(u32 words) const;
+
+  // Stages left for application logic once per-access translation is
+  // paid; zero when the program cannot fit at all.
+  [[nodiscard]] u32 effective_stage_budget(u32 memory_accesses) const;
+
+  // End-to-end memory efficiency for a population of identical demands:
+  // addressable_fraction * page efficiency.
+  [[nodiscard]] double memory_efficiency(u32 words_per_app) const;
+
+  [[nodiscard]] const NetVrmConfig& config() const { return config_; }
+
+ private:
+  NetVrmConfig config_;
+};
+
+}  // namespace artmt::baseline

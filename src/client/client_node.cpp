@@ -1,0 +1,67 @@
+#include "client/client_node.hpp"
+
+#include "common/logging.hpp"
+
+namespace artmt::client {
+
+ClientNode::ClientNode(std::string name, packet::MacAddr mac,
+                       packet::MacAddr switch_mac, u32 logical_stages)
+    : netsim::Node(std::move(name)),
+      mac_(mac),
+      switch_mac_(switch_mac),
+      logical_stages_(logical_stages) {}
+
+void ClientNode::register_service(std::shared_ptr<Service> service) {
+  if (service == nullptr) throw UsageError("register_service: null service");
+  service->attach(this, next_seq_++);
+  services_.push_back(std::move(service));
+}
+
+void ClientNode::send_active(packet::ActivePacket pkt) {
+  send_active_to(switch_mac_, std::move(pkt));
+}
+
+void ClientNode::send_active_to(packet::MacAddr dst,
+                                packet::ActivePacket pkt) {
+  pkt.ethernet.src = mac_;
+  pkt.ethernet.dst = dst;
+  network().transmit(*this, 0, pkt.serialize());
+}
+
+void ClientNode::on_frame(netsim::Frame frame, u32 port) {
+  (void)port;
+  packet::ActivePacket pkt;
+  try {
+    pkt = packet::ActivePacket::parse(frame);
+  } catch (const ParseError&) {
+    if (on_passive) on_passive(frame);
+    return;
+  }
+
+  // Negotiation responses match on seq; everything else matches on FID.
+  if (pkt.initial.type == packet::ActiveType::kAllocResponse) {
+    for (auto& service : services_) {
+      if (service->state() == Service::State::kNegotiating &&
+          service->seq_ == pkt.initial.seq) {
+        service->handle_active(pkt);
+        return;
+      }
+    }
+  }
+  if (pkt.initial.fid != 0) {
+    for (auto& service : services_) {
+      if (service->fid() == pkt.initial.fid &&
+          service->state() != Service::State::kReleased) {
+        service->handle_active(pkt);
+        return;
+      }
+    }
+  }
+  if (on_unclaimed) {
+    on_unclaimed(pkt);
+  } else {
+    log(LogLevel::kDebug, name(), ": unclaimed active frame dropped");
+  }
+}
+
+}  // namespace artmt::client

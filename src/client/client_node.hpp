@@ -1,0 +1,51 @@
+// The client endpoint: a netsim node that owns services, encapsulates
+// their capsules onto the wire (the paper's VirtIO shim), and dispatches
+// arriving active frames to the right service by FID or negotiation
+// sequence number.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/service.hpp"
+#include "netsim/network.hpp"
+#include "packet/active_packet.hpp"
+
+namespace artmt::client {
+
+class ClientNode : public netsim::Node {
+ public:
+  // `logical_stages` is the switch pipeline depth the compiler synthesizes
+  // against (learned out of band; the paper's clients know their switch).
+  ClientNode(std::string name, packet::MacAddr mac,
+             packet::MacAddr switch_mac, u32 logical_stages = 20);
+
+  void register_service(std::shared_ptr<Service> service);
+
+  // Sends an active packet to the switch (fills Ethernet addressing).
+  void send_active(packet::ActivePacket pkt);
+  // Sends an active packet to an arbitrary destination (e.g. a server).
+  void send_active_to(packet::MacAddr dst, packet::ActivePacket pkt);
+
+  void on_frame(netsim::Frame frame, u32 port) override;
+
+  [[nodiscard]] packet::MacAddr mac() const { return mac_; }
+  [[nodiscard]] packet::MacAddr switch_mac() const { return switch_mac_; }
+  [[nodiscard]] u32 logical_stages() const { return logical_stages_; }
+  [[nodiscard]] netsim::Simulator& sim() { return network().simulator(); }
+
+  // Frames no service claimed (e.g. app-level server responses).
+  std::function<void(packet::ActivePacket&)> on_unclaimed;
+  // Non-active frames.
+  std::function<void(netsim::Frame&)> on_passive;
+
+ private:
+  packet::MacAddr mac_;
+  packet::MacAddr switch_mac_;
+  u32 logical_stages_;
+  u32 next_seq_ = 1;
+  std::vector<std::shared_ptr<Service>> services_;
+};
+
+}  // namespace artmt::client

@@ -1,0 +1,171 @@
+#include "client/compiler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::client {
+
+alloc::AllocationRequest build_request(const ServiceSpec& spec) {
+  const active::ProgramAnalysis analysis = active::analyze(spec.program);
+  if (analysis.access_positions.empty()) {
+    throw CompileError("build_request: program has no memory accesses");
+  }
+  if (analysis.access_positions.size() != spec.demands.size()) {
+    throw CompileError("build_request: demand count (" +
+                       std::to_string(spec.demands.size()) +
+                       ") != access count (" +
+                       std::to_string(analysis.access_positions.size()) + ")");
+  }
+  if (!analysis.branches_forward) {
+    throw CompileError("build_request: program has invalid branch targets");
+  }
+  alloc::AllocationRequest request;
+  request.program_length = analysis.length;
+  request.elastic = spec.elastic;
+  request.elastic_cap_blocks = spec.elastic_cap_blocks;
+  if (!spec.aliases.empty() &&
+      spec.aliases.size() != analysis.access_positions.size()) {
+    throw CompileError("build_request: alias count != access count");
+  }
+  for (std::size_t i = 0; i < analysis.access_positions.size(); ++i) {
+    alloc::AccessDemand demand;
+    demand.position = analysis.access_positions[i];
+    demand.demand_blocks = spec.demands[i];
+    if (!spec.aliases.empty()) demand.alias = spec.aliases[i];
+    request.accesses.push_back(demand);
+  }
+  if (!analysis.rts_positions.empty() && !spec.ignore_rts_constraint) {
+    // The first RTS is the one that must land at ingress to avoid the
+    // port-change recirculation.
+    request.rts_position = analysis.rts_positions.front();
+  }
+  return request;
+}
+
+alloc::AllocationRequest compose_request(std::span<const ServiceSpec> specs) {
+  if (specs.empty()) {
+    throw CompileError("compose_request: no programs given");
+  }
+  std::vector<alloc::AllocationRequest> members;
+  members.reserve(specs.size());
+  for (const ServiceSpec& spec : specs) {
+    members.push_back(build_request(spec));
+    if (members.back().accesses.size() != members.front().accesses.size() ||
+        members.back().elastic != members.front().elastic) {
+      throw CompileError(
+          "compose_request: member programs disagree on access count or "
+          "elasticity");
+    }
+    for (std::size_t i = 0; i < members.back().accesses.size(); ++i) {
+      if (members.back().accesses[i].alias !=
+          members.front().accesses[i].alias) {
+        throw CompileError("compose_request: member aliases disagree");
+      }
+    }
+  }
+
+  // Binding gaps: the largest inter-access distance any member needs.
+  const std::size_t m = members.front().accesses.size();
+  alloc::AllocationRequest out;
+  out.elastic = members.front().elastic;
+  out.elastic_cap_blocks = members.front().elastic_cap_blocks;
+  out.accesses.resize(m);
+  u32 previous = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    u32 lower = 0;       // max_p position of access i
+    u32 gap = 0;         // max_p (pos_i - pos_{i-1})
+    u32 demand = 0;
+    for (const auto& member : members) {
+      const auto& access = member.accesses[i];
+      lower = std::max(lower, access.position);
+      demand = std::max(demand, access.demand_blocks);
+      if (i > 0) {
+        gap = std::max(gap,
+                       access.position - member.accesses[i - 1].position);
+      }
+    }
+    out.accesses[i].position =
+        i == 0 ? lower : std::max(lower, previous + gap);
+    out.accesses[i].demand_blocks = demand;
+    out.accesses[i].alias = members.front().accesses[i].alias;
+    previous = out.accesses[i].position;
+  }
+
+  // Binding trailing length and the tightest RTS segment constraint.
+  u32 trailing = 0;
+  for (const auto& member : members) {
+    trailing = std::max(trailing, member.program_length - 1 -
+                                      member.accesses.back().position);
+  }
+  out.program_length = out.accesses.back().position + trailing + 1;
+
+  // RTS: map each member's RTS into the composite by preserving its
+  // offset from the preceding access; keep the one that binds earliest.
+  for (std::size_t p = 0; p < members.size(); ++p) {
+    const auto& member = members[p];
+    if (!member.rts_position) continue;
+    const u32 rts = *member.rts_position;
+    u32 composite_rts = rts;  // before the first access: offset unchanged
+    for (std::size_t i = m; i-- > 0;) {
+      if (member.accesses[i].position <= rts) {
+        composite_rts =
+            out.accesses[i].position + (rts - member.accesses[i].position);
+        break;
+      }
+    }
+    if (!out.rts_position || composite_rts < *out.rts_position) {
+      out.rts_position = composite_rts;
+    }
+  }
+  return out;
+}
+
+u32 SynthesizedProgram::bucket_count() const {
+  if (access_words.empty()) return 0;
+  return *std::min_element(access_words.begin(), access_words.end());
+}
+
+SynthesizedProgram synthesize(const ServiceSpec& spec,
+                              const alloc::Mutant& mutant,
+                              const packet::AllocResponseHeader& regions,
+                              u32 logical_stages) {
+  const active::ProgramAnalysis analysis = active::analyze(spec.program);
+  if (mutant.size() != analysis.access_positions.size()) {
+    throw CompileError("synthesize: mutant size != access count");
+  }
+  SynthesizedProgram out;
+  out.program = active::mutate(spec.program, mutant);
+  out.access_base.reserve(mutant.size());
+  out.access_words.reserve(mutant.size());
+  for (u32 global_stage : mutant) {
+    const u32 stage = global_stage % logical_stages;
+    if (stage >= packet::kResponseStages) {
+      throw CompileError("synthesize: stage beyond response header");
+    }
+    const packet::StageRegion& region = regions.regions[stage];
+    if (!region.allocated()) {
+      throw CompileError("synthesize: no region allocated in stage " +
+                         std::to_string(stage));
+    }
+    out.access_base.push_back(region.start_word);
+    out.access_words.push_back(region.words());
+  }
+  return out;
+}
+
+void apply_preload(active::Program& program) {
+  auto& code = program.code();
+  if (!code.empty() && code.front().op == active::Opcode::kMarLoad &&
+      code.front().operand == 0 && code.front().label == 0) {
+    code.erase(code.begin());
+    program.preload_mar = true;
+  }
+  if (!code.empty() && code.front().op == active::Opcode::kMbrLoad &&
+      code.front().operand == 1 && code.front().label == 0) {
+    code.erase(code.begin());
+    program.preload_mbr = true;
+  }
+}
+
+}  // namespace artmt::client

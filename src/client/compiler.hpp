@@ -1,0 +1,71 @@
+// The client-side active compiler (Section 5): turns a service's compact
+// program into (a) the allocation request describing its memory access
+// pattern and ingress constraints, and (b) -- once the switch answers with
+// a placement -- the synthesized mutant with client-side address
+// translation information ("linking").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "active/program.hpp"
+#include "alloc/mutant.hpp"
+#include "alloc/request.hpp"
+#include "packet/active_packet.hpp"
+
+namespace artmt::client {
+
+// Everything the compiler needs to know about one service program.
+struct ServiceSpec {
+  active::Program program;      // most-compact form
+  std::vector<u32> demands;     // blocks per memory access (ordered)
+  // Per-access same-stage alias (-1 = none); empty means no aliases.
+  std::vector<i32> aliases;
+  bool elastic = false;
+  u32 elastic_cap_blocks = 0;
+  // When set, the program's RTS is best-effort: the request omits the
+  // ingress constraint and an egress RTS simply pays the port-change
+  // recirculation (services whose replies are not latency-critical).
+  bool ignore_rts_constraint = false;
+};
+
+// Derives the allocation request (access positions, demands, program
+// length, RTS ingress constraint). Throws CompileError when demands don't
+// match the program's access count or the program has no accesses.
+alloc::AllocationRequest build_request(const ServiceSpec& spec);
+
+// Composes one allocation request covering several programs of the same
+// service that share its memory regions access-for-access (e.g. the
+// cache's query and populate programs both walk key0/key1/value). The
+// combined constraints are the per-access maxima -- any placement
+// admitting the composite admits every member program -- and demands are
+// per-access maxima. All specs must have the same access count,
+// elasticity, and aliases. Throws CompileError otherwise.
+alloc::AllocationRequest compose_request(std::span<const ServiceSpec> specs);
+
+// The compiled output for one admitted placement.
+struct SynthesizedProgram {
+  active::Program program;  // NOP-mutated to the chosen stages
+  // Physical word range of each access's region (for client-side address
+  // translation of direct-addressed programs).
+  std::vector<u32> access_base;   // region start word, per access
+  std::vector<u32> access_words;  // region size in words, per access
+  // Usable object count for bucket-style layouts: the minimum region size
+  // across all accesses (bucket i lives at base + i in every stage).
+  [[nodiscard]] u32 bucket_count() const;
+};
+
+// Mutates the program to the chosen stages and resolves per-access
+// physical bases from the allocation response. `logical_stages` maps
+// global stage indices onto physical ones (recirculation wraps).
+SynthesizedProgram synthesize(const ServiceSpec& spec,
+                              const alloc::Mutant& mutant,
+                              const packet::AllocResponseHeader& regions,
+                              u32 logical_stages);
+
+// Appendix C's preloading optimization: removes a leading MAR_LOAD $0
+// (and a then-leading MBR_LOAD $1), setting the program's preload flags
+// instead, so first-stage memory becomes addressable.
+void apply_preload(active::Program& program);
+
+}  // namespace artmt::client

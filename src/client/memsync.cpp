@@ -1,0 +1,138 @@
+#include "client/memsync.hpp"
+
+#include "client/compiler.hpp"
+#include "common/error.hpp"
+
+namespace artmt::client {
+
+using active::Instruction;
+using active::Opcode;
+using active::Program;
+
+namespace {
+
+void pad_to(Program& program, u32 index) {
+  while (program.size() < index) program.push(Instruction{Opcode::kNop});
+}
+
+}  // namespace
+
+Program make_read_program(const MemRef& ref) {
+  if (ref.stage == 0) {
+    // Only the preload trick reaches stage 0 (Appendix C).
+    Program q;
+    q.push(Instruction{Opcode::kMarLoad, 0});
+    q.push(Instruction{Opcode::kMemRead});
+    q.push(Instruction{Opcode::kMbrStore, 1});
+    q.push(Instruction{Opcode::kRts});
+    q.push(Instruction{Opcode::kReturn});
+    apply_preload(q);
+    return q;
+  }
+  Program p;
+  p.push(Instruction{Opcode::kMarLoad, 0});
+  // MEM_READ must land on the target stage; instruction i runs at stage i.
+  pad_to(p, ref.stage);
+  p.push(Instruction{Opcode::kMemRead});
+  p.push(Instruction{Opcode::kMbrStore, 1});
+  p.push(Instruction{Opcode::kRts});
+  p.push(Instruction{Opcode::kReturn});
+  return p;
+}
+
+Program make_write_program(const MemRef& ref) {
+  Program p;
+  p.push(Instruction{Opcode::kMarLoad, 0});
+  p.push(Instruction{Opcode::kMbrLoad, 1});
+  if (ref.stage <= 1) {
+    // Preload both registers to reach stages 0 and 1.
+    Program q;
+    q.push(Instruction{Opcode::kMarLoad, 0});
+    q.push(Instruction{Opcode::kMbrLoad, 1});
+    pad_to(q, 2 + ref.stage);
+    q.push(Instruction{Opcode::kMemWrite});
+    q.push(Instruction{Opcode::kRts});
+    q.push(Instruction{Opcode::kReturn});
+    apply_preload(q);
+    return q;
+  }
+  pad_to(p, ref.stage);
+  p.push(Instruction{Opcode::kMemWrite});
+  p.push(Instruction{Opcode::kRts});
+  p.push(Instruction{Opcode::kReturn});
+  return p;
+}
+
+Program make_read_pair_program(const MemRef& first, const MemRef& second) {
+  if (second.stage <= first.stage) {
+    throw UsageError("make_read_pair_program: stages must increase");
+  }
+  Program p = make_read_program(first);
+  // Drop the trailing RTS/RETURN of the single-read program. After
+  // apply_preload the instruction index equals the execution stage, so
+  // p.size() is the stage the next pushed instruction runs in.
+  p.code().pop_back();
+  p.code().pop_back();
+  p.push(Instruction{Opcode::kMarLoad, 2});
+  if (second.stage < p.size() + 1) {
+    throw UsageError("make_read_pair_program: second stage unreachable");
+  }
+  while (p.size() < second.stage) p.push(Instruction{Opcode::kNop});
+  p.push(Instruction{Opcode::kMemRead});
+  p.push(Instruction{Opcode::kMbrStore, 3});
+  p.push(Instruction{Opcode::kRts});
+  p.push(Instruction{Opcode::kReturn});
+  return p;
+}
+
+Program make_write_pair_program(const MemRef& first, const MemRef& second) {
+  if (second.stage <= first.stage) {
+    throw UsageError("make_write_pair_program: stages must increase");
+  }
+  Program p = make_write_program(first);
+  p.code().pop_back();
+  p.code().pop_back();
+  p.push(Instruction{Opcode::kMarLoad, 2});
+  p.push(Instruction{Opcode::kMbrLoad, 3});
+  if (second.stage < p.size() + 1) {
+    throw UsageError("make_write_pair_program: second stage unreachable");
+  }
+  while (p.size() < second.stage) p.push(Instruction{Opcode::kNop});
+  p.push(Instruction{Opcode::kMemWrite});
+  p.push(Instruction{Opcode::kRts});
+  p.push(Instruction{Opcode::kReturn});
+  return p;
+}
+
+packet::ArgumentHeader read_args(const MemRef& ref) {
+  packet::ArgumentHeader args;
+  args.args[0] = ref.address;
+  return args;
+}
+
+packet::ArgumentHeader read_pair_args(const MemRef& first,
+                                      const MemRef& second) {
+  packet::ArgumentHeader args;
+  args.args[0] = first.address;
+  args.args[2] = second.address;
+  return args;
+}
+
+packet::ArgumentHeader write_args(const MemRef& ref, Word value) {
+  packet::ArgumentHeader args;
+  args.args[0] = ref.address;
+  args.args[1] = value;
+  return args;
+}
+
+packet::ArgumentHeader write_pair_args(const MemRef& first, Word value1,
+                                       const MemRef& second, Word value2) {
+  packet::ArgumentHeader args;
+  args.args[0] = first.address;
+  args.args[1] = value1;
+  args.args[2] = second.address;
+  args.args[3] = value2;
+  return args;
+}
+
+}  // namespace artmt::client

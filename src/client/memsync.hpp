@@ -1,0 +1,48 @@
+// Memory-synchronization capsules (Section 4.3, Appendix C): RDMA-style
+// active programs that read or write specific physical memory locations,
+// used to extract snapshots and (re)populate allocations from the data
+// plane. Reads and writes are idempotent, so clients retransmit on
+// timeout; RTS makes every successful capsule generate a response.
+#pragma once
+
+#include <optional>
+
+#include "active/program.hpp"
+#include "packet/active_packet.hpp"
+
+namespace artmt::client {
+
+// One word to access: physical word address within logical stage `stage`.
+struct MemRef {
+  u32 stage = 0;
+  u32 address = 0;
+};
+
+// Builds a Listing-5 style read program: value arrives in args[1] of the
+// returned packet. Applies the preloading optimization so stage 0 is
+// reachable.
+active::Program make_read_program(const MemRef& ref);
+
+// Listing-6 style write of args[1] to `ref` (ack via RTS).
+active::Program make_write_program(const MemRef& ref);
+
+// Bulk variants: one capsule touching two stages at once (the paper's
+// "set of memory indices" primitive). Addresses go in args[0]/args[2],
+// values in args[1]/args[3]; second ref must be in a strictly later reachable
+// position than the first.
+active::Program make_read_pair_program(const MemRef& first,
+                                       const MemRef& second);
+active::Program make_write_pair_program(const MemRef& first,
+                                        const MemRef& second);
+
+// Argument header for a single write (addr + value).
+packet::ArgumentHeader write_args(const MemRef& ref, Word value);
+// Argument header for a paired write.
+packet::ArgumentHeader write_pair_args(const MemRef& first, Word value1,
+                                       const MemRef& second, Word value2);
+// Argument header for reads (addresses only).
+packet::ArgumentHeader read_args(const MemRef& ref);
+packet::ArgumentHeader read_pair_args(const MemRef& first,
+                                      const MemRef& second);
+
+}  // namespace artmt::client

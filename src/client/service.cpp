@@ -1,0 +1,107 @@
+#include "client/service.hpp"
+
+#include "client/client_node.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "proto/wire.hpp"
+
+namespace artmt::client {
+
+Service::Service(std::string name, ServiceSpec spec)
+    : name_(std::move(name)), spec_(std::move(spec)) {}
+
+ClientNode& Service::node() const {
+  if (node_ == nullptr) throw UsageError("Service not attached to a client");
+  return *node_;
+}
+
+void Service::request_allocation() {
+  if (state_ != State::kIdle && state_ != State::kDenied) {
+    throw UsageError("Service::request_allocation: not idle");
+  }
+  state_ = State::kNegotiating;
+  node().send_active(proto::encode_request(allocation_request(), seq_));
+  log(LogLevel::kInfo, "service ", name_, ": allocation requested");
+}
+
+void Service::release() {
+  if (state_ != State::kOperational && state_ != State::kMemoryManagement) {
+    throw UsageError("Service::release: not operational");
+  }
+  node().send_active(
+      packet::ActivePacket::make_control(fid_, packet::ActiveType::kDealloc));
+  log(LogLevel::kInfo, "service ", name_, ": release requested");
+}
+
+void Service::send_program(const active::Program& program,
+                          const packet::ArgumentHeader& args,
+                          std::vector<u8> payload, bool management,
+                          packet::MacAddr dst) {
+  if (fid_ == 0) throw UsageError("Service::send_program: no allocation");
+  packet::ActivePacket pkt =
+      packet::ActivePacket::make_program(fid_, args, program);
+  if (management) pkt.initial.flags |= packet::kFlagManagement;
+  pkt.payload = std::move(payload);
+  if (dst == 0) {
+    node().send_active(std::move(pkt));
+  } else {
+    node().send_active_to(dst, std::move(pkt));
+  }
+}
+
+void Service::extraction_done() {
+  if (state_ != State::kMemoryManagement) {
+    throw UsageError("Service::extraction_done: not in memory management");
+  }
+  node().send_active(packet::ActivePacket::make_control(
+      fid_, packet::ActiveType::kExtractComplete));
+}
+
+void Service::accept_allocation(const packet::ActivePacket& pkt) {
+  fid_ = pkt.initial.fid;
+  mutant_ = proto::decode_mutant(pkt);
+  regions_ = *pkt.response;
+  synthesized_ =
+      synthesize(spec_, *mutant_, *regions_, node().logical_stages());
+  state_ = State::kOperational;
+}
+
+void Service::handle_active(packet::ActivePacket& pkt) {
+  switch (pkt.initial.type) {
+    case packet::ActiveType::kAllocResponse: {
+      if ((pkt.initial.flags & packet::kFlagAllocFailed) != 0) {
+        state_ = State::kDenied;
+        log(LogLevel::kWarn, "service ", name_, ": allocation denied");
+        on_denied();
+        return;
+      }
+      const bool first = state_ == State::kNegotiating;
+      accept_allocation(pkt);
+      if (first) {
+        log(LogLevel::kInfo, "service ", name_, ": operational, fid=", fid_);
+        on_operational();
+      } else {
+        log(LogLevel::kInfo, "service ", name_, ": allocation moved");
+        on_moved();
+      }
+      return;
+    }
+    case packet::ActiveType::kReallocNotice:
+      state_ = State::kMemoryManagement;
+      log(LogLevel::kInfo, "service ", name_, ": realloc notice");
+      on_realloc_notice();
+      return;
+    case packet::ActiveType::kDeallocAck:
+      state_ = State::kReleased;
+      log(LogLevel::kInfo, "service ", name_, ": released");
+      on_released();
+      return;
+    case packet::ActiveType::kProgram:
+      on_returned(pkt);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace artmt::client

@@ -1,0 +1,58 @@
+// Big-endian (network order) byte cursors used to serialize and parse the
+// active-packet header formats of Section 3.3. Readers throw ParseError on
+// truncation so malformed capsules are rejected at the switch parser, never
+// silently misread.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace artmt {
+
+// Appends integral values in network byte order to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v);
+  void put_u32(u32 v);
+  void put_bytes(std::span<const u8> bytes);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<u8>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+// Sequentially consumes network-order values from a fixed view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  [[nodiscard]] u8 get_u8();
+  [[nodiscard]] u16 get_u16();
+  [[nodiscard]] u32 get_u32();
+  // Returns a view of the next n bytes and advances past them.
+  [[nodiscard]] std::span<const u8> get_bytes(std::size_t n);
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace artmt

@@ -1,0 +1,31 @@
+// Error taxonomy for the ActiveRMT libraries. All are logic/usage errors
+// surfaced via exceptions per the project's error-handling policy; data-plane
+// faults (e.g. a capsule violating memory protection) are NOT exceptions --
+// they are modeled in-band as packet drops/traps, matching switch behavior.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace artmt {
+
+// Malformed on-wire data (truncated header, bad opcode, ...).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Invalid program text or an unsatisfiable program construct fed to the
+// assembler/compiler (unknown mnemonic, undefined label, too many accesses).
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// API misuse: violated precondition on a library call.
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace artmt

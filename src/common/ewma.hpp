@@ -1,0 +1,41 @@
+// Exponentially weighted moving average, as used by the paper to smooth
+// per-epoch allocation times (Fig. 5b, alpha = 0.1) and reallocation
+// fractions (Fig. 7c, alpha = 0.6).
+#pragma once
+
+#include "common/error.hpp"
+
+namespace artmt {
+
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw UsageError("Ewma: alpha must be in (0, 1]");
+    }
+  }
+
+  // Feeds one sample; returns the updated average.
+  double update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double value() const {
+    if (!seeded_) throw UsageError("Ewma::value: no samples yet");
+    return value_;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace artmt

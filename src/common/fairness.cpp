@@ -1,0 +1,17 @@
+#include "common/fairness.hpp"
+
+namespace artmt {
+
+double jain_fairness(std::span<const double> shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace artmt

@@ -1,0 +1,12 @@
+// Jain's fairness index over a set of allocations (Fig. 7d / Fig. 11).
+#pragma once
+
+#include <span>
+
+namespace artmt {
+
+// Returns (sum x)^2 / (n * sum x^2) in [1/n, 1]; 1.0 for an empty set or a
+// set of all-zero allocations (vacuously fair).
+double jain_fairness(std::span<const double> shares);
+
+}  // namespace artmt

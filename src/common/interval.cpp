@@ -1,0 +1,93 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt {
+
+IntervalSet::IntervalSet(u32 size) {
+  if (size > 0) intervals_.push_back(Interval{0, size});
+}
+
+void IntervalSet::insert(const Interval& iv) {
+  if (iv.empty()) return;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  // Overlap checks against the neighbors.
+  if (it != intervals_.end() && iv.overlaps(*it)) {
+    throw UsageError("IntervalSet::insert: overlapping interval");
+  }
+  if (it != intervals_.begin() && iv.overlaps(*std::prev(it))) {
+    throw UsageError("IntervalSet::insert: overlapping interval");
+  }
+  it = intervals_.insert(it, iv);
+  // Coalesce with successor, then predecessor.
+  if (auto next = std::next(it);
+      next != intervals_.end() && it->end == next->begin) {
+    it->end = next->end;
+    intervals_.erase(next);
+  }
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->end == it->begin) {
+      prev->end = it->end;
+      intervals_.erase(it);
+    }
+  }
+}
+
+void IntervalSet::remove(const Interval& iv) {
+  if (iv.empty()) return;
+  for (auto it = intervals_.begin(); it != intervals_.end(); ++it) {
+    if (it->begin <= iv.begin && iv.end <= it->end) {
+      const Interval left{it->begin, iv.begin};
+      const Interval right{iv.end, it->end};
+      intervals_.erase(it);
+      if (!right.empty()) insert(right);
+      if (!left.empty()) insert(left);
+      return;
+    }
+  }
+  throw UsageError("IntervalSet::remove: interval not contained");
+}
+
+std::optional<Interval> IntervalSet::find_first_fit(u32 size) const {
+  for (const auto& iv : intervals_) {
+    if (iv.size() >= size) return iv;
+  }
+  return std::nullopt;
+}
+
+std::optional<Interval> IntervalSet::find_best_fit(u32 size) const {
+  std::optional<Interval> best;
+  for (const auto& iv : intervals_) {
+    if (iv.size() >= size && (!best || iv.size() < best->size())) best = iv;
+  }
+  return best;
+}
+
+std::optional<Interval> IntervalSet::find_largest() const {
+  std::optional<Interval> best;
+  for (const auto& iv : intervals_) {
+    if (!best || iv.size() > best->size()) best = iv;
+  }
+  return best;
+}
+
+u32 IntervalSet::total() const {
+  u32 sum = 0;
+  for (const auto& iv : intervals_) sum += iv.size();
+  return sum;
+}
+
+bool IntervalSet::contains(const Interval& iv) const {
+  if (iv.empty()) return true;
+  return std::any_of(intervals_.begin(), intervals_.end(),
+                     [&](const Interval& held) {
+                       return held.begin <= iv.begin && iv.end <= held.end;
+                     });
+}
+
+}  // namespace artmt

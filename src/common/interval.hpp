@@ -1,0 +1,64 @@
+// Half-open block intervals and a free-list style interval set, the
+// bookkeeping primitive beneath per-stage block allocation (Section 4.1:
+// applications receive a contiguous set of blocks per logical stage).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt {
+
+// [begin, end) over block indices. Empty when begin == end.
+struct Interval {
+  u32 begin = 0;
+  u32 end = 0;
+
+  [[nodiscard]] u32 size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin == end; }
+  [[nodiscard]] bool contains(u32 index) const {
+    return index >= begin && index < end;
+  }
+  [[nodiscard]] bool overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// Ordered set of disjoint intervals with merge-on-insert. Tracks the free
+// space of one stage's block pool.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  // Starts with a single interval [0, size).
+  explicit IntervalSet(u32 size);
+
+  // Inserts an interval, coalescing with neighbors. Throws UsageError if it
+  // overlaps existing content (double free).
+  void insert(const Interval& iv);
+
+  // Removes an interval that must be fully contained in the set.
+  void remove(const Interval& iv);
+
+  // First interval of at least `size` blocks, lowest address first.
+  [[nodiscard]] std::optional<Interval> find_first_fit(u32 size) const;
+
+  // Smallest interval that still fits `size` blocks (ties: lowest address).
+  [[nodiscard]] std::optional<Interval> find_best_fit(u32 size) const;
+
+  // Largest interval (ties: lowest address); caller checks it fits.
+  [[nodiscard]] std::optional<Interval> find_largest() const;
+
+  [[nodiscard]] u32 total() const;
+  [[nodiscard]] bool contains(const Interval& iv) const;
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by begin, disjoint, non-empty
+};
+
+}  // namespace artmt

@@ -1,0 +1,35 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace artmt {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::cerr << "[" << tag(level) << "] " << message << "\n";
+}
+
+}  // namespace artmt

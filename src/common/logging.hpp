@@ -1,0 +1,36 @@
+// Minimal leveled logger. Off by default so benches and tests stay quiet;
+// examples turn it on to narrate scenarios.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace artmt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one line to stderr with a level tag if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace artmt

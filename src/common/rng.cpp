@@ -1,0 +1,85 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace artmt {
+
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 bound) {
+  if (bound == 0) throw UsageError("Rng::uniform: bound must be positive");
+  // Rejection sampling over the largest multiple of bound.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::uniform_range(i64 lo, i64 hi) {
+  if (lo > hi) throw UsageError("Rng::uniform_range: lo > hi");
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const u64 draw = span == 0 ? next_u64() : uniform(span);
+  return lo + static_cast<i64>(draw);
+}
+
+double Rng::uniform_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+u32 Rng::poisson(double mean) {
+  if (mean < 0) throw UsageError("Rng::poisson: mean must be non-negative");
+  const double limit = std::exp(-mean);
+  double product = uniform_double();
+  u32 count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform_double();
+  }
+  return count;
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0) throw UsageError("Rng::exponential: rate must be positive");
+  double u = uniform_double();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace artmt

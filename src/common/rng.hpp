@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generation for workloads and simulations.
+// xoshiro256** seeded via splitmix64: fast, reproducible across platforms
+// (std::mt19937 distributions are implementation-defined; ours are not).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace artmt {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  // Uniform over the full 64-bit range.
+  u64 next_u64();
+
+  // Uniform in [0, bound); bound must be > 0. Uses rejection sampling for an
+  // unbiased draw.
+  u64 uniform(u64 bound);
+
+  // Uniform in [lo, hi] inclusive.
+  i64 uniform_range(i64 lo, i64 hi);
+
+  // Uniform in [0, 1).
+  double uniform_double();
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // which is all the evaluation needs: means of 1 and 2).
+  u32 poisson(double mean);
+
+  // Exponentially distributed inter-arrival with the given rate (events per
+  // unit time).
+  double exponential(double rate);
+
+  // Forks an independent, deterministically derived stream (for per-trial or
+  // per-client generators).
+  Rng split();
+
+ private:
+  std::array<u64, 4> state_;
+};
+
+}  // namespace artmt

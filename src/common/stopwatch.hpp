@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the allocation-time experiments (Figs. 5, 12
+// measure real control-plane compute time of the allocator).
+#pragma once
+
+#include <chrono>
+
+namespace artmt {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace artmt

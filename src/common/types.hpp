@@ -1,0 +1,31 @@
+// Fundamental type aliases and constants shared across the ActiveRMT
+// reproduction. Widths mirror the paper's on-wire formats: PHV variables
+// (MAR/MBR/MBR2) and register memory words are 32 bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace artmt {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// One word of switch register memory / one PHV variable.
+using Word = u32;
+
+// Flow (program-instance) identifier carried in the initial active header.
+using Fid = u16;
+
+// Simulated time in nanoseconds (discrete-event virtual clock).
+using SimTime = i64;
+
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+}  // namespace artmt

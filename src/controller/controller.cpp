@@ -1,0 +1,315 @@
+#include "controller/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::controller {
+
+Controller::Controller(rmt::Pipeline& pipeline,
+                       runtime::ActiveRuntime& runtime, alloc::Scheme scheme,
+                       alloc::MutantPolicy policy, CostModel costs)
+    : pipeline_(&pipeline),
+      runtime_(&runtime),
+      alloc_(alloc::StageGeometry{pipeline.config().logical_stages,
+                                  pipeline.config().ingress_stages},
+             pipeline.config().blocks_per_stage(), scheme, policy),
+      costs_(costs) {}
+
+std::map<u32, Interval> Controller::regions_of(Fid fid) const {
+  const auto it = fid_to_app_.find(fid);
+  if (it == fid_to_app_.end()) throw UsageError("Controller: unknown FID");
+  return alloc_.regions_of(it->second);
+}
+
+packet::AllocResponseHeader Controller::response_for(Fid fid) const {
+  packet::AllocResponseHeader header;
+  const u32 block_words = pipeline_->config().block_words;
+  for (const auto& [stage, region] : regions_of(fid)) {
+    if (stage >= packet::kResponseStages) continue;
+    header.regions[stage].start_word = region.begin * block_words;
+    header.regions[stage].limit_word = region.end * block_words;
+  }
+  return header;
+}
+
+const alloc::Mutant* Controller::mutant_of(Fid fid) const {
+  const auto it = mutants_.find(fid);
+  return it == mutants_.end() ? nullptr : &it->second;
+}
+
+const std::map<u32, std::vector<Word>>* Controller::snapshot_of(
+    Fid fid) const {
+  const auto it = snapshots_.find(fid);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+void Controller::take_snapshot(Fid fid) {
+  // Old regions are what the pipeline tables still hold (the allocator's
+  // bookkeeping already reflects the new layout).
+  std::map<u32, std::vector<Word>> snapshot;
+  for (u32 s = 0; s < pipeline_->stage_count(); ++s) {
+    const rmt::FidEntry* entry = pipeline_->stage(s).lookup(fid);
+    if (entry == nullptr || entry->words() == 0) continue;
+    snapshot[s] =
+        pipeline_->stage(s).memory().dump(entry->start_word, entry->words());
+    stats_.blocks_snapshotted +=
+        entry->words() / pipeline_->config().block_words;
+  }
+  snapshots_[fid] = std::move(snapshot);
+}
+
+void Controller::install_with_advance(Fid fid) {
+  const auto it = fid_to_app_.find(fid);
+  if (it == fid_to_app_.end()) throw UsageError("Controller: unknown FID");
+  const auto regions = alloc_.regions_of(it->second);
+  const u32 block_words = pipeline_->config().block_words;
+  const u32 n = pipeline_->config().logical_stages;
+
+  // Word-level start per stage.
+  std::map<u32, u32> start_of;
+  for (const auto& [stage, region] : regions) {
+    start_of[stage] = region.begin * block_words;
+  }
+
+  // Advance chain: for access i at stage s_i, MAR advances to the region
+  // start delta of access i+1's stage (Section 3.4's bucket walk).
+  std::map<u32, i32> advance_of;
+  const auto* mutant = mutant_of(fid);
+  if (mutant != nullptr) {
+    for (std::size_t i = 0; i + 1 < mutant->size(); ++i) {
+      const u32 s = (*mutant)[i] % n;
+      const u32 next = (*mutant)[i + 1] % n;
+      if (!advance_of.contains(s) && s != next) {
+        advance_of[s] = static_cast<i32>(start_of.at(next)) -
+                        static_cast<i32>(start_of.at(s));
+      }
+    }
+  }
+
+  for (const auto& [stage, region] : regions) {
+    const u32 start = region.begin * block_words;
+    const u32 limit = region.end * block_words;
+    const i32 advance =
+        advance_of.contains(stage) ? advance_of.at(stage) : 0;
+    if (!pipeline_->stage(stage).install(fid, start, limit, advance)) {
+      throw UsageError("Controller: TCAM capacity exceeded at install");
+    }
+    ++stats_.table_entry_updates;
+  }
+}
+
+u32 Controller::remove_entries(Fid fid) {
+  u32 ops = 0;
+  for (u32 s = 0; s < pipeline_->stage_count(); ++s) {
+    if (pipeline_->stage(s).lookup(fid) != nullptr) {
+      pipeline_->stage(s).remove(fid);
+      ++ops;
+      ++stats_.table_entry_updates;
+    }
+  }
+  return ops;
+}
+
+u32 Controller::sync_entries(Fid fid) {
+  const u32 removed = remove_entries(fid);
+  install_with_advance(fid);
+  const auto it = fid_to_app_.find(fid);
+  const u32 installed =
+      static_cast<u32>(alloc_.regions_of(it->second).size());
+  return removed + installed;
+}
+
+AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
+  if (pending_) {
+    throw UsageError("Controller: admission already pending (serialized)");
+  }
+  AdmissionResult result;
+  result.outcome = alloc_.allocate(request);
+  result.compute_ms = result.outcome.search_ms + result.outcome.assign_ms;
+  if (!result.outcome.success) {
+    ++stats_.rejections;
+    return result;
+  }
+
+  // TCAM admission control: protection costs one range entry per occupied
+  // stage, and the paper identifies these entries as the bottleneck for
+  // the number of distinct address ranges. Reject (and roll back) when a
+  // chosen stage has no headroom -- reallocated apps replace entries, so
+  // only the new app consumes slots.
+  for (const auto& [stage, region] : result.outcome.regions) {
+    const rmt::Stage& s = pipeline_->stage(stage);
+    if (s.tcam_used() >= s.tcam_capacity()) {
+      alloc_.deallocate(result.outcome.app);
+      result.outcome.success = false;
+      ++stats_.rejections;
+      ++stats_.tcam_rejections;
+      return result;
+    }
+  }
+  ++stats_.admissions;
+
+  const Fid fid = next_fid_++;
+  result.admitted = true;
+  result.fid = fid;
+  fid_to_app_[fid] = result.outcome.app;
+  app_to_fid_[result.outcome.app] = fid;
+  mutants_[fid] = result.outcome.chosen;
+
+  for (const alloc::AppId app : result.outcome.reallocated) {
+    result.disturbed.push_back(app_to_fid_.at(app));
+  }
+  stats_.reallocations += result.disturbed.size();
+
+  // Cost accounting (performed work happens at finalize, but the totals
+  // are deterministic now).
+  const u32 block_words = pipeline_->config().block_words;
+  u64 entry_ops = alloc_.regions_of(result.outcome.app).size();
+  u64 blocks_cleared = 0;
+  u64 blocks_snapshotted = 0;
+  for (const auto& [stage, region] :
+       alloc_.regions_of(result.outcome.app)) {
+    blocks_cleared += region.size();
+  }
+  for (const Fid disturbed : result.disturbed) {
+    const alloc::AppId app = fid_to_app_.at(disturbed);
+    for (u32 s = 0; s < pipeline_->stage_count(); ++s) {
+      const rmt::FidEntry* entry = pipeline_->stage(s).lookup(disturbed);
+      if (entry != nullptr) {
+        ++entry_ops;  // removal
+        blocks_snapshotted += entry->words() / block_words;
+      }
+    }
+    for (const auto& [stage, region] : alloc_.regions_of(app)) {
+      ++entry_ops;  // install
+      blocks_cleared += region.size();
+    }
+  }
+  result.table_update_cost =
+      static_cast<SimTime>(entry_ops) * costs_.table_entry_update;
+  result.snapshot_cost =
+      static_cast<SimTime>(blocks_snapshotted) * costs_.snapshot_per_block;
+  result.clear_cost =
+      static_cast<SimTime>(blocks_cleared) * costs_.clear_per_block;
+
+  if (result.disturbed.empty()) {
+    pending_ = PendingAdmission{fid, {}};
+    finalize();
+    return result;
+  }
+
+  // Handshake: quiesce and snapshot the disturbed apps, then wait.
+  PendingAdmission pending;
+  pending.new_fid = fid;
+  for (const Fid disturbed : result.disturbed) {
+    runtime_->deactivate(disturbed);
+    take_snapshot(disturbed);
+    pending.awaiting.insert(disturbed);
+  }
+  pending_ = pending;
+  result.pending = true;
+  return result;
+}
+
+bool Controller::extraction_complete(Fid fid) {
+  if (!pending_) return true;
+  pending_->awaiting.erase(fid);
+  return pending_->awaiting.empty();
+}
+
+void Controller::timeout_pending() {
+  if (!pending_) return;
+  stats_.extraction_timeouts += pending_->awaiting.size();
+  pending_->awaiting.clear();
+}
+
+void Controller::apply_pending() {
+  if (!pending_) throw UsageError("Controller: no pending admission");
+  if (!pending_->awaiting.empty()) {
+    throw UsageError("Controller: pending admission not ready to apply");
+  }
+  finalize();
+}
+
+void Controller::finalize() {
+  if (!pending_) throw UsageError("Controller: nothing to finalize");
+  const Fid new_fid = pending_->new_fid;
+
+  // Re-sync entries for every app whose layout changed, then the new app.
+  std::vector<Fid> disturbed;
+  for (const auto& [fid, app] : fid_to_app_) {
+    if (fid == new_fid) continue;
+    if (runtime_->is_deactivated(fid)) disturbed.push_back(fid);
+  }
+  for (const Fid fid : disturbed) sync_entries(fid);
+  install_with_advance(new_fid);
+
+  // Zero the regions that changed hands: the new app's and the disturbed
+  // apps' new regions (content migration is the clients' job, from the
+  // snapshots taken at deactivation).
+  const u32 block_words = pipeline_->config().block_words;
+  auto clear_regions = [&](Fid fid) {
+    for (const auto& [stage, region] :
+         alloc_.regions_of(fid_to_app_.at(fid))) {
+      pipeline_->stage(stage).memory().fill(region.begin * block_words,
+                                            region.size() * block_words, 0);
+    }
+  };
+  clear_regions(new_fid);
+  for (const Fid fid : disturbed) clear_regions(fid);
+
+  for (const Fid fid : disturbed) runtime_->reactivate(fid);
+  pending_.reset();
+}
+
+ReleaseResult Controller::release(Fid fid) {
+  if (pending_) {
+    throw UsageError("Controller: cannot release while admission pending");
+  }
+  const auto it = fid_to_app_.find(fid);
+  if (it == fid_to_app_.end()) throw UsageError("Controller: unknown FID");
+  ++stats_.releases;
+
+  ReleaseResult result;
+  const alloc::AppId app = it->second;
+
+  u64 entry_ops = remove_entries(fid);
+  const auto disturbed_apps = alloc_.deallocate(app);
+  stats_.reallocations += disturbed_apps.size();
+
+  const u32 block_words = pipeline_->config().block_words;
+  u64 blocks_snapshotted = 0;
+  // Snapshot every disturbed app before any region is rewritten, so no
+  // snapshot observes another app's freshly cleared blocks.
+  for (const alloc::AppId disturbed : disturbed_apps) {
+    const Fid dfid = app_to_fid_.at(disturbed);
+    result.disturbed.push_back(dfid);
+    take_snapshot(dfid);
+    for (const auto& [stage, snap] : snapshots_[dfid]) {
+      blocks_snapshotted += snap.size() / block_words;
+    }
+  }
+  for (const Fid dfid : result.disturbed) {
+    entry_ops += sync_entries(dfid);
+    // Departure-triggered moves also hand apps fresh (zeroed) regions.
+    for (const auto& [stage, region] :
+         alloc_.regions_of(fid_to_app_.at(dfid))) {
+      pipeline_->stage(stage).memory().fill(region.begin * block_words,
+                                            region.size() * block_words, 0);
+    }
+  }
+
+  result.table_update_cost =
+      static_cast<SimTime>(entry_ops) * costs_.table_entry_update;
+  result.snapshot_cost =
+      static_cast<SimTime>(blocks_snapshotted) * costs_.snapshot_per_block;
+
+  fid_to_app_.erase(fid);
+  app_to_fid_.erase(app);
+  mutants_.erase(fid);
+  snapshots_.erase(fid);
+  runtime_->reactivate(fid);  // forget any stale deactivation
+  return result;
+}
+
+}  // namespace artmt::controller

@@ -1,0 +1,143 @@
+// The switch control plane (Section 4.3): serializes admissions, runs the
+// memory allocator, installs/removes per-FID match-table entries, provides
+// consistent snapshots to reallocated applications, and models the
+// provisioning costs a Tofino controller would incur (table updates,
+// snapshotting, register clears).
+//
+// Admissions that disturb resident applications follow the paper's
+// handshake: the disturbed FIDs are deactivated (program packets forwarded
+// unprocessed), a snapshot of their old regions is taken, and the new
+// layout is applied only after every disturbed client reports extraction
+// complete (or times out). `admit` finalizes immediately when nothing is
+// disturbed; otherwise the caller drives `extraction_complete` /
+// `force_finalize`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "controller/cost_model.hpp"
+#include "packet/active_packet.hpp"
+#include "rmt/pipeline.hpp"
+#include "runtime/runtime.hpp"
+
+namespace artmt::controller {
+
+struct AdmissionResult {
+  bool admitted = false;
+  Fid fid = 0;
+  alloc::AllocationOutcome outcome;
+  std::vector<Fid> disturbed;  // FIDs that must extract before finalize
+  bool pending = false;        // true while the handshake is outstanding
+
+  // Cost breakdown (Fig. 8a): allocator compute is measured wall-clock;
+  // the rest is modeled from the cost model.
+  double compute_ms = 0.0;
+  SimTime table_update_cost = 0;
+  SimTime snapshot_cost = 0;
+  SimTime clear_cost = 0;
+
+  [[nodiscard]] SimTime provisioning_time() const {
+    return static_cast<SimTime>(compute_ms * kMillisecond) +
+           table_update_cost + snapshot_cost + clear_cost;
+  }
+};
+
+struct ReleaseResult {
+  std::vector<Fid> disturbed;  // apps rebalanced by the departure
+  SimTime table_update_cost = 0;
+  SimTime snapshot_cost = 0;
+};
+
+// Aggregate control-plane counters.
+struct ControllerStats {
+  u64 admissions = 0;
+  u64 rejections = 0;
+  u64 releases = 0;
+  u64 reallocations = 0;     // app-events: one app disturbed once
+  u64 table_entry_updates = 0;
+  u64 blocks_snapshotted = 0;
+  u64 extraction_timeouts = 0;
+  u64 tcam_rejections = 0;  // admissions denied for range-entry headroom
+};
+
+class Controller {
+ public:
+  Controller(rmt::Pipeline& pipeline, runtime::ActiveRuntime& runtime,
+             alloc::Scheme scheme = alloc::Scheme::kWorstFit,
+             alloc::MutantPolicy policy = alloc::MutantPolicy::most_constrained(),
+             CostModel costs = {});
+
+  // --- admission / release ---
+  AdmissionResult admit(const alloc::AllocationRequest& request);
+  // Marks one disturbed FID as done extracting. Returns true when every
+  // disturbed app has reported in (the admission is ready to apply).
+  bool extraction_complete(Fid fid);
+  // Timeout path: stop waiting for the remaining extractions (counted in
+  // stats); the admission becomes ready to apply.
+  void timeout_pending();
+  // Installs the pending admission's new layout (table updates + clears)
+  // and reactivates the disturbed apps. Call once ready; synchronous
+  // callers use it right after the handshake, event-driven callers after
+  // the modeled table-update delay has elapsed.
+  void apply_pending();
+  [[nodiscard]] bool has_pending() const { return pending_.has_value(); }
+  [[nodiscard]] bool pending_ready() const {
+    return pending_.has_value() && pending_->awaiting.empty();
+  }
+
+  ReleaseResult release(Fid fid);
+
+  // --- snapshot access (control-plane state extraction, Section 4.3) ---
+  // Available for disturbed FIDs between deactivation and their client's
+  // re-population; stage -> words of the app's old region.
+  [[nodiscard]] const std::map<u32, std::vector<Word>>* snapshot_of(
+      Fid fid) const;
+
+  // --- queries ---
+  [[nodiscard]] const alloc::Allocator& allocator() const { return alloc_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] bool resident(Fid fid) const { return fid_to_app_.contains(fid); }
+  [[nodiscard]] std::map<u32, Interval> regions_of(Fid fid) const;
+  // Word-level response header for the app's current regions.
+  [[nodiscard]] packet::AllocResponseHeader response_for(Fid fid) const;
+  // Chosen mutant (global logical stage per access) from admission.
+  [[nodiscard]] const alloc::Mutant* mutant_of(Fid fid) const;
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+
+ private:
+  struct PendingAdmission {
+    Fid new_fid = 0;
+    std::set<Fid> awaiting;  // disturbed FIDs not yet done extracting
+  };
+
+  // Reinstalls table entries for `fid` from the allocator's current state
+  // and returns the number of entry operations performed.
+  u32 sync_entries(Fid fid);
+  u32 remove_entries(Fid fid);
+  void take_snapshot(Fid fid);
+  void finalize();
+
+  // MAR auto-advance per access chain (Section 3.4): the entry installed at
+  // each of the app's memory stages re-targets MAR at the next one.
+  void install_with_advance(Fid fid);
+
+  rmt::Pipeline* pipeline_;
+  runtime::ActiveRuntime* runtime_;
+  alloc::Allocator alloc_;
+  CostModel costs_;
+  ControllerStats stats_;
+
+  std::unordered_map<Fid, alloc::AppId> fid_to_app_;
+  std::unordered_map<alloc::AppId, Fid> app_to_fid_;
+  std::unordered_map<Fid, alloc::Mutant> mutants_;
+  std::unordered_map<Fid, std::map<u32, std::vector<Word>>> snapshots_;
+  std::optional<PendingAdmission> pending_;
+  Fid next_fid_ = 1;
+};
+
+}  // namespace artmt::controller

@@ -1,0 +1,296 @@
+#include "controller/switch_node.hpp"
+
+#include "common/logging.hpp"
+
+namespace artmt::controller {
+
+using packet::ActivePacket;
+using packet::ActiveType;
+
+SwitchNode::SwitchNode(std::string name, const Config& config)
+    : netsim::Node(std::move(name)),
+      pipeline_(config.pipeline),
+      runtime_(pipeline_),
+      controller_(pipeline_, runtime_, config.scheme, config.policy,
+                  config.costs),
+      default_recirc_budget_(config.default_recirc_budget) {
+  runtime_.set_enforce_privilege(config.enforce_privilege);
+}
+
+void SwitchNode::bind(packet::MacAddr mac, u32 port) {
+  l2_table_[mac] = port;
+}
+
+void SwitchNode::send_to_mac(packet::MacAddr dst, ActivePacket pkt,
+                             SimTime delay) {
+  const auto it = l2_table_.find(dst);
+  if (it == l2_table_.end()) {
+    ++stats_.unknown_destination;
+    return;
+  }
+  pkt.ethernet.dst = dst;
+  const u32 port = it->second;
+  auto frame = pkt.serialize();
+  if (delay == 0) {
+    network().transmit(*this, port, std::move(frame));
+    return;
+  }
+  network().simulator().schedule_after(
+      delay, [this, port, f = std::move(frame)]() mutable {
+        network().transmit(*this, port, std::move(f));
+      });
+}
+
+void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
+  (void)port;
+  ActivePacket pkt;
+  try {
+    pkt = ActivePacket::parse(frame);
+  } catch (const ParseError&) {
+    // Passive traffic: plain L2 forwarding by destination MAC.
+    if (frame.size() >= packet::EthernetHeader::kWireSize) {
+      ByteReader in(frame);
+      const auto eth = packet::EthernetHeader::parse(in);
+      const auto it = l2_table_.find(eth.dst);
+      if (it != l2_table_.end()) {
+        ++stats_.forwarded;
+        network().transmit(*this, it->second, std::move(frame));
+        return;
+      }
+    }
+    ++stats_.malformed;
+    return;
+  }
+
+  switch (pkt.initial.type) {
+    case ActiveType::kProgram:
+      handle_program(std::move(pkt));
+      return;
+    case ActiveType::kAllocRequest:
+    case ActiveType::kDealloc:
+      enqueue_control(std::move(pkt));
+      return;
+    case ActiveType::kExtractComplete:
+      // Handshake packets must not queue behind other control ops.
+      if (txn_ && !txn_->applying &&
+          controller_.extraction_complete(pkt.initial.fid)) {
+        ready_to_apply();
+      }
+      return;
+    default:
+      return;  // responses/acks arriving at the switch are ignored
+  }
+}
+
+void SwitchNode::handle_program(ActivePacket pkt) {
+  // Derive the flow metadata the parser would extract (5-tuple surrogate:
+  // MAC pair plus the head of the passive payload).
+  runtime::PacketMeta meta;
+  meta.five_tuple[0] = static_cast<Word>(pkt.ethernet.src >> 16);
+  meta.five_tuple[1] = static_cast<Word>(pkt.ethernet.src) << 16 |
+                       static_cast<Word>(pkt.ethernet.dst >> 32);
+  meta.five_tuple[2] = static_cast<Word>(pkt.ethernet.dst);
+  if (pkt.payload.size() >= 5) {
+    // Skip the payload's leading message-type byte so a flow's SYN and
+    // data packets share one flow identity (Cheetah's cookie scheme
+    // depends on hash(5-tuple) being stable across a flow).
+    meta.five_tuple[3] = static_cast<Word>(pkt.payload[1]) << 24 |
+                         static_cast<Word>(pkt.payload[2]) << 16 |
+                         static_cast<Word>(pkt.payload[3]) << 8 |
+                         static_cast<Word>(pkt.payload[4]);
+  }
+
+  const runtime::ExecutionResult result =
+      runtime_.execute(pkt, meta, network().simulator().now());
+  switch (result.verdict) {
+    case runtime::Verdict::kDrop:
+      ++stats_.dropped;
+      return;
+    case runtime::Verdict::kReturnToSender:
+      ++stats_.returned;
+      break;
+    case runtime::Verdict::kForward:
+      ++stats_.forwarded;
+      break;
+  }
+  if (result.forked) {
+    // The clone continues to the original destination as well.
+    ActivePacket clone = pkt;
+    send_to_mac(clone.ethernet.dst, std::move(clone), result.latency);
+  }
+  if (result.phv.dst_overridden &&
+      result.verdict == runtime::Verdict::kForward) {
+    // SET_DST: the program chose an egress port directly (the Cheetah
+    // select program stores server ports in the VIP pool).
+    const u32 port = result.phv.dst_value;
+    auto frame = pkt.serialize();
+    network().simulator().schedule_after(
+        result.latency, [this, port, f = std::move(frame)]() mutable {
+          network().transmit(*this, port, std::move(f));
+        });
+    return;
+  }
+  send_to_mac(pkt.ethernet.dst, std::move(pkt), result.latency);
+}
+
+void SwitchNode::enqueue_control(ActivePacket pkt) {
+  ControlOp op;
+  op.requester = pkt.ethernet.src;
+  op.pkt = std::move(pkt);
+  control_queue_.push_back(std::move(op));
+  if (!control_busy_) process_next_control();
+}
+
+void SwitchNode::process_next_control() {
+  if (control_queue_.empty()) {
+    control_busy_ = false;
+    return;
+  }
+  control_busy_ = true;
+  ControlOp op = std::move(control_queue_.front());
+  control_queue_.pop_front();
+  // Digest delivery to the switch CPU.
+  network().simulator().schedule_after(
+      controller_.costs().digest_latency, [this, op = std::move(op)]() {
+        if (op.pkt.initial.type == ActiveType::kAllocRequest) {
+          run_admission(op);
+        } else {
+          run_release(op);
+        }
+      });
+}
+
+void SwitchNode::run_admission(const ControlOp& op) {
+  alloc::AllocationRequest request;
+  try {
+    request = proto::decode_request(op.pkt);
+  } catch (const ParseError&) {
+    ++stats_.malformed;
+    finish_control();
+    return;
+  }
+
+  AdmissionResult result;
+  try {
+    result = controller_.admit(request);
+  } catch (const UsageError&) {
+    // Structurally invalid request (e.g. crafted positions beyond the
+    // program length): deny rather than wedge the control plane.
+    ++stats_.malformed;
+    send_to_mac(op.requester, proto::encode_denial(op.pkt.initial.seq));
+    finish_control();
+    return;
+  }
+  const auto compute_delay =
+      static_cast<SimTime>(result.compute_ms * kMillisecond);
+
+  if (!result.admitted) {
+    send_to_mac(op.requester, proto::encode_denial(op.pkt.initial.seq),
+                compute_delay);
+    network().simulator().schedule_after(compute_delay,
+                                         [this] { finish_control(); });
+    return;
+  }
+
+  client_of_[result.fid] = op.requester;
+  if (default_recirc_budget_.tokens_per_second > 0.0) {
+    runtime_.set_recirc_budget(result.fid, default_recirc_budget_);
+  }
+
+  PendingTxn txn;
+  txn.id = ++txn_counter_;
+  txn.new_fid = result.fid;
+  txn.seq = op.pkt.initial.seq;
+  txn.requester = op.requester;
+  txn.disturbed = result.disturbed;
+  txn.apply_cost = result.table_update_cost + result.clear_cost;
+  txn_ = txn;
+
+  if (!result.pending) {
+    // Nothing to extract; the layout is already applied. Answer after the
+    // modeled compute + install costs.
+    txn_->applying = true;
+    network().simulator().schedule_after(
+        compute_delay + txn_->apply_cost, [this] {
+          send_to_mac(txn_->requester,
+                      proto::encode_response(
+                          txn_->new_fid,
+                          controller_.response_for(txn_->new_fid),
+                          *controller_.mutant_of(txn_->new_fid), txn_->seq));
+          txn_.reset();
+          finish_control();
+        });
+    return;
+  }
+
+  // Handshake: notify the disturbed apps, arm the extraction timeout.
+  const u64 txn_id = txn.id;
+  network().simulator().schedule_after(compute_delay, [this, txn_id] {
+    if (!txn_ || txn_->id != txn_id) return;
+    for (const Fid fid : txn_->disturbed) {
+      const auto it = client_of_.find(fid);
+      if (it == client_of_.end()) continue;
+      send_to_mac(it->second,
+                  ActivePacket::make_control(fid, ActiveType::kReallocNotice));
+    }
+  });
+  network().simulator().schedule_after(
+      compute_delay + controller_.costs().extraction_timeout,
+      [this, txn_id] {
+        if (!txn_ || txn_->id != txn_id || txn_->applying) return;
+        controller_.timeout_pending();
+        ready_to_apply();
+      });
+}
+
+void SwitchNode::ready_to_apply() {
+  if (!txn_ || txn_->applying) return;
+  txn_->applying = true;
+  network().simulator().schedule_after(txn_->apply_cost, [this] {
+    controller_.apply_pending();
+    // New allocations for the requester and every moved app.
+    send_to_mac(txn_->requester,
+                proto::encode_response(
+                    txn_->new_fid, controller_.response_for(txn_->new_fid),
+                    *controller_.mutant_of(txn_->new_fid), txn_->seq));
+    for (const Fid fid : txn_->disturbed) {
+      const auto it = client_of_.find(fid);
+      if (it == client_of_.end()) continue;
+      send_to_mac(it->second,
+                  proto::encode_response(fid, controller_.response_for(fid),
+                                         *controller_.mutant_of(fid), 0));
+    }
+    txn_.reset();
+    finish_control();
+  });
+}
+
+void SwitchNode::run_release(const ControlOp& op) {
+  const Fid fid = op.pkt.initial.fid;
+  if (!controller_.resident(fid)) {
+    finish_control();
+    return;
+  }
+  const ReleaseResult result = controller_.release(fid);
+  const SimTime delay = result.table_update_cost + result.snapshot_cost;
+  client_of_.erase(fid);
+  runtime_.clear_recirc_budget(fid);
+
+  network().simulator().schedule_after(delay, [this, op, fid, result] {
+    send_to_mac(op.requester,
+                ActivePacket::make_control(fid, ActiveType::kDeallocAck));
+    // Departure-triggered moves: tell the affected apps their new layout.
+    for (const Fid moved : result.disturbed) {
+      const auto it = client_of_.find(moved);
+      if (it == client_of_.end()) continue;
+      send_to_mac(it->second,
+                  proto::encode_response(moved, controller_.response_for(moved),
+                                         *controller_.mutant_of(moved), 0));
+    }
+    finish_control();
+  });
+}
+
+void SwitchNode::finish_control() { process_next_control(); }
+
+}  // namespace artmt::controller

@@ -1,0 +1,96 @@
+// The switch as a network node: data-plane capsules execute in the
+// ActiveRuntime at pipeline latency; control capsules (allocation
+// requests, deallocations, extraction notices) are digested to the
+// controller, serialized one operation at a time, and answered after the
+// modeled control-plane costs elapse (Section 4.3 / Fig. 8a).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "controller/controller.hpp"
+#include "netsim/network.hpp"
+#include "proto/wire.hpp"
+#include "rmt/pipeline.hpp"
+#include "runtime/runtime.hpp"
+
+namespace artmt::controller {
+
+class SwitchNode : public netsim::Node {
+ public:
+  struct Config {
+    rmt::PipelineConfig pipeline;
+    alloc::Scheme scheme = alloc::Scheme::kWorstFit;
+    alloc::MutantPolicy policy = alloc::MutantPolicy::most_constrained();
+    CostModel costs;
+    // Section 7.2 deployment hardening (off by default, as in the paper's
+    // prototype).
+    bool enforce_privilege = false;
+    // Applied to every admitted FID; zero rate = unlimited.
+    runtime::RecircBudget default_recirc_budget;
+  };
+
+  struct NodeStats {
+    u64 malformed = 0;
+    u64 unknown_destination = 0;
+    u64 forwarded = 0;
+    u64 returned = 0;  // RTS'd capsules
+    u64 dropped = 0;
+  };
+
+  SwitchNode(std::string name, const Config& config);
+
+  // Static L2 table: which port reaches `mac`.
+  void bind(packet::MacAddr mac, u32 port);
+
+  void on_frame(netsim::Frame frame, u32 port) override;
+
+  [[nodiscard]] Controller& controller() { return controller_; }
+  [[nodiscard]] runtime::ActiveRuntime& runtime() { return runtime_; }
+  [[nodiscard]] rmt::Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const NodeStats& node_stats() const { return stats_; }
+
+ private:
+  struct ControlOp {
+    packet::ActivePacket pkt;
+    packet::MacAddr requester = 0;
+  };
+
+  void handle_program(packet::ActivePacket pkt);
+  void enqueue_control(packet::ActivePacket pkt);
+  void process_next_control();
+  void run_admission(const ControlOp& op);
+  void run_release(const ControlOp& op);
+  void ready_to_apply();  // handshake complete or timed out
+  void send_to_mac(packet::MacAddr dst, packet::ActivePacket pkt,
+                   SimTime delay = 0);
+  void finish_control();  // op done; start the next queued one
+
+  rmt::Pipeline pipeline_;
+  runtime::ActiveRuntime runtime_;
+  Controller controller_;
+  NodeStats stats_;
+
+  std::map<packet::MacAddr, u32> l2_table_;
+  std::map<Fid, packet::MacAddr> client_of_;
+
+  std::deque<ControlOp> control_queue_;
+  bool control_busy_ = false;
+
+  // Pending-admission bookkeeping for the handshake.
+  struct PendingTxn {
+    u64 id = 0;
+    Fid new_fid = 0;
+    u32 seq = 0;
+    packet::MacAddr requester = 0;
+    std::vector<Fid> disturbed;
+    SimTime apply_cost = 0;
+    bool applying = false;
+  };
+  std::optional<PendingTxn> txn_;
+  u64 txn_counter_ = 0;
+  runtime::RecircBudget default_recirc_budget_;
+};
+
+}  // namespace artmt::controller

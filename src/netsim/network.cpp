@@ -1,0 +1,56 @@
+#include "netsim/network.hpp"
+
+#include <utility>
+
+namespace artmt::netsim {
+
+void Network::attach(std::shared_ptr<Node> node) {
+  if (node == nullptr) throw UsageError("Network::attach: null node");
+  if (node->network_ != nullptr) {
+    throw UsageError("Network::attach: node already attached");
+  }
+  node->network_ = this;
+  nodes_.push_back(std::move(node));
+  nodes_.back()->on_attach();
+}
+
+void Network::connect(Node& node_a, u32 port_a, Node& node_b, u32 port_b,
+                      const LinkSpec& spec) {
+  if (find_link(node_a, port_a) != nullptr ||
+      find_link(node_b, port_b) != nullptr) {
+    throw UsageError("Network::connect: port already connected");
+  }
+  links_.push_back(Link{{&node_a, port_a}, {&node_b, port_b}, spec});
+}
+
+const Network::Link* Network::find_link(const Node& node, u32 port) const {
+  for (const auto& link : links_) {
+    if ((link.a.node == &node && link.a.port == port) ||
+        (link.b.node == &node && link.b.port == port)) {
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+void Network::transmit(Node& from, u32 port, Frame frame) {
+  const Link* link = find_link(from, port);
+  if (link == nullptr) return;  // unplugged port: frame is lost
+  const Endpoint dest =
+      (link->a.node == &from && link->a.port == port) ? link->b : link->a;
+
+  // Serialization delay: bytes * 8 / rate. At 40 Gbps a 256-byte frame
+  // serializes in ~51 ns.
+  const double bits = static_cast<double>(frame.size()) * 8.0;
+  const auto serialize =
+      static_cast<SimTime>(bits / link->spec.gbps);  // Gbps -> bits/ns
+  const SimTime arrival = sim_->now() + serialize + link->spec.latency;
+
+  sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
+    ++frames_delivered_;
+    bytes_delivered_ += f.size();
+    dest.node->on_frame(std::move(f), dest.port);
+  });
+}
+
+}  // namespace artmt::netsim

@@ -1,0 +1,96 @@
+// Frame-level network model: nodes with numbered ports joined by
+// point-to-point links with latency and line rate. Frames are opaque byte
+// vectors; the packet library defines their contents.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netsim/simulator.hpp"
+
+namespace artmt::netsim {
+
+using Frame = std::vector<u8>;
+
+class Network;
+
+// A device attached to the network. Subclasses implement frame handling;
+// the switch, clients, and servers are all Nodes.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Invoked by the network when a frame arrives on `port`.
+  virtual void on_frame(Frame frame, u32 port) = 0;
+
+  // Called once when the node is attached, before any frames flow.
+  virtual void on_attach() {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const {
+    if (network_ == nullptr) throw UsageError("Node is not attached");
+    return *network_;
+  }
+
+ private:
+  friend class Network;
+  std::string name_;
+  Network* network_ = nullptr;
+};
+
+// Characteristics of one direction of a link.
+struct LinkSpec {
+  SimTime latency = 1 * kMicrosecond;  // propagation delay
+  double gbps = 40.0;                  // line rate (paper testbed: 40 Gbps)
+};
+
+// Owns nodes and links; routes frames between node ports over the virtual
+// clock, modelling serialization + propagation delay per frame.
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(&sim) {}
+
+  // Attaches a node; the network keeps a non-owning pointer (caller keeps
+  // the node alive for the network's lifetime, enforced by shared_ptr).
+  void attach(std::shared_ptr<Node> node);
+
+  // Connects node_a's port_a to node_b's port_b bidirectionally.
+  void connect(Node& node_a, u32 port_a, Node& node_b, u32 port_b,
+               const LinkSpec& spec = {});
+
+  // Transmits a frame out of (node, port); it arrives at the peer after
+  // serialization + propagation delay. Silently drops if the port is not
+  // connected (an unplugged cable, not an error).
+  void transmit(Node& from, u32 port, Frame frame);
+
+  [[nodiscard]] Simulator& simulator() const { return *sim_; }
+  [[nodiscard]] u64 frames_delivered() const { return frames_delivered_; }
+  [[nodiscard]] u64 bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct Endpoint {
+    Node* node = nullptr;
+    u32 port = 0;
+  };
+  struct Link {
+    Endpoint a;
+    Endpoint b;
+    LinkSpec spec;
+  };
+
+  const Link* find_link(const Node& node, u32 port) const;
+
+  Simulator* sim_;
+  std::vector<std::shared_ptr<Node>> nodes_;
+  std::vector<Link> links_;
+  u64 frames_delivered_ = 0;
+  u64 bytes_delivered_ = 0;
+};
+
+}  // namespace artmt::netsim

@@ -1,0 +1,45 @@
+#include "netsim/simulator.hpp"
+
+#include <utility>
+
+namespace artmt::netsim {
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    throw UsageError("Simulator::schedule_at: time is in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(SimTime delay, Action action) {
+  if (delay < 0) {
+    throw UsageError("Simulator::schedule_after: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // alternative: copy the action handle. Copy is cheap relative to event
+  // processing and keeps the code obviously correct.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ev.action();
+  return true;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace artmt::netsim

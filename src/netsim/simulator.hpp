@@ -1,0 +1,57 @@
+// Discrete-event simulation core: a virtual nanosecond clock and an ordered
+// event queue. All testbed experiments (Figs. 8b, 9, 10) run on this engine
+// so results are deterministic and independent of host load.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace artmt::netsim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` to run at absolute virtual time `at` (>= now).
+  // Events at equal times run in scheduling order (FIFO).
+  void schedule_at(SimTime at, Action action);
+
+  // Schedules `action` `delay` nanoseconds from now.
+  void schedule_after(SimTime delay, Action action);
+
+  // Runs events until the queue drains or the clock would pass `until`.
+  // Events scheduled exactly at `until` are executed.
+  void run_until(SimTime until);
+
+  // Runs until the queue is empty.
+  void run();
+
+  // Executes at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    u64 seq;  // tie-break for FIFO ordering at equal times
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace artmt::netsim

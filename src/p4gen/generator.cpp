@@ -1,0 +1,335 @@
+#include "p4gen/generator.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "active/isa.hpp"
+#include "common/error.hpp"
+
+namespace artmt::p4gen {
+
+namespace {
+
+// Lower-cases an opcode mnemonic into a P4 action name.
+std::string action_name(const active::OpcodeInfo& info) {
+  std::string name = "ex_";
+  for (const char c : info.mnemonic) {
+    name.push_back(c == '$' ? '_' : static_cast<char>(std::tolower(c)));
+  }
+  return name;
+}
+
+// The P4 statements implementing one opcode over the PHV metadata.
+std::string action_body(active::Opcode op) {
+  using active::Opcode;
+  switch (op) {
+    case Opcode::kNop:
+      return "        // stage consumed, no effect";
+    case Opcode::kMbrLoad:
+      return "        meta.mbr = arg_field();";
+    case Opcode::kMbrStore:
+      return "        set_arg_field(meta.mbr);";
+    case Opcode::kMbr2Load:
+      return "        meta.mbr2 = arg_field();";
+    case Opcode::kMarLoad:
+      return "        meta.mar = arg_field();";
+    case Opcode::kCopyMbr2Mbr:
+      return "        meta.mbr2 = meta.mbr;";
+    case Opcode::kCopyMbrMbr2:
+      return "        meta.mbr = meta.mbr2;";
+    case Opcode::kCopyMbrMar:
+      return "        meta.mbr = meta.mar;";
+    case Opcode::kCopyMarMbr:
+      return "        meta.mar = meta.mbr;";
+    case Opcode::kCopyHashdataMbr:
+      return "        meta.hashdata = meta.mbr;";
+    case Opcode::kCopyHashdataMbr2:
+      return "        meta.hashdata = meta.mbr2;";
+    case Opcode::kCopyHashdata5Tuple:
+      return "        meta.hashdata = meta.flow_id;";
+    case Opcode::kMbrAddMbr2:
+      return "        meta.mbr = meta.mbr + meta.mbr2;";
+    case Opcode::kMarAddMbr:
+      return "        meta.mar = meta.mar + meta.mbr;";
+    case Opcode::kMarAddMbr2:
+      return "        meta.mar = meta.mar + meta.mbr2;";
+    case Opcode::kMarMbrAddMbr2:
+      return "        meta.mar = meta.mbr + meta.mbr2;";
+    case Opcode::kMbrSubtractMbr2:
+      return "        meta.mbr = meta.mbr - meta.mbr2;";
+    case Opcode::kBitAndMarMbr:
+      return "        meta.mar = meta.mar & meta.mbr;";
+    case Opcode::kBitOrMbrMbr2:
+      return "        meta.mbr = meta.mbr | meta.mbr2;";
+    case Opcode::kMbrEqualsMbr2:
+      return "        meta.mbr = meta.mbr ^ meta.mbr2;";
+    case Opcode::kMbrEqualsData:
+      return "        meta.mbr = meta.mbr ^ arg_field();";
+    case Opcode::kMax:
+      return "        meta.mbr = max(meta.mbr, meta.mbr2);";
+    case Opcode::kMin:
+      return "        meta.mbr = min(meta.mbr, meta.mbr2);";
+    case Opcode::kRevMin:
+      return "        meta.mbr2 = min(meta.mbr, meta.mbr2);";
+    case Opcode::kSwapMbrMbr2:
+      return "        bit<32> t = meta.mbr; meta.mbr = meta.mbr2;\n"
+             "        meta.mbr2 = t;";
+    case Opcode::kMbrNot:
+      return "        meta.mbr = ~meta.mbr;";
+    case Opcode::kReturn:
+      return "        meta.complete = 1;";
+    case Opcode::kCret:
+      return "        if (meta.mbr != 0) { meta.complete = 1; }";
+    case Opcode::kCreti:
+      return "        if (meta.mbr == 0) { meta.complete = 1; }";
+    case Opcode::kCjump:
+      return "        if (meta.mbr != 0) { meta.disabled = 1;\n"
+             "          meta.pending_label = insn_label(); }";
+    case Opcode::kCjumpi:
+      return "        if (meta.mbr == 0) { meta.disabled = 1;\n"
+             "          meta.pending_label = insn_label(); }";
+    case Opcode::kUjump:
+      return "        meta.disabled = 1;\n"
+             "        meta.pending_label = insn_label();";
+    case Opcode::kMemWrite:
+      return "        pool_write.execute(meta.mar);\n"
+             "        meta.mar = meta.mar + entry_advance();";
+    case Opcode::kMemRead:
+      return "        meta.mbr = pool_read.execute(meta.mar);\n"
+             "        meta.mar = meta.mar + entry_advance();";
+    case Opcode::kMemIncrement:
+      return "        meta.mbr = pool_increment.execute(meta.mar);\n"
+             "        meta.mar = meta.mar + entry_advance();";
+    case Opcode::kMemMinread:
+      return "        meta.mbr = pool_minread.execute(meta.mar);\n"
+             "        meta.mar = meta.mar + entry_advance();";
+    case Opcode::kMemMinreadinc:
+      return "        meta.mbr = pool_increment.execute(meta.mar);\n"
+             "        meta.mbr2 = min(meta.mbr, meta.mbr2);\n"
+             "        meta.mar = meta.mar + entry_advance();";
+    case Opcode::kDrop:
+      return "        drop();";
+    case Opcode::kFork:
+      return "        clone_and_recirculate();";
+    case Opcode::kSetDst:
+      return "        ig_tm_md.ucast_egress_port = (PortId_t)meta.mbr;";
+    case Opcode::kRts:
+      return "        return_to_sender();";
+    case Opcode::kCrts:
+      return "        if (meta.mbr != 0) { return_to_sender(); }";
+    case Opcode::kHash:
+      return "        meta.mar = hash_engine(insn_operand(), meta.hashdata);";
+    case Opcode::kAddrMask:
+      return "        meta.mar = meta.mar & entry_mask();";
+    case Opcode::kAddrOffset:
+      return "        meta.mar = meta.mar + entry_offset();";
+    case Opcode::kEof:
+      return "        // end of program";
+  }
+  return "        // unreachable";
+}
+
+// Every defined opcode, in table order.
+std::vector<const active::OpcodeInfo*> all_opcodes() {
+  std::vector<const active::OpcodeInfo*> out;
+  for (u32 raw = 0; raw < 256; ++raw) {
+    const auto* info = active::opcode_info(static_cast<u8>(raw));
+    if (info != nullptr) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string generate_headers(const GeneratorOptions& options) {
+  std::ostringstream os;
+  os << "// ---- active packet headers (Section 3.3) ----\n"
+     << "header ethernet_h { bit<48> dst; bit<48> src; bit<16> etype; }\n"
+     << "header active_initial_h {\n"
+     << "    bit<16> fid;        // program instance id\n"
+     << "    bit<8>  type;       // program / alloc request / response / ...\n"
+     << "    bit<8>  flags;      // preload, management, privileged, ...\n"
+     << "    bit<32> seq;\n"
+     << "    bit<16> reserved;   // 10 bytes total\n"
+     << "}\n"
+     << "header active_args_h {\n"
+     << "    bit<32> arg0; bit<32> arg1; bit<32> arg2; bit<32> arg3;\n"
+     << "}\n"
+     << "header active_insn_h {\n"
+     << "    bit<8> opcode;\n"
+     << "    bit<8> flags;       // bit7 done, bits3..6 label, bits0..2 operand\n"
+     << "}\n"
+     << "struct active_metadata_t {\n"
+     << "    bit<32> mar; bit<32> mbr; bit<32> mbr2;\n"
+     << "    bit<32> hashdata; bit<32> flow_id;\n"
+     << "    bit<1>  complete; bit<1> disabled; bit<4> pending_label;\n"
+     << "}\n";
+  os << "// parser extracts up to " << options.parsed_instructions
+     << " instruction headers per pass\n";
+  return os.str();
+}
+
+std::string generate_parser(const GeneratorOptions& options) {
+  std::ostringstream os;
+  os << "parser ActiveParser(packet_in pkt, out headers_t hdr,\n"
+     << "                    out active_metadata_t meta) {\n"
+     << "    state start {\n"
+     << "        pkt.extract(hdr.ethernet);\n"
+     << "        transition select(hdr.ethernet.etype) {\n"
+     << "            0x83b2: parse_active;\n"
+     << "            default: accept;\n"
+     << "        }\n"
+     << "    }\n"
+     << "    state parse_active {\n"
+     << "        pkt.extract(hdr.initial);\n"
+     << "        transition select(hdr.initial.type) {\n"
+     << "            0: parse_args;       // program\n"
+     << "            1: parse_request;    // allocation request\n"
+     << "            default: accept;     // control-only capsules\n"
+     << "        }\n"
+     << "    }\n"
+     << "    state parse_args {\n"
+     << "        pkt.extract(hdr.args);\n"
+     << "        transition parse_insn_0;\n"
+     << "    }\n"
+     << "    state parse_request {\n"
+     << "        pkt.extract(hdr.request);  // eight 3-byte access slots\n"
+     << "        transition accept;\n"
+     << "    }\n";
+  for (u32 i = 0; i < options.parsed_instructions; ++i) {
+    os << "    state parse_insn_" << i << " {\n"
+       << "        pkt.extract(hdr.insn[" << i << "]);\n"
+       << "        transition select(hdr.insn[" << i << "].opcode) {\n"
+       << "            0x00: accept;  // EOF\n";
+    if (i + 1 < options.parsed_instructions) {
+      os << "            default: parse_insn_" << i + 1 << ";\n";
+    } else {
+      os << "            default: accept;  // longer programs recirculate\n";
+    }
+    os << "        }\n    }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string generate_stage(const GeneratorOptions& options, u32 stage) {
+  if (stage >= options.pipeline.logical_stages) {
+    throw UsageError("generate_stage: stage out of range");
+  }
+  std::ostringstream os;
+  os << "// ======== logical stage " << stage << " ========\n"
+     << "Register<bit<32>, bit<32>>(" << options.pipeline.words_per_stage
+     << ") pool_" << stage << ";  // the stage's dynamic memory pool\n"
+     << "RegisterAction<bit<32>, bit<32>, bit<32>>(pool_" << stage
+     << ") pool_read_" << stage << " = {\n"
+     << "    void apply(inout bit<32> value, out bit<32> rv) { rv = value; }\n"
+     << "};\n"
+     << "RegisterAction<bit<32>, bit<32>, bit<32>>(pool_" << stage
+     << ") pool_write_" << stage << " = {\n"
+     << "    void apply(inout bit<32> value) { value = meta.mbr; }\n"
+     << "};\n"
+     << "RegisterAction<bit<32>, bit<32>, bit<32>>(pool_" << stage
+     << ") pool_increment_" << stage << " = {\n"
+     << "    void apply(inout bit<32> value, out bit<32> rv) {\n"
+     << "        value = value + meta.inc; rv = value;\n"
+     << "    }\n"
+     << "};\n"
+     << "RegisterAction<bit<32>, bit<32>, bit<32>>(pool_" << stage
+     << ") pool_minread_" << stage << " = {\n"
+     << "    void apply(inout bit<32> value, out bit<32> rv) {\n"
+     << "        rv = min(value, meta.mbr);\n"
+     << "    }\n"
+     << "};\n"
+     << "table instruction_" << stage << " {\n"
+     << "    key = {\n"
+     << "        hdr.initial.fid      : exact;   // SRAM\n"
+     << "        hdr.insn[" << stage % options.parsed_instructions
+     << "].opcode : exact;   // SRAM\n"
+     << "        meta.mar             : range;   // TCAM: memory protection\n"
+     << "        meta.disabled        : exact;\n"
+     << "        meta.complete        : exact;\n"
+     << "    }\n"
+     << "    actions = { /* one action per opcode; see dispatch control */ }\n"
+     << "    size = " << options.pipeline.tcam_entries_per_stage << ";\n"
+     << "    // entry action data: mask, offset (= region start), advance\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string generate_controls(const GeneratorOptions& options) {
+  std::ostringstream os;
+  os << "control ExecuteInstruction(inout headers_t hdr,\n"
+     << "                           inout active_metadata_t meta) {\n"
+     << "    // ---- one action per opcode; selected by the stage table ----\n";
+  for (const auto* info : all_opcodes()) {
+    os << "    action " << action_name(*info) << "() {\n"
+       << action_body(info->op) << "\n"
+       << "    }\n";
+  }
+  os << "}\n\n"
+     << "control ActiveIngress(inout headers_t hdr,\n"
+     << "                      inout active_metadata_t meta) {\n"
+     << "    apply {\n"
+     << "        if (hdr.initial.isValid() && hdr.initial.type == 0) {\n";
+  for (u32 stage = 0; stage < options.pipeline.ingress_stages; ++stage) {
+    os << "            instruction_" << stage << ".apply();\n";
+  }
+  os << "        }\n    }\n}\n\n"
+     << "control ActiveEgress(inout headers_t hdr,\n"
+     << "                     inout active_metadata_t meta) {\n"
+     << "    apply {\n"
+     << "        if (hdr.initial.isValid() && hdr.initial.type == 0) {\n";
+  for (u32 stage = options.pipeline.ingress_stages;
+       stage < options.pipeline.logical_stages; ++stage) {
+    os << "            instruction_" << stage << ".apply();\n";
+  }
+  os << "        }\n"
+     << "        // programs longer than "
+     << options.pipeline.logical_stages
+     << " logical stages recirculate here\n"
+     << "    }\n}\n";
+  return os.str();
+}
+
+std::string generate_runtime(const GeneratorOptions& options) {
+  options.pipeline.validate();
+  std::ostringstream os;
+  os << "// " << options.program_name << ".p4 -- generated ActiveRMT shared\n"
+     << "// runtime (TNA-style skeleton; see docs/ARCHITECTURE.md).\n"
+     << "// geometry: " << options.pipeline.logical_stages
+     << " logical stages (" << options.pipeline.ingress_stages
+     << " ingress), " << options.pipeline.words_per_stage
+     << " words/stage, blocks of " << options.pipeline.block_words
+     << " words.\n\n"
+     << "#include <core.p4>\n#include <tna.p4>\n\n";
+  os << generate_headers(options) << "\n";
+  os << generate_parser(options) << "\n";
+  for (u32 stage = 0; stage < options.pipeline.logical_stages; ++stage) {
+    os << generate_stage(options, stage) << "\n";
+  }
+  os << generate_controls(options);
+  return os.str();
+}
+
+std::string describe_entries(u32 fid, u32 stage, u32 start_word,
+                             u32 limit_word, i32 advance) {
+  std::ostringstream os;
+  Word mask = 0;
+  if (limit_word > start_word) {
+    while (((mask << 1) | 1) < limit_word - start_word) mask = (mask << 1) | 1;
+  }
+  os << "# bfrt entries for fid=" << fid << " stage=" << stage << "\n";
+  for (const auto* info : all_opcodes()) {
+    if (!info->memory_access) continue;
+    os << "instruction_" << stage << ".add_with_" << action_name(*info)
+       << "(fid=" << fid << ", opcode=0x" << std::hex
+       << static_cast<u32>(static_cast<u8>(info->op)) << std::dec
+       << ", mar_range=[" << start_word << ", " << limit_word - 1
+       << "], mask=0x" << std::hex << mask << std::dec
+       << ", offset=" << start_word << ", advance=" << advance << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace artmt::p4gen

@@ -1,0 +1,44 @@
+// P4 source generation for the shared switch runtime. The paper's
+// prototype is ~10K lines of P4 targeting the Tofino (Section 5); this
+// generator emits the equivalent TNA-style program from the same tables
+// that drive the C++ model -- the active-header parser, the three PHV
+// variables, one instruction table + register extern + stateful actions
+// per logical stage, and the memory-protection/translation entry layout
+// the controller populates at allocation time.
+//
+// The output is a faithful architectural skeleton: it compiles the
+// paper's design into concrete P4 constructs so the mapping from model
+// to hardware is explicit and reviewable. (We do not ship a bf-p4c
+// toolchain, so it is validated structurally, not by compilation.)
+#pragma once
+
+#include <string>
+
+#include "rmt/config.hpp"
+
+namespace artmt::p4gen {
+
+struct GeneratorOptions {
+  rmt::PipelineConfig pipeline;
+  // Maximum instruction headers the parser extracts per pass.
+  u32 parsed_instructions = 20;
+  std::string program_name = "activermt_runtime";
+};
+
+// Emits the full P4_16 program text.
+std::string generate_runtime(const GeneratorOptions& options = {});
+
+// Emitted sub-sections (exposed for tests and tooling).
+std::string generate_headers(const GeneratorOptions& options);
+std::string generate_parser(const GeneratorOptions& options);
+std::string generate_stage(const GeneratorOptions& options, u32 stage);
+std::string generate_controls(const GeneratorOptions& options);
+
+// The control-plane table-entry recipe for one admitted allocation:
+// what the Controller's install_with_advance() does, expressed as the
+// bfrt entries a real deployment would program. Useful for docs and for
+// eyeballing the protection model.
+std::string describe_entries(u32 fid, u32 stage, u32 start_word,
+                             u32 limit_word, i32 advance);
+
+}  // namespace artmt::p4gen

@@ -1,0 +1,34 @@
+#include "packet/ethernet.hpp"
+
+namespace artmt::packet {
+
+namespace {
+
+void put_mac(ByteWriter& out, MacAddr mac) {
+  out.put_u16(static_cast<u16>(mac >> 32));
+  out.put_u32(static_cast<u32>(mac));
+}
+
+MacAddr get_mac(ByteReader& in) {
+  const u64 high = in.get_u16();
+  const u64 low = in.get_u32();
+  return (high << 32) | low;
+}
+
+}  // namespace
+
+void EthernetHeader::serialize(ByteWriter& out) const {
+  put_mac(out, dst);
+  put_mac(out, src);
+  out.put_u16(ethertype);
+}
+
+EthernetHeader EthernetHeader::parse(ByteReader& in) {
+  EthernetHeader header;
+  header.dst = get_mac(in);
+  header.src = get_mac(in);
+  header.ethertype = in.get_u16();
+  return header;
+}
+
+}  // namespace artmt::packet

@@ -1,0 +1,32 @@
+// Minimal layer-2 framing. Active packets are identified by a dedicated
+// EtherType immediately after the standard Ethernet header (the paper uses a
+// special VLAN tag; a reserved EtherType is the same mechanism one header
+// shorter and keeps interaction with ordinary traffic trivial).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace artmt::packet {
+
+// 48-bit MAC addresses held in the low bits of a u64.
+using MacAddr = u64;
+
+inline constexpr u16 kEtherTypeActive = 0x83b2;  // ActiveRMT capsules
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;    // passive traffic
+
+struct EthernetHeader {
+  MacAddr dst = 0;
+  MacAddr src = 0;
+  u16 ethertype = kEtherTypeIpv4;
+
+  static constexpr std::size_t kWireSize = 14;
+
+  void serialize(ByteWriter& out) const;
+  static EthernetHeader parse(ByteReader& in);
+
+  friend bool operator==(const EthernetHeader&, const EthernetHeader&) =
+      default;
+};
+
+}  // namespace artmt::packet

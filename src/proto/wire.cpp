@@ -1,0 +1,98 @@
+#include "proto/wire.hpp"
+
+#include "common/error.hpp"
+
+namespace artmt::proto {
+
+using packet::ActivePacket;
+using packet::ActiveType;
+
+packet::ActivePacket encode_request(const alloc::AllocationRequest& request,
+                                    u32 seq) {
+  if (request.accesses.size() > packet::kMaxAccessSlots) {
+    throw UsageError("encode_request: more than 8 memory accesses");
+  }
+  ActivePacket pkt;
+  pkt.initial.type = ActiveType::kAllocRequest;
+  pkt.initial.seq = seq;
+  packet::ArgumentHeader args;
+  args.args[0] = request.program_length;
+  args.args[1] = request.rts_position ? *request.rts_position + 1 : 0;
+  args.args[2] = request.elastic ? 1 : 0;
+  args.args[3] = request.elastic_cap_blocks;
+  pkt.arguments = args;
+  packet::AllocRequestHeader header;
+  for (std::size_t i = 0; i < request.accesses.size(); ++i) {
+    auto& slot = header.slots[i];
+    // Positions are 1-based on the wire so 0 can mean "unused".
+    slot.position = static_cast<u8>(request.accesses[i].position + 1);
+    slot.demand_blocks =
+        static_cast<u8>(request.accesses[i].demand_blocks);
+    slot.flags = request.elastic ? 0x01 : 0x00;
+    // Same-stage alias in bits 4..6 (value = alias index + 1; 0 = none).
+    if (request.accesses[i].alias >= 0) {
+      slot.flags |=
+          static_cast<u8>((request.accesses[i].alias + 1) << 4);
+    }
+  }
+  pkt.request = header;
+  return pkt;
+}
+
+alloc::AllocationRequest decode_request(const packet::ActivePacket& pkt) {
+  if (pkt.initial.type != ActiveType::kAllocRequest || !pkt.request ||
+      !pkt.arguments) {
+    throw ParseError("decode_request: not an allocation request");
+  }
+  alloc::AllocationRequest request;
+  request.program_length = pkt.arguments->args[0];
+  if (pkt.arguments->args[1] != 0) {
+    request.rts_position = pkt.arguments->args[1] - 1;
+  }
+  request.elastic = (pkt.arguments->args[2] & 1) != 0;
+  request.elastic_cap_blocks = pkt.arguments->args[3];
+  for (const auto& slot : pkt.request->slots) {
+    if (!slot.valid()) continue;
+    alloc::AccessDemand demand;
+    demand.position = static_cast<u32>(slot.position - 1);
+    demand.demand_blocks = slot.demand_blocks;
+    demand.alias = static_cast<i32>((slot.flags >> 4) & 0x07) - 1;
+    request.accesses.push_back(demand);
+  }
+  return request;
+}
+
+packet::ActivePacket encode_response(Fid fid,
+                                     const packet::AllocResponseHeader& regions,
+                                     const alloc::Mutant& mutant, u32 seq) {
+  ActivePacket pkt;
+  pkt.initial.fid = fid;
+  pkt.initial.type = ActiveType::kAllocResponse;
+  pkt.initial.seq = seq;
+  pkt.response = regions;
+  ByteWriter payload;
+  payload.put_u8(static_cast<u8>(mutant.size()));
+  for (u32 stage : mutant) payload.put_u16(static_cast<u16>(stage));
+  pkt.payload = payload.take();
+  return pkt;
+}
+
+packet::ActivePacket encode_denial(u32 seq) {
+  ActivePacket pkt;
+  pkt.initial.type = ActiveType::kAllocResponse;
+  pkt.initial.flags |= packet::kFlagAllocFailed;
+  pkt.initial.seq = seq;
+  pkt.response = packet::AllocResponseHeader{};
+  return pkt;
+}
+
+alloc::Mutant decode_mutant(const packet::ActivePacket& response) {
+  ByteReader in(response.payload);
+  const u8 count = in.get_u8();
+  alloc::Mutant mutant;
+  mutant.reserve(count);
+  for (u8 i = 0; i < count; ++i) mutant.push_back(in.get_u16());
+  return mutant;
+}
+
+}  // namespace artmt::proto

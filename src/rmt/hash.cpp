@@ -1,0 +1,57 @@
+#include "rmt/hash.hpp"
+
+#include <array>
+#include <vector>
+
+namespace artmt::rmt {
+
+namespace {
+
+std::array<u32, 256> make_crc32c_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<u32, 256>& crc32c_table() {
+  static const std::array<u32, 256> table = make_crc32c_table();
+  return table;
+}
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data) {
+  const auto& table = crc32c_table();
+  u32 crc = 0xffffffffu;
+  for (u8 byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+u32 hash_words(std::span<const Word> words, u32 engine) {
+  std::vector<u8> bytes;
+  bytes.reserve(words.size() * 4 + 4);
+  // Engine selection is modeled as a distinct seed word; real hardware
+  // uses differently configured CRC units.
+  const Word seed = 0x9e3779b9u * (engine + 1);
+  bytes.push_back(static_cast<u8>(seed >> 24));
+  bytes.push_back(static_cast<u8>(seed >> 16));
+  bytes.push_back(static_cast<u8>(seed >> 8));
+  bytes.push_back(static_cast<u8>(seed));
+  for (Word w : words) {
+    bytes.push_back(static_cast<u8>(w >> 24));
+    bytes.push_back(static_cast<u8>(w >> 16));
+    bytes.push_back(static_cast<u8>(w >> 8));
+    bytes.push_back(static_cast<u8>(w));
+  }
+  return crc32c(bytes);
+}
+
+}  // namespace artmt::rmt

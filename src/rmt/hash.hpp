@@ -1,0 +1,21 @@
+// Hash units available to the HASH instruction. The Tofino provides CRC
+// engines (not cryptographically secure, as Section 7.2 notes); we model
+// one CRC32C unit over the PHV hash-metadata words.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace artmt::rmt {
+
+// CRC32C (Castagnoli) over a byte span.
+u32 crc32c(std::span<const u8> data);
+
+// Hash of a sequence of 32-bit hash-metadata words (big-endian byte order,
+// matching what the parser would feed the hardware hash engine). `engine`
+// selects among independent hash configurations (a Tofino exposes several
+// CRC engines); different engines give uncorrelated outputs.
+u32 hash_words(std::span<const Word> words, u32 engine = 0);
+
+}  // namespace artmt::rmt

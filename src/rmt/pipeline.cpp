@@ -1,0 +1,38 @@
+#include "rmt/pipeline.hpp"
+
+namespace artmt::rmt {
+
+Pipeline::Pipeline(const PipelineConfig& config) : config_(config) {
+  config_.validate();
+  stages_.reserve(config_.logical_stages);
+  for (u32 i = 0; i < config_.logical_stages; ++i) {
+    stages_.emplace_back(config_.words_per_stage,
+                         config_.tcam_entries_per_stage);
+  }
+}
+
+Stage& Pipeline::stage(u32 index) {
+  if (index >= stages_.size()) {
+    throw UsageError("Pipeline::stage: index out of range");
+  }
+  return stages_[index];
+}
+
+const Stage& Pipeline::stage(u32 index) const {
+  if (index >= stages_.size()) {
+    throw UsageError("Pipeline::stage: index out of range");
+  }
+  return stages_[index];
+}
+
+u64 Pipeline::total_words() const {
+  return static_cast<u64>(config_.words_per_stage) * stages_.size();
+}
+
+u32 Pipeline::total_tcam_used() const {
+  u32 sum = 0;
+  for (const auto& stage : stages_) sum += stage.tcam_used();
+  return sum;
+}
+
+}  // namespace artmt::rmt

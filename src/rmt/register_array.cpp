@@ -1,0 +1,61 @@
+#include "rmt/register_array.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artmt::rmt {
+
+RegisterArray::RegisterArray(u32 size) : cells_(size, 0) {}
+
+void RegisterArray::check(u32 index) const {
+  if (index >= cells_.size()) {
+    throw UsageError("RegisterArray: index " + std::to_string(index) +
+                     " out of range (size " + std::to_string(cells_.size()) +
+                     ")");
+  }
+}
+
+Word RegisterArray::read(u32 index) const {
+  check(index);
+  return cells_[index];
+}
+
+void RegisterArray::write(u32 index, Word value) {
+  check(index);
+  cells_[index] = value;
+}
+
+Word RegisterArray::increment(u32 index, Word inc) {
+  check(index);
+  cells_[index] += inc;  // u32 wrap-around, as on hardware
+  return cells_[index];
+}
+
+Word RegisterArray::min_read(u32 index, Word operand) const {
+  check(index);
+  return std::min(cells_[index], operand);
+}
+
+std::vector<Word> RegisterArray::dump(u32 start, u32 count) const {
+  if (start > cells_.size() || count > cells_.size() - start) {
+    throw UsageError("RegisterArray::dump: range out of bounds");
+  }
+  return {cells_.begin() + start, cells_.begin() + start + count};
+}
+
+void RegisterArray::load(u32 start, std::span<const Word> values) {
+  if (start > cells_.size() || values.size() > cells_.size() - start) {
+    throw UsageError("RegisterArray::load: range out of bounds");
+  }
+  std::copy(values.begin(), values.end(), cells_.begin() + start);
+}
+
+void RegisterArray::fill(u32 start, u32 count, Word value) {
+  if (start > cells_.size() || count > cells_.size() - start) {
+    throw UsageError("RegisterArray::fill: range out of bounds");
+  }
+  std::fill(cells_.begin() + start, cells_.begin() + start + count, value);
+}
+
+}  // namespace artmt::rmt

@@ -1,0 +1,41 @@
+#include "rmt/stage.hpp"
+
+#include "common/error.hpp"
+
+namespace artmt::rmt {
+
+Word translation_mask(u32 start_word, u32 limit_word) {
+  if (limit_word <= start_word) return 0;
+  const u32 size = limit_word - start_word;
+  Word mask = 0;
+  while (((mask << 1) | 1) < size) mask = (mask << 1) | 1;
+  return mask;
+}
+
+Stage::Stage(u32 words, u32 tcam_capacity)
+    : memory_(words), tcam_capacity_(tcam_capacity) {}
+
+bool Stage::install(Fid fid, u32 start_word, u32 limit_word, i32 advance) {
+  if (limit_word < start_word || limit_word > memory_.size()) {
+    throw UsageError("Stage::install: region out of bounds");
+  }
+  const bool replacing = entries_.contains(fid);
+  if (!replacing && entries_.size() >= tcam_capacity_) return false;
+  FidEntry entry;
+  entry.start_word = start_word;
+  entry.limit_word = limit_word;
+  entry.mask = translation_mask(start_word, limit_word);
+  entry.offset = start_word;
+  entry.advance = advance;
+  entries_[fid] = entry;
+  return true;
+}
+
+void Stage::remove(Fid fid) { entries_.erase(fid); }
+
+const FidEntry* Stage::lookup(Fid fid) const {
+  const auto it = entries_.find(fid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace artmt::rmt

@@ -1,0 +1,457 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "rmt/hash.hpp"
+
+namespace artmt::runtime {
+
+using active::Instruction;
+using active::Opcode;
+using packet::ActivePacket;
+
+namespace {
+
+// Removes instructions whose `done` flag is set (the parser-side shrink
+// optimization of Section 3.1).
+void shrink(active::Program& program) {
+  auto& code = program.code();
+  code.erase(std::remove_if(code.begin(), code.end(),
+                            [](const Instruction& i) { return i.done; }),
+             code.end());
+}
+
+}  // namespace
+
+const rmt::FidEntry* ActiveRuntime::next_access_entry(const ActivePacket& pkt,
+                                                      u32 pc,
+                                                      u32 logical_stage) const {
+  (void)logical_stage;
+  const auto& code = pkt.program->code();
+  const u32 stages = pipeline_->config().logical_stages;
+  // Instruction i executes at logical stage i mod n, so the upcoming
+  // access's stage follows directly from its index.
+  for (u32 i = pc + 1; i < code.size(); ++i) {
+    const active::OpcodeInfo* info = active::opcode_info(code[i].op);
+    if (info != nullptr && info->memory_access) {
+      return pipeline_->stage(i % stages).lookup(pkt.initial.fid);
+    }
+  }
+  return nullptr;
+}
+
+bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
+                                        Instruction& insn, u32 logical_stage,
+                                        const PacketMeta& meta) {
+  auto& args = pkt.arguments->args;
+  const Fid fid = pkt.initial.fid;
+  rmt::Stage& stage = pipeline_->stage(logical_stage);
+
+  // Memory instructions: protection check first (range match on MAR).
+  const active::OpcodeInfo* info = active::opcode_info(insn.op);
+  const rmt::FidEntry* entry = nullptr;
+  if (info->memory_access) {
+    entry = stage.lookup(fid);
+    if (entry == nullptr) {
+      fault_ = Fault::kNoAllocation;
+      phv.drop = true;
+      return false;
+    }
+    if (!entry->covers(phv.mar)) {
+      fault_ = Fault::kProtectionViolation;
+      phv.drop = true;
+      return false;
+    }
+  }
+
+  switch (insn.op) {
+    case Opcode::kNop:
+      break;
+    // --- data copying ---
+    case Opcode::kMbrLoad:
+      phv.mbr = args[insn.operand];
+      break;
+    case Opcode::kMbrStore:
+      args[insn.operand] = phv.mbr;
+      break;
+    case Opcode::kMbr2Load:
+      phv.mbr2 = args[insn.operand];
+      break;
+    case Opcode::kMarLoad:
+      phv.mar = args[insn.operand];
+      break;
+    case Opcode::kCopyMbr2Mbr:
+      phv.mbr2 = phv.mbr;
+      break;
+    case Opcode::kCopyMbrMbr2:
+      phv.mbr = phv.mbr2;
+      break;
+    case Opcode::kCopyMbrMar:
+      phv.mbr = phv.mar;
+      break;
+    case Opcode::kCopyMarMbr:
+      phv.mar = phv.mbr;
+      break;
+    case Opcode::kCopyHashdataMbr:
+      phv.hashdata[insn.operand % active::kHashdataWords] = phv.mbr;
+      break;
+    case Opcode::kCopyHashdataMbr2:
+      phv.hashdata[insn.operand % active::kHashdataWords] = phv.mbr2;
+      break;
+    case Opcode::kCopyHashdata5Tuple:
+      phv.hashdata = meta.five_tuple;
+      break;
+    // --- data manipulation ---
+    case Opcode::kMbrAddMbr2:
+      phv.mbr += phv.mbr2;
+      break;
+    case Opcode::kMarAddMbr:
+      phv.mar += phv.mbr;
+      break;
+    case Opcode::kMarAddMbr2:
+      phv.mar += phv.mbr2;
+      break;
+    case Opcode::kMarMbrAddMbr2:
+      phv.mar = phv.mbr + phv.mbr2;
+      break;
+    case Opcode::kMbrSubtractMbr2:
+      phv.mbr -= phv.mbr2;
+      break;
+    case Opcode::kBitAndMarMbr:
+      phv.mar &= phv.mbr;
+      break;
+    case Opcode::kBitOrMbrMbr2:
+      phv.mbr |= phv.mbr2;
+      break;
+    case Opcode::kMbrEqualsMbr2:
+      phv.mbr ^= phv.mbr2;
+      break;
+    case Opcode::kMbrEqualsData:
+      phv.mbr ^= args[insn.operand];
+      break;
+    case Opcode::kMax:
+      phv.mbr = std::max(phv.mbr, phv.mbr2);
+      break;
+    case Opcode::kMin:
+      phv.mbr = std::min(phv.mbr, phv.mbr2);
+      break;
+    case Opcode::kRevMin:
+      phv.mbr2 = std::min(phv.mbr, phv.mbr2);
+      break;
+    case Opcode::kSwapMbrMbr2:
+      std::swap(phv.mbr, phv.mbr2);
+      break;
+    case Opcode::kMbrNot:
+      phv.mbr = ~phv.mbr;
+      break;
+    // --- control flow ---
+    case Opcode::kReturn:
+      phv.complete = true;
+      break;
+    case Opcode::kCret:
+      if (phv.mbr != 0) phv.complete = true;
+      break;
+    case Opcode::kCreti:
+      if (phv.mbr == 0) phv.complete = true;
+      break;
+    case Opcode::kCjump:
+      if (phv.mbr != 0) {
+        phv.disabled = true;
+        phv.pending_label = insn.label;
+      }
+      break;
+    case Opcode::kCjumpi:
+      if (phv.mbr == 0) {
+        phv.disabled = true;
+        phv.pending_label = insn.label;
+      }
+      break;
+    case Opcode::kUjump:
+      phv.disabled = true;
+      phv.pending_label = insn.label;
+      break;
+    // --- memory access (entry checked above) ---
+    case Opcode::kMemWrite:
+      stage.memory().write(phv.mar, phv.mbr);
+      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
+      break;
+    case Opcode::kMemRead:
+      phv.mbr = stage.memory().read(phv.mar);
+      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
+      break;
+    case Opcode::kMemIncrement:
+      phv.mbr = stage.memory().increment(phv.mar, phv.inc);
+      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
+      break;
+    case Opcode::kMemMinread:
+      phv.mbr = stage.memory().min_read(phv.mar, phv.mbr);
+      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
+      break;
+    case Opcode::kMemMinreadinc: {
+      const Word count = stage.memory().increment(phv.mar, phv.inc);
+      phv.mbr = count;
+      phv.mbr2 = std::min(count, phv.mbr2);
+      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
+      break;
+    }
+    // ADDR_MASK / ADDR_OFFSET are resolved in execute(), which knows the
+    // program counter needed to find the next access's stage.
+    case Opcode::kAddrMask:
+    case Opcode::kAddrOffset:
+      break;
+    case Opcode::kHash:
+      phv.mar = rmt::hash_words(phv.hashdata, insn.operand);
+      break;
+    // --- packet forwarding ---
+    // FORK, SET_DST, and DROP can affect other tenants' traffic; under
+    // privilege enforcement (Section 7.2) they require a trusted shim's
+    // flag.
+    case Opcode::kDrop:
+      if (enforce_privilege_ &&
+          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+        fault_ = Fault::kPrivilege;
+        phv.drop = true;
+        return false;
+      }
+      fault_ = Fault::kExplicitDrop;
+      phv.drop = true;
+      return false;
+    case Opcode::kFork:
+      if (enforce_privilege_ &&
+          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+        fault_ = Fault::kPrivilege;
+        phv.drop = true;
+        return false;
+      }
+      phv.fork = true;
+      break;
+    case Opcode::kSetDst:
+      if (enforce_privilege_ &&
+          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+        fault_ = Fault::kPrivilege;
+        phv.drop = true;
+        return false;
+      }
+      phv.dst_overridden = true;
+      phv.dst_value = phv.mbr;
+      break;
+    case Opcode::kRts:
+      phv.rts = true;
+      phv.rts_stage = logical_stage;
+      break;
+    case Opcode::kCrts:
+      if (phv.mbr != 0) {
+        phv.rts = true;
+        phv.rts_stage = logical_stage;
+      }
+      break;
+    case Opcode::kEof:
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+void ActiveRuntime::set_recirc_budget(Fid fid, const RecircBudget& budget) {
+  BucketState state;
+  state.budget = budget;
+  state.tokens = budget.burst;
+  recirc_buckets_[fid] = state;
+}
+
+void ActiveRuntime::clear_recirc_budget(Fid fid) {
+  recirc_buckets_.erase(fid);
+}
+
+bool ActiveRuntime::charge_recirculation(Fid fid, u32 extra_passes,
+                                         SimTime now) {
+  const auto it = recirc_buckets_.find(fid);
+  if (it == recirc_buckets_.end() ||
+      it->second.budget.tokens_per_second <= 0.0) {
+    return true;  // unlimited
+  }
+  BucketState& state = it->second;
+  if (now > state.last_refill) {
+    const double elapsed_s =
+        static_cast<double>(now - state.last_refill) / kSecond;
+    state.tokens = std::min(state.budget.burst,
+                            state.tokens +
+                                elapsed_s * state.budget.tokens_per_second);
+    state.last_refill = now;
+  }
+  if (state.tokens < static_cast<double>(extra_passes)) return false;
+  state.tokens -= static_cast<double>(extra_passes);
+  return true;
+}
+
+ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
+                                       const PacketMeta& meta, SimTime now) {
+  const auto& cfg = pipeline_->config();
+  ExecutionResult res;
+  ++stats_.packets;
+  res.latency = cfg.pass_latency;
+
+  if (pkt.initial.type != packet::ActiveType::kProgram || !pkt.program ||
+      !pkt.arguments) {
+    return res;  // control packets and passive traffic just forward
+  }
+  if (is_deactivated(pkt.initial.fid) &&
+      (pkt.initial.flags & packet::kFlagManagement) == 0) {
+    res.fault = Fault::kDeactivated;
+    ++stats_.forwarded_unprocessed;
+    return res;
+  }
+
+  Phv phv;
+  if (pkt.program->preload_mar) phv.mar = pkt.arguments->args[0];
+  if (pkt.program->preload_mbr) phv.mbr = pkt.arguments->args[1];
+
+  auto& code = pkt.program->code();
+  fault_ = Fault::kNone;
+  res.executed = true;
+
+  const u32 stages = cfg.logical_stages;
+  const auto emit_trace = [&](u32 index, active::Opcode op, bool skipped,
+                              const Phv& state) {
+    if (!trace_) return;
+    TraceEvent event;
+    event.index = index;
+    event.logical_stage = index % stages;
+    event.pass = index / stages;
+    event.op = op;
+    event.skipped = skipped;
+    event.phv = state;
+    trace_(event);
+  };
+  u32 pc = 0;
+  for (; pc < code.size(); ++pc) {
+    if (phv.complete) break;
+    const u32 pass_index = pc / stages;
+    if (pass_index >= cfg.max_recirculations + 1) {
+      fault_ = Fault::kRecircLimit;
+      phv.drop = true;
+      break;
+    }
+    const u32 logical_stage = pc % stages;
+    Instruction& insn = code[pc];
+
+    if (phv.disabled) {
+      // Skipped instructions still consume their stage; execution resumes
+      // at the pending label.
+      if (insn.label != 0 && insn.label == phv.pending_label) {
+        phv.disabled = false;
+        phv.pending_label = 0;
+      } else {
+        insn.done = true;
+        ++res.stages_consumed;
+        emit_trace(pc, insn.op, /*skipped=*/true, phv);
+        continue;
+      }
+    }
+
+    // Resolve ADDR_MASK / ADDR_OFFSET here, where pc and stage are known:
+    // they translate MAR for the stage of the NEXT memory access.
+    if (insn.op == Opcode::kAddrMask || insn.op == Opcode::kAddrOffset) {
+      const rmt::FidEntry* target = next_access_entry(pkt, pc, logical_stage);
+      if (target == nullptr) {
+        fault_ = Fault::kNoAllocation;
+        phv.drop = true;
+        insn.done = true;
+        break;
+      }
+      if (insn.op == Opcode::kAddrMask) {
+        phv.mar &= target->mask;
+      } else {
+        phv.mar += target->offset;
+      }
+      insn.done = true;
+      ++res.stages_consumed;
+      ++res.instructions_executed;
+      emit_trace(pc, insn.op, /*skipped=*/false, phv);
+      continue;
+    }
+
+    const bool ok = execute_instruction(pkt, phv, insn, logical_stage, meta);
+    insn.done = true;
+    ++res.stages_consumed;
+    ++res.instructions_executed;
+    emit_trace(pc, insn.op, /*skipped=*/false, phv);
+    if (!ok) break;
+  }
+
+  const u32 consumed = std::max<u32>(1, static_cast<u32>(pc));
+  res.passes = (consumed - 1) / stages + 1;
+
+  // RTS from an egress stage cannot change ports on this pass; it costs one
+  // extra recirculation (Section 3.1). FORK likewise recirculates.
+  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) ++res.passes;
+  if (phv.fork) ++res.passes;
+
+  // Latency: ~pass_latency per 10-stage pipeline engaged (Fig. 8b measures
+  // +0.5 us from 10 to 20 to 30 instructions); a port-change or FORK
+  // recirculation loops through both pipelines once more.
+  const u32 pipelines_engaged =
+      std::max<u32>(1, (consumed + cfg.ingress_stages - 1) /
+                           cfg.ingress_stages);
+  u32 penalty_pipelines = 0;
+  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) penalty_pipelines += 2;
+  if (phv.fork) penalty_pipelines += 2;
+  res.latency = static_cast<SimTime>(pipelines_engaged + penalty_pipelines) *
+                cfg.pass_latency;
+
+  // Recirculation-bandwidth governor: packets whose extra passes exceed
+  // the FID's remaining budget are dropped (side effects of completed
+  // stages persist, as on hardware).
+  if (res.passes > 1 && fault_ == Fault::kNone &&
+      !charge_recirculation(pkt.initial.fid, res.passes - 1, now)) {
+    fault_ = Fault::kRecircBudget;
+    phv.drop = true;
+  }
+  stats_.instructions += res.instructions_executed;
+  stats_.recirculations += res.passes - 1;
+
+  res.phv = phv;
+  res.fault = fault_;
+  res.forked = phv.fork;
+
+  if (phv.drop) {
+    res.verdict = Verdict::kDrop;
+    switch (fault_) {
+      case Fault::kExplicitDrop:
+        ++stats_.drops_explicit;
+        break;
+      case Fault::kProtectionViolation:
+        ++stats_.drops_protection;
+        break;
+      case Fault::kNoAllocation:
+        ++stats_.drops_no_allocation;
+        break;
+      case Fault::kRecircLimit:
+        ++stats_.drops_recirc_limit;
+        break;
+      case Fault::kRecircBudget:
+        ++stats_.drops_recirc_budget;
+        break;
+      case Fault::kPrivilege:
+        ++stats_.drops_privilege;
+        break;
+      default:
+        break;
+    }
+    return res;
+  }
+
+  if (phv.rts) {
+    res.verdict = Verdict::kReturnToSender;
+    std::swap(pkt.ethernet.src, pkt.ethernet.dst);
+    ++stats_.rts_packets;
+  }
+
+  if ((pkt.initial.flags & packet::kFlagNoShrink) == 0) {
+    shrink(*pkt.program);
+  }
+  return res;
+}
+
+}  // namespace artmt::runtime

@@ -1,0 +1,58 @@
+#include "stats/series.hpp"
+
+#include "common/error.hpp"
+
+namespace artmt::stats {
+
+double Series::mean_y() const {
+  if (points_.empty()) throw UsageError("Series::mean_y: empty series");
+  double sum = 0.0;
+  for (const Point& p : points_) sum += p.y;
+  return sum / static_cast<double>(points_.size());
+}
+
+double Series::last_y() const {
+  if (points_.empty()) throw UsageError("Series::last_y: empty series");
+  return points_.back().y;
+}
+
+void write_csv(std::ostream& out, const std::vector<Series>& series,
+               const std::string& x_label) {
+  if (series.empty()) return;
+  out << x_label;
+  for (const Series& s : series) out << "," << s.name();
+  out << "\n";
+  std::size_t rows = 0;
+  for (const Series& s : series) rows = std::max(rows, s.points().size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    // x comes from the first series that has this row.
+    double x = 0.0;
+    for (const Series& s : series) {
+      if (i < s.points().size()) {
+        x = s.points()[i].x;
+        break;
+      }
+    }
+    out << x;
+    for (const Series& s : series) {
+      out << ",";
+      if (i < s.points().size()) out << s.points()[i].y;
+    }
+    out << "\n";
+  }
+}
+
+Series thin(const Series& series, std::size_t stride) {
+  if (stride == 0) throw UsageError("thin: zero stride");
+  Series out(series.name());
+  const auto& pts = series.points();
+  for (std::size_t i = 0; i < pts.size(); i += stride) {
+    out.add(pts[i].x, pts[i].y);
+  }
+  if (!pts.empty() && (pts.size() - 1) % stride != 0) {
+    out.add(pts.back().x, pts.back().y);
+  }
+  return out;
+}
+
+}  // namespace artmt::stats

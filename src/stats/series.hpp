@@ -1,0 +1,46 @@
+// Time-series recording and CSV emission for the benchmark harness: each
+// figure bench prints the series the paper plots.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::stats {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  [[nodiscard]] double mean_y() const;
+  [[nodiscard]] double last_y() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Writes aligned series as CSV: header "x,<name1>,<name2>,...", one row per
+// x of the first series (series must share x values; shorter ones padded
+// with empty cells).
+void write_csv(std::ostream& out, const std::vector<Series>& series,
+               const std::string& x_label = "x");
+
+// Downsamples a series for terminal-friendly output (every k-th point plus
+// the last).
+Series thin(const Series& series, std::size_t stride);
+
+}  // namespace artmt::stats

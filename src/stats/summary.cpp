@@ -1,0 +1,49 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace artmt::stats {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  if (values.empty()) throw UsageError("summarize: empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = percentile(sorted, 0.25);
+  s.median = percentile(sorted, 0.5);
+  s.p75 = percentile(sorted, 0.75);
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " p25=" << p25
+     << " med=" << median << " p75=" << p75 << " max=" << max
+     << " mean=" << mean;
+  return os.str();
+}
+
+}  // namespace artmt::stats

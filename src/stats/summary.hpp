@@ -1,0 +1,46 @@
+// Distribution summaries (Figure 11's box statistics: quartiles over all
+// epochs and trials per allocation scheme).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace artmt::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Computes order statistics (linear interpolation between ranks); throws
+// UsageError on an empty input.
+Summary summarize(std::span<const double> values);
+
+// Windowed hit-rate tracker for the case-study figures.
+class HitRate {
+ public:
+  void record(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  void reset() { hits_ = total_ = 0; }
+  [[nodiscard]] double rate() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(hits_) /
+                             static_cast<double>(total_);
+  }
+  [[nodiscard]] unsigned long long total() const { return total_; }
+
+ private:
+  unsigned long long hits_ = 0;
+  unsigned long long total_ = 0;
+};
+
+}  // namespace artmt::stats

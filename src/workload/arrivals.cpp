@@ -1,0 +1,37 @@
+#include "workload/arrivals.hpp"
+
+namespace artmt::workload {
+
+const char* app_kind_name(AppKind kind) {
+  switch (kind) {
+    case AppKind::kCache:
+      return "cache";
+    case AppKind::kHeavyHitter:
+      return "heavy-hitter";
+    case AppKind::kLoadBalancer:
+      return "load-balancer";
+  }
+  return "unknown";
+}
+
+ArrivalProcess::ArrivalProcess(double arrival_mean, double departure_mean,
+                               u64 seed)
+    : arrival_mean_(arrival_mean),
+      departure_mean_(departure_mean),
+      rng_(seed) {}
+
+EpochPlan ArrivalProcess::next_epoch() {
+  EpochPlan plan;
+  const u32 arrivals = rng_.poisson(arrival_mean_);
+  plan.arrivals.reserve(arrivals);
+  for (u32 i = 0; i < arrivals; ++i) {
+    const AppKind kind =
+        has_fixed_ ? fixed_kind_
+                   : static_cast<AppKind>(rng_.uniform(kAppKinds));
+    plan.arrivals.push_back(kind);
+  }
+  plan.departures = rng_.poisson(departure_mean_);
+  return plan;
+}
+
+}  // namespace artmt::workload

@@ -1,0 +1,47 @@
+// Service churn generation for the online experiments (Section 6.1):
+// per-epoch Poisson arrivals and departures (arrival rate twice the
+// departure rate by default), with application kinds drawn uniformly.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace artmt::workload {
+
+enum class AppKind : u8 { kCache = 0, kHeavyHitter = 1, kLoadBalancer = 2 };
+
+inline constexpr u32 kAppKinds = 3;
+
+const char* app_kind_name(AppKind kind);
+
+struct EpochPlan {
+  std::vector<AppKind> arrivals;  // kinds of the apps arriving this epoch
+  u32 departures = 0;             // resident apps leaving (chosen by caller)
+};
+
+class ArrivalProcess {
+ public:
+  // Poisson(arrival_mean) arrivals and Poisson(departure_mean) departures
+  // per epoch (paper defaults: means 2 and 1).
+  ArrivalProcess(double arrival_mean, double departure_mean, u64 seed);
+
+  // Uniform-kind arrivals; set `fixed` to force a pure workload.
+  EpochPlan next_epoch();
+  void fix_kind(AppKind kind) {
+    fixed_kind_ = kind;
+    has_fixed_ = true;
+  }
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  double arrival_mean_;
+  double departure_mean_;
+  Rng rng_;
+  AppKind fixed_kind_ = AppKind::kCache;
+  bool has_fixed_ = false;
+};
+
+}  // namespace artmt::workload

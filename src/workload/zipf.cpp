@@ -1,0 +1,43 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace artmt::workload {
+
+ZipfGenerator::ZipfGenerator(u32 universe, double alpha) {
+  if (universe == 0) throw UsageError("ZipfGenerator: empty universe");
+  cdf_.resize(universe);
+  double sum = 0.0;
+  for (u32 rank = 0; rank < universe; ++rank) {
+    sum += 1.0 / std::pow(static_cast<double>(rank + 1), alpha);
+    cdf_[rank] = sum;
+  }
+  for (double& value : cdf_) value /= sum;
+}
+
+u32 ZipfGenerator::next_rank(Rng& rng) const {
+  const double u = rng.uniform_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<u32>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+u64 ZipfGenerator::key_for_rank(u32 rank) {
+  // splitmix64-style bijective scramble keeps keys stable and spread out.
+  u64 x = static_cast<u64>(rank) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ZipfGenerator::top_mass(u32 k) const {
+  if (cdf_.empty()) return 0.0;
+  if (k == 0) return 0.0;
+  const u32 index = std::min<u32>(k, static_cast<u32>(cdf_.size())) - 1;
+  return cdf_[index];
+}
+
+}  // namespace artmt::workload

@@ -1,0 +1,35 @@
+// Zipf-distributed key popularity, matching the cache experiments' use of
+// realistic KV workloads (Section 6.3 draws 8-byte keys from a Zipf
+// distribution).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace artmt::workload {
+
+class ZipfGenerator {
+ public:
+  // Ranks 1..universe with P(rank) proportional to rank^-alpha.
+  ZipfGenerator(u32 universe, double alpha);
+
+  // Draws a rank in [0, universe); rank 0 is the most popular.
+  u32 next_rank(Rng& rng) const;
+
+  // Maps a rank to a stable 64-bit key (so keys are not sequential).
+  static u64 key_for_rank(u32 rank);
+
+  [[nodiscard]] u32 universe() const {
+    return static_cast<u32>(cdf_.size());
+  }
+  // Probability mass of the top `k` ranks (ideal hit rate of a k-entry
+  // cache holding exactly the most popular items).
+  [[nodiscard]] double top_mass(u32 k) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1
+};
+
+}  // namespace artmt::workload

@@ -1,0 +1,374 @@
+// Tests for the online allocator: schemes, capacities matching Section
+// 6.1's admission behavior, reallocation accounting, and fairness.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "alloc/allocator.hpp"
+#include "common/fairness.hpp"
+
+namespace artmt::alloc {
+namespace {
+
+const StageGeometry kGeom{20, 10};
+constexpr u32 kBlocks = 368;  // 94208 words / 256-word (1 KB) blocks
+
+Allocator make(Scheme scheme = Scheme::kWorstFit,
+               MutantPolicy policy = MutantPolicy::most_constrained()) {
+  return Allocator(kGeom, kBlocks, scheme, policy);
+}
+
+TEST(Allocator, AdmitsCacheAndReportsRegions) {
+  auto alloc = make();
+  const auto outcome = alloc.allocate(apps::cache_request());
+  ASSERT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.regions.size(), 3u);  // three distinct stages
+  EXPECT_TRUE(outcome.reallocated.empty());
+  EXPECT_GT(outcome.mutants_considered, 0u);
+  EXPECT_EQ(alloc.resident_count(), 1u);
+}
+
+TEST(Allocator, FirstCacheTakesWholeStages) {
+  auto alloc = make();
+  const auto outcome = alloc.allocate(apps::cache_request());
+  for (const auto& [stage, region] : outcome.regions) {
+    EXPECT_EQ(region.size(), kBlocks);  // elastic fills the pool
+  }
+}
+
+TEST(Allocator, SecondCacheAvoidsContentionViaMutants) {
+  auto alloc = make();
+  const auto first = alloc.allocate(apps::cache_request());
+  const auto second = alloc.allocate(apps::cache_request());
+  ASSERT_TRUE(second.success);
+  // Worst-fit steers the second instance to untouched stages: no overlap,
+  // nobody reallocated (Figure 4's scenario).
+  EXPECT_TRUE(second.reallocated.empty());
+  for (const auto& [stage, region] : second.regions) {
+    EXPECT_FALSE(first.regions.contains(stage));
+  }
+}
+
+TEST(Allocator, SharingTriggersReallocation) {
+  auto alloc = make();
+  std::vector<AllocationOutcome> outcomes;
+  // Keep admitting caches until one must share a stage.
+  for (int i = 0; i < 60; ++i) {
+    auto out = alloc.allocate(apps::cache_request());
+    ASSERT_TRUE(out.success);
+    if (!out.reallocated.empty()) {
+      return;  // observed a reallocation, as Fig. 7c expects
+    }
+    outcomes.push_back(std::move(out));
+  }
+  FAIL() << "no cache arrival ever shared a stage";
+}
+
+TEST(Allocator, HeavyHitterCapacityMatchesPaper) {
+  // Section 6.1: heavy hitters exhaust resources after 23 instances under
+  // the most-constrained policy (368 blocks / 16-block CMS rows).
+  auto alloc = make();
+  u32 admitted = 0;
+  while (alloc.allocate(apps::hh_request()).success) ++admitted;
+  EXPECT_EQ(admitted, 23u);
+}
+
+TEST(Allocator, HeavyHitterCapacityGrowsLeastConstrained) {
+  auto alloc = make(Scheme::kWorstFit, MutantPolicy::least_constrained(1));
+  u32 admitted = 0;
+  while (alloc.allocate(apps::hh_request()).success) ++admitted;
+  EXPECT_GT(admitted, 23u);  // more mutants, more stages reachable
+}
+
+TEST(Allocator, LoadBalancerCapacity) {
+  // One most-constrained mutant with a 2-block bottleneck: 368/2 = 184.
+  auto alloc = make();
+  u32 admitted = 0;
+  while (alloc.allocate(apps::lb_request()).success) ++admitted;
+  EXPECT_EQ(admitted, 184u);
+}
+
+TEST(Allocator, ElasticAdmissionsKeepSucceeding) {
+  // Caches are elastic: hundreds of instances admit (Section 6.1 admits
+  // all 500 arrivals).
+  auto alloc = make();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(alloc.allocate(apps::cache_request()).success) << i;
+  }
+}
+
+TEST(Allocator, UtilizationSaturatesWithFewCaches) {
+  // Fig. 6: the pure cache workload hits its maximum utilization within
+  // ~8 instances; afterwards utilization stays flat.
+  auto alloc = make();
+  double last = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    alloc.allocate(apps::cache_request());
+    last = alloc.utilization();
+  }
+  const double at12 = last;
+  for (int i = 0; i < 30; ++i) alloc.allocate(apps::cache_request());
+  EXPECT_NEAR(alloc.utilization(), at12, 1e-9);
+  // Under most-constrained, cache mutants reach 16 of 20 stages.
+  EXPECT_NEAR(at12, 16.0 / 20.0, 1e-9);
+}
+
+TEST(Allocator, LeastConstrainedReachesMoreStages) {
+  auto mc = make();
+  auto lc = make(Scheme::kWorstFit, MutantPolicy::least_constrained(1));
+  for (int i = 0; i < 40; ++i) {
+    mc.allocate(apps::cache_request());
+    lc.allocate(apps::cache_request());
+  }
+  EXPECT_GT(lc.utilization(), mc.utilization());
+}
+
+TEST(Allocator, DeallocateRebalancesCoTenants) {
+  auto alloc = make();
+  std::vector<AppId> ids;
+  for (int i = 0; i < 20; ++i) {
+    const auto out = alloc.allocate(apps::cache_request());
+    ASSERT_TRUE(out.success);
+    ids.push_back(out.app);
+  }
+  const double before = alloc.utilization();
+  const auto disturbed = alloc.deallocate(ids[3]);
+  EXPECT_EQ(alloc.resident_count(), 19u);
+  // Its stage-mates absorb the freed memory: utilization stays put.
+  EXPECT_NEAR(alloc.utilization(), before, 1e-9);
+  EXPECT_FALSE(disturbed.empty());
+}
+
+TEST(Allocator, DeallocateUnknownThrows) {
+  auto alloc = make();
+  EXPECT_THROW((void)alloc.deallocate(7), UsageError);
+}
+
+TEST(Allocator, InelasticNeverDisturbedByElasticArrivals) {
+  auto alloc = make();
+  const auto hh = alloc.allocate(apps::hh_request());
+  ASSERT_TRUE(hh.success);
+  for (int i = 0; i < 50; ++i) {
+    const auto out = alloc.allocate(apps::cache_request());
+    ASSERT_TRUE(out.success);
+    for (const AppId moved : out.reallocated) {
+      EXPECT_NE(moved, hh.app);  // inelastic apps are never reallocated
+    }
+  }
+  // The heavy hitter still owns its exact regions.
+  for (const auto& [stage, region] : alloc.regions_of(hh.app)) {
+    EXPECT_EQ(region.begin, 0u);  // pinned at the pool bottom
+  }
+}
+
+TEST(Allocator, FairnessAmongCachesHigh) {
+  auto alloc = make();
+  for (int i = 0; i < 30; ++i) alloc.allocate(apps::cache_request());
+  const auto totals = alloc.elastic_totals();
+  EXPECT_EQ(totals.size(), 30u);
+  EXPECT_GT(jain_fairness(totals), 0.9);  // Fig. 7d: > 0.99 at scale
+}
+
+TEST(Allocator, MixedWorkloadCoexists) {
+  auto alloc = make();
+  ASSERT_TRUE(alloc.allocate(apps::cache_request()).success);
+  ASSERT_TRUE(alloc.allocate(apps::hh_request()).success);
+  ASSERT_TRUE(alloc.allocate(apps::lb_request()).success);
+  ASSERT_TRUE(alloc.allocate(apps::cache_request()).success);
+  EXPECT_EQ(alloc.resident_count(), 4u);
+  // Two caches fill six stages outright; HH + LB add a few blocks more.
+  EXPECT_GT(alloc.utilization(), 0.3);
+}
+
+TEST(Allocator, FailedAllocationLeavesStateUntouched) {
+  auto alloc = make();
+  while (alloc.allocate(apps::hh_request()).success) {
+  }
+  const u32 residents = alloc.resident_count();
+  const double util = alloc.utilization();
+  const auto failed = alloc.allocate(apps::hh_request());
+  EXPECT_FALSE(failed.success);
+  EXPECT_EQ(alloc.resident_count(), residents);
+  EXPECT_NEAR(alloc.utilization(), util, 1e-12);
+}
+
+TEST(Allocator, FailureSearchIsFastRelativeToAssign) {
+  // Section 6.1: failed epochs are brief because assignment dominates.
+  auto alloc = make();
+  while (alloc.allocate(apps::hh_request()).success) {
+  }
+  const auto failed = alloc.allocate(apps::hh_request());
+  EXPECT_FALSE(failed.success);
+  EXPECT_EQ(failed.assign_ms, 0.0);
+}
+
+// ---------- scheme comparison (Fig. 11 mechanics) ----------
+
+TEST(AllocatorSchemes, FirstFitTakesFirstFeasible) {
+  auto alloc = make(Scheme::kFirstFit);
+  const auto out = alloc.allocate(apps::cache_request());
+  ASSERT_TRUE(out.success);
+  EXPECT_EQ(out.chosen, (Mutant{1, 4, 8}));  // lexicographically first
+  EXPECT_EQ(out.mutants_considered, 1u);     // stopped immediately
+}
+
+TEST(AllocatorSchemes, WorstFitSpreadsBestFitPacks) {
+  auto wf = make(Scheme::kWorstFit);
+  auto bf = make(Scheme::kBestFit);
+  // Two HH instances then a cache; count distinct stages the two HH picked.
+  wf.allocate(apps::hh_request());
+  bf.allocate(apps::hh_request());
+  wf.allocate(apps::cache_request());
+  bf.allocate(apps::cache_request());
+  const auto wf2 = wf.allocate(apps::cache_request());
+  const auto bf2 = bf.allocate(apps::cache_request());
+  ASSERT_TRUE(wf2.success);
+  ASSERT_TRUE(bf2.success);
+  // Best fit stacks the second cache onto the first's stages (maximizing
+  // per-stage occupancy); worst fit avoids them.
+  EXPECT_FALSE(bf2.reallocated.empty());
+  EXPECT_TRUE(wf2.reallocated.empty());
+}
+
+TEST(AllocatorSchemes, ReallocSchemeMinimizesDisturbance) {
+  // The first access is confined to stages {1,2,3} under most-constrained
+  // (RTS ingress), so exactly three caches can avoid sharing entirely;
+  // the realloc scheme must find those placements.
+  auto alloc = make(Scheme::kRealloc);
+  for (int i = 0; i < 3; ++i) {
+    const auto out = alloc.allocate(apps::cache_request());
+    ASSERT_TRUE(out.success);
+    EXPECT_TRUE(out.reallocated.empty()) << "arrival " << i;
+  }
+  // Across a longer run it disturbs no more apps than best fit does.
+  auto bf = make(Scheme::kBestFit);
+  auto re = make(Scheme::kRealloc);
+  u32 bf_total = 0;
+  u32 re_total = 0;
+  for (int i = 0; i < 16; ++i) {
+    bf_total += static_cast<u32>(
+        bf.allocate(apps::cache_request()).reallocated.size());
+    re_total += static_cast<u32>(
+        re.allocate(apps::cache_request()).reallocated.size());
+  }
+  EXPECT_LE(re_total, bf_total);
+}
+
+TEST(AllocatorSchemes, AllSchemesAdmitSameEasySequence) {
+  for (const Scheme scheme : {Scheme::kWorstFit, Scheme::kBestFit,
+                              Scheme::kFirstFit, Scheme::kRealloc}) {
+    auto alloc = make(scheme);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(alloc.allocate(apps::cache_request()).success)
+          << scheme_name(scheme);
+    }
+  }
+}
+
+TEST(Allocator, RegionsOfMatchesOutcome) {
+  auto alloc = make();
+  const auto out = alloc.allocate(apps::cache_request());
+  EXPECT_EQ(alloc.regions_of(out.app), out.regions);
+}
+
+TEST(Allocator, StageAccessorBounds) {
+  auto alloc = make();
+  EXPECT_NO_THROW((void)alloc.stage(19));
+  EXPECT_THROW((void)alloc.stage(20), UsageError);
+}
+
+// ---------- parameterized sweeps (scheme x policy) ----------
+
+struct SweepParam {
+  Scheme scheme;
+  u32 extra_passes;
+};
+
+class SchemePolicySweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Invariants that must hold for every scheme/policy combination under a
+// mixed admission sequence: regions disjoint per stage, demands honored,
+// utilization within [0,1], deallocation restores state.
+TEST_P(SchemePolicySweep, StructuralInvariants) {
+  const auto [scheme, extra] = GetParam();
+  const MutantPolicy policy{extra, extra == 0};
+  Allocator alloc(kGeom, kBlocks, scheme, policy);
+
+  std::vector<AppId> apps;
+  const alloc::AllocationRequest requests[] = {
+      apps::cache_request(), apps::hh_request(), apps::lb_request()};
+  for (int round = 0; round < 12; ++round) {
+    const auto out = alloc.allocate(requests[round % 3]);
+    if (out.success) apps.push_back(out.app);
+  }
+  ASSERT_GE(apps.size(), 6u);
+
+  // Disjointness per stage.
+  for (u32 s = 0; s < 20; ++s) {
+    std::vector<Interval> regions;
+    for (const auto& [id, region] : alloc.stage(s).regions()) {
+      regions.push_back(region);
+    }
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      ASSERT_LE(regions[i].end, kBlocks);
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        ASSERT_FALSE(regions[i].overlaps(regions[j]));
+      }
+    }
+  }
+  EXPECT_GE(alloc.utilization(), 0.0);
+  EXPECT_LE(alloc.utilization(), 1.0);
+
+  // Inelastic apps hold exactly their demand.
+  for (const auto& [id, record] : alloc.apps()) {
+    if (record.elastic) continue;
+    for (const auto& [stage, demand] : record.stage_demand) {
+      EXPECT_EQ(alloc.regions_of(id).at(stage).size(), demand);
+    }
+  }
+
+  // Draining everything returns to an empty switch.
+  for (const AppId id : apps) alloc.deallocate(id);
+  EXPECT_EQ(alloc.resident_count(), 0u);
+  EXPECT_DOUBLE_EQ(alloc.utilization(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SchemePolicySweep,
+    ::testing::Values(SweepParam{Scheme::kWorstFit, 0},
+                      SweepParam{Scheme::kWorstFit, 1},
+                      SweepParam{Scheme::kBestFit, 0},
+                      SweepParam{Scheme::kBestFit, 1},
+                      SweepParam{Scheme::kFirstFit, 0},
+                      SweepParam{Scheme::kFirstFit, 1},
+                      SweepParam{Scheme::kRealloc, 0},
+                      SweepParam{Scheme::kRealloc, 1}));
+
+// Elastic shares within one stage never differ by more than one block
+// (progressive filling), across growing population sizes.
+class FairnessSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FairnessSweep, PerStageSharesNearEqual) {
+  Allocator alloc(kGeom, kBlocks);
+  for (u32 i = 0; i < GetParam(); ++i) {
+    ASSERT_TRUE(alloc.allocate(apps::cache_request()).success);
+  }
+  for (u32 s = 0; s < 20; ++s) {
+    u32 min_share = kBlocks + 1;
+    u32 max_share = 0;
+    u32 members = 0;
+    for (const auto& [id, region] : alloc.stage(s).regions()) {
+      min_share = std::min(min_share, region.size());
+      max_share = std::max(max_share, region.size());
+      ++members;
+    }
+    if (members >= 2) {
+      EXPECT_LE(max_share - min_share, 1u) << "stage " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, FairnessSweep,
+                         ::testing::Values(2u, 5u, 16u, 40u, 90u));
+
+}  // namespace
+}  // namespace artmt::alloc

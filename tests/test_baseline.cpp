@@ -1,0 +1,115 @@
+// Tests for the monolithic-P4 baseline model the paper compares against.
+#include <gtest/gtest.h>
+
+#include "baseline/monolithic.hpp"
+#include "baseline/netvrm.hpp"
+#include "common/error.hpp"
+
+namespace artmt::baseline {
+namespace {
+
+TEST(Baseline, PaperCacheBound) {
+  // Section 6.1: 22 isolated instances of the minimal two-stage cache.
+  MonolithicBaseline baseline;
+  EXPECT_EQ(baseline.max_instances(StaticApp{2, 2, 0}), 22u);
+}
+
+TEST(Baseline, DeeperChainsFitFewer) {
+  MonolithicBaseline baseline;
+  const u32 shallow = baseline.max_instances(StaticApp{2, 2, 0});
+  const u32 deep = baseline.max_instances(StaticApp{4, 4, 0});
+  EXPECT_LT(deep, shallow);
+  EXPECT_EQ(deep, 10u);  // floor(11*2/4) = 5 per pipe
+}
+
+TEST(Baseline, TooDeepChainFitsNone) {
+  MonolithicBaseline baseline;
+  EXPECT_EQ(baseline.max_instances(StaticApp{12, 2, 0}), 0u);
+}
+
+TEST(Baseline, RedeploymentLatencyMatchesPaper) {
+  MonolithicBaseline baseline;
+  // 28.79 s compile + 50 ms blackout.
+  EXPECT_NEAR(static_cast<double>(baseline.redeployment_latency()) / kSecond,
+              28.84, 0.01);
+  EXPECT_EQ(baseline.traffic_disruption(), 50 * kMillisecond);
+}
+
+TEST(Baseline, StaticPartitioningStrandsMemory) {
+  MonolithicBaseline baseline;
+  const StaticApp cache{2, 2, 0};
+  const double full = baseline.static_utilization(cache, 22, 22);
+  const double half = baseline.static_utilization(cache, 22, 11);
+  EXPECT_GT(full, 0.0);
+  EXPECT_NEAR(half, full / 2, 1e-9);  // departed tenants strand shares
+  EXPECT_EQ(baseline.static_utilization(cache, 22, 0), 0.0);
+}
+
+TEST(Baseline, UtilizationCapsAtProvisioned) {
+  MonolithicBaseline baseline;
+  const StaticApp cache{2, 2, 0};
+  EXPECT_DOUBLE_EQ(baseline.static_utilization(cache, 22, 40),
+                   baseline.static_utilization(cache, 22, 22));
+}
+
+TEST(Baseline, ExplicitDemandRespected) {
+  MonolithicBaseline baseline;
+  const StaticApp tiny{2, 2, 256};  // one block per stage
+  const double util = baseline.static_utilization(tiny, 22, 22);
+  // 22 * 256 words * 2 stages out of 24 * 94208.
+  EXPECT_NEAR(util, 22.0 * 256 * 2 / (24.0 * 94208), 1e-9);
+}
+
+TEST(Baseline, BadConfigThrows) {
+  BaselineConfig config;
+  config.reserved_stages = 12;
+  EXPECT_THROW(MonolithicBaseline{config}, UsageError);
+  MonolithicBaseline ok;
+  EXPECT_THROW((void)ok.max_instances(StaticApp{0, 1, 0}), UsageError);
+}
+
+// ---------- NetVRM virtualization model ----------
+
+TEST(NetVrm, AddressablePoolIsPowerOfTwo) {
+  NetVrmModel model;
+  EXPECT_EQ(model.addressable_per_stage(), 65'536u);  // <= 94208
+  EXPECT_NEAR(model.addressable_fraction(), 65'536.0 / 94'208.0, 1e-12);
+}
+
+TEST(NetVrm, PageQuantizationWastes) {
+  NetVrmModel model;
+  // 300 words -> two 256-word pages = 512 granted.
+  EXPECT_EQ(model.words_granted(300), 512u);
+  EXPECT_NEAR(model.page_efficiency(300), 300.0 / 512.0, 1e-12);
+  // Exact fits are free.
+  EXPECT_EQ(model.words_granted(1024), 1024u);
+  EXPECT_NEAR(model.page_efficiency(1024), 1.0, 1e-12);
+  EXPECT_EQ(model.words_granted(0), 0u);
+}
+
+TEST(NetVrm, TranslationTaxesStages) {
+  NetVrmModel model;
+  EXPECT_EQ(model.effective_stage_budget(0), 20u);
+  EXPECT_EQ(model.effective_stage_budget(3), 14u);  // the cache's shape
+  EXPECT_EQ(model.effective_stage_budget(10), 0u);
+}
+
+TEST(NetVrm, MemoryEfficiencyBelowActiveRmt) {
+  NetVrmModel model;
+  // ActiveRMT grants arbitrary block counts out of the full pool; its
+  // only loss at this geometry is block rounding (256-word blocks).
+  const double netvrm = model.memory_efficiency(300);
+  const double activermt = 300.0 / 512.0;  // two 1-KB... one block=256: 300->2 blocks=512
+  EXPECT_LT(netvrm, activermt);  // pow2 truncation compounds the rounding
+}
+
+TEST(NetVrm, BadConfigsRejected) {
+  NetVrmConfig config;
+  config.page_sizes_words = {300};  // not a power of two
+  EXPECT_THROW(NetVrmModel{config}, UsageError);
+  config.page_sizes_words.clear();
+  EXPECT_THROW(NetVrmModel{config}, UsageError);
+}
+
+}  // namespace
+}  // namespace artmt::baseline

@@ -1,0 +1,295 @@
+// Unit tests for the common utilities: byte cursors, RNG, EWMA, fairness,
+// and the interval set beneath per-stage block accounting.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/ewma.hpp"
+#include "common/fairness.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+
+namespace artmt {
+namespace {
+
+// ---------- bytes ----------
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Bytes, NetworkByteOrder) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  const auto& b = w.bytes();
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Bytes, TruncationThrows) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0);
+  EXPECT_THROW((void)r.get_u32(), ParseError);
+}
+
+TEST(Bytes, GetBytesAdvances) {
+  ByteWriter w;
+  w.put_u32(1);
+  w.put_u32(2);
+  ByteReader r(w.bytes());
+  const auto head = r.get_bytes(4);
+  EXPECT_EQ(head.size(), 4u);
+  EXPECT_EQ(r.get_u32(), 2u);
+}
+
+TEST(Bytes, SkipBeyondEndThrows) {
+  ByteReader r(std::span<const u8>{});
+  EXPECT_THROW(r.skip(1), ParseError);
+}
+
+TEST(Bytes, PutBytesAppends) {
+  ByteWriter w;
+  const std::vector<u8> payload{1, 2, 3};
+  w.put_bytes(payload);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(0), UsageError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMeanApproximate) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(11);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMeanApproximate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------- ewma ----------
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e(0.1);
+  EXPECT_EQ(e.update(10.0), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  Ewma e(0.5);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 7.5);
+}
+
+TEST(Ewma, BadAlphaThrows) {
+  EXPECT_THROW(Ewma(0.0), UsageError);
+  EXPECT_THROW(Ewma(1.5), UsageError);
+}
+
+TEST(Ewma, ValueBeforeSamplesThrows) {
+  Ewma e(0.3);
+  EXPECT_THROW((void)e.value(), UsageError);
+}
+
+// ---------- fairness ----------
+
+TEST(Fairness, EqualSharesPerfect) {
+  const std::vector<double> shares{4, 4, 4, 4};
+  EXPECT_DOUBLE_EQ(jain_fairness(shares), 1.0);
+}
+
+TEST(Fairness, SingleUserPerfect) {
+  const std::vector<double> shares{7};
+  EXPECT_DOUBLE_EQ(jain_fairness(shares), 1.0);
+}
+
+TEST(Fairness, WorstCaseIsOneOverN) {
+  const std::vector<double> shares{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(shares), 0.25);
+}
+
+TEST(Fairness, EmptyAndZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+// ---------- interval set ----------
+
+TEST(Interval, BasicPredicates) {
+  const Interval iv{2, 5};
+  EXPECT_EQ(iv.size(), 3u);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_FALSE(iv.contains(5));
+  EXPECT_TRUE(iv.overlaps({4, 6}));
+  EXPECT_FALSE(iv.overlaps({5, 6}));
+}
+
+TEST(IntervalSet, StartsFull) {
+  IntervalSet s(10);
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_TRUE(s.contains({0, 10}));
+}
+
+TEST(IntervalSet, RemoveSplits) {
+  IntervalSet s(10);
+  s.remove({3, 6});
+  EXPECT_EQ(s.total(), 7u);
+  EXPECT_TRUE(s.contains({0, 3}));
+  EXPECT_TRUE(s.contains({6, 10}));
+  EXPECT_FALSE(s.contains({2, 4}));
+}
+
+TEST(IntervalSet, InsertCoalesces) {
+  IntervalSet s(10);
+  s.remove({0, 10});
+  s.insert({0, 3});
+  s.insert({5, 8});
+  s.insert({3, 5});  // bridges the gap
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_TRUE(s.contains({0, 8}));
+}
+
+TEST(IntervalSet, DoubleInsertThrows) {
+  IntervalSet s(10);
+  EXPECT_THROW(s.insert({2, 4}), UsageError);
+}
+
+TEST(IntervalSet, RemoveUncontainedThrows) {
+  IntervalSet s(10);
+  s.remove({0, 5});
+  EXPECT_THROW(s.remove({4, 6}), UsageError);
+}
+
+TEST(IntervalSet, FirstFitLowestAddress) {
+  IntervalSet s(20);
+  s.remove({0, 2});
+  s.remove({5, 6});  // free: [2,5), [6,20)
+  const auto fit = s.find_first_fit(2);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->begin, 2u);
+}
+
+TEST(IntervalSet, BestFitSmallest) {
+  IntervalSet s(20);
+  s.remove({3, 10});  // free: [0,3), [10,20)
+  const auto fit = s.find_best_fit(2);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->begin, 0u);
+  EXPECT_EQ(fit->size(), 3u);
+}
+
+TEST(IntervalSet, FindLargest) {
+  IntervalSet s(20);
+  s.remove({3, 10});
+  const auto largest = s.find_largest();
+  ASSERT_TRUE(largest.has_value());
+  EXPECT_EQ(largest->begin, 10u);
+}
+
+TEST(IntervalSet, NoFitReturnsNullopt) {
+  IntervalSet s(4);
+  s.remove({0, 3});
+  EXPECT_FALSE(s.find_first_fit(2).has_value());
+}
+
+// Property: a random sequence of remove/insert pairs preserves totals and
+// never corrupts ordering.
+TEST(IntervalSet, PropertyRandomOpsPreserveInvariant) {
+  Rng rng(99);
+  IntervalSet s(1000);
+  std::vector<Interval> held;
+  for (int step = 0; step < 500; ++step) {
+    if (!held.empty() && rng.uniform(2) == 0) {
+      const std::size_t pick = rng.uniform(held.size());
+      s.insert(held[pick]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const u32 want = static_cast<u32>(rng.uniform(16)) + 1;
+      if (const auto fit = s.find_first_fit(want)) {
+        const Interval take{fit->begin, fit->begin + want};
+        s.remove(take);
+        held.push_back(take);
+      }
+    }
+    // Invariant: held + free == 1000, free intervals sorted and disjoint.
+    u32 held_total = 0;
+    for (const auto& iv : held) held_total += iv.size();
+    ASSERT_EQ(held_total + s.total(), 1000u);
+    const auto& ivs = s.intervals();
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_GT(ivs[i].begin, ivs[i - 1].end);  // disjoint AND uncoalesced
+    }
+  }
+}
+
+}  // namespace
+}  // namespace artmt

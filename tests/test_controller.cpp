@@ -1,0 +1,309 @@
+// Tests for the control plane: admission, table installation (including
+// the MAR advance chain), snapshots, the reallocation handshake, zeroing,
+// release, and cost accounting.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "controller/controller.hpp"
+
+namespace artmt::controller {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : pipeline_(config()), runtime_(pipeline_),
+        controller_(pipeline_, runtime_) {}
+
+  static rmt::PipelineConfig config() {
+    rmt::PipelineConfig cfg;  // paper defaults: 20 stages, 368 blocks
+    return cfg;
+  }
+
+  rmt::Pipeline pipeline_;
+  runtime::ActiveRuntime runtime_;
+  Controller controller_;
+};
+
+TEST_F(ControllerTest, AdmitInstallsEntriesInChosenStages) {
+  const auto result = controller_.admit(apps::cache_request());
+  ASSERT_TRUE(result.admitted);
+  EXPECT_FALSE(result.pending);
+  u32 installed = 0;
+  for (u32 s = 0; s < pipeline_.stage_count(); ++s) {
+    if (pipeline_.stage(s).lookup(result.fid) != nullptr) ++installed;
+  }
+  EXPECT_EQ(installed, 3u);
+  EXPECT_TRUE(controller_.resident(result.fid));
+}
+
+TEST_F(ControllerTest, ResponseEncodesWordRegions) {
+  const auto result = controller_.admit(apps::cache_request());
+  const auto response = controller_.response_for(result.fid);
+  u32 allocated_stages = 0;
+  for (u32 s = 0; s < packet::kResponseStages; ++s) {
+    if (!response.regions[s].allocated()) continue;
+    ++allocated_stages;
+    const rmt::FidEntry* entry = pipeline_.stage(s).lookup(result.fid);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->start_word, response.regions[s].start_word);
+    EXPECT_EQ(entry->limit_word, response.regions[s].limit_word);
+  }
+  EXPECT_EQ(allocated_stages, 3u);
+}
+
+TEST_F(ControllerTest, AdvanceChainLinksAccessStages) {
+  const auto result = controller_.admit(apps::cache_request());
+  const auto* mutant = controller_.mutant_of(result.fid);
+  ASSERT_NE(mutant, nullptr);
+  ASSERT_EQ(mutant->size(), 3u);
+  const u32 n = pipeline_.config().logical_stages;
+  for (std::size_t i = 0; i + 1 < mutant->size(); ++i) {
+    const auto* entry =
+        pipeline_.stage((*mutant)[i] % n).lookup(result.fid);
+    const auto* next =
+        pipeline_.stage((*mutant)[i + 1] % n).lookup(result.fid);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(entry->advance, static_cast<i32>(next->start_word) -
+                                  static_cast<i32>(entry->start_word));
+  }
+  // The last access's entry does not advance.
+  const auto* last = pipeline_.stage(mutant->back() % n).lookup(result.fid);
+  EXPECT_EQ(last->advance, 0);
+}
+
+TEST_F(ControllerTest, RejectionReportsNoFid) {
+  while (controller_.admit(apps::hh_request()).admitted) {
+  }
+  const auto result = controller_.admit(apps::hh_request());
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.fid, 0);
+  EXPECT_GT(controller_.stats().rejections, 0u);
+}
+
+TEST_F(ControllerTest, SecondTenantTriggersHandshake) {
+  // First-fit makes both caches pick (1,4,8): forced sharing.
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  const auto first = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(first.admitted);
+  const auto second = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(second.admitted);
+  ASSERT_TRUE(second.pending);
+  ASSERT_EQ(second.disturbed.size(), 1u);
+  EXPECT_EQ(second.disturbed[0], first.fid);
+
+  // The disturbed app is quiesced and snapshotted; old entries intact.
+  EXPECT_TRUE(rt.is_deactivated(first.fid));
+  ASSERT_NE(ctrl.snapshot_of(first.fid), nullptr);
+
+  // The new app's entries are NOT installed until the handshake ends.
+  bool installed = false;
+  for (u32 s = 0; s < pipe.stage_count(); ++s) {
+    installed |= pipe.stage(s).lookup(second.fid) != nullptr;
+  }
+  EXPECT_FALSE(installed);
+
+  EXPECT_TRUE(ctrl.extraction_complete(first.fid));
+  ctrl.apply_pending();
+  EXPECT_FALSE(rt.is_deactivated(first.fid));
+  installed = false;
+  for (u32 s = 0; s < pipe.stage_count(); ++s) {
+    installed |= pipe.stage(s).lookup(second.fid) != nullptr;
+  }
+  EXPECT_TRUE(installed);
+}
+
+TEST_F(ControllerTest, SnapshotCapturesOldContents) {
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  const auto first = ctrl.admit(apps::cache_request());
+  // Write a sentinel into the first app's first region.
+  const auto regions = ctrl.regions_of(first.fid);
+  const auto [stage, interval] = *regions.begin();
+  const u32 word = interval.begin * pipe.config().block_words + 5;
+  pipe.stage(stage).memory().write(word, 0xfeedface);
+
+  const auto second = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(second.pending);
+  const auto* snapshot = ctrl.snapshot_of(first.fid);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->contains(stage));
+  EXPECT_EQ(snapshot->at(stage)[5], 0xfeedfaceu);
+
+  // After the handshake the moved regions are zeroed (isolation).
+  ctrl.extraction_complete(first.fid);
+  ctrl.apply_pending();
+  for (const auto& [s, iv] : ctrl.regions_of(second.fid)) {
+    const u32 start = iv.begin * pipe.config().block_words;
+    EXPECT_EQ(pipe.stage(s).memory().read(start), 0u);
+  }
+}
+
+TEST_F(ControllerTest, TimeoutPathFinalizes) {
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  const auto first = ctrl.admit(apps::cache_request());
+  const auto second = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(second.pending);
+  ctrl.timeout_pending();
+  EXPECT_TRUE(ctrl.pending_ready());
+  ctrl.apply_pending();
+  EXPECT_FALSE(ctrl.has_pending());
+  EXPECT_EQ(ctrl.stats().extraction_timeouts, 1u);
+  EXPECT_FALSE(rt.is_deactivated(first.fid));
+}
+
+TEST_F(ControllerTest, SerializedAdmissions) {
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  ctrl.admit(apps::cache_request());
+  const auto second = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(second.pending);
+  EXPECT_THROW((void)ctrl.admit(apps::cache_request()), UsageError);
+  EXPECT_THROW((void)ctrl.release(second.fid), UsageError);
+}
+
+TEST_F(ControllerTest, ApplyWithoutReadyThrows) {
+  EXPECT_THROW(controller_.apply_pending(), UsageError);
+}
+
+TEST_F(ControllerTest, ReleaseRemovesEntriesAndRebalances) {
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  const auto a = ctrl.admit(apps::cache_request());
+  const auto b = ctrl.admit(apps::cache_request());
+  ctrl.extraction_complete(a.fid);
+  ctrl.apply_pending();
+
+  const auto release = ctrl.release(b.fid);
+  EXPECT_FALSE(ctrl.resident(b.fid));
+  for (u32 s = 0; s < pipe.stage_count(); ++s) {
+    EXPECT_EQ(pipe.stage(s).lookup(b.fid), nullptr);
+  }
+  // The survivor was rebalanced back to the full pool.
+  ASSERT_EQ(release.disturbed.size(), 1u);
+  EXPECT_EQ(release.disturbed[0], a.fid);
+  for (const auto& [s, iv] : ctrl.regions_of(a.fid)) {
+    EXPECT_EQ(iv.size(), pipe.config().blocks_per_stage());
+  }
+}
+
+TEST_F(ControllerTest, ReleaseUnknownThrows) {
+  EXPECT_THROW((void)controller_.release(123), UsageError);
+}
+
+TEST_F(ControllerTest, CostsScaleWithDisturbance) {
+  rmt::Pipeline pipe(config());
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit);
+  const auto first = ctrl.admit(apps::cache_request());
+  EXPECT_GT(first.table_update_cost, 0);
+  EXPECT_EQ(first.snapshot_cost, 0);  // nobody disturbed
+
+  const auto second = ctrl.admit(apps::cache_request());
+  EXPECT_GT(second.table_update_cost, first.table_update_cost);
+  EXPECT_GT(second.snapshot_cost, 0);
+  EXPECT_GT(second.provisioning_time(), first.provisioning_time());
+}
+
+TEST_F(ControllerTest, StatsAccumulate) {
+  const auto a = controller_.admit(apps::cache_request());
+  controller_.admit(apps::lb_request());
+  controller_.release(a.fid);
+  EXPECT_EQ(controller_.stats().admissions, 2u);
+  EXPECT_EQ(controller_.stats().releases, 1u);
+  EXPECT_GT(controller_.stats().table_entry_updates, 0u);
+}
+
+TEST_F(ControllerTest, FidsAreUniqueAcrossLifetime) {
+  const auto a = controller_.admit(apps::cache_request());
+  controller_.release(a.fid);
+  const auto b = controller_.admit(apps::cache_request());
+  EXPECT_NE(a.fid, b.fid);
+}
+
+TEST_F(ControllerTest, HeavyHitterAliasSharesOneEntry) {
+  const auto result = controller_.admit(apps::hh_request());
+  ASSERT_TRUE(result.admitted);
+  // Six accesses but only five distinct stages (threshold read/update).
+  EXPECT_EQ(controller_.regions_of(result.fid).size(), 5u);
+}
+
+TEST_F(ControllerTest, TcamExhaustionRejectsGracefully) {
+  rmt::PipelineConfig cfg;
+  cfg.tcam_entries_per_stage = 2;  // tiny range-match capacity
+  rmt::Pipeline pipe(cfg);
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt);
+  u32 admitted = 0;
+  u32 rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto result = ctrl.admit(apps::cache_request());
+    if (ctrl.has_pending()) {
+      ctrl.timeout_pending();
+      ctrl.apply_pending();
+    }
+    if (result.admitted) {
+      ++admitted;
+    } else {
+      ++rejected;
+    }
+  }
+  // The first access stage group has 3 stages x 2 entries = 6 slots.
+  EXPECT_EQ(admitted, 6u);
+  EXPECT_EQ(rejected, 14u);
+  EXPECT_EQ(ctrl.stats().tcam_rejections, 14u);
+  // Rejection rolled the allocator back: no ghost residents.
+  EXPECT_EQ(ctrl.allocator().resident_count(), admitted);
+}
+
+TEST_F(ControllerTest, TcamRejectionFreesMemoryForLaterAdmissions) {
+  rmt::PipelineConfig cfg;
+  cfg.tcam_entries_per_stage = 1;
+  rmt::Pipeline pipe(cfg);
+  runtime::ActiveRuntime rt(pipe);
+  Controller ctrl(pipe, rt);
+  std::vector<Fid> fids;
+  for (int i = 0; i < 5; ++i) {
+    const auto result = ctrl.admit(apps::cache_request());
+    if (ctrl.has_pending()) {
+      ctrl.timeout_pending();
+      ctrl.apply_pending();
+    }
+    if (result.admitted) fids.push_back(result.fid);
+  }
+  ASSERT_EQ(fids.size(), 3u);  // one per first-access stage
+  ctrl.release(fids[0]);
+  const auto result = ctrl.admit(apps::cache_request());
+  EXPECT_TRUE(result.admitted);  // the freed entries are reusable
+}
+
+TEST_F(ControllerTest, ProvisioningTimeAroundASecondWhenLoaded) {
+  // Fig. 8a: once memory is contended, provisioning lands in the
+  // 0.1 s - 3 s band (dominated by table updates).
+  for (int i = 0; i < 30; ++i) {
+    controller_.admit(apps::cache_request());
+    if (controller_.has_pending()) {
+      controller_.timeout_pending();
+      controller_.apply_pending();
+    }
+  }
+  const auto result = controller_.admit(apps::cache_request());
+  ASSERT_TRUE(result.admitted);
+  if (controller_.has_pending()) {
+    controller_.timeout_pending();
+    controller_.apply_pending();
+  }
+  EXPECT_GT(result.provisioning_time(), 100 * kMillisecond);
+  EXPECT_LT(result.provisioning_time(), 3 * kSecond);
+}
+
+}  // namespace
+}  // namespace artmt::controller

@@ -1,0 +1,67 @@
+// Tests for the leveled logger and the stopwatch.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+
+namespace artmt {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : previous_(log_level()) {}
+  ~LoggingTest() override { set_log_level(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, ThresholdFilters) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kDebug, "hidden");
+  log(LogLevel::kInfo, "hidden too");
+  log(LogLevel::kWarn, "visible ", 42);
+  log(LogLevel::kError, "also visible");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("visible 42"), std::string::npos);
+  EXPECT_NE(captured.find("[WARN ]"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kError, "nope");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, ConcatenatesMixedTypes) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "x=", 1, " y=", 2.5, " z=", "s");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("x=1 y=2.5 z=s"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double ms = watch.elapsed_ms();
+  EXPECT_GE(ms, 9.0);
+  EXPECT_LT(ms, 500.0);
+  EXPECT_NEAR(watch.elapsed_us(), watch.elapsed_ms() * 1000.0,
+              watch.elapsed_ms() * 100.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.reset();
+  EXPECT_LT(watch.elapsed_ms(), 5.0);
+}
+
+}  // namespace
+}  // namespace artmt

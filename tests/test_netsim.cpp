@@ -1,0 +1,170 @@
+// Tests for the discrete-event engine and the frame-level network model.
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+
+namespace artmt::netsim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, FifoAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterOffsetsFromNow) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), UsageError);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), UsageError);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(30);  // events exactly at the boundary run
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedSchedulingWithinRun) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 4);
+}
+
+// ---------- network ----------
+
+class Recorder : public Node {
+ public:
+  explicit Recorder(std::string name) : Node(std::move(name)) {}
+  void on_frame(Frame frame, u32 port) override {
+    frames.push_back({std::move(frame), port, network().simulator().now()});
+  }
+  struct Rx {
+    Frame frame;
+    u32 port;
+    SimTime at;
+  };
+  std::vector<Rx> frames;
+};
+
+TEST(Network, DeliversWithLatencyAndSerialization) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  net.attach(a);
+  net.attach(b);
+  LinkSpec spec;
+  spec.latency = 1000;  // 1 us
+  spec.gbps = 8.0;      // 1 byte per ns
+  net.connect(*a, 0, *b, 0, spec);
+
+  net.transmit(*a, 0, Frame(100, 0x55));
+  sim.run();
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(b->frames[0].at, 1000 + 100);  // latency + serialization
+  EXPECT_EQ(b->frames[0].frame.size(), 100u);
+}
+
+TEST(Network, Bidirectional) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  net.attach(a);
+  net.attach(b);
+  net.connect(*a, 0, *b, 3);
+  net.transmit(*b, 3, Frame(10));
+  sim.run();
+  ASSERT_EQ(a->frames.size(), 1u);
+  EXPECT_EQ(a->frames[0].port, 0u);
+}
+
+TEST(Network, UnpluggedPortDropsSilently) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  net.attach(a);
+  net.transmit(*a, 9, Frame(10));
+  sim.run();
+  EXPECT_EQ(net.frames_delivered(), 0u);
+}
+
+TEST(Network, DoubleConnectThrows) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  auto c = std::make_shared<Recorder>("c");
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  net.connect(*a, 0, *b, 0);
+  EXPECT_THROW(net.connect(*a, 0, *c, 0), UsageError);
+}
+
+TEST(Network, DoubleAttachThrows) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  net.attach(a);
+  EXPECT_THROW(net.attach(a), UsageError);
+}
+
+TEST(Network, CountsDeliveries) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  net.attach(a);
+  net.attach(b);
+  net.connect(*a, 0, *b, 0);
+  net.transmit(*a, 0, Frame(64));
+  net.transmit(*a, 0, Frame(64));
+  sim.run();
+  EXPECT_EQ(net.frames_delivered(), 2u);
+  EXPECT_EQ(net.bytes_delivered(), 128u);
+}
+
+}  // namespace
+}  // namespace artmt::netsim

@@ -1,0 +1,117 @@
+// Structural tests for the generated P4 runtime skeleton.
+#include <gtest/gtest.h>
+
+#include "active/isa.hpp"
+#include "common/error.hpp"
+#include "p4gen/generator.hpp"
+
+namespace artmt::p4gen {
+namespace {
+
+u32 count_occurrences(const std::string& haystack, const std::string& needle) {
+  u32 count = 0;
+  for (std::size_t pos = haystack.find(needle);
+       pos != std::string::npos; pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(P4Gen, OneRegisterPoolPerStage) {
+  const auto source = generate_runtime();
+  for (u32 stage = 0; stage < 20; ++stage) {
+    EXPECT_NE(source.find("pool_" + std::to_string(stage) + ";"),
+              std::string::npos)
+        << stage;
+    EXPECT_NE(source.find("instruction_" + std::to_string(stage) + " {"),
+              std::string::npos)
+        << stage;
+  }
+  // Pool capacity mirrors the model's geometry.
+  EXPECT_NE(source.find("Register<bit<32>, bit<32>>(94208)"),
+            std::string::npos);
+}
+
+TEST(P4Gen, EveryOpcodeHasAnAction) {
+  const auto controls = generate_controls(GeneratorOptions{});
+  for (u32 raw = 0; raw < 256; ++raw) {
+    const auto* info = active::opcode_info(static_cast<u8>(raw));
+    if (info == nullptr) continue;
+    std::string name = "action ex_";
+    for (const char c : info->mnemonic) {
+      name.push_back(c == '$' ? '_' : static_cast<char>(std::tolower(c)));
+    }
+    EXPECT_NE(controls.find(name), std::string::npos) << info->mnemonic;
+  }
+}
+
+TEST(P4Gen, ParserChainsInstructionStates) {
+  GeneratorOptions options;
+  options.parsed_instructions = 5;
+  const auto parser = generate_parser(options);
+  EXPECT_EQ(count_occurrences(parser, "state parse_insn_"), 5u);
+  EXPECT_EQ(count_occurrences(parser, "default: parse_insn_"), 4u);
+  // EOF terminates parsing in every instruction state.
+  EXPECT_EQ(count_occurrences(parser, "0x00: accept;"), 5u);
+  EXPECT_NE(parser.find("0x83b2: parse_active;"), std::string::npos);
+}
+
+TEST(P4Gen, ProtectionIsARangeMatch) {
+  const auto stage = generate_stage(GeneratorOptions{}, 3);
+  EXPECT_NE(stage.find("meta.mar             : range;"), std::string::npos);
+  EXPECT_NE(stage.find("hdr.initial.fid      : exact;"), std::string::npos);
+}
+
+TEST(P4Gen, IngressEgressSplitMatchesConfig) {
+  const auto controls = generate_controls(GeneratorOptions{});
+  // Stages 0..9 applied at ingress, 10..19 at egress.
+  const auto ingress_pos = controls.find("control ActiveIngress");
+  const auto egress_pos = controls.find("control ActiveEgress");
+  ASSERT_NE(ingress_pos, std::string::npos);
+  ASSERT_NE(egress_pos, std::string::npos);
+  const std::string ingress =
+      controls.substr(ingress_pos, egress_pos - ingress_pos);
+  EXPECT_NE(ingress.find("instruction_0.apply();"), std::string::npos);
+  EXPECT_NE(ingress.find("instruction_9.apply();"), std::string::npos);
+  EXPECT_EQ(ingress.find("instruction_10.apply();"), std::string::npos);
+  const std::string egress = controls.substr(egress_pos);
+  EXPECT_NE(egress.find("instruction_10.apply();"), std::string::npos);
+  EXPECT_NE(egress.find("instruction_19.apply();"), std::string::npos);
+}
+
+TEST(P4Gen, Deterministic) {
+  EXPECT_EQ(generate_runtime(), generate_runtime());
+}
+
+TEST(P4Gen, ScalesWithGeometry) {
+  GeneratorOptions small;
+  small.pipeline.logical_stages = 4;
+  small.pipeline.ingress_stages = 2;
+  const auto source = generate_runtime(small);
+  EXPECT_NE(source.find("pool_3;"), std::string::npos);
+  EXPECT_EQ(source.find("pool_4;"), std::string::npos);
+}
+
+TEST(P4Gen, SizeIsPaperScale) {
+  // The paper's runtime is ~10K lines of P4; the generated skeleton
+  // should be the same order of magnitude.
+  const auto source = generate_runtime();
+  const auto lines = count_occurrences(source, "\n");
+  EXPECT_GT(lines, 800u);
+}
+
+TEST(P4Gen, StageOutOfRangeThrows) {
+  EXPECT_THROW((void)generate_stage(GeneratorOptions{}, 20), UsageError);
+}
+
+TEST(P4Gen, EntryRecipeCoversMemoryOpcodesWithActionData) {
+  const auto recipe = describe_entries(7, 3, 1024, 2048, 256);
+  EXPECT_NE(recipe.find("mar_range=[1024, 2047]"), std::string::npos);
+  EXPECT_NE(recipe.find("offset=1024"), std::string::npos);
+  EXPECT_NE(recipe.find("advance=256"), std::string::npos);
+  EXPECT_NE(recipe.find("mask=0x3ff"), std::string::npos);  // 1023 < 1024
+  EXPECT_EQ(count_occurrences(recipe, "add_with_ex_mem_"), 5u);
+}
+
+}  // namespace
+}  // namespace artmt::p4gen

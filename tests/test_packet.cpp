@@ -1,0 +1,185 @@
+// Tests for the active packet wire formats of Section 3.3.
+#include <gtest/gtest.h>
+
+#include "packet/active_packet.hpp"
+
+namespace artmt::packet {
+namespace {
+
+TEST(Ethernet, RoundTrip) {
+  EthernetHeader eth;
+  eth.dst = 0x0011223344556677 & 0xffffffffffff;
+  eth.src = 0x0a0b0c0d0e0f;
+  eth.ethertype = kEtherTypeActive;
+  ByteWriter w;
+  eth.serialize(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kWireSize);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(EthernetHeader::parse(r), eth);
+}
+
+TEST(InitialHeader, RoundTripAndSize) {
+  InitialHeader h;
+  h.fid = 0x1234;
+  h.type = ActiveType::kReallocNotice;
+  h.flags = kFlagPreloadMar | kFlagManagement;
+  h.seq = 77;
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), InitialHeader::kWireSize);  // the paper's 10 bytes
+  ByteReader r(w.bytes());
+  EXPECT_EQ(InitialHeader::parse(r), h);
+}
+
+TEST(InitialHeader, RejectsUnknownType) {
+  ByteWriter w;
+  w.put_u16(1);
+  w.put_u8(250);  // bogus type
+  w.put_u8(0);
+  w.put_u32(0);
+  w.put_u16(0);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)InitialHeader::parse(r), ParseError);
+}
+
+TEST(ArgumentHeader, SizeMatchesPaper) {
+  ArgumentHeader args;
+  args.args = {1, 2, 3, 4};
+  ByteWriter w;
+  args.serialize(w);
+  EXPECT_EQ(w.size(), 16u);  // four 32-bit data fields
+  ByteReader r(w.bytes());
+  EXPECT_EQ(ArgumentHeader::parse(r), args);
+}
+
+TEST(AllocRequestHeader, SizeMatchesPaper) {
+  AllocRequestHeader req;
+  req.slots[0] = {3, 5, 0x01};
+  req.slots[1] = {8, 2, 0x00};
+  ByteWriter w;
+  req.serialize(w);
+  EXPECT_EQ(w.size(), 24u);  // eight three-byte headers
+  ByteReader r(w.bytes());
+  EXPECT_EQ(AllocRequestHeader::parse(r), req);
+  EXPECT_EQ(req.access_count(), 2u);
+}
+
+TEST(AllocResponseHeader, SizeMatchesPaper) {
+  AllocResponseHeader resp;
+  resp.regions[4] = {1024, 2048};
+  ByteWriter w;
+  resp.serialize(w);
+  EXPECT_EQ(w.size(), 160u);  // twenty eight-byte headers
+  ByteReader r(w.bytes());
+  EXPECT_EQ(AllocResponseHeader::parse(r), resp);
+  EXPECT_TRUE(resp.regions[4].allocated());
+  EXPECT_FALSE(resp.regions[0].allocated());
+  EXPECT_EQ(resp.regions[4].words(), 1024u);
+}
+
+TEST(ActivePacket, ProgramRoundTrip) {
+  active::Program prog;
+  prog.push({active::Opcode::kMarLoad, 0});
+  prog.push({active::Opcode::kMemRead});
+  prog.push({active::Opcode::kReturn});
+  ArgumentHeader args;
+  args.args = {10, 20, 30, 40};
+  ActivePacket pkt = ActivePacket::make_program(9, args, prog);
+  pkt.payload = {0xde, 0xad};
+  const auto frame = pkt.serialize();
+
+  const ActivePacket back = ActivePacket::parse(frame);
+  EXPECT_EQ(back.initial.fid, 9);
+  EXPECT_EQ(back.initial.type, ActiveType::kProgram);
+  ASSERT_TRUE(back.arguments.has_value());
+  EXPECT_EQ(back.arguments->args, args.args);
+  ASSERT_TRUE(back.program.has_value());
+  EXPECT_EQ(back.program->code(), prog.code());
+  EXPECT_EQ(back.payload, (std::vector<u8>{0xde, 0xad}));
+}
+
+TEST(ActivePacket, PreloadFlagsTravel) {
+  active::Program prog;
+  prog.push({active::Opcode::kMemRead});
+  prog.push({active::Opcode::kReturn});
+  prog.preload_mar = true;
+  prog.preload_mbr = true;
+  const ActivePacket pkt =
+      ActivePacket::make_program(1, ArgumentHeader{}, prog);
+  const ActivePacket back = ActivePacket::parse(pkt.serialize());
+  EXPECT_TRUE(back.program->preload_mar);
+  EXPECT_TRUE(back.program->preload_mbr);
+}
+
+TEST(ActivePacket, ControlOnlyRoundTrip) {
+  const ActivePacket pkt =
+      ActivePacket::make_control(5, ActiveType::kExtractComplete);
+  const ActivePacket back = ActivePacket::parse(pkt.serialize());
+  EXPECT_EQ(back.initial.fid, 5);
+  EXPECT_EQ(back.initial.type, ActiveType::kExtractComplete);
+  EXPECT_FALSE(back.program.has_value());
+  EXPECT_FALSE(back.arguments.has_value());
+}
+
+TEST(ActivePacket, RequestRoundTrip) {
+  ActivePacket pkt;
+  pkt.initial.type = ActiveType::kAllocRequest;
+  pkt.arguments = ArgumentHeader{{11, 8, 1, 0}};
+  AllocRequestHeader req;
+  req.slots[0] = {2, 1, 0x01};
+  pkt.request = req;
+  const ActivePacket back = ActivePacket::parse(pkt.serialize());
+  ASSERT_TRUE(back.request.has_value());
+  EXPECT_EQ(back.request->slots[0], req.slots[0]);
+}
+
+TEST(ActivePacket, ResponseRoundTrip) {
+  ActivePacket pkt;
+  pkt.initial.type = ActiveType::kAllocResponse;
+  pkt.initial.fid = 3;
+  AllocResponseHeader resp;
+  resp.regions[7] = {100, 356};
+  pkt.response = resp;
+  const ActivePacket back = ActivePacket::parse(pkt.serialize());
+  ASSERT_TRUE(back.response.has_value());
+  EXPECT_EQ(back.response->regions[7], resp.regions[7]);
+}
+
+TEST(ActivePacket, NonActiveEtherTypeRejected) {
+  ByteWriter w;
+  EthernetHeader eth;
+  eth.ethertype = kEtherTypeIpv4;
+  eth.serialize(w);
+  EXPECT_THROW((void)ActivePacket::parse(w.bytes()), ParseError);
+}
+
+TEST(ActivePacket, MissingSectionsThrowOnSerialize) {
+  ActivePacket pkt;
+  pkt.initial.type = ActiveType::kProgram;  // but no args/program
+  EXPECT_THROW((void)pkt.serialize(), UsageError);
+  pkt.initial.type = ActiveType::kAllocResponse;
+  EXPECT_THROW((void)pkt.serialize(), UsageError);
+}
+
+TEST(ActivePacket, TruncatedFrameThrows) {
+  active::Program prog;
+  prog.push({active::Opcode::kReturn});
+  const ActivePacket pkt =
+      ActivePacket::make_program(1, ArgumentHeader{}, prog);
+  auto frame = pkt.serialize();
+  frame.resize(frame.size() - 6);  // chop EOF + payload
+  EXPECT_THROW((void)ActivePacket::parse(frame), ParseError);
+}
+
+// The initial header is 10 bytes, arg header 16, instructions 2 each plus
+// EOF: Listing 1 (11 instructions) rides in 14 + 10 + 16 + 24 = 64 bytes.
+TEST(ActivePacket, Listing1WireSize) {
+  active::Program prog;
+  for (int i = 0; i < 11; ++i) prog.push({active::Opcode::kNop});
+  const ActivePacket pkt =
+      ActivePacket::make_program(1, ArgumentHeader{}, prog);
+  EXPECT_EQ(pkt.serialize().size(), 14u + 10u + 16u + 24u);
+}
+
+}  // namespace
+}  // namespace artmt::packet

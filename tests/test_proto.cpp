@@ -1,0 +1,91 @@
+// Tests for the wire translation between the allocator model and the
+// active packet headers.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "proto/wire.hpp"
+
+namespace artmt::proto {
+namespace {
+
+TEST(Wire, RequestRoundTrip) {
+  const auto request = apps::cache_request();
+  const auto pkt = encode_request(request, /*seq=*/42);
+  EXPECT_EQ(pkt.initial.seq, 42u);
+  const auto back = decode_request(packet::ActivePacket::parse(pkt.serialize()));
+  EXPECT_EQ(back.program_length, request.program_length);
+  EXPECT_EQ(back.elastic, request.elastic);
+  ASSERT_EQ(back.accesses.size(), request.accesses.size());
+  for (std::size_t i = 0; i < back.accesses.size(); ++i) {
+    EXPECT_EQ(back.accesses[i].position, request.accesses[i].position);
+    EXPECT_EQ(back.accesses[i].demand_blocks,
+              request.accesses[i].demand_blocks);
+    EXPECT_EQ(back.accesses[i].alias, request.accesses[i].alias);
+  }
+  ASSERT_TRUE(back.rts_position.has_value());
+  EXPECT_EQ(*back.rts_position, *request.rts_position);
+}
+
+TEST(Wire, RequestAliasSurvives) {
+  const auto request = apps::hh_request();
+  const auto back = decode_request(
+      packet::ActivePacket::parse(encode_request(request).serialize()));
+  ASSERT_EQ(back.accesses.size(), 6u);
+  EXPECT_EQ(back.accesses[5].alias, 2);
+  EXPECT_EQ(back.accesses[0].alias, -1);
+}
+
+TEST(Wire, RequestWithoutRts) {
+  const auto request = apps::hh_request();
+  EXPECT_FALSE(request.rts_position.has_value());
+  const auto back = decode_request(
+      packet::ActivePacket::parse(encode_request(request).serialize()));
+  EXPECT_FALSE(back.rts_position.has_value());
+}
+
+TEST(Wire, TooManyAccessesRejected) {
+  alloc::AllocationRequest request;
+  for (u32 i = 0; i < 9; ++i) request.accesses.push_back({i * 2, 1});
+  request.program_length = 30;
+  EXPECT_THROW((void)encode_request(request), UsageError);
+}
+
+TEST(Wire, DecodeRejectsWrongType) {
+  const auto pkt =
+      packet::ActivePacket::make_control(1, packet::ActiveType::kDealloc);
+  EXPECT_THROW((void)decode_request(pkt), ParseError);
+}
+
+TEST(Wire, ResponseCarriesMutantInPayload) {
+  packet::AllocResponseHeader regions;
+  regions.regions[3] = {256, 512};
+  regions.regions[7] = {0, 256};
+  const alloc::Mutant mutant{3, 7, 23};
+  const auto pkt = encode_response(9, regions, mutant, 5);
+  const auto parsed = packet::ActivePacket::parse(pkt.serialize());
+  EXPECT_EQ(parsed.initial.fid, 9);
+  EXPECT_EQ(parsed.initial.seq, 5u);
+  ASSERT_TRUE(parsed.response.has_value());
+  EXPECT_EQ(parsed.response->regions[3].start_word, 256u);
+  EXPECT_EQ(decode_mutant(parsed), mutant);
+}
+
+TEST(Wire, DenialCarriesFlag) {
+  const auto pkt = encode_denial(7);
+  const auto parsed = packet::ActivePacket::parse(pkt.serialize());
+  EXPECT_TRUE(parsed.initial.flags & packet::kFlagAllocFailed);
+  EXPECT_EQ(parsed.initial.seq, 7u);
+}
+
+TEST(Wire, DemandsWiderThan255Unsupported) {
+  // The 3-byte slot caps demands at 255 blocks; our apps stay far below.
+  for (const auto& req :
+       {apps::cache_request(), apps::hh_request(), apps::lb_request()}) {
+    for (const auto& access : req.accesses) {
+      EXPECT_LE(access.demand_blocks, 255u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace artmt::proto

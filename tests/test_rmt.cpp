@@ -1,0 +1,209 @@
+// Tests for the RMT substrate: register arrays, stages (match entries,
+// TCAM accounting, translation masks), the pipeline, and hash engines.
+#include <gtest/gtest.h>
+
+#include "rmt/hash.hpp"
+#include "rmt/pipeline.hpp"
+
+namespace artmt::rmt {
+namespace {
+
+// ---------- register array ----------
+
+TEST(RegisterArray, ReadWrite) {
+  RegisterArray arr(8);
+  arr.write(3, 42);
+  EXPECT_EQ(arr.read(3), 42u);
+  EXPECT_EQ(arr.read(0), 0u);
+}
+
+TEST(RegisterArray, OutOfRangeThrows) {
+  RegisterArray arr(4);
+  EXPECT_THROW((void)arr.read(4), UsageError);
+  EXPECT_THROW(arr.write(5, 1), UsageError);
+}
+
+TEST(RegisterArray, IncrementReturnsNewValue) {
+  RegisterArray arr(2);
+  EXPECT_EQ(arr.increment(0, 3), 3u);
+  EXPECT_EQ(arr.increment(0, 3), 6u);
+}
+
+TEST(RegisterArray, IncrementWrapsLikeHardware) {
+  RegisterArray arr(1);
+  arr.write(0, 0xffffffff);
+  EXPECT_EQ(arr.increment(0, 2), 1u);
+}
+
+TEST(RegisterArray, MinRead) {
+  RegisterArray arr(1);
+  arr.write(0, 10);
+  EXPECT_EQ(arr.min_read(0, 7), 7u);
+  EXPECT_EQ(arr.min_read(0, 12), 10u);
+  EXPECT_EQ(arr.read(0), 10u);  // non-mutating
+}
+
+TEST(RegisterArray, DumpLoadFill) {
+  RegisterArray arr(10);
+  arr.fill(2, 3, 9);
+  const auto words = arr.dump(1, 5);
+  EXPECT_EQ(words, (std::vector<Word>{0, 9, 9, 9, 0}));
+  arr.load(5, std::vector<Word>{1, 2});
+  EXPECT_EQ(arr.read(6), 2u);
+  EXPECT_THROW((void)arr.dump(8, 5), UsageError);
+  EXPECT_THROW(arr.fill(9, 2, 0), UsageError);
+}
+
+// ---------- translation mask ----------
+
+TEST(TranslationMask, PowerOfTwoRegion) {
+  EXPECT_EQ(translation_mask(0, 256), 255u);
+  EXPECT_EQ(translation_mask(100, 356), 255u);
+}
+
+TEST(TranslationMask, NonPowerRoundsDown) {
+  EXPECT_EQ(translation_mask(0, 300), 255u);
+  EXPECT_EQ(translation_mask(0, 255), 127u);
+}
+
+TEST(TranslationMask, DegenerateRegions) {
+  EXPECT_EQ(translation_mask(5, 5), 0u);
+  EXPECT_EQ(translation_mask(5, 6), 0u);
+  EXPECT_EQ(translation_mask(5, 7), 1u);
+}
+
+// Property: offset + mask always lands inside the region.
+TEST(TranslationMask, PropertyStaysInRegion) {
+  for (u32 size = 1; size < 1000; size += 7) {
+    const Word mask = translation_mask(40, 40 + size);
+    EXPECT_LT(40u + mask, 40u + size);
+  }
+}
+
+// ---------- stage ----------
+
+TEST(Stage, InstallAndLookup) {
+  Stage stage(1024, 4);
+  ASSERT_TRUE(stage.install(7, 256, 512, 100));
+  const FidEntry* entry = stage.lookup(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->start_word, 256u);
+  EXPECT_EQ(entry->limit_word, 512u);
+  EXPECT_EQ(entry->offset, 256u);
+  EXPECT_EQ(entry->mask, 255u);
+  EXPECT_EQ(entry->advance, 100);
+  EXPECT_TRUE(entry->covers(256));
+  EXPECT_TRUE(entry->covers(511));
+  EXPECT_FALSE(entry->covers(512));
+}
+
+TEST(Stage, TcamCapacityEnforced) {
+  Stage stage(1024, 2);
+  EXPECT_TRUE(stage.install(1, 0, 10));
+  EXPECT_TRUE(stage.install(2, 10, 20));
+  EXPECT_FALSE(stage.install(3, 20, 30));  // full
+  EXPECT_EQ(stage.tcam_used(), 2u);
+  // Replacing an existing entry does not consume a new slot.
+  EXPECT_TRUE(stage.install(1, 0, 16));
+  stage.remove(2);
+  EXPECT_TRUE(stage.install(3, 20, 30));
+}
+
+TEST(Stage, RemoveIsIdempotent) {
+  Stage stage(64, 4);
+  stage.install(1, 0, 8);
+  stage.remove(1);
+  stage.remove(1);
+  EXPECT_EQ(stage.lookup(1), nullptr);
+}
+
+TEST(Stage, OutOfBoundsRegionThrows) {
+  Stage stage(64, 4);
+  EXPECT_THROW((void)stage.install(1, 0, 65), UsageError);
+  EXPECT_THROW((void)stage.install(1, 10, 5), UsageError);
+}
+
+// ---------- pipeline ----------
+
+TEST(Pipeline, DefaultGeometryMatchesPaper) {
+  PipelineConfig cfg;
+  Pipeline pipe(cfg);
+  EXPECT_EQ(pipe.stage_count(), 20u);
+  EXPECT_EQ(cfg.blocks_per_stage(), 368u);  // 94208 words / 256-word blocks
+  EXPECT_EQ(pipe.total_words(), 94'208ull * 20);
+}
+
+TEST(Pipeline, IngressEgressSplit) {
+  Pipeline pipe(PipelineConfig{});
+  EXPECT_TRUE(pipe.is_ingress(0));
+  EXPECT_TRUE(pipe.is_ingress(9));
+  EXPECT_FALSE(pipe.is_ingress(10));
+  EXPECT_FALSE(pipe.is_ingress(19));
+  // Recirculated global stages wrap.
+  EXPECT_TRUE(pipe.is_ingress(20));
+  EXPECT_FALSE(pipe.is_ingress(35));
+}
+
+TEST(Pipeline, BadConfigThrows) {
+  PipelineConfig cfg;
+  cfg.ingress_stages = 25;
+  EXPECT_THROW(Pipeline{cfg}, UsageError);
+  cfg = PipelineConfig{};
+  cfg.block_words = 0;
+  EXPECT_THROW(Pipeline{cfg}, UsageError);
+}
+
+TEST(Pipeline, TcamAccounting) {
+  PipelineConfig cfg;
+  Pipeline pipe(cfg);
+  pipe.stage(0).install(1, 0, 10);
+  pipe.stage(5).install(1, 0, 10);
+  pipe.stage(5).install(2, 10, 20);
+  EXPECT_EQ(pipe.total_tcam_used(), 3u);
+}
+
+TEST(Pipeline, StageIndexChecked) {
+  Pipeline pipe(PipelineConfig{});
+  EXPECT_THROW((void)pipe.stage(20), UsageError);
+}
+
+// ---------- hash ----------
+
+TEST(Hash, Crc32cKnownVector) {
+  // CRC32C("123456789") = 0xE3069283
+  const std::string s = "123456789";
+  const std::vector<u8> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32c(bytes), 0xe3069283u);
+}
+
+TEST(Hash, Deterministic) {
+  const std::vector<Word> words{1, 2, 3};
+  EXPECT_EQ(hash_words(words), hash_words(words));
+}
+
+TEST(Hash, EnginesIndependent) {
+  const std::vector<Word> words{42, 43};
+  EXPECT_NE(hash_words(words, 0), hash_words(words, 1));
+  EXPECT_NE(hash_words(words, 1), hash_words(words, 2));
+}
+
+TEST(Hash, SensitiveToInput) {
+  EXPECT_NE(hash_words(std::vector<Word>{1, 2}),
+            hash_words(std::vector<Word>{2, 1}));
+}
+
+TEST(Hash, ReasonablyUniform) {
+  // Bucket 10k hashes into 16 bins; no bin should be wildly off 625.
+  std::array<int, 16> bins{};
+  for (Word i = 0; i < 10000; ++i) {
+    const std::vector<Word> words{i, i * 31};
+    bins[hash_words(words) % 16]++;
+  }
+  for (int count : bins) {
+    EXPECT_GT(count, 400);
+    EXPECT_LT(count, 900);
+  }
+}
+
+}  // namespace
+}  // namespace artmt::rmt

@@ -1,0 +1,212 @@
+// Tests for per-stage block accounting: inelastic pinning, holes, the
+// elastic frontier, and progressive-filling shares.
+#include <gtest/gtest.h>
+
+#include "alloc/stage_state.hpp"
+#include "common/error.hpp"
+
+namespace artmt::alloc {
+namespace {
+
+TEST(StageState, InelasticPinsToBottom) {
+  StageState s(100);
+  s.add_inelastic(1, 10);
+  s.add_inelastic(2, 5);
+  EXPECT_EQ(s.regions().at(1), (Interval{0, 10}));
+  EXPECT_EQ(s.regions().at(2), (Interval{10, 15}));
+  EXPECT_EQ(s.allocated_blocks(), 15u);
+  EXPECT_EQ(s.free_blocks(), 85u);
+}
+
+TEST(StageState, DepartureLeavesHoleReusedFirstFit) {
+  StageState s(100);
+  s.add_inelastic(1, 10);
+  s.add_inelastic(2, 5);
+  s.add_inelastic(3, 7);
+  s.remove_inelastic(2);
+  EXPECT_FALSE(s.inelastic_needs_frontier(5));
+  s.add_inelastic(4, 4);  // fits the hole at [10, 15)
+  EXPECT_EQ(s.regions().at(4), (Interval{10, 14}));
+}
+
+TEST(StageState, FrontierRetreatsWhenEdgeFrees) {
+  StageState s(100);
+  s.add_inelastic(1, 10);
+  s.add_inelastic(2, 5);
+  s.remove_inelastic(2);
+  s.remove_inelastic(1);
+  // Everything freed: frontier back at zero, whole pool elastic-capable.
+  EXPECT_TRUE(s.elastic_fits(100));
+}
+
+TEST(StageState, ElasticSharesSplitEqually) {
+  StageState s(100);
+  s.add_elastic(1, 1);
+  EXPECT_EQ(s.regions().at(1).size(), 100u);
+  s.add_elastic(2, 1);
+  EXPECT_EQ(s.regions().at(1).size(), 50u);
+  EXPECT_EQ(s.regions().at(2).size(), 50u);
+  s.add_elastic(3, 1);
+  // 100 = 34 + 33 + 33 under progressive filling.
+  u32 total = 0;
+  for (const auto& [id, region] : s.regions()) {
+    EXPECT_GE(region.size(), 33u);
+    EXPECT_LE(region.size(), 34u);
+    total += region.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StageState, ElasticRegionsContiguousAndDisjoint) {
+  StageState s(100);
+  s.add_inelastic(9, 10);
+  s.add_elastic(1, 1);
+  s.add_elastic(2, 1);
+  const auto& r1 = s.regions().at(1);
+  const auto& r2 = s.regions().at(2);
+  EXPECT_EQ(r1.begin, 10u);  // elastic pool starts at the frontier
+  EXPECT_EQ(r2.begin, r1.end);
+  EXPECT_EQ(r2.end, 100u);
+}
+
+TEST(StageState, ElasticCapsRespected) {
+  StageState s(100);
+  s.add_elastic(1, 1, /*cap=*/10);
+  s.add_elastic(2, 1);
+  EXPECT_EQ(s.regions().at(1).size(), 10u);
+  EXPECT_EQ(s.regions().at(2).size(), 90u);
+}
+
+TEST(StageState, AllCappedLeavesFreeBlocks) {
+  StageState s(100);
+  s.add_elastic(1, 1, 5);
+  s.add_elastic(2, 1, 5);
+  EXPECT_EQ(s.allocated_blocks(), 10u);
+  EXPECT_EQ(s.free_blocks(), 90u);
+}
+
+TEST(StageState, InelasticSqueezesElastic) {
+  StageState s(100);
+  s.add_elastic(1, 1);
+  EXPECT_EQ(s.regions().at(1).size(), 100u);
+  s.add_inelastic(2, 40);
+  EXPECT_EQ(s.regions().at(2), (Interval{0, 40}));
+  EXPECT_EQ(s.regions().at(1).size(), 60u);
+}
+
+TEST(StageState, InelasticFitRespectsElasticMinima) {
+  StageState s(100);
+  s.add_elastic(1, 30);
+  s.add_elastic(2, 30);
+  EXPECT_TRUE(s.inelastic_fits(40));
+  EXPECT_FALSE(s.inelastic_fits(41));  // would violate the minima
+  EXPECT_THROW(s.add_inelastic(3, 41), UsageError);
+}
+
+TEST(StageState, ElasticFitRespectsMinima) {
+  StageState s(10);
+  s.add_elastic(1, 4);
+  s.add_elastic(2, 4);
+  EXPECT_TRUE(s.elastic_fits(2));
+  EXPECT_FALSE(s.elastic_fits(3));
+}
+
+TEST(StageState, FungibleCountsFreePlusSqueezable) {
+  StageState s(100);
+  s.add_inelastic(1, 20);  // fungible: 80 free
+  EXPECT_EQ(s.fungible_blocks(), 80u);
+  s.add_elastic(2, 5);  // takes all 80, squeezable to 5
+  EXPECT_EQ(s.fungible_blocks(), 75u);
+  s.remove_inelastic(1);
+  // Pool back to 100, all held by app 2 above its 5-block minimum.
+  EXPECT_EQ(s.fungible_blocks(), 95u);
+}
+
+TEST(StageState, DuplicateAppRejected) {
+  StageState s(10);
+  s.add_elastic(1, 1);
+  EXPECT_THROW(s.add_elastic(1, 1), UsageError);
+  EXPECT_THROW(s.add_inelastic(1, 1), UsageError);
+}
+
+TEST(StageState, UnknownRemovalRejected) {
+  StageState s(10);
+  EXPECT_THROW(s.remove_elastic(9), UsageError);
+  EXPECT_THROW(s.remove_inelastic(9), UsageError);
+}
+
+TEST(StageState, ZeroDemandsRejected) {
+  StageState s(10);
+  EXPECT_THROW((void)s.inelastic_fits(0), UsageError);
+  EXPECT_THROW((void)s.elastic_fits(0), UsageError);
+}
+
+TEST(StageState, RemoveElasticRedistributes) {
+  StageState s(90);
+  s.add_elastic(1, 1);
+  s.add_elastic(2, 1);
+  s.add_elastic(3, 1);
+  s.remove_elastic(2);
+  EXPECT_EQ(s.regions().at(1).size(), 45u);
+  EXPECT_EQ(s.regions().at(3).size(), 45u);
+}
+
+TEST(StageState, MinimaHonoredUnderContention) {
+  StageState s(10);
+  s.add_elastic(1, 3);
+  s.add_elastic(2, 3);
+  s.add_elastic(3, 3);
+  for (const auto& [id, region] : s.regions()) {
+    EXPECT_GE(region.size(), 3u);
+  }
+  EXPECT_EQ(s.allocated_blocks(), 10u);
+}
+
+// Property: random churn keeps regions disjoint and within capacity.
+TEST(StageState, PropertyChurnKeepsInvariants) {
+  StageState s(368);
+  u32 next_id = 1;
+  std::vector<std::pair<u32, bool>> resident;  // (id, elastic)
+  u64 seed = 12345;
+  auto rand = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<u32>(seed >> 33);
+  };
+  for (int step = 0; step < 300; ++step) {
+    if (resident.size() > 4 && rand() % 3 == 0) {
+      const auto pick = rand() % resident.size();
+      const auto [id, elastic] = resident[pick];
+      if (elastic) {
+        s.remove_elastic(id);
+      } else {
+        s.remove_inelastic(id);
+      }
+      resident.erase(resident.begin() + pick);
+    } else {
+      const bool elastic = rand() % 2 == 0;
+      const u32 demand = rand() % 8 + 1;
+      const u32 id = next_id++;
+      if (elastic ? s.elastic_fits(demand) : s.inelastic_fits(demand)) {
+        if (elastic) {
+          s.add_elastic(id, demand);
+        } else {
+          s.add_inelastic(id, demand);
+        }
+        resident.push_back({id, elastic});
+      }
+    }
+    // Invariants: disjoint regions, all within capacity.
+    std::vector<Interval> regions;
+    for (const auto& [id, region] : s.regions()) regions.push_back(region);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      ASSERT_LE(regions[i].end, 368u);
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        ASSERT_FALSE(regions[i].overlaps(regions[j]));
+      }
+    }
+    ASSERT_EQ(s.regions().size(), resident.size());
+  }
+}
+
+}  // namespace
+}  // namespace artmt::alloc

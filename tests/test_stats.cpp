@@ -1,0 +1,98 @@
+// Tests for series recording, CSV emission, and distribution summaries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "stats/series.hpp"
+#include "stats/summary.hpp"
+
+namespace artmt::stats {
+namespace {
+
+TEST(Series, RecordsAndAggregates) {
+  Series s("util");
+  s.add(0, 0.5);
+  s.add(1, 1.5);
+  EXPECT_EQ(s.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean_y(), 1.0);
+  EXPECT_DOUBLE_EQ(s.last_y(), 1.5);
+}
+
+TEST(Series, EmptyAggregatesThrow) {
+  Series s("x");
+  EXPECT_THROW((void)s.mean_y(), UsageError);
+  EXPECT_THROW((void)s.last_y(), UsageError);
+}
+
+TEST(Series, CsvAlignsColumns) {
+  Series a("a"), b("b");
+  a.add(0, 1);
+  a.add(1, 2);
+  b.add(0, 3);
+  std::ostringstream os;
+  write_csv(os, {a, b}, "epoch");
+  EXPECT_EQ(os.str(), "epoch,a,b\n0,1,3\n1,2,\n");
+}
+
+TEST(Series, ThinKeepsEndpoints) {
+  Series s("s");
+  for (int i = 0; i < 10; ++i) s.add(i, i);
+  const Series t = thin(s, 4);
+  ASSERT_EQ(t.points().size(), 4u);  // 0, 4, 8, 9
+  EXPECT_EQ(t.points().front().x, 0);
+  EXPECT_EQ(t.points().back().x, 9);
+  EXPECT_THROW((void)thin(s, 0), UsageError);
+}
+
+TEST(Summary, OrderStatistics) {
+  const std::vector<double> values{5, 1, 3, 2, 4};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.p25, 2);
+  EXPECT_DOUBLE_EQ(s.p75, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+}
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> values{7};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.min, 7);
+  EXPECT_DOUBLE_EQ(s.median, 7);
+  EXPECT_DOUBLE_EQ(s.max, 7);
+}
+
+TEST(Summary, InterpolatesBetweenRanks) {
+  const std::vector<double> values{0, 10};
+  EXPECT_DOUBLE_EQ(summarize(values).median, 5);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW((void)summarize({}), UsageError);
+}
+
+TEST(Summary, ToStringMentionsFields) {
+  const std::vector<double> values{1, 2, 3};
+  const std::string text = summarize(values).to_string();
+  EXPECT_NE(text.find("med="), std::string::npos);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+}
+
+TEST(HitRate, TracksWindow) {
+  HitRate hr;
+  EXPECT_DOUBLE_EQ(hr.rate(), 0.0);
+  hr.record(true);
+  hr.record(false);
+  hr.record(true);
+  hr.record(true);
+  EXPECT_DOUBLE_EQ(hr.rate(), 0.75);
+  EXPECT_EQ(hr.total(), 4ull);
+  hr.reset();
+  EXPECT_DOUBLE_EQ(hr.rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace artmt::stats

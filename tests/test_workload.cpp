@@ -1,0 +1,115 @@
+// Tests for workload generation: Zipf popularity and Poisson churn.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/zipf.hpp"
+
+namespace artmt::workload {
+namespace {
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfGenerator zipf(1000, 1.0);
+  Rng rng(1);
+  std::map<u32, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.next_rank(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST(Zipf, RanksWithinUniverse) {
+  ZipfGenerator zipf(50, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next_rank(rng), 50u);
+}
+
+TEST(Zipf, TopMassMonotone) {
+  ZipfGenerator zipf(1000, 1.0);
+  EXPECT_LT(zipf.top_mass(10), zipf.top_mass(100));
+  EXPECT_NEAR(zipf.top_mass(1000), 1.0, 1e-12);
+  EXPECT_EQ(zipf.top_mass(0), 0.0);
+}
+
+TEST(Zipf, TopMassMatchesEmpirical) {
+  ZipfGenerator zipf(1000, 1.0);
+  Rng rng(3);
+  const int n = 100000;
+  int in_top100 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.next_rank(rng) < 100) ++in_top100;
+  }
+  EXPECT_NEAR(static_cast<double>(in_top100) / n, zipf.top_mass(100), 0.01);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  EXPECT_NEAR(zipf.top_mass(5), 0.5, 1e-12);
+}
+
+TEST(Zipf, KeysAreStableAndDistinct) {
+  EXPECT_EQ(ZipfGenerator::key_for_rank(7), ZipfGenerator::key_for_rank(7));
+  EXPECT_NE(ZipfGenerator::key_for_rank(7), ZipfGenerator::key_for_rank(8));
+}
+
+TEST(Zipf, EmptyUniverseThrows) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), UsageError);
+}
+
+TEST(Arrivals, MeansApproximatelyRight) {
+  ArrivalProcess proc(2.0, 1.0, 42);
+  double arrivals = 0, departures = 0;
+  const int epochs = 5000;
+  for (int i = 0; i < epochs; ++i) {
+    const auto plan = proc.next_epoch();
+    arrivals += plan.arrivals.size();
+    departures += plan.departures;
+  }
+  EXPECT_NEAR(arrivals / epochs, 2.0, 0.1);
+  EXPECT_NEAR(departures / epochs, 1.0, 0.1);
+}
+
+TEST(Arrivals, UniformKindMix) {
+  ArrivalProcess proc(2.0, 1.0, 7);
+  std::map<AppKind, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    for (const AppKind kind : proc.next_epoch().arrivals) counts[kind]++;
+  }
+  const int total =
+      counts[AppKind::kCache] + counts[AppKind::kHeavyHitter] +
+      counts[AppKind::kLoadBalancer];
+  for (const auto& [kind, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / total, 1.0 / 3.0, 0.05);
+  }
+}
+
+TEST(Arrivals, FixedKindForcesPureWorkload) {
+  ArrivalProcess proc(2.0, 1.0, 7);
+  proc.fix_kind(AppKind::kLoadBalancer);
+  for (int i = 0; i < 100; ++i) {
+    for (const AppKind kind : proc.next_epoch().arrivals) {
+      EXPECT_EQ(kind, AppKind::kLoadBalancer);
+    }
+  }
+}
+
+TEST(Arrivals, Reproducible) {
+  ArrivalProcess a(2.0, 1.0, 5);
+  ArrivalProcess b(2.0, 1.0, 5);
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = a.next_epoch();
+    const auto pb = b.next_epoch();
+    EXPECT_EQ(pa.arrivals, pb.arrivals);
+    EXPECT_EQ(pa.departures, pb.departures);
+  }
+}
+
+TEST(Arrivals, KindNames) {
+  EXPECT_STREQ(app_kind_name(AppKind::kCache), "cache");
+  EXPECT_STREQ(app_kind_name(AppKind::kHeavyHitter), "heavy-hitter");
+  EXPECT_STREQ(app_kind_name(AppKind::kLoadBalancer), "load-balancer");
+}
+
+}  // namespace
+}  // namespace artmt::workload

@@ -1,0 +1,143 @@
+// artmt_asm -- assemble, inspect, and size ActiveRMT programs.
+//
+// Usage:
+//   artmt_asm [options] [file]        (reads stdin when no file given)
+//     --hex          print the wire encoding (two bytes per instruction)
+//     --mutants      derive allocation constraints and count mutants
+//     --extra N      recirculation budget for --mutants (default 0 = mc)
+//     --stages N     logical stages (default 20)
+//     --ingress N    ingress stages (default 10)
+//
+// Example:
+//   ./build/tools/artmt_asm --mutants < my_service.asm
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "active/assembler.hpp"
+#include "alloc/mutant.hpp"
+#include "client/compiler.hpp"
+#include "common/bytes.hpp"
+
+using namespace artmt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: artmt_asm [--hex] [--mutants] [--extra N] "
+               "[--stages N] [--ingress N] [file]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_hex = false;
+  bool want_mutants = false;
+  u32 extra = 0;
+  alloc::StageGeometry geometry{20, 10};
+  const char* path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hex") == 0) {
+      want_hex = true;
+    } else if (std::strcmp(argv[i], "--mutants") == 0) {
+      want_mutants = true;
+    } else if (std::strcmp(argv[i], "--extra") == 0 && i + 1 < argc) {
+      extra = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stages") == 0 && i + 1 < argc) {
+      geometry.logical_stages = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ingress") == 0 && i + 1 < argc) {
+      geometry.ingress_stages = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "artmt_asm: cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  active::Program program;
+  try {
+    program = active::assemble(text);
+  } catch (const CompileError& error) {
+    std::fprintf(stderr, "artmt_asm: %s\n", error.what());
+    return 1;
+  }
+
+  const auto analysis = active::analyze(program);
+  std::printf("instructions: %u (wire: %zu bytes incl. EOF)\n",
+              analysis.length, program.wire_size());
+  std::printf("memory accesses:");
+  for (const u32 pos : analysis.access_positions) std::printf(" @%u", pos);
+  if (analysis.access_positions.empty()) std::printf(" none (stateless)");
+  std::printf("\n");
+  if (!analysis.rts_positions.empty()) {
+    std::printf("RTS at %u (must map to an ingress stage to avoid a "
+                "recirculation)\n",
+                analysis.rts_positions.front());
+  }
+  const u32 passes =
+      (analysis.length + geometry.logical_stages - 1) /
+      geometry.logical_stages;
+  std::printf("pipeline passes (compact form): %u\n", passes);
+
+  std::printf("\ndisassembly:\n%s", program.to_text().c_str());
+
+  if (want_hex) {
+    ByteWriter wire;
+    program.serialize(wire);
+    std::printf("\nwire encoding:");
+    for (std::size_t i = 0; i < wire.bytes().size(); ++i) {
+      if (i % 16 == 0) std::printf("\n  ");
+      std::printf("%02x ", wire.bytes()[i]);
+    }
+    std::printf("\n");
+  }
+
+  if (want_mutants && !analysis.access_positions.empty()) {
+    client::ServiceSpec spec;
+    spec.program = program;
+    spec.demands.assign(analysis.access_positions.size(), 1);
+    const auto request = client::build_request(spec);
+    const alloc::MutantPolicy policy{extra, extra == 0};
+    const auto constraints =
+        alloc::derive_constraints(request, geometry, policy);
+    std::printf("\nallocation constraints (extra passes = %u):\n", extra);
+    std::printf("  LB:");
+    for (const u32 v : constraints.lower_bounds) std::printf(" %u", v);
+    std::printf("\n  UB:");
+    for (const u32 v : constraints.upper_bounds) std::printf(" %u", v);
+    std::printf("\n  gaps:");
+    for (const u32 v : constraints.min_gaps) std::printf(" %u", v);
+    const auto mutants =
+        alloc::enumerate_mutants(request, geometry, policy);
+    std::printf("\n  mutants: %zu\n", mutants.size());
+    if (!mutants.empty()) {
+      std::printf("  first:");
+      for (const u32 v : mutants.front()) std::printf(" %u", v);
+      std::printf("\n  last: ");
+      for (const u32 v : mutants.back()) std::printf(" %u", v);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// artmt_p4gen -- emit the generated P4 runtime to stdout.
+//
+// Usage: artmt_p4gen [--stages N] [--ingress N] [--words N]
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "p4gen/generator.hpp"
+
+int main(int argc, char** argv) {
+  artmt::p4gen::GeneratorOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stages") == 0 && i + 1 < argc) {
+      options.pipeline.logical_stages =
+          static_cast<artmt::u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ingress") == 0 && i + 1 < argc) {
+      options.pipeline.ingress_stages =
+          static_cast<artmt::u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+      options.pipeline.words_per_stage =
+          static_cast<artmt::u32>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: artmt_p4gen [--stages N] [--ingress N] "
+                   "[--words N]\n");
+      return 2;
+    }
+  }
+  std::fputs(artmt::p4gen::generate_runtime(options).c_str(), stdout);
+  return 0;
+}
