@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_online.cpp" "bench/CMakeFiles/bench_fig7_online.dir/bench_fig7_online.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_online.dir/bench_fig7_online.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/artmt_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/artmt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/artmt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/artmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/artmt_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/artmt_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/artmt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/artmt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/artmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/artmt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/active/CMakeFiles/artmt_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/artmt_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

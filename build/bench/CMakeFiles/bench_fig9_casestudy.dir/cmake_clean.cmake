@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_casestudy.dir/bench_fig9_casestudy.cpp.o"
+  "CMakeFiles/bench_fig9_casestudy.dir/bench_fig9_casestudy.cpp.o.d"
+  "bench_fig9_casestudy"
+  "bench_fig9_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_demo.dir/cache_demo.cpp.o"
+  "CMakeFiles/cache_demo.dir/cache_demo.cpp.o.d"
+  "cache_demo"
+  "cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netsim")
+subdirs("packet")
+subdirs("active")
+subdirs("rmt")
+subdirs("runtime")
+subdirs("alloc")
+subdirs("proto")
+subdirs("baseline")
+subdirs("p4gen")
+subdirs("controller")
+subdirs("workload")
+subdirs("stats")
+subdirs("client")
+subdirs("apps")

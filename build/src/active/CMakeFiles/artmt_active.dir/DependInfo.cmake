@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/active/assembler.cpp" "src/active/CMakeFiles/artmt_active.dir/assembler.cpp.o" "gcc" "src/active/CMakeFiles/artmt_active.dir/assembler.cpp.o.d"
+  "/root/repo/src/active/isa.cpp" "src/active/CMakeFiles/artmt_active.dir/isa.cpp.o" "gcc" "src/active/CMakeFiles/artmt_active.dir/isa.cpp.o.d"
+  "/root/repo/src/active/program.cpp" "src/active/CMakeFiles/artmt_active.dir/program.cpp.o" "gcc" "src/active/CMakeFiles/artmt_active.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_active.dir/assembler.cpp.o"
+  "CMakeFiles/artmt_active.dir/assembler.cpp.o.d"
+  "CMakeFiles/artmt_active.dir/isa.cpp.o"
+  "CMakeFiles/artmt_active.dir/isa.cpp.o.d"
+  "CMakeFiles/artmt_active.dir/program.cpp.o"
+  "CMakeFiles/artmt_active.dir/program.cpp.o.d"
+  "libartmt_active.a"
+  "libartmt_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cpp" "src/alloc/CMakeFiles/artmt_alloc.dir/allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/artmt_alloc.dir/allocator.cpp.o.d"
+  "/root/repo/src/alloc/mutant.cpp" "src/alloc/CMakeFiles/artmt_alloc.dir/mutant.cpp.o" "gcc" "src/alloc/CMakeFiles/artmt_alloc.dir/mutant.cpp.o.d"
+  "/root/repo/src/alloc/stage_state.cpp" "src/alloc/CMakeFiles/artmt_alloc.dir/stage_state.cpp.o" "gcc" "src/alloc/CMakeFiles/artmt_alloc.dir/stage_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

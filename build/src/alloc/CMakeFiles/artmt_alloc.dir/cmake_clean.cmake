@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/artmt_alloc.dir/allocator.cpp.o.d"
+  "CMakeFiles/artmt_alloc.dir/mutant.cpp.o"
+  "CMakeFiles/artmt_alloc.dir/mutant.cpp.o.d"
+  "CMakeFiles/artmt_alloc.dir/stage_state.cpp.o"
+  "CMakeFiles/artmt_alloc.dir/stage_state.cpp.o.d"
+  "libartmt_alloc.a"
+  "libartmt_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_apps.dir/cache_service.cpp.o"
+  "CMakeFiles/artmt_apps.dir/cache_service.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/extra_services.cpp.o"
+  "CMakeFiles/artmt_apps.dir/extra_services.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/hh_service.cpp.o"
+  "CMakeFiles/artmt_apps.dir/hh_service.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/kv.cpp.o"
+  "CMakeFiles/artmt_apps.dir/kv.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/lb_service.cpp.o"
+  "CMakeFiles/artmt_apps.dir/lb_service.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/programs.cpp.o"
+  "CMakeFiles/artmt_apps.dir/programs.cpp.o.d"
+  "CMakeFiles/artmt_apps.dir/server_node.cpp.o"
+  "CMakeFiles/artmt_apps.dir/server_node.cpp.o.d"
+  "libartmt_apps.a"
+  "libartmt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_baseline.dir/monolithic.cpp.o"
+  "CMakeFiles/artmt_baseline.dir/monolithic.cpp.o.d"
+  "CMakeFiles/artmt_baseline.dir/netvrm.cpp.o"
+  "CMakeFiles/artmt_baseline.dir/netvrm.cpp.o.d"
+  "libartmt_baseline.a"
+  "libartmt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

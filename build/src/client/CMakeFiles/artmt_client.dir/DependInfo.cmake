@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client_node.cpp" "src/client/CMakeFiles/artmt_client.dir/client_node.cpp.o" "gcc" "src/client/CMakeFiles/artmt_client.dir/client_node.cpp.o.d"
+  "/root/repo/src/client/compiler.cpp" "src/client/CMakeFiles/artmt_client.dir/compiler.cpp.o" "gcc" "src/client/CMakeFiles/artmt_client.dir/compiler.cpp.o.d"
+  "/root/repo/src/client/memsync.cpp" "src/client/CMakeFiles/artmt_client.dir/memsync.cpp.o" "gcc" "src/client/CMakeFiles/artmt_client.dir/memsync.cpp.o.d"
+  "/root/repo/src/client/service.cpp" "src/client/CMakeFiles/artmt_client.dir/service.cpp.o" "gcc" "src/client/CMakeFiles/artmt_client.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/active/CMakeFiles/artmt_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/artmt_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/artmt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/artmt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/artmt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/artmt_rmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_client.dir/client_node.cpp.o"
+  "CMakeFiles/artmt_client.dir/client_node.cpp.o.d"
+  "CMakeFiles/artmt_client.dir/compiler.cpp.o"
+  "CMakeFiles/artmt_client.dir/compiler.cpp.o.d"
+  "CMakeFiles/artmt_client.dir/memsync.cpp.o"
+  "CMakeFiles/artmt_client.dir/memsync.cpp.o.d"
+  "CMakeFiles/artmt_client.dir/service.cpp.o"
+  "CMakeFiles/artmt_client.dir/service.cpp.o.d"
+  "libartmt_client.a"
+  "libartmt_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

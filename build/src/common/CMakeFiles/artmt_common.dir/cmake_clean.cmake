@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_common.dir/bytes.cpp.o"
+  "CMakeFiles/artmt_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/artmt_common.dir/fairness.cpp.o"
+  "CMakeFiles/artmt_common.dir/fairness.cpp.o.d"
+  "CMakeFiles/artmt_common.dir/interval.cpp.o"
+  "CMakeFiles/artmt_common.dir/interval.cpp.o.d"
+  "CMakeFiles/artmt_common.dir/logging.cpp.o"
+  "CMakeFiles/artmt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/artmt_common.dir/rng.cpp.o"
+  "CMakeFiles/artmt_common.dir/rng.cpp.o.d"
+  "libartmt_common.a"
+  "libartmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

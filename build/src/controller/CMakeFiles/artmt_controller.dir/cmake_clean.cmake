@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_controller.dir/controller.cpp.o"
+  "CMakeFiles/artmt_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/artmt_controller.dir/switch_node.cpp.o"
+  "CMakeFiles/artmt_controller.dir/switch_node.cpp.o.d"
+  "libartmt_controller.a"
+  "libartmt_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

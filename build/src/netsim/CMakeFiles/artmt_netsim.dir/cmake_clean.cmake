@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_netsim.dir/network.cpp.o"
+  "CMakeFiles/artmt_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/artmt_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/artmt_netsim.dir/simulator.cpp.o.d"
+  "libartmt_netsim.a"
+  "libartmt_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4gen/generator.cpp" "src/p4gen/CMakeFiles/artmt_p4gen.dir/generator.cpp.o" "gcc" "src/p4gen/CMakeFiles/artmt_p4gen.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/active/CMakeFiles/artmt_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/artmt_rmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_p4gen.dir/generator.cpp.o"
+  "CMakeFiles/artmt_p4gen.dir/generator.cpp.o.d"
+  "libartmt_p4gen.a"
+  "libartmt_p4gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_p4gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

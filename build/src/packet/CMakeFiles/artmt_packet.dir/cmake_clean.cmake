@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_packet.dir/active_packet.cpp.o"
+  "CMakeFiles/artmt_packet.dir/active_packet.cpp.o.d"
+  "CMakeFiles/artmt_packet.dir/ethernet.cpp.o"
+  "CMakeFiles/artmt_packet.dir/ethernet.cpp.o.d"
+  "libartmt_packet.a"
+  "libartmt_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_proto.dir/wire.cpp.o"
+  "CMakeFiles/artmt_proto.dir/wire.cpp.o.d"
+  "libartmt_proto.a"
+  "libartmt_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmt/hash.cpp" "src/rmt/CMakeFiles/artmt_rmt.dir/hash.cpp.o" "gcc" "src/rmt/CMakeFiles/artmt_rmt.dir/hash.cpp.o.d"
+  "/root/repo/src/rmt/pipeline.cpp" "src/rmt/CMakeFiles/artmt_rmt.dir/pipeline.cpp.o" "gcc" "src/rmt/CMakeFiles/artmt_rmt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/rmt/register_array.cpp" "src/rmt/CMakeFiles/artmt_rmt.dir/register_array.cpp.o" "gcc" "src/rmt/CMakeFiles/artmt_rmt.dir/register_array.cpp.o.d"
+  "/root/repo/src/rmt/stage.cpp" "src/rmt/CMakeFiles/artmt_rmt.dir/stage.cpp.o" "gcc" "src/rmt/CMakeFiles/artmt_rmt.dir/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

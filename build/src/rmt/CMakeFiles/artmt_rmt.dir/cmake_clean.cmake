@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_rmt.dir/hash.cpp.o"
+  "CMakeFiles/artmt_rmt.dir/hash.cpp.o.d"
+  "CMakeFiles/artmt_rmt.dir/pipeline.cpp.o"
+  "CMakeFiles/artmt_rmt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/artmt_rmt.dir/register_array.cpp.o"
+  "CMakeFiles/artmt_rmt.dir/register_array.cpp.o.d"
+  "CMakeFiles/artmt_rmt.dir/stage.cpp.o"
+  "CMakeFiles/artmt_rmt.dir/stage.cpp.o.d"
+  "libartmt_rmt.a"
+  "libartmt_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

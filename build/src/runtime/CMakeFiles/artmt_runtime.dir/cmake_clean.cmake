@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/artmt_runtime.dir/runtime.cpp.o.d"
+  "libartmt_runtime.a"
+  "libartmt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

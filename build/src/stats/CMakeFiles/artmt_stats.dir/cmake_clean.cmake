@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_stats.dir/series.cpp.o"
+  "CMakeFiles/artmt_stats.dir/series.cpp.o.d"
+  "CMakeFiles/artmt_stats.dir/summary.cpp.o"
+  "CMakeFiles/artmt_stats.dir/summary.cpp.o.d"
+  "libartmt_stats.a"
+  "libartmt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/artmt_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/artmt_workload.dir/zipf.cpp.o"
+  "CMakeFiles/artmt_workload.dir/zipf.cpp.o.d"
+  "libartmt_workload.a"
+  "libartmt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active.dir/test_active.cpp.o"
+  "CMakeFiles/test_active.dir/test_active.cpp.o.d"
+  "test_active"
+  "test_active.pdb"
+  "test_active[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_services.dir/test_extra_services.cpp.o"
+  "CMakeFiles/test_extra_services.dir/test_extra_services.cpp.o.d"
+  "test_extra_services"
+  "test_extra_services.pdb"
+  "test_extra_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

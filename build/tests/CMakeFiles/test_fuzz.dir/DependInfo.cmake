@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/test_fuzz.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/artmt_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/artmt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/artmt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/active/CMakeFiles/artmt_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/artmt_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/artmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

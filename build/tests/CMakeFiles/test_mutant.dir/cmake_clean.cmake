@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutant.dir/test_mutant.cpp.o"
+  "CMakeFiles/test_mutant.dir/test_mutant.cpp.o.d"
+  "test_mutant"
+  "test_mutant.pdb"
+  "test_mutant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

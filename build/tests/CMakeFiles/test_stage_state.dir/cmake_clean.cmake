@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_state.dir/test_stage_state.cpp.o"
+  "CMakeFiles/test_stage_state.dir/test_stage_state.cpp.o.d"
+  "test_stage_state"
+  "test_stage_state.pdb"
+  "test_stage_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_asm.dir/artmt_asm.cpp.o"
+  "CMakeFiles/artmt_asm.dir/artmt_asm.cpp.o.d"
+  "artmt_asm"
+  "artmt_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

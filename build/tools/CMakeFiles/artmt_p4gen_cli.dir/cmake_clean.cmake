@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_p4gen_cli.dir/artmt_p4gen.cpp.o"
+  "CMakeFiles/artmt_p4gen_cli.dir/artmt_p4gen.cpp.o.d"
+  "artmt_p4gen"
+  "artmt_p4gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_p4gen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for artmt_p4gen_cli.
+# This may be replaced when dependencies are built.

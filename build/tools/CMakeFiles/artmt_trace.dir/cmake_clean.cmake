@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmt_trace.dir/artmt_trace.cpp.o"
+  "CMakeFiles/artmt_trace.dir/artmt_trace.cpp.o.d"
+  "artmt_trace"
+  "artmt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
