@@ -1,17 +1,244 @@
 // Microbenchmarks (google-benchmark) for the core data-plane and
 // control-plane primitives: capsule parse/serialize, instruction
 // execution, hashing, mutant enumeration, and single allocations.
+//
+// Before the google-benchmark cases run, a steady-state harness measures
+// the switch packet path on a repeated-program workload two ways:
+//   legacy  -- decode a fresh Program per packet, execute the mutating
+//              compatibility path, serialize the mutated packet;
+//   cached  -- intern through the ProgramCache, execute the immutable
+//              CompiledProgram with a stack ExecCursor, synthesize the
+//              shrink reply from the cursor.
+// The harness asserts (exit 1) that the cache-hit execute performs zero
+// heap allocations, and prints a JSON summary: packets/sec and
+// allocations/packet for both paths, runtime drop/fault counters, and
+// program-cache hit/miss statistics.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "active/assembler.hpp"
+#include "active/program_cache.hpp"
 #include "alloc/allocator.hpp"
 #include "apps/programs.hpp"
 #include "packet/active_packet.hpp"
+#include "proto/wire.hpp"
 #include "rmt/hash.hpp"
 #include "runtime/runtime.hpp"
 
+// --- global allocation counter -------------------------------------------
+// Counts every heap allocation made by this binary; the steady-state
+// harness reads deltas around the packet loop and around the cache-hit
+// execute call specifically.
+namespace {
+unsigned long long g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_alloc_count;
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace artmt {
 namespace {
+
+// --- steady-state packet-path harness ------------------------------------
+
+struct PathResult {
+  double packets_per_sec = 0.0;
+  double allocs_per_packet = 0.0;
+};
+
+struct SteadyStateRig {
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipeline{cfg};
+  runtime::ActiveRuntime runtime{pipeline};
+  std::vector<u8> frame;  // the repeated cache-query capsule
+
+  SteadyStateRig() {
+    for (u32 s = 0; s < cfg.logical_stages; ++s) {
+      pipeline.stage(s).install(1, 0, 4096, 0);
+    }
+    const auto pkt = packet::ActivePacket::make_program(
+        1, packet::ArgumentHeader{{10, 2, 3, 0}},
+        apps::cache_query_program());
+    frame = pkt.serialize();
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+u64 legacy_round(SteadyStateRig& rig, u64 packets) {
+  const auto allocs_before = g_alloc_count;
+  for (u64 i = 0; i < packets; ++i) {
+    auto pkt = packet::ActivePacket::parse(rig.frame);
+    rig.runtime.execute(pkt);
+    benchmark::DoNotOptimize(pkt.serialize());
+  }
+  return g_alloc_count - allocs_before;
+}
+
+u64 cached_round(SteadyStateRig& rig, active::ProgramCache& cache,
+                 active::ExecCursor& cursor, u64 packets,
+                 u64* execute_allocs) {
+  const auto allocs_before = g_alloc_count;
+  for (u64 i = 0; i < packets; ++i) {
+    auto pkt = packet::ActivePacket::parse(rig.frame, cache);
+    const auto exec_before = g_alloc_count;
+    rig.runtime.execute(*pkt.compiled, pkt, cursor);
+    *execute_allocs += g_alloc_count - exec_before;
+    benchmark::DoNotOptimize(proto::encode_executed(pkt, cursor));
+  }
+  return g_alloc_count - allocs_before;
+}
+
+// Rounds of the two paths are interleaved and each path reports its best
+// round, so ambient load on a shared host skews both measurements alike
+// instead of whichever path happened to run during a busy slice.
+void measure_paths(SteadyStateRig& legacy_rig, SteadyStateRig& cached_rig,
+                   active::ProgramCache& cache, u64 rounds, u64 per_round,
+                   PathResult* legacy_out, PathResult* cached_out,
+                   u64* execute_allocs_out) {
+  active::ExecCursor cursor;
+  // Warm up both paths (and populate the cache).
+  legacy_round(legacy_rig, 1000);
+  u64 execute_allocs = 0;
+  cached_round(cached_rig, cache, cursor, 1000, &execute_allocs);
+  execute_allocs = 0;
+
+  double legacy_best_rate = 0.0;
+  double cached_best_rate = 0.0;
+  u64 legacy_allocs = 0;
+  u64 cached_allocs = 0;
+  for (u64 r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    legacy_allocs += legacy_round(legacy_rig, per_round);
+    legacy_best_rate =
+        std::max(legacy_best_rate,
+                 static_cast<double>(per_round) / seconds_since(start));
+    start = std::chrono::steady_clock::now();
+    cached_allocs +=
+        cached_round(cached_rig, cache, cursor, per_round, &execute_allocs);
+    cached_best_rate =
+        std::max(cached_best_rate,
+                 static_cast<double>(per_round) / seconds_since(start));
+  }
+  const double total = static_cast<double>(rounds * per_round);
+  legacy_out->packets_per_sec = legacy_best_rate;
+  legacy_out->allocs_per_packet = static_cast<double>(legacy_allocs) / total;
+  cached_out->packets_per_sec = cached_best_rate;
+  cached_out->allocs_per_packet = static_cast<double>(cached_allocs) / total;
+  *execute_allocs_out = execute_allocs;
+}
+
+// Returns 0 on success, 1 when the zero-allocation assertion fails.
+int run_steady_state() {
+  constexpr u64 kRounds = 10;
+  constexpr u64 kPerRound = 20'000;
+  constexpr u64 kIterations = kRounds * kPerRound;
+  SteadyStateRig legacy_rig;
+  SteadyStateRig cached_rig;
+  active::ProgramCache cache;
+
+  PathResult legacy;
+  PathResult cached;
+  u64 execute_allocs = 0;
+  measure_paths(legacy_rig, cached_rig, cache, kRounds, kPerRound, &legacy,
+                &cached, &execute_allocs);
+
+  const runtime::RuntimeStats& stats = cached_rig.runtime.stats();
+  const active::ProgramCache::Stats& cstats = cache.stats();
+  std::printf(
+      "{\n"
+      "  \"workload\": {\"program\": \"cache_query\", \"packets\": %llu},\n"
+      "  \"steady_state\": {\n"
+      "    \"legacy\": {\"packets_per_sec\": %.0f, \"allocs_per_packet\": "
+      "%.2f},\n"
+      "    \"cached\": {\"packets_per_sec\": %.0f, \"allocs_per_packet\": "
+      "%.2f, \"execute_allocs_per_packet\": %.6f},\n"
+      "    \"speedup\": %.2f\n"
+      "  },\n"
+      "  \"runtime_counters\": {\n"
+      "    \"packets\": %llu, \"instructions\": %llu, \"recirculations\": "
+      "%llu,\n"
+      "    \"drops_protection\": %llu, \"drops_no_allocation\": %llu,\n"
+      "    \"drops_recirc_limit\": %llu, \"drops_recirc_budget\": %llu,\n"
+      "    \"drops_privilege\": %llu, \"drops_explicit\": %llu,\n"
+      "    \"rts_packets\": %llu, \"forwarded_unprocessed\": %llu\n"
+      "  },\n"
+      "  \"program_cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"evictions\": %llu, \"collisions\": %llu}\n"
+      "}\n",
+      static_cast<unsigned long long>(kIterations), legacy.packets_per_sec,
+      legacy.allocs_per_packet, cached.packets_per_sec,
+      cached.allocs_per_packet,
+      static_cast<double>(execute_allocs) /
+          static_cast<double>(kIterations),
+      cached.packets_per_sec / legacy.packets_per_sec,
+      static_cast<unsigned long long>(stats.packets),
+      static_cast<unsigned long long>(stats.instructions),
+      static_cast<unsigned long long>(stats.recirculations),
+      static_cast<unsigned long long>(stats.drops_protection),
+      static_cast<unsigned long long>(stats.drops_no_allocation),
+      static_cast<unsigned long long>(stats.drops_recirc_limit),
+      static_cast<unsigned long long>(stats.drops_recirc_budget),
+      static_cast<unsigned long long>(stats.drops_privilege),
+      static_cast<unsigned long long>(stats.drops_explicit),
+      static_cast<unsigned long long>(stats.rts_packets),
+      static_cast<unsigned long long>(stats.forwarded_unprocessed),
+      static_cast<unsigned long long>(cstats.hits),
+      static_cast<unsigned long long>(cstats.misses),
+      static_cast<unsigned long long>(cstats.evictions),
+      static_cast<unsigned long long>(cstats.collisions));
+  std::fflush(stdout);
+
+  if (execute_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit ActiveRuntime::execute allocated %llu "
+                 "times over %llu packets (expected 0)\n",
+                 static_cast<unsigned long long>(execute_allocs),
+                 static_cast<unsigned long long>(kIterations));
+    return 1;
+  }
+  return 0;
+}
+
+// --- google-benchmark cases ----------------------------------------------
 
 void BM_PacketSerializeParse(benchmark::State& state) {
   const auto program = apps::cache_query_program();
@@ -39,6 +266,25 @@ void BM_RuntimeCacheQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeCacheQuery);
 
+void BM_RuntimeCacheQueryCompiled(benchmark::State& state) {
+  // The zero-mutation hot path: shared CompiledProgram + stack cursor.
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipeline(cfg);
+  runtime::ActiveRuntime runtime(pipeline);
+  for (u32 s = 0; s < 20; ++s) pipeline.stage(s).install(1, 0, 4096, 0);
+  const auto compiled =
+      active::CompiledProgram::compile(apps::cache_query_program());
+  auto pkt = packet::ActivePacket::make_program(
+      1, packet::ArgumentHeader{{10, 2, 3, 0}}, active::Program{});
+  active::ExecCursor cursor;
+  for (auto _ : state) {
+    pkt.arguments->args[0] = 10;
+    benchmark::DoNotOptimize(runtime.execute(compiled, pkt, cursor));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeCacheQueryCompiled);
+
 void BM_RuntimeMonitorProgram(benchmark::State& state) {
   rmt::PipelineConfig cfg;
   rmt::Pipeline pipeline(cfg);
@@ -54,6 +300,17 @@ void BM_RuntimeMonitorProgram(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RuntimeMonitorProgram);
+
+void BM_ProgramCacheIntern(benchmark::State& state) {
+  active::ProgramCache cache;
+  const auto program = apps::cache_query_program();
+  cache.intern(program);  // warm: every iteration below is a hit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.intern(program));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgramCacheIntern);
 
 void BM_HashWords(benchmark::State& state) {
   const std::array<Word, 4> words{1, 2, 3, 4};
@@ -99,4 +356,11 @@ BENCHMARK(BM_AssembleListing1);
 }  // namespace
 }  // namespace artmt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int steady_state_rc = artmt::run_steady_state();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return steady_state_rc;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: release build + full test suite, then an ASan+UBSan job.
+#
+# Usage: scripts/ci.sh [release|sanitize|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+job="${1:-all}"
+
+run_release() {
+  echo "== release build + tests =="
+  cmake --preset default
+  cmake --build --preset default
+  ctest --preset default
+  echo "== steady-state benchmark (zero-allocation assertion) =="
+  ./build/bench/bench_micro --benchmark_filter=NONE
+}
+
+run_sanitize() {
+  echo "== ASan+UBSan build + tests =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan
+  ctest --preset asan-ubsan
+}
+
+case "$job" in
+  release) run_release ;;
+  sanitize) run_sanitize ;;
+  all)
+    run_release
+    run_sanitize
+    ;;
+  *)
+    echo "unknown job '$job' (expected release|sanitize|all)" >&2
+    exit 2
+    ;;
+esac
+echo "ci.sh: $job OK"

@@ -69,14 +69,20 @@ constexpr std::array<OpcodeInfo, 46> kOpcodeTable = {{
 }  // namespace
 
 const OpcodeInfo* opcode_info(Opcode op) {
-  for (const auto& info : kOpcodeTable) {
-    if (info.op == op) return &info;
-  }
-  return nullptr;
+  return opcode_info(static_cast<u8>(op));
 }
 
 const OpcodeInfo* opcode_info(u8 raw) {
-  return opcode_info(static_cast<Opcode>(raw));
+  // Direct-index table: this sits on the per-instruction parse/compile
+  // path, where a linear scan of kOpcodeTable would dominate.
+  static const std::array<const OpcodeInfo*, 256> lut = [] {
+    std::array<const OpcodeInfo*, 256> table{};
+    for (const auto& info : kOpcodeTable) {
+      table[static_cast<u8>(info.op)] = &info;
+    }
+    return table;
+  }();
+  return lut[raw];
 }
 
 std::optional<Opcode> opcode_from_mnemonic(std::string_view name) {

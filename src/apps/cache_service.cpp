@@ -71,7 +71,7 @@ void CacheService::send_query(u64 key, u32 request_id) {
   msg.type = KvMessage::Type::kGet;
   msg.request_id = request_id;
   msg.key = key;
-  send_program(synth->program, args, msg.serialize(), false, server_mac_);
+  send_program(*synth, args, msg.serialize(), false, server_mac_);
 }
 
 void CacheService::get(u64 key) {
@@ -106,7 +106,7 @@ void CacheService::send_populate(u64 key, u32 value, u32 request_id) {
   msg.key = key;
   msg.value = value;
   ++stats_.populate_sent;
-  send_program(populate_synth_.program, args, msg.serialize(),
+  send_program(populate_synth_, args, msg.serialize(),
                /*management=*/true);
 }
 

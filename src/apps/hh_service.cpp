@@ -41,7 +41,7 @@ void FrequentItemService::observe(u64 key) {
   msg.type = KvMessage::Type::kGet;
   msg.request_id = next_request_++;
   msg.key = key;
-  send_program(synth->program, args, msg.serialize(), false, server_mac_);
+  send_program(*synth, args, msg.serialize(), false, server_mac_);
 }
 
 client::MemRef FrequentItemService::ref_for_access(u32 access,

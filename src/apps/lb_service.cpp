@@ -87,7 +87,7 @@ void CheetahLbService::open_flow(u32 flow_id) {
   msg.request_id = flow_id;
   // SYN capsules are routed by SET_DST at the switch; the L2 destination
   // is a placeholder the program overrides.
-  send_program(synth->program, args, msg.serialize(), false,
+  send_program(*synth, args, msg.serialize(), false,
                node().switch_mac());
 }
 

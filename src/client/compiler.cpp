@@ -136,6 +136,8 @@ SynthesizedProgram synthesize(const ServiceSpec& spec,
   }
   SynthesizedProgram out;
   out.program = active::mutate(spec.program, mutant);
+  out.compiled = std::make_shared<const active::CompiledProgram>(
+      active::CompiledProgram::compile(out.program));
   out.access_base.reserve(mutant.size());
   out.access_words.reserve(mutant.size());
   for (u32 global_stage : mutant) {

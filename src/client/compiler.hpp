@@ -5,9 +5,11 @@
 // translation information ("linking").
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "active/compiled_program.hpp"
 #include "active/program.hpp"
 #include "alloc/mutant.hpp"
 #include "alloc/request.hpp"
@@ -46,6 +48,11 @@ alloc::AllocationRequest compose_request(std::span<const ServiceSpec> specs);
 // The compiled output for one admitted placement.
 struct SynthesizedProgram {
   active::Program program;  // NOP-mutated to the chosen stages
+  // Same program, compiled once at synthesis time. Services sending the
+  // same mutant on every packet share this read-only artifact (and the
+  // switch's cache interns the identical bytes), so the per-packet path
+  // copies a shared_ptr instead of a Program.
+  std::shared_ptr<const active::CompiledProgram> compiled;
   // Physical word range of each access's region (for client-side address
   // translation of direct-addressed programs).
   std::vector<u32> access_base;   // region start word, per access

@@ -49,6 +49,26 @@ void Service::send_program(const active::Program& program,
   }
 }
 
+void Service::send_program(const SynthesizedProgram& synth,
+                          const packet::ArgumentHeader& args,
+                          std::vector<u8> payload, bool management,
+                          packet::MacAddr dst) {
+  if (!synth.compiled) {
+    send_program(synth.program, args, std::move(payload), management, dst);
+    return;
+  }
+  if (fid_ == 0) throw UsageError("Service::send_program: no allocation");
+  packet::ActivePacket pkt =
+      packet::ActivePacket::make_program(fid_, args, synth.compiled);
+  if (management) pkt.initial.flags |= packet::kFlagManagement;
+  pkt.payload = std::move(payload);
+  if (dst == 0) {
+    node().send_active(std::move(pkt));
+  } else {
+    node().send_active_to(dst, std::move(pkt));
+  }
+}
+
 void Service::extraction_done() {
   if (state_ != State::kMemoryManagement) {
     throw UsageError("Service::extraction_done: not in memory management");

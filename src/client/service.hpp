@@ -65,6 +65,13 @@ class Service {
                     std::vector<u8> payload = {}, bool management = false,
                     packet::MacAddr dst = 0);
 
+  // Preferred per-packet path: ships the synthesized program's shared
+  // compiled artifact (no Program copy per packet).
+  void send_program(const SynthesizedProgram& synth,
+                    const packet::ArgumentHeader& args,
+                    std::vector<u8> payload = {}, bool management = false,
+                    packet::MacAddr dst = 0);
+
   // Frame dispatch (called by ClientNode).
   void handle_active(packet::ActivePacket& pkt);
 

@@ -1,63 +1,12 @@
 #include "common/bytes.hpp"
 
+#include <string>
+
 namespace artmt {
 
-void ByteWriter::put_u16(u16 v) {
-  buf_.push_back(static_cast<u8>(v >> 8));
-  buf_.push_back(static_cast<u8>(v));
-}
-
-void ByteWriter::put_u32(u32 v) {
-  buf_.push_back(static_cast<u8>(v >> 24));
-  buf_.push_back(static_cast<u8>(v >> 16));
-  buf_.push_back(static_cast<u8>(v >> 8));
-  buf_.push_back(static_cast<u8>(v));
-}
-
-void ByteWriter::put_bytes(std::span<const u8> bytes) {
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
-}
-
-void ByteReader::require(std::size_t n) const {
-  if (remaining() < n) {
-    throw ParseError("truncated buffer: need " + std::to_string(n) +
-                     " bytes, have " + std::to_string(remaining()));
-  }
-}
-
-u8 ByteReader::get_u8() {
-  require(1);
-  return data_[pos_++];
-}
-
-u16 ByteReader::get_u16() {
-  require(2);
-  const u16 v = static_cast<u16>(static_cast<u16>(data_[pos_]) << 8 |
-                                 static_cast<u16>(data_[pos_ + 1]));
-  pos_ += 2;
-  return v;
-}
-
-u32 ByteReader::get_u32() {
-  require(4);
-  const u32 v = static_cast<u32>(data_[pos_]) << 24 |
-                static_cast<u32>(data_[pos_ + 1]) << 16 |
-                static_cast<u32>(data_[pos_ + 2]) << 8 |
-                static_cast<u32>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
-
-std::span<const u8> ByteReader::get_bytes(std::size_t n) {
-  require(n);
-  auto view = data_.subspan(pos_, n);
-  pos_ += n;
-  return view;
-}
-
-void ByteReader::skip(std::size_t n) {
-  require(n);
-  pos_ += n;
+void ByteReader::fail(std::size_t n) const {
+  throw ParseError("truncated buffer: need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(remaining()));
 }
 
 }  // namespace artmt

@@ -2,6 +2,10 @@
 // active-packet header formats of Section 3.3. Readers throw ParseError on
 // truncation so malformed capsules are rejected at the switch parser, never
 // silently misread.
+//
+// The per-byte accessors are inline: they sit on the per-packet parse and
+// serialize paths, where an out-of-line call per byte dominates the cost of
+// the load/store itself. Only the truncation throw is out of line.
 #pragma once
 
 #include <cstring>
@@ -20,9 +24,19 @@ class ByteWriter {
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
 
   void put_u8(u8 v) { buf_.push_back(v); }
-  void put_u16(u16 v);
-  void put_u32(u32 v);
-  void put_bytes(std::span<const u8> bytes);
+  void put_u16(u16 v) {
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+  void put_u32(u32 v) {
+    buf_.push_back(static_cast<u8>(v >> 24));
+    buf_.push_back(static_cast<u8>(v >> 16));
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+  void put_bytes(std::span<const u8> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
   [[nodiscard]] const std::vector<u8>& bytes() const { return buf_; }
@@ -37,19 +51,47 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const u8> data) : data_(data) {}
 
-  [[nodiscard]] u8 get_u8();
-  [[nodiscard]] u16 get_u16();
-  [[nodiscard]] u32 get_u32();
+  [[nodiscard]] u8 get_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] u16 get_u16() {
+    require(2);
+    const u16 v = static_cast<u16>(static_cast<u16>(data_[pos_]) << 8 |
+                                   static_cast<u16>(data_[pos_ + 1]));
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] u32 get_u32() {
+    require(4);
+    const u32 v = static_cast<u32>(data_[pos_]) << 24 |
+                  static_cast<u32>(data_[pos_ + 1]) << 16 |
+                  static_cast<u32>(data_[pos_ + 2]) << 8 |
+                  static_cast<u32>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
   // Returns a view of the next n bytes and advances past them.
-  [[nodiscard]] std::span<const u8> get_bytes(std::size_t n);
-  void skip(std::size_t n);
+  [[nodiscard]] std::span<const u8> get_bytes(std::size_t n) {
+    require(n);
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] bool empty() const { return remaining() == 0; }
 
  private:
-  void require(std::size_t n) const;
+  void require(std::size_t n) const {
+    if (remaining() < n) fail(n);
+  }
+  [[noreturn]] void fail(std::size_t n) const;  // cold: throws ParseError
 
   std::span<const u8> data_;
   std::size_t pos_ = 0;

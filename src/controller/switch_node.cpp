@@ -13,6 +13,7 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       runtime_(pipeline_),
       controller_(pipeline_, runtime_, config.scheme, config.policy,
                   config.costs),
+      program_cache_(config.program_cache_entries),
       default_recirc_budget_(config.default_recirc_budget) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
 }
@@ -23,14 +24,18 @@ void SwitchNode::bind(packet::MacAddr mac, u32 port) {
 
 void SwitchNode::send_to_mac(packet::MacAddr dst, ActivePacket pkt,
                              SimTime delay) {
+  pkt.ethernet.dst = dst;
+  send_frame_to_mac(dst, pkt.serialize(), delay);
+}
+
+void SwitchNode::send_frame_to_mac(packet::MacAddr dst, std::vector<u8> frame,
+                                   SimTime delay) {
   const auto it = l2_table_.find(dst);
   if (it == l2_table_.end()) {
     ++stats_.unknown_destination;
     return;
   }
-  pkt.ethernet.dst = dst;
   const u32 port = it->second;
-  auto frame = pkt.serialize();
   if (delay == 0) {
     network().transmit(*this, port, std::move(frame));
     return;
@@ -45,7 +50,7 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
   (void)port;
   ActivePacket pkt;
   try {
-    pkt = ActivePacket::parse(frame);
+    pkt = proto::parse_capsule(frame, program_cache_);
   } catch (const ParseError&) {
     // Passive traffic: plain L2 forwarding by destination MAC.
     if (frame.size() >= packet::EthernetHeader::kWireSize) {
@@ -100,8 +105,15 @@ void SwitchNode::handle_program(ActivePacket pkt) {
                          static_cast<Word>(pkt.payload[4]);
   }
 
+  // Steady-state execution: the interned, immutable program plus a
+  // stack-local cursor. The decoded-Program fallback only runs for
+  // packets injected without going through the caching parser.
+  active::ExecCursor cursor;
+  const SimTime now = network().simulator().now();
   const runtime::ExecutionResult result =
-      runtime_.execute(pkt, meta, network().simulator().now());
+      pkt.compiled && !pkt.program
+          ? runtime_.execute(*pkt.compiled, pkt, cursor, meta, now)
+          : runtime_.execute(pkt, meta, now);
   switch (result.verdict) {
     case runtime::Verdict::kDrop:
       ++stats_.dropped;
@@ -113,24 +125,25 @@ void SwitchNode::handle_program(ActivePacket pkt) {
       ++stats_.forwarded;
       break;
   }
+  // One outbound frame synthesis: the shrink reply comes from the cursor,
+  // never from mutated code.
+  auto frame = proto::encode_executed(pkt, cursor);
   if (result.forked) {
     // The clone continues to the original destination as well.
-    ActivePacket clone = pkt;
-    send_to_mac(clone.ethernet.dst, std::move(clone), result.latency);
+    send_frame_to_mac(pkt.ethernet.dst, frame, result.latency);
   }
   if (result.phv.dst_overridden &&
       result.verdict == runtime::Verdict::kForward) {
     // SET_DST: the program chose an egress port directly (the Cheetah
     // select program stores server ports in the VIP pool).
     const u32 port = result.phv.dst_value;
-    auto frame = pkt.serialize();
     network().simulator().schedule_after(
         result.latency, [this, port, f = std::move(frame)]() mutable {
           network().transmit(*this, port, std::move(f));
         });
     return;
   }
-  send_to_mac(pkt.ethernet.dst, std::move(pkt), result.latency);
+  send_frame_to_mac(pkt.ethernet.dst, std::move(frame), result.latency);
 }
 
 void SwitchNode::enqueue_control(ActivePacket pkt) {

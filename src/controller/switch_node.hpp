@@ -29,6 +29,8 @@ class SwitchNode : public netsim::Node {
     bool enforce_privilege = false;
     // Applied to every admitted FID; zero rate = unlimited.
     runtime::RecircBudget default_recirc_budget;
+    // Bound on distinct interned programs (LRU beyond this).
+    std::size_t program_cache_entries = active::ProgramCache::kDefaultCapacity;
   };
 
   struct NodeStats {
@@ -50,6 +52,9 @@ class SwitchNode : public netsim::Node {
   [[nodiscard]] runtime::ActiveRuntime& runtime() { return runtime_; }
   [[nodiscard]] rmt::Pipeline& pipeline() { return pipeline_; }
   [[nodiscard]] const NodeStats& node_stats() const { return stats_; }
+  [[nodiscard]] const active::ProgramCache& program_cache() const {
+    return program_cache_;
+  }
 
  private:
   struct ControlOp {
@@ -65,11 +70,15 @@ class SwitchNode : public netsim::Node {
   void ready_to_apply();  // handshake complete or timed out
   void send_to_mac(packet::MacAddr dst, packet::ActivePacket pkt,
                    SimTime delay = 0);
+  // Transmits an already-synthesized frame toward `dst`'s port.
+  void send_frame_to_mac(packet::MacAddr dst, std::vector<u8> frame,
+                         SimTime delay);
   void finish_control();  // op done; start the next queued one
 
   rmt::Pipeline pipeline_;
   runtime::ActiveRuntime runtime_;
   Controller controller_;
+  active::ProgramCache program_cache_;
   NodeStats stats_;
 
   std::map<packet::MacAddr, u32> l2_table_;

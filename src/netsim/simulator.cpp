@@ -1,5 +1,6 @@
 #include "netsim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace artmt::netsim {
@@ -8,7 +9,8 @@ void Simulator::schedule_at(SimTime at, Action action) {
   if (at < now_) {
     throw UsageError("Simulator::schedule_at: time is in the past");
   }
-  queue_.push(Event{at, next_seq_++, std::move(action)});
+  queue_.push_back(Event{at, next_seq_++, std::move(action)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void Simulator::schedule_after(SimTime delay, Action action) {
@@ -20,18 +22,16 @@ void Simulator::schedule_after(SimTime delay, Action action) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // alternative: copy the action handle. Copy is cheap relative to event
-  // processing and keeps the code obviously correct.
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.at;
   ev.action();
   return true;
 }
 
 void Simulator::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
+  while (!queue_.empty() && queue_.front().at <= until) {
     step();
   }
   if (now_ < until) now_ = until;

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/error.hpp"
@@ -51,7 +50,10 @@ class Simulator {
 
   SimTime now_ = 0;
   u64 next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Min-heap managed with std::push_heap/pop_heap (Later makes the earliest
+  // event the front element) so step() can move the Event — and its
+  // std::function — out of the container instead of copying it.
+  std::vector<Event> queue_;
 };
 
 }  // namespace artmt::netsim

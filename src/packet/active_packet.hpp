@@ -10,10 +10,12 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "active/program.hpp"
+#include "active/program_cache.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "packet/ethernet.hpp"
@@ -134,24 +136,43 @@ struct AllocResponseHeader {
 // present according to `initial.type` (program packets have arguments AND
 // code); `payload` is the opaque passive remainder (e.g. the TCP/IP bytes
 // the program does not inspect).
+//
+// Program packets carry their code in one of two forms: a decoded,
+// mutable `program` (the legacy path) or a shared, immutable `compiled`
+// artifact interned through a ProgramCache (the switch's steady-state
+// path, which skips the per-packet decode entirely). When both are set,
+// `program` wins for serialization.
 struct ActivePacket {
   EthernetHeader ethernet;
   InitialHeader initial;
   std::optional<ArgumentHeader> arguments;
   std::optional<active::Program> program;
+  std::shared_ptr<const active::CompiledProgram> compiled;
   std::optional<AllocRequestHeader> request;
   std::optional<AllocResponseHeader> response;
   std::vector<u8> payload;
 
   // Serializes the whole frame (Ethernet + active headers + payload).
+  // Program packets serialize `program` when present, else the pristine
+  // `compiled` wire form (use proto::encode_executed for the post-
+  // execution shrink reply).
   [[nodiscard]] std::vector<u8> serialize() const;
 
   // Parses a frame; requires ethertype == kEtherTypeActive.
   static ActivePacket parse(std::span<const u8> frame);
 
+  // Parses a frame, interning program code through `cache`: on a cache
+  // hit the instruction stream is never decoded and `compiled` points at
+  // the shared artifact (`program` stays empty).
+  static ActivePacket parse(std::span<const u8> frame,
+                            active::ProgramCache& cache);
+
   // Convenience constructors.
   static ActivePacket make_program(Fid fid, const ArgumentHeader& args,
                                    const active::Program& program);
+  static ActivePacket make_program(
+      Fid fid, const ArgumentHeader& args,
+      std::shared_ptr<const active::CompiledProgram> compiled);
   static ActivePacket make_control(Fid fid, ActiveType type);
 };
 

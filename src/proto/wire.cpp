@@ -1,11 +1,89 @@
 #include "proto/wire.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace artmt::proto {
 
 using packet::ActivePacket;
 using packet::ActiveType;
+
+packet::ActivePacket parse_capsule(std::span<const u8> frame,
+                                   active::ProgramCache& cache) {
+  return ActivePacket::parse(frame, cache);
+}
+
+std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
+                                const active::ExecCursor& cursor) {
+  if (pkt.initial.type != ActiveType::kProgram || pkt.program ||
+      !pkt.compiled) {
+    // Decoded-Program packets were already mutated by the compat path;
+    // control packets carry no code. Either way the plain serializer is
+    // authoritative.
+    return pkt.serialize();
+  }
+  // The hottest serializer in the switch: one exact-size allocation and
+  // raw big-endian stores (a growable writer's per-byte bookkeeping costs
+  // more than the frame itself at line rate).
+  const auto& code = pkt.compiled->code();
+  u32 live = 0;
+  for (u32 i = 0; i < code.size(); ++i) {
+    const bool done = code[i].wire_done || cursor.done(i);
+    if (!(done && cursor.shrink)) ++live;
+  }
+  const std::size_t total = packet::EthernetHeader::kWireSize +
+                            packet::InitialHeader::kWireSize +
+                            packet::ArgumentHeader::kWireSize +
+                            2 * (static_cast<std::size_t>(live) + 1) +
+                            pkt.payload.size();
+  std::vector<u8> frame(total);
+  u8* p = frame.data();
+  const auto put16 = [&p](u16 v) {
+    *p++ = static_cast<u8>(v >> 8);
+    *p++ = static_cast<u8>(v);
+  };
+  const auto put32 = [&p](u32 v) {
+    *p++ = static_cast<u8>(v >> 24);
+    *p++ = static_cast<u8>(v >> 16);
+    *p++ = static_cast<u8>(v >> 8);
+    *p++ = static_cast<u8>(v);
+  };
+  const auto put_mac = [&](packet::MacAddr mac) {
+    put16(static_cast<u16>(mac >> 32));
+    put32(static_cast<u32>(mac));
+  };
+  // Ethernet (ethertype forced active, as ActivePacket::serialize does).
+  put_mac(pkt.ethernet.dst);
+  put_mac(pkt.ethernet.src);
+  put16(packet::kEtherTypeActive);
+  // Initial header.
+  put16(pkt.initial.fid);
+  *p++ = static_cast<u8>(pkt.initial.type);
+  *p++ = pkt.initial.flags;
+  put32(pkt.initial.seq);
+  put16(0);  // reserved
+  // Arguments.
+  for (Word arg : pkt.arguments->args) put32(arg);
+  // Surviving instructions, done-flags folded in from the cursor.
+  for (u32 i = 0; i < code.size(); ++i) {
+    const active::CompiledInsn& insn = code[i];
+    const bool done = insn.wire_done || cursor.done(i);
+    if (done && cursor.shrink) continue;  // shrunk off the wire
+    u8 flags = static_cast<u8>(insn.operand & 0x07);
+    flags |= static_cast<u8>((insn.label & 0x0f) << 3);
+    if (done) flags |= 0x80;
+    *p++ = static_cast<u8>(insn.op);
+    *p++ = flags;
+  }
+  *p++ = static_cast<u8>(active::Opcode::kEof);
+  *p++ = 0;
+  if (!pkt.payload.empty()) {
+    std::memcpy(p, pkt.payload.data(), pkt.payload.size());
+    p += pkt.payload.size();
+  }
+  return frame;
+}
 
 packet::ActivePacket encode_request(const alloc::AllocationRequest& request,
                                     u32 seq) {

@@ -4,11 +4,28 @@
 // response).
 #pragma once
 
+#include "active/compiled_program.hpp"
+#include "active/program_cache.hpp"
 #include "alloc/mutant.hpp"
 #include "alloc/request.hpp"
 #include "packet/active_packet.hpp"
 
 namespace artmt::proto {
+
+// Parses a capsule, interning program code through `cache` so recurring
+// programs are decoded and compiled once and every later packet shares the
+// read-only CompiledProgram (the switch's steady-state parse path).
+packet::ActivePacket parse_capsule(std::span<const u8> frame,
+                                   active::ProgramCache& cache);
+
+// Serializes an executed program capsule. The packet-shrink reply of
+// Section 3.1 is synthesized from the execution cursor: instructions whose
+// done-bit is set (on the wire or in this execution) are dropped when the
+// cursor allows shrinking, or re-emitted with the done flag set under
+// kFlagNoShrink. The shared CompiledProgram is never modified. Falls back
+// to ActivePacket::serialize() for packets without a compiled artifact.
+std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
+                                const active::ExecCursor& cursor);
 
 // Request packets carry program shape in the argument header:
 //   args[0] = program length

@@ -6,14 +6,20 @@
 
 namespace artmt::runtime {
 
+using active::CompiledInsn;
+using active::CompiledProgram;
+using active::ExecCursor;
 using active::Instruction;
+using active::kNoIndex;
 using active::Opcode;
 using packet::ActivePacket;
 
 namespace {
 
 // Removes instructions whose `done` flag is set (the parser-side shrink
-// optimization of Section 3.1).
+// optimization of Section 3.1). Compat path only: the switch's hot path
+// never materializes a mutable Program and synthesizes the shrunk reply
+// from the cursor instead (proto::encode_executed).
 void shrink(active::Program& program) {
   auto& code = program.code();
   code.erase(std::remove_if(code.begin(), code.end(),
@@ -23,34 +29,17 @@ void shrink(active::Program& program) {
 
 }  // namespace
 
-const rmt::FidEntry* ActiveRuntime::next_access_entry(const ActivePacket& pkt,
-                                                      u32 pc,
-                                                      u32 logical_stage) const {
-  (void)logical_stage;
-  const auto& code = pkt.program->code();
-  const u32 stages = pipeline_->config().logical_stages;
-  // Instruction i executes at logical stage i mod n, so the upcoming
-  // access's stage follows directly from its index.
-  for (u32 i = pc + 1; i < code.size(); ++i) {
-    const active::OpcodeInfo* info = active::opcode_info(code[i].op);
-    if (info != nullptr && info->memory_access) {
-      return pipeline_->stage(i % stages).lookup(pkt.initial.fid);
-    }
-  }
-  return nullptr;
-}
-
 bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
-                                        Instruction& insn, u32 logical_stage,
+                                        const CompiledInsn& insn,
+                                        u32 logical_stage,
                                         const PacketMeta& meta) {
   auto& args = pkt.arguments->args;
   const Fid fid = pkt.initial.fid;
   rmt::Stage& stage = pipeline_->stage(logical_stage);
 
   // Memory instructions: protection check first (range match on MAR).
-  const active::OpcodeInfo* info = active::opcode_info(insn.op);
   const rmt::FidEntry* entry = nullptr;
-  if (info->memory_access) {
+  if (insn.memory_access) {
     entry = stage.lookup(fid);
     if (entry == nullptr) {
       fault_ = Fault::kNoAllocation;
@@ -194,8 +183,8 @@ bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
       phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
       break;
     }
-    // ADDR_MASK / ADDR_OFFSET are resolved in execute(), which knows the
-    // program counter needed to find the next access's stage.
+    // ADDR_MASK / ADDR_OFFSET are resolved in execute(), which applies the
+    // compiled next-access table.
     case Opcode::kAddrMask:
     case Opcode::kAddrOffset:
       break;
@@ -272,7 +261,11 @@ bool ActiveRuntime::charge_recirculation(Fid fid, u32 extra_passes,
     return true;  // unlimited
   }
   BucketState& state = it->second;
-  if (now > state.last_refill) {
+  // `>=` so a zero-elapsed call still runs the refill bookkeeping (it adds
+  // zero tokens but keeps last_refill current); a clock that somehow reads
+  // earlier than last_refill charges without refilling rather than
+  // stalling the bucket.
+  if (now >= state.last_refill) {
     const double elapsed_s =
         static_cast<double>(now - state.last_refill) / kSecond;
     state.tokens = std::min(state.budget.burst,
@@ -285,17 +278,18 @@ bool ActiveRuntime::charge_recirculation(Fid fid, u32 extra_passes,
   return true;
 }
 
-ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
+ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
+                                       ActivePacket& pkt, ExecCursor& cursor,
                                        const PacketMeta& meta, SimTime now) {
   const auto& cfg = pipeline_->config();
   ExecutionResult res;
   ++stats_.packets;
   res.latency = cfg.pass_latency;
 
-  if (pkt.initial.type != packet::ActiveType::kProgram || !pkt.program ||
-      !pkt.arguments) {
-    return res;  // control packets and passive traffic just forward
-  }
+  if (!pkt.arguments) return res;  // malformed capsule: forward untouched
+  cursor.reset(program.size());
+  cursor.shrink = (pkt.initial.flags & packet::kFlagNoShrink) == 0;
+
   if (is_deactivated(pkt.initial.fid) &&
       (pkt.initial.flags & packet::kFlagManagement) == 0) {
     res.fault = Fault::kDeactivated;
@@ -304,10 +298,10 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
   }
 
   Phv phv;
-  if (pkt.program->preload_mar) phv.mar = pkt.arguments->args[0];
-  if (pkt.program->preload_mbr) phv.mbr = pkt.arguments->args[1];
+  if (program.preload_mar()) phv.mar = pkt.arguments->args[0];
+  if (program.preload_mbr()) phv.mbr = pkt.arguments->args[1];
 
-  auto& code = pkt.program->code();
+  const auto& code = program.code();
   fault_ = Fault::kNone;
   res.executed = true;
 
@@ -324,40 +318,53 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
     event.phv = state;
     trace_(event);
   };
+  // pass / stage indices carried incrementally: a divide per instruction
+  // is measurable at line rate.
   u32 pc = 0;
-  for (; pc < code.size(); ++pc) {
+  u32 pass_index = 0;
+  u32 logical_stage = 0;
+  const auto advance_stage = [&] {
+    if (++logical_stage == stages) {
+      logical_stage = 0;
+      ++pass_index;
+    }
+  };
+  for (; pc < code.size(); ++pc, advance_stage()) {
     if (phv.complete) break;
-    const u32 pass_index = pc / stages;
     if (pass_index >= cfg.max_recirculations + 1) {
       fault_ = Fault::kRecircLimit;
       phv.drop = true;
       break;
     }
-    const u32 logical_stage = pc % stages;
-    Instruction& insn = code[pc];
+    const CompiledInsn& insn = code[pc];
 
     if (phv.disabled) {
       // Skipped instructions still consume their stage; execution resumes
-      // at the pending label.
-      if (insn.label != 0 && insn.label == phv.pending_label) {
+      // at the branch's precompiled target index.
+      if (pc == cursor.resume_index) {
         phv.disabled = false;
         phv.pending_label = 0;
+        cursor.resume_index = kNoIndex;
       } else {
-        insn.done = true;
+        cursor.mark_done(pc);
         ++res.stages_consumed;
         emit_trace(pc, insn.op, /*skipped=*/true, phv);
         continue;
       }
     }
 
-    // Resolve ADDR_MASK / ADDR_OFFSET here, where pc and stage are known:
+    // Resolve ADDR_MASK / ADDR_OFFSET via the compiled next-access table:
     // they translate MAR for the stage of the NEXT memory access.
     if (insn.op == Opcode::kAddrMask || insn.op == Opcode::kAddrOffset) {
-      const rmt::FidEntry* target = next_access_entry(pkt, pc, logical_stage);
+      const rmt::FidEntry* target =
+          insn.next_access == kNoIndex
+              ? nullptr
+              : pipeline_->stage(insn.next_access % stages)
+                    .lookup(pkt.initial.fid);
       if (target == nullptr) {
         fault_ = Fault::kNoAllocation;
         phv.drop = true;
-        insn.done = true;
+        cursor.mark_done(pc);
         break;
       }
       if (insn.op == Opcode::kAddrMask) {
@@ -365,7 +372,7 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
       } else {
         phv.mar += target->offset;
       }
-      insn.done = true;
+      cursor.mark_done(pc);
       ++res.stages_consumed;
       ++res.instructions_executed;
       emit_trace(pc, insn.op, /*skipped=*/false, phv);
@@ -373,7 +380,12 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
     }
 
     const bool ok = execute_instruction(pkt, phv, insn, logical_stage, meta);
-    insn.done = true;
+    if (phv.disabled) {
+      // This instruction took a branch: arm its precompiled resume point
+      // (kNoIndex for a missing target disables to the end, as before).
+      cursor.resume_index = insn.branch_target;
+    }
+    cursor.mark_done(pc);
     ++res.stages_consumed;
     ++res.instructions_executed;
     emit_trace(pc, insn.op, /*skipped=*/false, phv);
@@ -447,9 +459,39 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
     std::swap(pkt.ethernet.src, pkt.ethernet.dst);
     ++stats_.rts_packets;
   }
+  return res;
+}
 
-  if ((pkt.initial.flags & packet::kFlagNoShrink) == 0) {
-    shrink(*pkt.program);
+ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
+                                       const PacketMeta& meta, SimTime now) {
+  if (pkt.initial.type != packet::ActiveType::kProgram ||
+      (!pkt.program && !pkt.compiled) || !pkt.arguments) {
+    // Control packets and passive traffic just forward.
+    ExecutionResult res;
+    ++stats_.packets;
+    res.latency = pipeline_->config().pass_latency;
+    return res;
+  }
+
+  active::ExecCursor cursor;
+  ExecutionResult res;
+  if (pkt.compiled && !pkt.program) {
+    res = execute(*pkt.compiled, pkt, cursor, meta, now);
+  } else {
+    const CompiledProgram compiled = CompiledProgram::compile(*pkt.program);
+    res = execute(compiled, pkt, cursor, meta, now);
+  }
+
+  // Mirror the cursor back into the mutable wire form, preserving the
+  // historic in-place semantics for packets that carry a decoded Program.
+  if (res.executed && pkt.program) {
+    auto& code = pkt.program->code();
+    for (u32 i = 0; i < code.size(); ++i) {
+      if (cursor.done(i)) code[i].done = true;
+    }
+    if (res.verdict != Verdict::kDrop && cursor.shrink) {
+      shrink(*pkt.program);
+    }
   }
   return res;
 }

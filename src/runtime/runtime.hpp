@@ -3,12 +3,21 @@
 // enforcing memory protection via the per-FID table entries the control
 // plane installed, and modeling recirculation, RTS placement, packet
 // shrinking, and execution faults.
+//
+// Execution is zero-mutation: the hot path runs an immutable
+// active::CompiledProgram shared by every packet of a recurring program,
+// and all per-packet mutable state (done-bits, branch-resume point, the
+// shrink decision) lives in a caller-provided active::ExecCursor. On the
+// cache-hit steady state the interpreter performs no heap allocation and
+// no writes to program storage; the wire-level "shrink" reply is
+// synthesized from the cursor afterwards (proto::encode_executed).
 #pragma once
 
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "active/compiled_program.hpp"
 #include "packet/active_packet.hpp"
 #include "rmt/pipeline.hpp"
 #include "runtime/phv.hpp"
@@ -96,11 +105,22 @@ class ActiveRuntime {
  public:
   explicit ActiveRuntime(rmt::Pipeline& pipeline) : pipeline_(&pipeline) {}
 
-  // Executes the program attached to `pkt` in place: argument fields are
-  // updated by MBR_STORE, executed instructions are marked done (and
-  // dropped from the wire form unless kFlagNoShrink), and the verdict
-  // says how to forward. Non-program active packets get kForward. `now`
-  // is the virtual time (feeds the recirculation governor).
+  // Hot path: executes the immutable `program` for `pkt`, threading all
+  // mutable execution state through `cursor` (reset internally). Argument
+  // fields are updated in `pkt` by MBR_STORE; executed instructions are
+  // recorded as done-bits in the cursor; the program itself is never
+  // written. Performs no heap allocation. `now` is the virtual time
+  // (feeds the recirculation governor).
+  ExecutionResult execute(const active::CompiledProgram& program,
+                          packet::ActivePacket& pkt,
+                          active::ExecCursor& cursor,
+                          const PacketMeta& meta = {}, SimTime now = 0);
+
+  // Compatibility wrapper: compiles `pkt.program` on the fly (or reuses
+  // `pkt.compiled`), executes, then mirrors the cursor back into
+  // `pkt.program` when present -- done flags are set and, unless
+  // kFlagNoShrink, executed instructions are dropped from the wire form,
+  // exactly as the pre-cursor runtime mutated packets in place.
   ExecutionResult execute(packet::ActivePacket& pkt,
                           const PacketMeta& meta = {}, SimTime now = 0);
 
@@ -133,13 +153,8 @@ class ActiveRuntime {
   // Executes one instruction in one stage. Returns false when the packet
   // faulted (phv.drop set with `fault_` recorded).
   bool execute_instruction(packet::ActivePacket& pkt, Phv& phv,
-                           active::Instruction& insn, u32 logical_stage,
+                           const active::CompiledInsn& insn, u32 logical_stage,
                            const PacketMeta& meta);
-
-  // The stage entry governing the *next* memory access at/after pc; used
-  // by ADDR_MASK / ADDR_OFFSET which translate for a later stage.
-  const rmt::FidEntry* next_access_entry(const packet::ActivePacket& pkt,
-                                         u32 pc, u32 logical_stage) const;
 
   // Charges `extra_passes` against the FID's token bucket at time `now`;
   // false when the budget is exhausted.

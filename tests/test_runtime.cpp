@@ -664,6 +664,51 @@ TEST_F(RuntimeTest, RecircBudgetIsPerFid) {
   EXPECT_EQ(run(other).verdict, Verdict::kForward);  // 42 is unlimited
 }
 
+TEST_F(RuntimeTest, RecircBudgetBurstClampsAccumulation) {
+  // High refill rate, burst of one extra pass: no matter how long the
+  // bucket idles, only one recirculating packet is admitted per instant.
+  runtime_.set_recirc_budget(1, RecircBudget{1000.0, 1.0});
+  std::string text;
+  for (int i = 0; i < 25; ++i) text += "NOP\n";
+  text += "RETURN";  // 26 instructions -> 1 extra pass
+  const SimTime later = 100 * kSecond;
+  auto first = make_packet(text, ArgumentHeader{});
+  EXPECT_EQ(runtime_.execute(first, {}, later).verdict, Verdict::kForward);
+  auto second = make_packet(text, ArgumentHeader{});
+  const auto res = runtime_.execute(second, {}, later);
+  EXPECT_EQ(res.verdict, Verdict::kDrop);
+  EXPECT_EQ(res.fault, Fault::kRecircBudget);
+}
+
+TEST_F(RuntimeTest, RecircBudgetZeroRateIsUnlimited) {
+  // tokens_per_second <= 0 disables the governor even with zero burst.
+  runtime_.set_recirc_budget(1, RecircBudget{0.0, 0.0});
+  std::string text;
+  for (int i = 0; i < 25; ++i) text += "NOP\n";
+  text += "RETURN";
+  for (int i = 0; i < 5; ++i) {
+    auto pkt = make_packet(text, ArgumentHeader{});
+    EXPECT_EQ(runtime_.execute(pkt, {}, 0).verdict, Verdict::kForward) << i;
+  }
+  EXPECT_EQ(runtime_.stats().drops_recirc_budget, 0u);
+}
+
+TEST_F(RuntimeTest, RecircBudgetZeroElapsedCallsStillCharge) {
+  // Several packets arriving at the same virtual instant each pay for
+  // their extra passes; the zero-elapsed refill adds nothing back.
+  runtime_.set_recirc_budget(1, RecircBudget{1.0, 2.0});
+  std::string text;
+  for (int i = 0; i < 25; ++i) text += "NOP\n";
+  text += "RETURN";
+  const SimTime at = 3 * kSecond;
+  for (int i = 0; i < 2; ++i) {
+    auto pkt = make_packet(text, ArgumentHeader{});
+    EXPECT_EQ(runtime_.execute(pkt, {}, at).verdict, Verdict::kForward) << i;
+  }
+  auto exhausted = make_packet(text, ArgumentHeader{});
+  EXPECT_EQ(runtime_.execute(exhausted, {}, at).verdict, Verdict::kDrop);
+}
+
 // ---------- trace observer ----------
 
 TEST_F(RuntimeTest, TraceReportsEveryConsumedStage) {

@@ -20,9 +20,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "active/assembler.hpp"
+#include "active/compiled_program.hpp"
 #include "client/compiler.hpp"
 #include "controller/controller.hpp"
 
@@ -159,8 +161,11 @@ int main(int argc, char** argv) {
                 event.phv.rts ? "rts" : "");
   });
 
-  auto capsule = packet::ActivePacket::make_program(fid, args, to_run);
-  const auto result = runtime.execute(capsule);
+  const auto compiled = std::make_shared<const active::CompiledProgram>(
+      active::CompiledProgram::compile(to_run));
+  auto capsule = packet::ActivePacket::make_program(fid, args, compiled);
+  active::ExecCursor cursor;
+  const auto result = runtime.execute(*compiled, capsule, cursor);
 
   std::printf("\nverdict: %s", verdict_name(result.verdict));
   if (result.fault != runtime::Fault::kNone) {
@@ -169,6 +174,12 @@ int main(int argc, char** argv) {
   std::printf("\npasses: %u  latency: %lld ns  instructions: %u\n",
               result.passes, static_cast<long long>(result.latency),
               result.instructions_executed);
+  u32 remaining = 0;
+  for (u32 i = 0; i < compiled->code().size(); ++i) {
+    if (!(compiled->code()[i].wire_done || cursor.done(i))) ++remaining;
+  }
+  std::printf("on-wire instructions after shrink: %u of %zu\n", remaining,
+              compiled->code().size());
   std::printf("final args: %u %u %u %u\n", capsule.arguments->args[0],
               capsule.arguments->args[1], capsule.arguments->args[2],
               capsule.arguments->args[3]);
