@@ -24,6 +24,8 @@
 #include "active/program_cache.hpp"
 #include "alloc/allocator.hpp"
 #include "apps/programs.hpp"
+#include "controller/switch_node.hpp"
+#include "netsim/network.hpp"
 #include "packet/active_packet.hpp"
 #include "proto/wire.hpp"
 #include "rmt/hash.hpp"
@@ -238,6 +240,197 @@ int run_steady_state() {
   return 0;
 }
 
+// --- e2e netsim datapath harness -----------------------------------------
+// The full wire-in/wire-out loop over the discrete-event network: a client
+// node transmits pre-serialized program capsules to a SwitchNode, which
+// executes them and forwards the shrunk reply to a server sink. Runs twice
+// -- materialized (Config::zero_copy off, the pre-refactor path) and
+// zero-copy (ProgramView + pooled in-place reply) -- and writes
+// BENCH_datapath.json. Asserts (exit 1) that the zero-copy path performs
+// zero heap allocations per forwarded frame once the pool is warm.
+
+class SinkNode : public netsim::Node {
+ public:
+  explicit SinkNode(std::string name) : netsim::Node(std::move(name)) {}
+  void on_frame(netsim::Frame frame, u32 port) override {
+    (void)port;
+    ++received;
+    bytes += frame.size();
+    // `frame` dies here: the slab goes straight back to the pool.
+  }
+  u64 received = 0;
+  u64 bytes = 0;
+};
+
+constexpr packet::MacAddr kBenchClientMac = 0x0c;
+constexpr packet::MacAddr kBenchServerMac = 0x0b;
+constexpr std::size_t kBenchPayloadBytes = 1400;  // MTU-ish data capsule
+
+struct E2eRig {
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  std::shared_ptr<controller::SwitchNode> sw;
+  std::shared_ptr<SinkNode> client;
+  std::shared_ptr<SinkNode> server;
+  std::vector<u8> wire;  // the repeated capsule, serialized once
+  bool pooled_ingress;
+
+  explicit E2eRig(bool zero_copy) : pooled_ingress(zero_copy) {
+    controller::SwitchNode::Config cfg;
+    cfg.zero_copy = zero_copy;
+    sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+    client = std::make_shared<SinkNode>("client");
+    server = std::make_shared<SinkNode>("server");
+    net.attach(sw);
+    net.attach(client);
+    net.attach(server);
+    net.connect(*sw, 0, *client, 0);
+    net.connect(*sw, 1, *server, 0);
+    sw->bind(kBenchClientMac, 0);
+    sw->bind(kBenchServerMac, 1);
+    // Grant FID 1 the whole pipeline so the query never faults.
+    for (u32 s = 0; s < sw->pipeline().stage_count(); ++s) {
+      sw->pipeline().stage(s).install(1, 0, 4096, 0);
+    }
+    auto pkt = packet::ActivePacket::make_program(
+        1, packet::ArgumentHeader{{10, 2, 3, 0}},
+        apps::cache_query_program());
+    pkt.ethernet.src = kBenchClientMac;
+    pkt.ethernet.dst = kBenchServerMac;
+    pkt.payload.assign(kBenchPayloadBytes, 0x5a);
+    wire = pkt.serialize();
+  }
+
+  // One frame at a time through the whole path (ingress copy, switch
+  // execution, egress delivery), draining the simulator between frames
+  // like a line-rate switch between arrivals. The zero-copy rig ingests
+  // through the recycling pool; the materialized rig ingests the way the
+  // pre-refactor vector datapath did -- a fresh standalone buffer per
+  // frame.
+  void pump(u64 packets) {
+    for (u64 i = 0; i < packets; ++i) {
+      if (pooled_ingress) {
+        net.transmit(*client, 0, net.pool().copy(wire));
+      } else {
+        net.transmit(*client, 0, wire);
+      }
+      sim.run();
+    }
+  }
+};
+
+struct E2eMeasurement {
+  double packets_per_sec = 0.0;
+  u64 allocs = 0;  // total over the measured rounds
+};
+
+void measure_e2e(E2eRig& rig, u64 rounds, u64 per_round, E2eMeasurement* out) {
+  for (u64 r = 0; r < rounds; ++r) {
+    const auto allocs_before = g_alloc_count;
+    const auto start = std::chrono::steady_clock::now();
+    rig.pump(per_round);
+    out->packets_per_sec =
+        std::max(out->packets_per_sec,
+                 static_cast<double>(per_round) / seconds_since(start));
+    out->allocs += g_alloc_count - allocs_before;
+  }
+}
+
+// Returns 0 on success, 1 when the zero-allocation assertion fails.
+int run_e2e_datapath() {
+  constexpr u64 kRounds = 8;
+  constexpr u64 kPerRound = 5'000;
+  constexpr u64 kPackets = kRounds * kPerRound;
+  E2eRig legacy_rig(/*zero_copy=*/false);
+  E2eRig zc_rig(/*zero_copy=*/true);
+  // Warm-up: populates the program caches, the frame pools, and the event
+  // queue capacity, so the measured rounds see the steady state.
+  legacy_rig.pump(1000);
+  zc_rig.pump(1000);
+
+  E2eMeasurement legacy;
+  E2eMeasurement zc;
+  // Interleaved rounds, best-of: ambient load skews both paths alike.
+  for (u64 r = 0; r < kRounds; ++r) {
+    measure_e2e(legacy_rig, 1, kPerRound, &legacy);
+    measure_e2e(zc_rig, 1, kPerRound, &zc);
+  }
+
+  const double legacy_allocs_per_frame =
+      static_cast<double>(legacy.allocs) / static_cast<double>(kPackets);
+  const double zc_allocs_per_frame =
+      static_cast<double>(zc.allocs) / static_cast<double>(kPackets);
+  const double speedup = zc.packets_per_sec / legacy.packets_per_sec;
+
+  const auto& ss = zc_rig.sw->node_stats();
+  const auto& cs = zc_rig.sw->program_cache().stats();
+  const auto& ps = zc_rig.net.pool().stats();
+  const u64 lookups = cs.hits + cs.misses;
+  const double hit_rate =
+      lookups ? static_cast<double>(cs.hits) / static_cast<double>(lookups)
+              : 0.0;
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"benchmark\": \"e2e_netsim_datapath\",\n"
+      "  \"workload\": {\"program\": \"cache_query\", \"payload_bytes\": "
+      "%zu,\n"
+      "               \"frame_bytes\": %zu, \"packets_per_path\": %llu},\n"
+      "  \"materialized\": {\"packets_per_sec\": %.0f, "
+      "\"allocs_per_frame\": %.2f},\n"
+      "  \"zero_copy\": {\"packets_per_sec\": %.0f, "
+      "\"allocs_per_frame_steady\": %.6f},\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"switch\": {\"forwarded\": %llu, \"returned\": %llu, \"dropped\": "
+      "%llu,\n"
+      "             \"malformed\": %llu, \"unknown_destination\": %llu,\n"
+      "             \"zero_copy_frames\": %llu},\n"
+      "  \"program_cache\": {\"hits\": %llu, \"misses\": %llu, "
+      "\"hit_rate\": %.6f},\n"
+      "  \"frame_pool\": {\"acquired\": %llu, \"slabs_created\": %llu, "
+      "\"recycled\": %llu, \"oversize\": %llu},\n"
+      "  \"network\": {\"frames_delivered\": %llu, \"frames_dropped\": "
+      "%llu},\n"
+      "  \"simulator\": {\"actions_spilled\": %llu}\n"
+      "}\n",
+      kBenchPayloadBytes, zc_rig.wire.size(),
+      static_cast<unsigned long long>(kPackets), legacy.packets_per_sec,
+      legacy_allocs_per_frame, zc.packets_per_sec, zc_allocs_per_frame,
+      speedup, static_cast<unsigned long long>(ss.forwarded),
+      static_cast<unsigned long long>(ss.returned),
+      static_cast<unsigned long long>(ss.dropped),
+      static_cast<unsigned long long>(ss.malformed),
+      static_cast<unsigned long long>(ss.unknown_destination),
+      static_cast<unsigned long long>(ss.zero_copy_frames),
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses), hit_rate,
+      static_cast<unsigned long long>(ps.acquired),
+      static_cast<unsigned long long>(ps.slabs_created),
+      static_cast<unsigned long long>(ps.recycled),
+      static_cast<unsigned long long>(ps.oversize),
+      static_cast<unsigned long long>(zc_rig.net.frames_delivered()),
+      static_cast<unsigned long long>(zc_rig.net.frames_dropped()),
+      static_cast<unsigned long long>(zc_rig.sim.actions_spilled()));
+  std::fputs(json, stdout);
+  std::fflush(stdout);
+  if (std::FILE* f = std::fopen("BENCH_datapath.json", "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+  }
+
+  if (zc.allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: zero-copy datapath allocated %llu times over %llu "
+                 "frames (expected 0 in steady state)\n",
+                 static_cast<unsigned long long>(zc.allocs),
+                 static_cast<unsigned long long>(kPackets));
+    return 1;
+  }
+  return 0;
+}
+
 // --- google-benchmark cases ----------------------------------------------
 
 void BM_PacketSerializeParse(benchmark::State& state) {
@@ -358,9 +551,10 @@ BENCHMARK(BM_AssembleListing1);
 
 int main(int argc, char** argv) {
   const int steady_state_rc = artmt::run_steady_state();
+  const int e2e_rc = artmt::run_e2e_datapath();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return steady_state_rc;
+  return steady_state_rc != 0 ? steady_state_rc : e2e_rc;
 }

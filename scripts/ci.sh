@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, then an ASan+UBSan job.
+# CI entry point: release build + full test suite, a bench smoke job, then
+# an ASan+UBSan job.
 #
-# Usage: scripts/ci.sh [release|sanitize|all]   (default: all)
+# Usage: scripts/ci.sh [release|bench|sanitize|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +13,15 @@ run_release() {
   cmake --preset default
   cmake --build --preset default
   ctest --preset default
-  echo "== steady-state benchmark (zero-allocation assertion) =="
+}
+
+run_bench() {
+  echo "== bench smoke: steady-state + e2e datapath =="
+  cmake --preset default
+  cmake --build --preset default
+  # bench_micro exits nonzero when the cache-hit execute or the zero-copy
+  # frame datapath allocates in steady state (allocs_per_frame_steady > 0);
+  # it also writes BENCH_datapath.json for the record.
   ./build/bench/bench_micro --benchmark_filter=NONE
 }
 
@@ -25,13 +34,15 @@ run_sanitize() {
 
 case "$job" in
   release) run_release ;;
+  bench) run_bench ;;
   sanitize) run_sanitize ;;
   all)
     run_release
+    run_bench
     run_sanitize
     ;;
   *)
-    echo "unknown job '$job' (expected release|sanitize|all)" >&2
+    echo "unknown job '$job' (expected release|bench|sanitize|all)" >&2
     exit 2
     ;;
 esac

@@ -3,13 +3,18 @@
 namespace artmt::apps {
 
 std::vector<u8> KvMessage::serialize() const {
-  ByteWriter out(kWireSize);
+  std::vector<u8> bytes(kWireSize);
+  SpanWriter out(bytes);
+  serialize_into(out);
+  return bytes;
+}
+
+void KvMessage::serialize_into(SpanWriter& out) const {
   out.put_u8(static_cast<u8>(type));
   out.put_u32(request_id);
   out.put_u32(key_half0(key));
   out.put_u32(key_half1(key));
   out.put_u32(value);
-  return out.take();
 }
 
 std::optional<KvMessage> KvMessage::parse(std::span<const u8> bytes) {

@@ -31,6 +31,8 @@ struct KvMessage {
   static constexpr std::size_t kWireSize = 17;
 
   [[nodiscard]] std::vector<u8> serialize() const;
+  // Zero-allocation variant: writes the kWireSize bytes into `out`.
+  void serialize_into(SpanWriter& out) const;
   // Returns nullopt when the bytes are not a KvMessage.
   static std::optional<KvMessage> parse(std::span<const u8> bytes);
 

@@ -14,15 +14,18 @@ std::optional<u32> ServerNode::get(u64 key) const {
 
 void ServerNode::reply(packet::MacAddr dst, const KvMessage& msg) {
   // Replies are passive frames; the switch forwards them by L2 address.
-  ByteWriter out(64);
+  // Serialized straight into a pool buffer: the reply path allocates
+  // nothing once the pool is warm.
+  netsim::Frame frame = network().pool().acquire(
+      packet::EthernetHeader::kWireSize + KvMessage::kWireSize);
+  SpanWriter out(frame.span());
   packet::EthernetHeader eth;
   eth.src = mac_;
   eth.dst = dst;
   eth.ethertype = packet::kEtherTypeIpv4;
   eth.serialize(out);
-  const auto payload = msg.serialize();
-  out.put_bytes(payload);
-  network().transmit(*this, 0, out.take());
+  msg.serialize_into(out);
+  network().transmit(*this, 0, std::move(frame));
 }
 
 void ServerNode::on_frame(netsim::Frame frame, u32 port) {

@@ -25,7 +25,9 @@ void ClientNode::send_active_to(packet::MacAddr dst,
                                 packet::ActivePacket pkt) {
   pkt.ethernet.src = mac_;
   pkt.ethernet.dst = dst;
-  network().transmit(*this, 0, pkt.serialize());
+  // Pooled copy: the switch's in-place reply then recycles the very slab
+  // this send warmed up.
+  network().transmit(*this, 0, network().pool().copy(pkt.serialize()));
 }
 
 void ClientNode::on_frame(netsim::Frame frame, u32 port) {

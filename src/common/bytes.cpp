@@ -4,6 +4,11 @@
 
 namespace artmt {
 
+void SpanWriter::fail(std::size_t n) const {
+  throw UsageError("SpanWriter overrun: need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(remaining()));
+}
+
 void ByteReader::fail(std::size_t n) const {
   throw ParseError("truncated buffer: need " + std::to_string(n) +
                    " bytes, have " + std::to_string(remaining()));

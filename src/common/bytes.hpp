@@ -46,6 +46,50 @@ class ByteWriter {
   std::vector<u8> buf_;
 };
 
+// Writes integral values in network byte order into a caller-provided
+// fixed window (e.g. a pooled frame buffer): the zero-allocation
+// counterpart of ByteWriter. Overrunning the window is a UsageError --
+// callers size the destination exactly, so an overrun is a logic bug, not
+// input-dependent.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<u8> dest) : dest_(dest) {}
+
+  void put_u8(u8 v) {
+    require(1);
+    dest_[pos_++] = v;
+  }
+  void put_u16(u16 v) {
+    require(2);
+    dest_[pos_++] = static_cast<u8>(v >> 8);
+    dest_[pos_++] = static_cast<u8>(v);
+  }
+  void put_u32(u32 v) {
+    require(4);
+    dest_[pos_++] = static_cast<u8>(v >> 24);
+    dest_[pos_++] = static_cast<u8>(v >> 16);
+    dest_[pos_++] = static_cast<u8>(v >> 8);
+    dest_[pos_++] = static_cast<u8>(v);
+  }
+  void put_bytes(std::span<const u8> bytes) {
+    require(bytes.size());
+    if (!bytes.empty()) std::memcpy(dest_.data() + pos_, bytes.data(), bytes.size());
+    pos_ += bytes.size();
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return dest_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) fail(n);
+  }
+  [[noreturn]] void fail(std::size_t n) const;  // cold: throws UsageError
+
+  std::span<u8> dest_;
+  std::size_t pos_ = 0;
+};
+
 // Sequentially consumes network-order values from a fixed view.
 class ByteReader {
  public:

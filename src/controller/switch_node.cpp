@@ -14,9 +14,36 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       controller_(pipeline_, runtime_, config.scheme, config.policy,
                   config.costs),
       program_cache_(config.program_cache_entries),
-      default_recirc_budget_(config.default_recirc_budget) {
+      default_recirc_budget_(config.default_recirc_budget),
+      zero_copy_(config.zero_copy) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
 }
+
+namespace {
+
+// The flow metadata the parser would extract (5-tuple surrogate: MAC pair
+// plus the head of the passive payload). Shared by both program paths so
+// hash-based programs see identical inputs either way.
+runtime::PacketMeta derive_meta(const packet::EthernetHeader& eth,
+                                std::span<const u8> payload) {
+  runtime::PacketMeta meta;
+  meta.five_tuple[0] = static_cast<Word>(eth.src >> 16);
+  meta.five_tuple[1] = static_cast<Word>(eth.src) << 16 |
+                       static_cast<Word>(eth.dst >> 32);
+  meta.five_tuple[2] = static_cast<Word>(eth.dst);
+  if (payload.size() >= 5) {
+    // Skip the payload's leading message-type byte so a flow's SYN and
+    // data packets share one flow identity (Cheetah's cookie scheme
+    // depends on hash(5-tuple) being stable across a flow).
+    meta.five_tuple[3] = static_cast<Word>(payload[1]) << 24 |
+                         static_cast<Word>(payload[2]) << 16 |
+                         static_cast<Word>(payload[3]) << 8 |
+                         static_cast<Word>(payload[4]);
+  }
+  return meta;
+}
+
+}  // namespace
 
 void SwitchNode::bind(packet::MacAddr mac, u32 port) {
   l2_table_[mac] = port;
@@ -28,7 +55,7 @@ void SwitchNode::send_to_mac(packet::MacAddr dst, ActivePacket pkt,
   send_frame_to_mac(dst, pkt.serialize(), delay);
 }
 
-void SwitchNode::send_frame_to_mac(packet::MacAddr dst, std::vector<u8> frame,
+void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
                                    SimTime delay) {
   const auto it = l2_table_.find(dst);
   if (it == l2_table_.end()) {
@@ -48,6 +75,21 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, std::vector<u8> frame,
 
 void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
   (void)port;
+  if (zero_copy_ && packet::ProgramView::is_program_frame(frame)) {
+    // Fast path: parse the capsule in place -- no ActivePacket, no byte
+    // copies. An unparseable program-typed frame falls through to the
+    // same passive/malformed handling as the legacy path.
+    std::optional<packet::ProgramView> view;
+    try {
+      view = packet::ProgramView::parse(frame, program_cache_);
+    } catch (const ParseError&) {
+      view.reset();
+    }
+    if (view) {
+      handle_program_view(*std::move(view), std::move(frame));
+      return;
+    }
+  }
   ActivePacket pkt;
   try {
     pkt = proto::parse_capsule(frame, program_cache_);
@@ -88,22 +130,7 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
 }
 
 void SwitchNode::handle_program(ActivePacket pkt) {
-  // Derive the flow metadata the parser would extract (5-tuple surrogate:
-  // MAC pair plus the head of the passive payload).
-  runtime::PacketMeta meta;
-  meta.five_tuple[0] = static_cast<Word>(pkt.ethernet.src >> 16);
-  meta.five_tuple[1] = static_cast<Word>(pkt.ethernet.src) << 16 |
-                       static_cast<Word>(pkt.ethernet.dst >> 32);
-  meta.five_tuple[2] = static_cast<Word>(pkt.ethernet.dst);
-  if (pkt.payload.size() >= 5) {
-    // Skip the payload's leading message-type byte so a flow's SYN and
-    // data packets share one flow identity (Cheetah's cookie scheme
-    // depends on hash(5-tuple) being stable across a flow).
-    meta.five_tuple[3] = static_cast<Word>(pkt.payload[1]) << 24 |
-                         static_cast<Word>(pkt.payload[2]) << 16 |
-                         static_cast<Word>(pkt.payload[3]) << 8 |
-                         static_cast<Word>(pkt.payload[4]);
-  }
+  const runtime::PacketMeta meta = derive_meta(pkt.ethernet, pkt.payload);
 
   // Steady-state execution: the interned, immutable program plus a
   // stack-local cursor. The decoded-Program fallback only runs for
@@ -144,6 +171,49 @@ void SwitchNode::handle_program(ActivePacket pkt) {
     return;
   }
   send_frame_to_mac(pkt.ethernet.dst, std::move(frame), result.latency);
+}
+
+void SwitchNode::handle_program_view(packet::ProgramView view,
+                                     netsim::Frame frame) {
+  const runtime::PacketMeta meta =
+      derive_meta(view.ethernet, view.payload(frame));
+
+  active::ExecCursor cursor;
+  const SimTime now = network().simulator().now();
+  const runtime::ExecutionResult result =
+      runtime_.execute(view, cursor, meta, now);
+  switch (result.verdict) {
+    case runtime::Verdict::kDrop:
+      ++stats_.dropped;
+      return;
+    case runtime::Verdict::kReturnToSender:
+      ++stats_.returned;
+      break;
+    case runtime::Verdict::kForward:
+      ++stats_.forwarded;
+      break;
+  }
+  ++stats_.zero_copy_frames;
+  // The reply is rewritten into the inbound buffer (the window slides
+  // forward over the shrunk bytes): wire-in to wire-out without a copy.
+  netsim::Frame out =
+      proto::encode_executed(view, cursor, std::move(frame), network().pool());
+  if (result.forked) {
+    // The clone continues to the original destination as well (a shallow
+    // buffer share; frames in flight are never mutated).
+    send_frame_to_mac(view.ethernet.dst, out, result.latency);
+  }
+  if (result.phv.dst_overridden &&
+      result.verdict == runtime::Verdict::kForward) {
+    // SET_DST: the program chose an egress port directly.
+    const u32 port = result.phv.dst_value;
+    network().simulator().schedule_after(
+        result.latency, [this, port, f = std::move(out)]() mutable {
+          network().transmit(*this, port, std::move(f));
+        });
+    return;
+  }
+  send_frame_to_mac(view.ethernet.dst, std::move(out), result.latency);
 }
 
 void SwitchNode::enqueue_control(ActivePacket pkt) {
@@ -289,8 +359,12 @@ void SwitchNode::run_release(const ControlOp& op) {
   client_of_.erase(fid);
   runtime_.clear_recirc_budget(fid);
 
-  network().simulator().schedule_after(delay, [this, op, fid, result] {
-    send_to_mac(op.requester,
+  // Capture only what the continuation needs (requester MAC + fid), not
+  // the whole ControlOp: copying the embedded ActivePacket would drag its
+  // headers, payload, and program vectors into the closure for nothing.
+  network().simulator().schedule_after(
+      delay, [this, requester = op.requester, fid, result] {
+    send_to_mac(requester,
                 ActivePacket::make_control(fid, ActiveType::kDeallocAck));
     // Departure-triggered moves: tell the affected apps their new layout.
     for (const Fid moved : result.disturbed) {

@@ -31,6 +31,12 @@ class SwitchNode : public netsim::Node {
     runtime::RecircBudget default_recirc_budget;
     // Bound on distinct interned programs (LRU beyond this).
     std::size_t program_cache_entries = active::ProgramCache::kDefaultCapacity;
+    // Run program capsules through the zero-copy ProgramView fast path
+    // (parse in place, execute, rewrite the reply into the inbound
+    // buffer). Control packets always take the owning ActivePacket path.
+    // Disable to force full materialization (parity tests, bench
+    // baseline).
+    bool zero_copy = true;
   };
 
   struct NodeStats {
@@ -39,6 +45,7 @@ class SwitchNode : public netsim::Node {
     u64 forwarded = 0;
     u64 returned = 0;  // RTS'd capsules
     u64 dropped = 0;
+    u64 zero_copy_frames = 0;  // program capsules served by the fast path
   };
 
   SwitchNode(std::string name, const Config& config);
@@ -63,6 +70,10 @@ class SwitchNode : public netsim::Node {
   };
 
   void handle_program(packet::ActivePacket pkt);
+  // Zero-copy fast path: `view` was parsed in place from `frame`, which
+  // stays alive (and unmodified) for the whole call; the reply reuses its
+  // bytes when the buffer is uniquely owned.
+  void handle_program_view(packet::ProgramView view, netsim::Frame frame);
   void enqueue_control(packet::ActivePacket pkt);
   void process_next_control();
   void run_admission(const ControlOp& op);
@@ -71,7 +82,7 @@ class SwitchNode : public netsim::Node {
   void send_to_mac(packet::MacAddr dst, packet::ActivePacket pkt,
                    SimTime delay = 0);
   // Transmits an already-synthesized frame toward `dst`'s port.
-  void send_frame_to_mac(packet::MacAddr dst, std::vector<u8> frame,
+  void send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
                          SimTime delay);
   void finish_control();  // op done; start the next queued one
 
@@ -100,6 +111,7 @@ class SwitchNode : public netsim::Node {
   std::optional<PendingTxn> txn_;
   u64 txn_counter_ = 0;
   runtime::RecircBudget default_recirc_budget_;
+  bool zero_copy_ = true;
 };
 
 }  // namespace artmt::controller

@@ -16,35 +16,29 @@ void Network::attach(std::shared_ptr<Node> node) {
 
 void Network::connect(Node& node_a, u32 port_a, Node& node_b, u32 port_b,
                       const LinkSpec& spec) {
-  if (find_link(node_a, port_a) != nullptr ||
-      find_link(node_b, port_b) != nullptr) {
+  if (egress_.contains({&node_a, port_a}) ||
+      egress_.contains({&node_b, port_b})) {
     throw UsageError("Network::connect: port already connected");
   }
-  links_.push_back(Link{{&node_a, port_a}, {&node_b, port_b}, spec});
-}
-
-const Network::Link* Network::find_link(const Node& node, u32 port) const {
-  for (const auto& link : links_) {
-    if ((link.a.node == &node && link.a.port == port) ||
-        (link.b.node == &node && link.b.port == port)) {
-      return &link;
-    }
-  }
-  return nullptr;
+  egress_.emplace(PortKey{&node_a, port_a}, Egress{{&node_b, port_b}, spec});
+  egress_.emplace(PortKey{&node_b, port_b}, Egress{{&node_a, port_a}, spec});
 }
 
 void Network::transmit(Node& from, u32 port, Frame frame) {
-  const Link* link = find_link(from, port);
-  if (link == nullptr) return;  // unplugged port: frame is lost
-  const Endpoint dest =
-      (link->a.node == &from && link->a.port == port) ? link->b : link->a;
+  const auto it = egress_.find({&from, port});
+  if (it == egress_.end()) {
+    ++frames_dropped_;  // unplugged port: frame is lost
+    return;
+  }
+  const Egress& out = it->second;
+  const Endpoint dest = out.peer;
 
   // Serialization delay: bytes * 8 / rate. At 40 Gbps a 256-byte frame
   // serializes in ~51 ns.
   const double bits = static_cast<double>(frame.size()) * 8.0;
   const auto serialize =
-      static_cast<SimTime>(bits / link->spec.gbps);  // Gbps -> bits/ns
-  const SimTime arrival = sim_->now() + serialize + link->spec.latency;
+      static_cast<SimTime>(bits / out.spec.gbps);  // Gbps -> bits/ns
+  const SimTime arrival = sim_->now() + serialize + out.spec.latency;
 
   sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
     ++frames_delivered_;

@@ -1,18 +1,21 @@
 // Frame-level network model: nodes with numbered ports joined by
-// point-to-point links with latency and line rate. Frames are opaque byte
-// vectors; the packet library defines their contents.
+// point-to-point links with latency and line rate. Frames are pooled,
+// ref-counted FrameBuf buffers (see common/frame_buf.hpp); the packet
+// library defines their contents.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/frame_buf.hpp"
 #include "common/types.hpp"
 #include "netsim/simulator.hpp"
 
 namespace artmt::netsim {
 
-using Frame = std::vector<u8>;
+using Frame = FrameBuf;
 
 class Network;
 
@@ -26,7 +29,8 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  // Invoked by the network when a frame arrives on `port`.
+  // Invoked by the network when a frame arrives on `port`. The node owns
+  // the buffer; dropping it recycles the slab into the network's pool.
   virtual void on_frame(Frame frame, u32 port) = 0;
 
   // Called once when the node is attached, before any frames flow.
@@ -66,31 +70,53 @@ class Network {
 
   // Transmits a frame out of (node, port); it arrives at the peer after
   // serialization + propagation delay. Silently drops if the port is not
-  // connected (an unplugged cable, not an error).
+  // connected (an unplugged cable, not an error) — counted in
+  // frames_dropped().
   void transmit(Node& from, u32 port, Frame frame);
 
   [[nodiscard]] Simulator& simulator() const { return *sim_; }
+  // Buffer arena for the datapath; nodes acquire reply/ingress buffers
+  // here so slabs recirculate instead of hitting the heap.
+  [[nodiscard]] FramePool& pool() { return pool_; }
   [[nodiscard]] u64 frames_delivered() const { return frames_delivered_; }
   [[nodiscard]] u64 bytes_delivered() const { return bytes_delivered_; }
+  [[nodiscard]] u64 frames_dropped() const { return frames_dropped_; }
 
  private:
   struct Endpoint {
     Node* node = nullptr;
     u32 port = 0;
   };
-  struct Link {
-    Endpoint a;
-    Endpoint b;
+  // One direction of a link: where frames leaving (node, port) arrive.
+  struct Egress {
+    Endpoint peer;
     LinkSpec spec;
   };
-
-  const Link* find_link(const Node& node, u32 port) const;
+  struct PortKey {
+    const Node* node = nullptr;
+    u32 port = 0;
+    friend bool operator==(const PortKey&, const PortKey&) = default;
+  };
+  struct PortKeyHash {
+    std::size_t operator()(const PortKey& key) const {
+      // Splitmix-style scramble of the pointer, folded with the port.
+      u64 x = reinterpret_cast<std::uintptr_t>(key.node) + key.port +
+              0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
 
   Simulator* sim_;
+  FramePool pool_;
   std::vector<std::shared_ptr<Node>> nodes_;
-  std::vector<Link> links_;
+  // (node, port) -> egress direction; built in connect() so transmit()
+  // resolves the peer in O(1) instead of scanning every link.
+  std::unordered_map<PortKey, Egress, PortKeyHash> egress_;
   u64 frames_delivered_ = 0;
   u64 bytes_delivered_ = 0;
+  u64 frames_dropped_ = 0;
 };
 
 }  // namespace artmt::netsim

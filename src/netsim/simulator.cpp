@@ -9,6 +9,7 @@ void Simulator::schedule_at(SimTime at, Action action) {
   if (at < now_) {
     throw UsageError("Simulator::schedule_at: time is in the past");
   }
+  if (action.heap_allocated()) ++actions_spilled_;
   queue_.push_back(Event{at, next_seq_++, std::move(action)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
 }

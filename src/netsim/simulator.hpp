@@ -1,9 +1,17 @@
 // Discrete-event simulation core: a virtual nanosecond clock and an ordered
 // event queue. All testbed experiments (Figs. 8b, 9, 10) run on this engine
 // so results are deterministic and independent of host load.
+//
+// Events store their captures inline (small-buffer optimization) instead of
+// through std::function, whose ~2-word inline budget heap-allocates every
+// frame-delivery closure (this + endpoint + FrameBuf). The steady-state
+// datapath schedules and runs events with zero heap traffic.
 #pragma once
 
-#include <functional>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -11,9 +19,108 @@
 
 namespace artmt::netsim {
 
+// Move-only type-erased callable with a large inline capture buffer.
+// Callables bigger than kInlineBytes fall back to the heap (counted by the
+// simulator for the bench's allocation accounting).
+class InlineAction {
+ public:
+  // Generous: a frame delivery captures Network* + Endpoint + FrameBuf
+  // (~40 bytes); control-plane closures carry a few words more.
+  static constexpr std::size_t kInlineBytes = 96;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<F>, InlineAction>>>
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "InlineAction requires a void() callable");
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage_) Fn(std::forward<F>(fn));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      ::new (storage_) Fn*(new Fn(std::forward<F>(fn)));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { destroy(); }
+
+  void operator()() { vt_->invoke(storage_); }
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+  [[nodiscard]] bool heap_allocated() const {
+    return vt_ != nullptr && vt_->heap;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr VTable vtable_inline{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      false,
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_heap{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      true,
+  };
+
+  void destroy() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+  void move_from(InlineAction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   // Schedules `action` to run at absolute virtual time `at` (>= now).
   // Events at equal times run in scheduling order (FIFO).
@@ -34,6 +141,9 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  // Scheduled actions whose captures exceeded the inline buffer (each one
+  // cost a heap allocation); the frame fast path should keep this at zero.
+  [[nodiscard]] u64 actions_spilled() const { return actions_spilled_; }
 
  private:
   struct Event {
@@ -50,9 +160,10 @@ class Simulator {
 
   SimTime now_ = 0;
   u64 next_seq_ = 0;
+  u64 actions_spilled_ = 0;
   // Min-heap managed with std::push_heap/pop_heap (Later makes the earliest
-  // event the front element) so step() can move the Event — and its
-  // std::function — out of the container instead of copying it.
+  // event the front element) so step() can move the Event — and its inline
+  // action — out of the container instead of copying it.
   std::vector<Event> queue_;
 };
 

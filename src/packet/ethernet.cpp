@@ -4,7 +4,8 @@ namespace artmt::packet {
 
 namespace {
 
-void put_mac(ByteWriter& out, MacAddr mac) {
+template <typename Writer>
+void put_mac(Writer& out, MacAddr mac) {
   out.put_u16(static_cast<u16>(mac >> 32));
   out.put_u32(static_cast<u32>(mac));
 }
@@ -18,6 +19,12 @@ MacAddr get_mac(ByteReader& in) {
 }  // namespace
 
 void EthernetHeader::serialize(ByteWriter& out) const {
+  put_mac(out, dst);
+  put_mac(out, src);
+  out.put_u16(ethertype);
+}
+
+void EthernetHeader::serialize(SpanWriter& out) const {
   put_mac(out, dst);
   put_mac(out, src);
   out.put_u16(ethertype);

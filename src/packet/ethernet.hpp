@@ -23,6 +23,8 @@ struct EthernetHeader {
   static constexpr std::size_t kWireSize = 14;
 
   void serialize(ByteWriter& out) const;
+  // Zero-allocation variant: writes into a caller-sized window.
+  void serialize(SpanWriter& out) const;
   static EthernetHeader parse(ByteReader& in);
 
   friend bool operator==(const EthernetHeader&, const EthernetHeader&) =

@@ -1,0 +1,53 @@
+#include "packet/program_view.hpp"
+
+#include "common/error.hpp"
+
+namespace artmt::packet {
+
+bool ProgramView::is_program_frame(std::span<const u8> frame) {
+  // Ethertype at offset 12, initial-header type byte at offset 16
+  // (dst 6 + src 6 + ethertype 2 + fid 2).
+  if (frame.size() < EthernetHeader::kWireSize + InitialHeader::kWireSize) {
+    return false;
+  }
+  const u16 ethertype = static_cast<u16>(frame[12]) << 8 | frame[13];
+  return ethertype == kEtherTypeActive &&
+         frame[16] == static_cast<u8>(ActiveType::kProgram);
+}
+
+ProgramView ProgramView::parse(std::span<const u8> frame,
+                               active::ProgramCache& cache) {
+  ByteReader in(frame);
+  ProgramView view;
+  view.ethernet = EthernetHeader::parse(in);
+  if (view.ethernet.ethertype != kEtherTypeActive) {
+    throw ParseError("ProgramView: not an active frame");
+  }
+  view.initial = InitialHeader::parse(in);
+  if (view.initial.type != ActiveType::kProgram) {
+    throw ParseError("ProgramView: not a program capsule");
+  }
+  view.arguments = ArgumentHeader::parse(in);
+  // Same EOF scan as the owning parser: only the EOF opcode is matched
+  // here; opcode validation happens inside the cache (byte-compare against
+  // a validated artifact on hits, compile on misses).
+  const std::size_t code_begin = in.position();
+  std::size_t code_end = code_begin;
+  for (;;) {
+    if (code_end + 2 > frame.size()) {
+      throw ParseError("ProgramView: program missing EOF");
+    }
+    if (frame[code_end] == static_cast<u8>(active::Opcode::kEof)) break;
+    code_end += 2;
+  }
+  view.code_begin = static_cast<u32>(code_begin);
+  view.code_end = static_cast<u32>(code_end);
+  view.payload_begin = static_cast<u32>(code_end + 2);
+  view.compiled = cache.intern(
+      frame.subspan(code_begin, code_end - code_begin),
+      (view.initial.flags & kFlagPreloadMar) != 0,
+      (view.initial.flags & kFlagPreloadMbr) != 0);
+  return view;
+}
+
+}  // namespace artmt::packet

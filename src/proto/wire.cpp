@@ -14,31 +14,36 @@ packet::ActivePacket parse_capsule(std::span<const u8> frame,
   return ActivePacket::parse(frame, cache);
 }
 
-std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
-                                const active::ExecCursor& cursor) {
-  if (pkt.initial.type != ActiveType::kProgram || pkt.program ||
-      !pkt.compiled) {
-    // Decoded-Program packets were already mutated by the compat path;
-    // control packets carry no code. Either way the plain serializer is
-    // authoritative.
-    return pkt.serialize();
-  }
-  // The hottest serializer in the switch: one exact-size allocation and
-  // raw big-endian stores (a growable writer's per-byte bookkeeping costs
-  // more than the frame itself at line rate).
-  const auto& code = pkt.compiled->code();
+namespace {
+
+// Fixed prefix of every executed-program reply: Ethernet + initial +
+// argument headers.
+constexpr std::size_t kExecutedHeaderBytes =
+    packet::EthernetHeader::kWireSize + packet::InitialHeader::kWireSize +
+    packet::ArgumentHeader::kWireSize;
+
+// Instructions that survive the shrink decision.
+u32 count_live(std::span<const active::CompiledInsn> code,
+               const active::ExecCursor& cursor) {
   u32 live = 0;
   for (u32 i = 0; i < code.size(); ++i) {
     const bool done = code[i].wire_done || cursor.done(i);
     if (!(done && cursor.shrink)) ++live;
   }
-  const std::size_t total = packet::EthernetHeader::kWireSize +
-                            packet::InitialHeader::kWireSize +
-                            packet::ArgumentHeader::kWireSize +
-                            2 * (static_cast<std::size_t>(live) + 1) +
-                            pkt.payload.size();
-  std::vector<u8> frame(total);
-  u8* p = frame.data();
+  return live;
+}
+
+// The hottest serializer in the switch: raw big-endian stores into an
+// exact-size destination (a growable writer's per-byte bookkeeping costs
+// more than the frame itself at line rate). Writes Ethernet + initial +
+// arguments + surviving instructions + EOF at `p`; returns the pointer
+// past the EOF pair (where the payload belongs). Shared by the owning and
+// zero-copy encode_executed variants so their wire bytes cannot diverge.
+u8* write_executed(u8* p, const packet::EthernetHeader& ethernet,
+                   const packet::InitialHeader& initial,
+                   const packet::ArgumentHeader& arguments,
+                   std::span<const active::CompiledInsn> code,
+                   const active::ExecCursor& cursor) {
   const auto put16 = [&p](u16 v) {
     *p++ = static_cast<u8>(v >> 8);
     *p++ = static_cast<u8>(v);
@@ -54,17 +59,17 @@ std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
     put32(static_cast<u32>(mac));
   };
   // Ethernet (ethertype forced active, as ActivePacket::serialize does).
-  put_mac(pkt.ethernet.dst);
-  put_mac(pkt.ethernet.src);
+  put_mac(ethernet.dst);
+  put_mac(ethernet.src);
   put16(packet::kEtherTypeActive);
   // Initial header.
-  put16(pkt.initial.fid);
-  *p++ = static_cast<u8>(pkt.initial.type);
-  *p++ = pkt.initial.flags;
-  put32(pkt.initial.seq);
+  put16(initial.fid);
+  *p++ = static_cast<u8>(initial.type);
+  *p++ = initial.flags;
+  put32(initial.seq);
   put16(0);  // reserved
   // Arguments.
-  for (Word arg : pkt.arguments->args) put32(arg);
+  for (Word arg : arguments.args) put32(arg);
   // Surviving instructions, done-flags folded in from the cursor.
   for (u32 i = 0; i < code.size(); ++i) {
     const active::CompiledInsn& insn = code[i];
@@ -78,11 +83,65 @@ std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
   }
   *p++ = static_cast<u8>(active::Opcode::kEof);
   *p++ = 0;
+  return p;
+}
+
+}  // namespace
+
+std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
+                                const active::ExecCursor& cursor) {
+  if (pkt.initial.type != ActiveType::kProgram || pkt.program ||
+      !pkt.compiled) {
+    // Decoded-Program packets were already mutated by the compat path;
+    // control packets carry no code. Either way the plain serializer is
+    // authoritative.
+    return pkt.serialize();
+  }
+  const auto& code = pkt.compiled->code();
+  const u32 live = count_live(code, cursor);
+  const std::size_t total = kExecutedHeaderBytes +
+                            2 * (static_cast<std::size_t>(live) + 1) +
+                            pkt.payload.size();
+  std::vector<u8> frame(total);
+  u8* p = write_executed(frame.data(), pkt.ethernet, pkt.initial,
+                         *pkt.arguments, code, cursor);
   if (!pkt.payload.empty()) {
     std::memcpy(p, pkt.payload.data(), pkt.payload.size());
-    p += pkt.payload.size();
   }
   return frame;
+}
+
+FrameBuf encode_executed(const packet::ProgramView& view,
+                         const active::ExecCursor& cursor, FrameBuf frame,
+                         FramePool& pool) {
+  const auto& code = view.compiled->code();
+  const u32 live = count_live(code, cursor);
+  const std::size_t head = kExecutedHeaderBytes +
+                           2 * (static_cast<std::size_t>(live) + 1);
+  const std::size_t payload_len = frame.size() - view.payload_begin;
+  const std::size_t total = head + payload_len;
+
+  if (frame.unique()) {
+    // In-place: the reply can only be the same size or smaller (shrink
+    // never adds instructions), so rewrite the headers to end exactly
+    // where the untouched payload starts and slide the window forward
+    // over the freed bytes. Zero copies, zero allocations.
+    const std::size_t delta = frame.size() - total;
+    u8* base = frame.data() + delta;
+    write_executed(base, view.ethernet, view.initial, view.arguments, code,
+                   cursor);
+    frame.drop_front(delta);
+    return frame;
+  }
+  // Shared buffer (e.g. a FORKed clone still in flight): synthesize into a
+  // fresh pool buffer; only the payload bytes are copied.
+  FrameBuf out = pool.acquire(total);
+  u8* p = write_executed(out.data(), view.ethernet, view.initial,
+                         view.arguments, code, cursor);
+  if (payload_len != 0) {
+    std::memcpy(p, frame.data() + view.payload_begin, payload_len);
+  }
+  return out;
 }
 
 packet::ActivePacket encode_request(const alloc::AllocationRequest& request,

@@ -8,7 +8,9 @@
 #include "active/program_cache.hpp"
 #include "alloc/mutant.hpp"
 #include "alloc/request.hpp"
+#include "common/frame_buf.hpp"
 #include "packet/active_packet.hpp"
+#include "packet/program_view.hpp"
 
 namespace artmt::proto {
 
@@ -26,6 +28,17 @@ packet::ActivePacket parse_capsule(std::span<const u8> frame,
 // to ActivePacket::serialize() for packets without a compiled artifact.
 std::vector<u8> encode_executed(const packet::ActivePacket& pkt,
                                 const active::ExecCursor& cursor);
+
+// Zero-copy variant: synthesizes the reply for an executed ProgramView,
+// consuming the inbound frame. When the buffer is uniquely owned, the
+// (possibly shrunk) headers are rewritten in place ahead of the untouched
+// payload — the window simply slides forward over the freed bytes — and
+// no copy or allocation happens at all. A shared buffer falls back to a
+// fresh pool buffer with one payload memcpy. Wire bytes are bit-identical
+// to the owning encode_executed above (asserted by parity tests).
+FrameBuf encode_executed(const packet::ProgramView& view,
+                         const active::ExecCursor& cursor, FrameBuf frame,
+                         FramePool& pool);
 
 // Request packets carry program shape in the argument header:
 //   args[0] = program length

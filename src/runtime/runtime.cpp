@@ -29,12 +29,12 @@ void shrink(active::Program& program) {
 
 }  // namespace
 
-bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
+bool ActiveRuntime::execute_instruction(ExecContext& ctx, Phv& phv,
                                         const CompiledInsn& insn,
                                         u32 logical_stage,
                                         const PacketMeta& meta) {
-  auto& args = pkt.arguments->args;
-  const Fid fid = pkt.initial.fid;
+  auto& args = *ctx.args;
+  const Fid fid = ctx.fid;
   rmt::Stage& stage = pipeline_->stage(logical_stage);
 
   // Memory instructions: protection check first (range match on MAR).
@@ -197,7 +197,7 @@ bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
     // flag.
     case Opcode::kDrop:
       if (enforce_privilege_ &&
-          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+          (ctx.flags & packet::kFlagPrivileged) == 0) {
         fault_ = Fault::kPrivilege;
         phv.drop = true;
         return false;
@@ -207,7 +207,7 @@ bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
       return false;
     case Opcode::kFork:
       if (enforce_privilege_ &&
-          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+          (ctx.flags & packet::kFlagPrivileged) == 0) {
         fault_ = Fault::kPrivilege;
         phv.drop = true;
         return false;
@@ -216,7 +216,7 @@ bool ActiveRuntime::execute_instruction(ActivePacket& pkt, Phv& phv,
       break;
     case Opcode::kSetDst:
       if (enforce_privilege_ &&
-          (pkt.initial.flags & packet::kFlagPrivileged) == 0) {
+          (ctx.flags & packet::kFlagPrivileged) == 0) {
         fault_ = Fault::kPrivilege;
         phv.drop = true;
         return false;
@@ -279,27 +279,26 @@ bool ActiveRuntime::charge_recirculation(Fid fid, u32 extra_passes,
 }
 
 ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
-                                       ActivePacket& pkt, ExecCursor& cursor,
+                                       ExecContext& ctx, ExecCursor& cursor,
                                        const PacketMeta& meta, SimTime now) {
   const auto& cfg = pipeline_->config();
   ExecutionResult res;
   ++stats_.packets;
   res.latency = cfg.pass_latency;
 
-  if (!pkt.arguments) return res;  // malformed capsule: forward untouched
   cursor.reset(program.size());
-  cursor.shrink = (pkt.initial.flags & packet::kFlagNoShrink) == 0;
+  cursor.shrink = (ctx.flags & packet::kFlagNoShrink) == 0;
 
-  if (is_deactivated(pkt.initial.fid) &&
-      (pkt.initial.flags & packet::kFlagManagement) == 0) {
+  if (is_deactivated(ctx.fid) &&
+      (ctx.flags & packet::kFlagManagement) == 0) {
     res.fault = Fault::kDeactivated;
     ++stats_.forwarded_unprocessed;
     return res;
   }
 
   Phv phv;
-  if (program.preload_mar()) phv.mar = pkt.arguments->args[0];
-  if (program.preload_mbr()) phv.mbr = pkt.arguments->args[1];
+  if (program.preload_mar()) phv.mar = (*ctx.args)[0];
+  if (program.preload_mbr()) phv.mbr = (*ctx.args)[1];
 
   const auto& code = program.code();
   fault_ = Fault::kNone;
@@ -360,7 +359,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
           insn.next_access == kNoIndex
               ? nullptr
               : pipeline_->stage(insn.next_access % stages)
-                    .lookup(pkt.initial.fid);
+                    .lookup(ctx.fid);
       if (target == nullptr) {
         fault_ = Fault::kNoAllocation;
         phv.drop = true;
@@ -379,7 +378,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
       continue;
     }
 
-    const bool ok = execute_instruction(pkt, phv, insn, logical_stage, meta);
+    const bool ok = execute_instruction(ctx, phv, insn, logical_stage, meta);
     if (phv.disabled) {
       // This instruction took a branch: arm its precompiled resume point
       // (kNoIndex for a missing target disables to the end, as before).
@@ -416,7 +415,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
   // the FID's remaining budget are dropped (side effects of completed
   // stages persist, as on hardware).
   if (res.passes > 1 && fault_ == Fault::kNone &&
-      !charge_recirculation(pkt.initial.fid, res.passes - 1, now)) {
+      !charge_recirculation(ctx.fid, res.passes - 1, now)) {
     fault_ = Fault::kRecircBudget;
     phv.drop = true;
   }
@@ -456,10 +455,43 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
 
   if (phv.rts) {
     res.verdict = Verdict::kReturnToSender;
-    std::swap(pkt.ethernet.src, pkt.ethernet.dst);
+    if (ctx.eth_src != nullptr && ctx.eth_dst != nullptr) {
+      std::swap(*ctx.eth_src, *ctx.eth_dst);
+    }
     ++stats_.rts_packets;
   }
   return res;
+}
+
+ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
+                                       ActivePacket& pkt, ExecCursor& cursor,
+                                       const PacketMeta& meta, SimTime now) {
+  if (!pkt.arguments) {
+    // Malformed capsule: forward untouched.
+    ExecutionResult res;
+    ++stats_.packets;
+    res.latency = pipeline_->config().pass_latency;
+    return res;
+  }
+  ExecContext ctx;
+  ctx.args = &pkt.arguments->args;
+  ctx.fid = pkt.initial.fid;
+  ctx.flags = pkt.initial.flags;
+  ctx.eth_src = &pkt.ethernet.src;
+  ctx.eth_dst = &pkt.ethernet.dst;
+  return execute(program, ctx, cursor, meta, now);
+}
+
+ExecutionResult ActiveRuntime::execute(packet::ProgramView& view,
+                                       ExecCursor& cursor,
+                                       const PacketMeta& meta, SimTime now) {
+  ExecContext ctx;
+  ctx.args = &view.arguments.args;
+  ctx.fid = view.initial.fid;
+  ctx.flags = view.initial.flags;
+  ctx.eth_src = &view.ethernet.src;
+  ctx.eth_dst = &view.ethernet.dst;
+  return execute(*view.compiled, ctx, cursor, meta, now);
 }
 
 ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,

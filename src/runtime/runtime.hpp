@@ -19,6 +19,7 @@
 
 #include "active/compiled_program.hpp"
 #include "packet/active_packet.hpp"
+#include "packet/program_view.hpp"
 #include "rmt/pipeline.hpp"
 #include "runtime/phv.hpp"
 
@@ -101,18 +102,44 @@ struct TraceEvent {
 // Observer invoked per consumed stage; installed for debugging/tooling.
 using TraceFn = std::function<void(const TraceEvent&)>;
 
+// The per-packet state the interpreter reads and writes, decoupled from
+// how the capsule is held: an owning ActivePacket and a zero-copy
+// ProgramView both project onto this. `args` is required; the Ethernet
+// address pointers are optional (RTS swaps them when present).
+struct ExecContext {
+  std::array<Word, active::kArgFields>* args = nullptr;
+  Fid fid = 0;
+  u8 flags = 0;
+  packet::MacAddr* eth_src = nullptr;
+  packet::MacAddr* eth_dst = nullptr;
+};
+
 class ActiveRuntime {
  public:
   explicit ActiveRuntime(rmt::Pipeline& pipeline) : pipeline_(&pipeline) {}
 
-  // Hot path: executes the immutable `program` for `pkt`, threading all
-  // mutable execution state through `cursor` (reset internally). Argument
-  // fields are updated in `pkt` by MBR_STORE; executed instructions are
-  // recorded as done-bits in the cursor; the program itself is never
-  // written. Performs no heap allocation. `now` is the virtual time
-  // (feeds the recirculation governor).
+  // Core hot path: executes the immutable `program` against `ctx`,
+  // threading all mutable execution state through `cursor` (reset
+  // internally). Argument fields are updated through ctx.args by
+  // MBR_STORE; executed instructions are recorded as done-bits in the
+  // cursor; the program itself is never written. Performs no heap
+  // allocation. `now` is the virtual time (feeds the recirculation
+  // governor).
+  ExecutionResult execute(const active::CompiledProgram& program,
+                          ExecContext& ctx, active::ExecCursor& cursor,
+                          const PacketMeta& meta = {}, SimTime now = 0);
+
+  // Owning-packet adapter (bench/test paths and injected packets).
   ExecutionResult execute(const active::CompiledProgram& program,
                           packet::ActivePacket& pkt,
+                          active::ExecCursor& cursor,
+                          const PacketMeta& meta = {}, SimTime now = 0);
+
+  // Zero-copy adapter: executes a parsed ProgramView in place. The view's
+  // argument header and Ethernet addresses are updated; the frame buffer
+  // it was parsed from is untouched (proto::encode_executed re-emits the
+  // mutated headers).
+  ExecutionResult execute(packet::ProgramView& view,
                           active::ExecCursor& cursor,
                           const PacketMeta& meta = {}, SimTime now = 0);
 
@@ -152,7 +179,7 @@ class ActiveRuntime {
  private:
   // Executes one instruction in one stage. Returns false when the packet
   // faulted (phv.drop set with `fault_` recorded).
-  bool execute_instruction(packet::ActivePacket& pkt, Phv& phv,
+  bool execute_instruction(ExecContext& ctx, Phv& phv,
                            const active::CompiledInsn& insn, u32 logical_stage,
                            const PacketMeta& meta);
 

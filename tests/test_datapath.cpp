@@ -1,0 +1,245 @@
+// The switch frame datapath: zero-copy ProgramView fast path vs the
+// legacy materialized ActivePacket path (wire parity, stats parity),
+// passive L2 forwarding, unknown-destination accounting, and pool
+// recycling across a full wire-in/wire-out exchange.
+#include <gtest/gtest.h>
+
+#include "active/assembler.hpp"
+#include "controller/switch_node.hpp"
+#include "netsim/network.hpp"
+
+namespace artmt {
+namespace {
+
+using controller::SwitchNode;
+using packet::ActivePacket;
+using packet::ArgumentHeader;
+
+constexpr packet::MacAddr kClientMac = 0x0000cc;
+constexpr packet::MacAddr kServerMac = 0x0000bb;
+
+class Recorder : public netsim::Node {
+ public:
+  explicit Recorder(std::string name) : netsim::Node(std::move(name)) {}
+  void on_frame(netsim::Frame frame, u32 port) override {
+    (void)port;
+    frames.push_back(std::move(frame));
+  }
+  std::vector<netsim::Frame> frames;
+};
+
+// One switch with a client-side and a server-side recorder, zero-copy on
+// or off; everything else identical so outputs can be diffed bitwise.
+struct Bed {
+  explicit Bed(bool zero_copy) {
+    SwitchNode::Config cfg;
+    cfg.zero_copy = zero_copy;
+    sw = std::make_shared<SwitchNode>("switch", cfg);
+    client = std::make_shared<Recorder>("client");
+    server = std::make_shared<Recorder>("server");
+    net.attach(sw);
+    net.attach(client);
+    net.attach(server);
+    net.connect(*sw, 0, *client, 0);
+    net.connect(*sw, 1, *server, 0);
+    sw->bind(kClientMac, 0);
+    sw->bind(kServerMac, 1);
+  }
+
+  void inject(std::vector<u8> frame) {
+    net.transmit(*client, 0, net.pool().copy(frame));
+    sim.run();
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  std::shared_ptr<SwitchNode> sw;
+  std::shared_ptr<Recorder> client;
+  std::shared_ptr<Recorder> server;
+};
+
+std::vector<u8> program_frame(const std::string& text,
+                              const ArgumentHeader& args, u8 extra_flags = 0,
+                              std::vector<u8> payload = {}) {
+  auto pkt = ActivePacket::make_program(1, args, active::assemble(text));
+  pkt.initial.flags |= extra_flags;
+  pkt.ethernet.src = kClientMac;
+  pkt.ethernet.dst = kServerMac;
+  pkt.payload = std::move(payload);
+  return pkt.serialize();
+}
+
+// ---------- zero-copy vs legacy parity ----------
+
+// Runs the same capsule through a zero-copy switch and a materializing
+// switch and asserts the frames coming out of both are bit-identical.
+void expect_wire_parity(const std::vector<u8>& frame) {
+  Bed fast(/*zero_copy=*/true);
+  Bed slow(/*zero_copy=*/false);
+  fast.inject(frame);
+  slow.inject(frame);
+
+  ASSERT_EQ(fast.server->frames.size(), slow.server->frames.size());
+  for (std::size_t i = 0; i < fast.server->frames.size(); ++i) {
+    EXPECT_EQ(fast.server->frames[i].to_vector(),
+              slow.server->frames[i].to_vector());
+  }
+  ASSERT_EQ(fast.client->frames.size(), slow.client->frames.size());
+  for (std::size_t i = 0; i < fast.client->frames.size(); ++i) {
+    EXPECT_EQ(fast.client->frames[i].to_vector(),
+              slow.client->frames[i].to_vector());
+  }
+  const auto& fs = fast.sw->node_stats();
+  const auto& ss = slow.sw->node_stats();
+  EXPECT_EQ(fs.forwarded, ss.forwarded);
+  EXPECT_EQ(fs.returned, ss.returned);
+  EXPECT_EQ(fs.dropped, ss.dropped);
+  EXPECT_EQ(fs.malformed, ss.malformed);
+}
+
+TEST(Datapath, ParityStraightLineShrink) {
+  expect_wire_parity(program_frame("MBR_LOAD $2\nMBR_STORE $3\nRETURN",
+                                   ArgumentHeader{{0, 0, 77, 0}}));
+}
+
+TEST(Datapath, ParityWithPayload) {
+  expect_wire_parity(program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                                   ArgumentHeader{{42, 0, 0, 0}}, 0,
+                                   {9, 8, 7, 6, 5, 4, 3, 2, 1}));
+}
+
+TEST(Datapath, ParityNoShrinkKeepsCode) {
+  expect_wire_parity(program_frame("MBR_LOAD $2\nMBR_STORE $3\nRETURN",
+                                   ArgumentHeader{{0, 0, 7, 0}},
+                                   packet::kFlagNoShrink,
+                                   {1, 2, 3, 4, 5}));
+}
+
+TEST(Datapath, ParityBranch) {
+  expect_wire_parity(program_frame(R"(
+      MBR_LOAD $0
+      MBR2_LOAD $1
+      CJUMP L1
+      MBR_STORE $2
+      L1: RETURN
+  )",
+                                   ArgumentHeader{{5, 5, 0, 0}}));
+}
+
+TEST(Datapath, ParityRts) {
+  // RTS swaps the MACs: the reply lands back at the client recorder.
+  expect_wire_parity(program_frame("MBR_LOAD $0\nRTS\nRETURN",
+                                   ArgumentHeader{{1, 0, 0, 0}},
+                                   packet::kFlagNoShrink));
+}
+
+TEST(Datapath, ParityRecirculation) {
+  std::string text;
+  for (int i = 0; i < 25; ++i) text += "NOP\n";
+  text += "MBR_LOAD $0\nMBR_STORE $1\nRETURN";
+  expect_wire_parity(program_frame(text, ArgumentHeader{{9, 0, 0, 0}}));
+}
+
+TEST(Datapath, ParityDrop) {
+  // Unallocated memory access: both paths drop, nothing egresses.
+  expect_wire_parity(program_frame("MAR_LOAD $0\nMEM_READ\nRETURN",
+                                   ArgumentHeader{{500, 0, 0, 0}}));
+}
+
+// ---------- fast-path accounting and recycling ----------
+
+TEST(Datapath, ZeroCopyPathIsTaken) {
+  Bed bed(/*zero_copy=*/true);
+  bed.inject(program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                           ArgumentHeader{{3, 0, 0, 0}}));
+  EXPECT_EQ(bed.sw->node_stats().zero_copy_frames, 1u);
+  EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);
+  ASSERT_EQ(bed.server->frames.size(), 1u);
+  // The delivered reply rides the very slab the client's send acquired.
+  EXPECT_TRUE(bed.server->frames[0].pooled());
+}
+
+TEST(Datapath, LegacyPathLeavesZeroCopyCounterAtZero) {
+  Bed bed(/*zero_copy=*/false);
+  bed.inject(program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                           ArgumentHeader{{3, 0, 0, 0}}));
+  EXPECT_EQ(bed.sw->node_stats().zero_copy_frames, 0u);
+  EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);
+}
+
+TEST(Datapath, SlabRecyclesAfterReceiverReleases) {
+  Bed bed(/*zero_copy=*/true);
+  bed.inject(program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                           ArgumentHeader{{3, 0, 0, 0}}));
+  ASSERT_EQ(bed.server->frames.size(), 1u);
+  const auto created = bed.net.pool().stats().slabs_created;
+  bed.server->frames.clear();  // last reference: slab returns to the pool
+  EXPECT_EQ(bed.net.pool().free_slabs(), 1u);
+  // A second exchange is served entirely from the warm pool.
+  bed.inject(program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                           ArgumentHeader{{4, 0, 0, 0}}));
+  EXPECT_EQ(bed.net.pool().stats().slabs_created, created);
+}
+
+// ---------- passive traffic through the switch ----------
+
+std::vector<u8> passive_frame(packet::MacAddr dst, packet::MacAddr src,
+                              std::vector<u8> payload) {
+  ByteWriter out;
+  packet::EthernetHeader eth;
+  eth.dst = dst;
+  eth.src = src;
+  eth.ethertype = packet::kEtherTypeIpv4;
+  eth.serialize(out);
+  out.put_bytes(payload);
+  return out.take();
+}
+
+TEST(Datapath, PassiveFramesForwardByL2Address) {
+  Bed bed(/*zero_copy=*/true);
+  const auto frame = passive_frame(kServerMac, kClientMac, {1, 2, 3, 4});
+  bed.inject(frame);
+  ASSERT_EQ(bed.server->frames.size(), 1u);
+  EXPECT_EQ(bed.server->frames[0].to_vector(), frame);  // untouched
+  EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);
+  EXPECT_EQ(bed.sw->node_stats().malformed, 0u);
+  EXPECT_EQ(bed.sw->node_stats().zero_copy_frames, 0u);
+}
+
+TEST(Datapath, PassiveUnknownDestinationCountsMalformed) {
+  Bed bed(/*zero_copy=*/true);
+  bed.inject(passive_frame(/*dst=*/0xdead, kClientMac, {1, 2, 3}));
+  EXPECT_TRUE(bed.server->frames.empty());
+  EXPECT_TRUE(bed.client->frames.empty());
+  EXPECT_EQ(bed.sw->node_stats().malformed, 1u);
+}
+
+TEST(Datapath, CapsuleToUnboundMacCountsUnknownDestination) {
+  Bed bed(/*zero_copy=*/true);
+  auto pkt = ActivePacket::make_program(
+      1, ArgumentHeader{{3, 0, 0, 0}},
+      active::assemble("MBR_LOAD $0\nMBR_STORE $1\nRETURN"));
+  pkt.ethernet.src = kClientMac;
+  pkt.ethernet.dst = 0xdead;  // executes fine, but egress lookup fails
+  bed.inject(pkt.serialize());
+  EXPECT_TRUE(bed.server->frames.empty());
+  EXPECT_EQ(bed.sw->node_stats().unknown_destination, 1u);
+  EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);  // verdict was forward
+}
+
+TEST(Datapath, TruncatedProgramFrameFallsBackToL2Forward) {
+  Bed bed(/*zero_copy=*/true);
+  // A frame that looks like a program capsule (active ethertype, kProgram
+  // type byte) but has no valid code: the fast path must decline and the
+  // frame must still reach its L2 destination, as on the legacy path.
+  auto frame = program_frame("MBR_LOAD $0\nRETURN", ArgumentHeader{});
+  frame.resize(packet::EthernetHeader::kWireSize + 12);  // cut mid-header
+  bed.inject(frame);
+  ASSERT_EQ(bed.server->frames.size(), 1u);
+  EXPECT_EQ(bed.server->frames[0].to_vector(), frame);
+  EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);
+  EXPECT_EQ(bed.sw->node_stats().zero_copy_frames, 0u);
+}
+
+}  // namespace
+}  // namespace artmt

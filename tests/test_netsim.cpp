@@ -59,6 +59,45 @@ TEST(Simulator, RunUntilStopsAndAdvancesClock) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, RunUntilBoundaryIsInclusive) {
+  // An event exactly at `until` runs; anything later stays queued and the
+  // clock still lands exactly on the boundary.
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(100, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(101, [&] { fired.push_back(sim.now()); });
+  sim.run_until(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{100}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{100, 101}));
+}
+
+TEST(Simulator, SmallCapturesStayInline) {
+  // The event loop's allocation-free claim rests on closures of the
+  // delivery path fitting InlineAction's inline buffer.
+  Simulator sim;
+  int hits = 0;
+  Frame frame(64, 0xaa);  // a FrameBuf capture: pointer-sized members only
+  sim.schedule_at(1, [&hits, f = std::move(frame)] { hits += f[0] == 0xaa; });
+  sim.schedule_at(2, [&hits] { ++hits; });
+  sim.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.actions_spilled(), 0u);
+}
+
+TEST(Simulator, OversizedCapturesSpillToHeap) {
+  Simulator sim;
+  std::array<u64, 32> big{};  // 256 bytes: larger than the inline buffer
+  big[0] = 7;
+  u64 seen = 0;
+  sim.schedule_at(1, [big, &seen] { seen = big[0]; });
+  sim.run();
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(sim.actions_spilled(), 1u);
+}
+
 TEST(Simulator, NestedSchedulingWithinRun) {
   Simulator sim;
   int count = 0;
@@ -128,6 +167,43 @@ TEST(Network, UnpluggedPortDropsSilently) {
   net.transmit(*a, 9, Frame(10));
   sim.run();
   EXPECT_EQ(net.frames_delivered(), 0u);
+  EXPECT_EQ(net.frames_dropped(), 1u);
+}
+
+TEST(Network, CountsDropsPerUnpluggedTransmit) {
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  net.attach(a);
+  net.attach(b);
+  net.connect(*a, 0, *b, 0);
+  net.transmit(*a, 0, Frame(10));  // delivered
+  net.transmit(*a, 1, Frame(10));  // no link on port 1
+  net.transmit(*b, 7, Frame(10));  // no link on port 7
+  sim.run();
+  EXPECT_EQ(net.frames_delivered(), 1u);
+  EXPECT_EQ(net.frames_dropped(), 2u);
+}
+
+TEST(Network, PooledFramesRoundTrip) {
+  // A frame acquired from the network's pool survives transit and its
+  // slab is recycled once the receiver lets go of it.
+  Simulator sim;
+  Network net(sim);
+  auto a = std::make_shared<Recorder>("a");
+  auto b = std::make_shared<Recorder>("b");
+  net.attach(a);
+  net.attach(b);
+  net.connect(*a, 0, *b, 0);
+  Frame frame = net.pool().copy(std::vector<u8>{1, 2, 3, 4});
+  net.transmit(*a, 0, std::move(frame));
+  sim.run();
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(b->frames[0].frame.to_vector(), (std::vector<u8>{1, 2, 3, 4}));
+  EXPECT_TRUE(b->frames[0].frame.pooled());
+  b->frames.clear();
+  EXPECT_EQ(net.pool().free_slabs(), 1u);
 }
 
 TEST(Network, DoubleConnectThrows) {
