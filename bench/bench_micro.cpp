@@ -30,6 +30,7 @@
 #include "proto/wire.hpp"
 #include "rmt/hash.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/metrics.hpp"
 
 // --- global allocation counter -------------------------------------------
 // Counts every heap allocation made by this binary; the steady-state
@@ -248,6 +249,13 @@ int run_steady_state() {
 // zero-copy (ProgramView + pooled in-place reply) -- and writes
 // BENCH_datapath.json. Asserts (exit 1) that the zero-copy path performs
 // zero heap allocations per forwarded frame once the pool is warm.
+//
+// A third rig runs the zero-copy path with telemetry recording enabled
+// (per-FID counters + latency histogram on every frame, netsim counters
+// on every delivery) against the first two measured with recording
+// gated off. Asserts (exit 1) that the instrumented path still performs
+// zero steady-state allocations and stays within 5% of the zero-copy
+// packets/sec baseline -- the CI `telemetry-overhead` gate.
 
 class SinkNode : public netsim::Node {
  public:
@@ -275,10 +283,18 @@ struct E2eRig {
   std::vector<u8> wire;  // the repeated capsule, serialized once
   bool pooled_ingress;
 
-  explicit E2eRig(bool zero_copy) : pooled_ingress(zero_copy) {
+  explicit E2eRig(bool zero_copy, bool telemetry = false)
+      : pooled_ingress(zero_copy) {
     controller::SwitchNode::Config cfg;
     cfg.zero_copy = zero_copy;
     sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+    if (telemetry) {
+      // Mirror the full artmt_stats wiring: netsim counters join the
+      // switch's (private) registry, so the instrumented measurement pays
+      // for every recording site the real deployment would.
+      sim.set_metrics(&sw->metrics());
+      net.set_metrics(&sw->metrics());
+    }
     client = std::make_shared<SinkNode>("client");
     server = std::make_shared<SinkNode>("server");
     net.attach(sw);
@@ -338,22 +354,32 @@ void measure_e2e(E2eRig& rig, u64 rounds, u64 per_round, E2eMeasurement* out) {
 
 // Returns 0 on success, 1 when the zero-allocation assertion fails.
 int run_e2e_datapath() {
-  constexpr u64 kRounds = 8;
+  constexpr u64 kRounds = 12;
   constexpr u64 kPerRound = 5'000;
   constexpr u64 kPackets = kRounds * kPerRound;
   E2eRig legacy_rig(/*zero_copy=*/false);
   E2eRig zc_rig(/*zero_copy=*/true);
-  // Warm-up: populates the program caches, the frame pools, and the event
-  // queue capacity, so the measured rounds see the steady state.
+  E2eRig tel_rig(/*zero_copy=*/true, /*telemetry=*/true);
+  // Warm-up: populates the program caches, the frame pools, the event
+  // queue capacity, and (for the instrumented rig) the per-FID counter
+  // memos, so the measured rounds see the steady state.
+  telemetry::set_enabled(true);
   legacy_rig.pump(1000);
   zc_rig.pump(1000);
+  tel_rig.pump(1000);
 
   E2eMeasurement legacy;
   E2eMeasurement zc;
-  // Interleaved rounds, best-of: ambient load skews both paths alike.
+  E2eMeasurement tel;
+  // Interleaved rounds, best-of: ambient load skews all paths alike. The
+  // baselines run with recording gated off (one relaxed load per site);
+  // the telemetry rig runs with every counter and histogram live.
   for (u64 r = 0; r < kRounds; ++r) {
+    telemetry::set_enabled(false);
     measure_e2e(legacy_rig, 1, kPerRound, &legacy);
     measure_e2e(zc_rig, 1, kPerRound, &zc);
+    telemetry::set_enabled(true);
+    measure_e2e(tel_rig, 1, kPerRound, &tel);
   }
 
   const double legacy_allocs_per_frame =
@@ -361,6 +387,11 @@ int run_e2e_datapath() {
   const double zc_allocs_per_frame =
       static_cast<double>(zc.allocs) / static_cast<double>(kPackets);
   const double speedup = zc.packets_per_sec / legacy.packets_per_sec;
+  const double tel_allocs_per_frame =
+      static_cast<double>(tel.allocs) / static_cast<double>(kPackets);
+  const double tel_overhead_pct =
+      100.0 * (1.0 - tel.packets_per_sec / zc.packets_per_sec);
+  const bool tel_within_5pct = tel.packets_per_sec >= 0.95 * zc.packets_per_sec;
 
   const auto& ss = zc_rig.sw->node_stats();
   const auto& cs = zc_rig.sw->program_cache().stats();
@@ -370,7 +401,7 @@ int run_e2e_datapath() {
       lookups ? static_cast<double>(cs.hits) / static_cast<double>(lookups)
               : 0.0;
 
-  char json[2048];
+  char json[3072];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -383,6 +414,9 @@ int run_e2e_datapath() {
       "  \"zero_copy\": {\"packets_per_sec\": %.0f, "
       "\"allocs_per_frame_steady\": %.6f},\n"
       "  \"speedup\": %.2f,\n"
+      "  \"telemetry\": {\"packets_per_sec\": %.0f, "
+      "\"allocs_per_frame_steady\": %.6f,\n"
+      "               \"overhead_pct\": %.2f, \"within_5pct\": %s},\n"
       "  \"switch\": {\"forwarded\": %llu, \"returned\": %llu, \"dropped\": "
       "%llu,\n"
       "             \"malformed\": %llu, \"unknown_destination\": %llu,\n"
@@ -398,7 +432,9 @@ int run_e2e_datapath() {
       kBenchPayloadBytes, zc_rig.wire.size(),
       static_cast<unsigned long long>(kPackets), legacy.packets_per_sec,
       legacy_allocs_per_frame, zc.packets_per_sec, zc_allocs_per_frame,
-      speedup, static_cast<unsigned long long>(ss.forwarded),
+      speedup, tel.packets_per_sec, tel_allocs_per_frame, tel_overhead_pct,
+      tel_within_5pct ? "true" : "false",
+      static_cast<unsigned long long>(ss.forwarded),
       static_cast<unsigned long long>(ss.returned),
       static_cast<unsigned long long>(ss.dropped),
       static_cast<unsigned long long>(ss.malformed),
@@ -426,6 +462,21 @@ int run_e2e_datapath() {
                  "frames (expected 0 in steady state)\n",
                  static_cast<unsigned long long>(zc.allocs),
                  static_cast<unsigned long long>(kPackets));
+    return 1;
+  }
+  if (tel.allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-enabled datapath allocated %llu times over "
+                 "%llu frames (expected 0 in steady state)\n",
+                 static_cast<unsigned long long>(tel.allocs),
+                 static_cast<unsigned long long>(kPackets));
+    return 1;
+  }
+  if (!tel_within_5pct) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-enabled datapath ran at %.0f pps vs %.0f "
+                 "pps baseline (%.2f%% overhead, budget 5%%)\n",
+                 tel.packets_per_sec, zc.packets_per_sec, tel_overhead_pct);
     return 1;
   }
   return 0;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, a bench smoke job, then
-# an ASan+UBSan job.
+# CI entry point: release build + full test suite, a bench smoke job, a
+# telemetry-overhead gate, then an ASan+UBSan job.
 #
-# Usage: scripts/ci.sh [release|bench|sanitize|all]   (default: all)
+# Usage: scripts/ci.sh [release|bench|telemetry-overhead|sanitize|all]
+# (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,21 @@ run_bench() {
   ./build/bench/bench_micro --benchmark_filter=NONE
 }
 
+run_telemetry_overhead() {
+  echo "== telemetry overhead gate: <=5% pps, zero steady-state allocs =="
+  cmake --preset default
+  cmake --build --preset default
+  # bench_micro measures the zero-copy datapath with telemetry recording
+  # gated off vs fully live and exits nonzero when the instrumented path
+  # allocates in steady state or loses more than 5% packets/sec; the gate
+  # double-checks the verdict recorded in BENCH_datapath.json.
+  ./build/bench/bench_micro --benchmark_filter=NONE
+  if ! grep -q '"within_5pct": true' BENCH_datapath.json; then
+    echo "telemetry-overhead: BENCH_datapath.json reports >5% regression" >&2
+    exit 1
+  fi
+}
+
 run_sanitize() {
   echo "== ASan+UBSan build + tests =="
   cmake --preset asan-ubsan
@@ -35,14 +51,16 @@ run_sanitize() {
 case "$job" in
   release) run_release ;;
   bench) run_bench ;;
+  telemetry-overhead) run_telemetry_overhead ;;
   sanitize) run_sanitize ;;
   all)
     run_release
     run_bench
+    run_telemetry_overhead
     run_sanitize
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|sanitize|all)" >&2
+    echo "unknown job '$job' (expected release|bench|telemetry-overhead|sanitize|all)" >&2
     exit 2
     ;;
 esac

@@ -18,6 +18,11 @@
 
 #include "active/compiled_program.hpp"
 
+namespace artmt::telemetry {
+class Counter;
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
 namespace artmt::active {
 
 class ProgramCache {
@@ -54,6 +59,11 @@ class ProgramCache {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   void clear();
 
+  // Mirrors hit/miss/eviction/collision counts into `metrics` under
+  // component "program_cache" (nullptr detaches). The internal Stats
+  // struct keeps counting regardless.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct Entry {
     std::shared_ptr<const CompiledProgram> program;
@@ -67,6 +77,10 @@ class ProgramCache {
   std::size_t capacity_;
   HashFn hash_;
   Stats stats_;
+  telemetry::Counter* m_hits_ = nullptr;
+  telemetry::Counter* m_misses_ = nullptr;
+  telemetry::Counter* m_evictions_ = nullptr;
+  telemetry::Counter* m_collisions_ = nullptr;
   std::list<u64> lru_;  // front = most recently used
   std::unordered_map<u64, Entry> entries_;
 };

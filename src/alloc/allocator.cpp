@@ -5,8 +5,20 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace artmt::alloc {
+
+namespace {
+
+u64 region_blocks(const std::map<u32, Interval>& regions) {
+  u64 blocks = 0;
+  for (const auto& [stage, region] : regions) blocks += region.size();
+  return blocks;
+}
+
+}  // namespace
 
 const char* scheme_name(Scheme scheme) {
   switch (scheme) {
@@ -33,6 +45,28 @@ Allocator::Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
   for (u32 i = 0; i < geometry_.logical_stages; ++i) {
     stages_.emplace_back(blocks_per_stage);
   }
+}
+
+void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_allocations_ = nullptr;
+    m_failures_ = nullptr;
+    m_deallocations_ = nullptr;
+    m_blocks_allocated_ = nullptr;
+    m_blocks_freed_ = nullptr;
+    m_resident_ = nullptr;
+    m_search_us_ = nullptr;
+    m_assign_us_ = nullptr;
+    return;
+  }
+  m_allocations_ = &metrics->counter("alloc", "allocations");
+  m_failures_ = &metrics->counter("alloc", "failures");
+  m_deallocations_ = &metrics->counter("alloc", "deallocations");
+  m_blocks_allocated_ = &metrics->counter("alloc", "blocks_allocated");
+  m_blocks_freed_ = &metrics->counter("alloc", "blocks_freed");
+  m_resident_ = &metrics->gauge("alloc", "resident_apps");
+  m_search_us_ = &metrics->histogram("alloc", "search_us");
+  m_assign_us_ = &metrics->histogram("alloc", "assign_us");
 }
 
 std::map<u32, u32> Allocator::stage_demands(const AllocationRequest& request,
@@ -143,7 +177,19 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
         return true;
       });
   outcome.search_ms = watch.elapsed_ms();
-  if (!found) return outcome;
+  if (m_search_us_ != nullptr) {
+    m_search_us_->record(static_cast<u64>(outcome.search_ms * 1000.0));
+  }
+  if (!found) {
+    if (m_failures_ != nullptr) m_failures_->inc();
+    if (auto* sink = telemetry::trace_sink()) {
+      sink->emit("alloc", "reject", telemetry::kNoFid,
+                 {{"accesses", request.accesses.size()},
+                  {"elastic", request.elastic},
+                  {"mutants_considered", outcome.mutants_considered}});
+    }
+    return outcome;
+  }
 
   // --- Phase 2: final assignment for the new app and every resident app
   // whose share shifts (this dominates allocation time; Section 6.1). ---
@@ -173,12 +219,28 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
   outcome.regions = regions_of(id);
   outcome.reallocated = diff_against(before, id);
   outcome.assign_ms = watch.elapsed_ms();
+  const u64 blocks = region_blocks(outcome.regions);
+  if (m_allocations_ != nullptr) {
+    m_allocations_->inc();
+    m_blocks_allocated_->inc(blocks);
+    m_resident_->set(static_cast<i64>(apps_.size()));
+    m_assign_us_->record(static_cast<u64>(outcome.assign_ms * 1000.0));
+  }
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("alloc", "allocate", telemetry::kNoFid,
+               {{"app", id},
+                {"blocks", blocks},
+                {"stages", outcome.regions.size()},
+                {"reallocated", outcome.reallocated.size()},
+                {"mutants_considered", outcome.mutants_considered}});
+  }
   return outcome;
 }
 
 std::vector<AppId> Allocator::deallocate(AppId id) {
   const auto it = apps_.find(id);
   if (it == apps_.end()) throw UsageError("Allocator: unknown app id");
+  const u64 blocks = region_blocks(regions_of(id));
   const auto before = snapshot();
   for (const auto& [stage, demand] : it->second.stage_demand) {
     if (it->second.elastic) {
@@ -188,6 +250,15 @@ std::vector<AppId> Allocator::deallocate(AppId id) {
     }
   }
   apps_.erase(it);
+  if (m_deallocations_ != nullptr) {
+    m_deallocations_->inc();
+    m_blocks_freed_->inc(blocks);
+    m_resident_->set(static_cast<i64>(apps_.size()));
+  }
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("alloc", "deallocate", telemetry::kNoFid,
+               {{"app", id}, {"blocks", blocks}});
+  }
   return diff_against(before, id);
 }
 

@@ -14,6 +14,13 @@
 #include "alloc/stage_state.hpp"
 #include "common/types.hpp"
 
+namespace artmt::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
 namespace artmt::alloc {
 
 // Allocation schemes compared in Section 6.4 / Figure 11.
@@ -76,6 +83,12 @@ class Allocator {
   [[nodiscard]] Scheme scheme() const { return scheme_; }
   [[nodiscard]] const MutantPolicy& policy() const { return policy_; }
 
+  // Mirrors admissions/failures, block movement, the resident-app gauge,
+  // and search/assign durations into `metrics` under component "alloc"
+  // (nullptr detaches). Outcomes also emit trace events while a
+  // telemetry::TraceSink is installed.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   // Per-stage demand of a request under a mutant (accesses in the same
   // physical stage collapse to their maximum demand: one object per stage).
@@ -102,6 +115,14 @@ class Allocator {
   std::vector<StageState> stages_;
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_id_ = 1;
+  telemetry::Counter* m_allocations_ = nullptr;
+  telemetry::Counter* m_failures_ = nullptr;
+  telemetry::Counter* m_deallocations_ = nullptr;
+  telemetry::Counter* m_blocks_allocated_ = nullptr;
+  telemetry::Counter* m_blocks_freed_ = nullptr;
+  telemetry::Gauge* m_resident_ = nullptr;
+  telemetry::Histogram* m_search_us_ = nullptr;
+  telemetry::Histogram* m_assign_us_ = nullptr;
 };
 
 }  // namespace artmt::alloc

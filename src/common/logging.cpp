@@ -2,11 +2,25 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace artmt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+// Guards both the sink pointer and the emission itself, so a line is
+// formatted and delivered atomically even with concurrent emitters.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSinkFn& sink_slot() {
+  static LogSinkFn sink;
+  return sink;
+}
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -27,9 +41,25 @@ const char* tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSinkFn sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::cerr << "[" << tag(level) << "] " << message << "\n";
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::string line;
+  line.reserve(message.size() + 9);
+  line += '[';
+  line += tag(level);
+  line += "] ";
+  line += message;
+  if (const LogSinkFn& sink = sink_slot()) {
+    sink(level, line);
+    return;
+  }
+  std::cerr << line << "\n";
 }
 
 }  // namespace artmt

@@ -1,7 +1,11 @@
 // Minimal leveled logger. Off by default so benches and tests stay quiet;
-// examples turn it on to narrate scenarios.
+// examples turn it on to narrate scenarios. Lines are routed through a
+// pluggable sink (default: stderr) under a mutex, so concurrent emitters
+// never interleave characters and tests can capture output without
+// redirecting process streams.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,8 +17,30 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Emits one line to stderr with a level tag if `level` passes the threshold.
+// Receives every line that passes the threshold. Called with the sink
+// mutex held: one call = one atomic line.
+using LogSinkFn = std::function<void(LogLevel level, const std::string& line)>;
+
+// Replaces the sink (empty function restores the stderr default).
+void set_log_sink(LogSinkFn sink);
+
+// Emits one line with a level tag if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
+
+// RAII threshold override for tests and verbose scopes: sets `level` on
+// construction, restores the previous threshold on destruction.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(log_level()) {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
 
 namespace detail {
 inline void append_all(std::ostringstream&) {}

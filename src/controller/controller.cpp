@@ -3,8 +3,39 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace artmt::controller {
+
+// Pre-registered handles; blocks_allocated is labeled per FID so occupancy
+// per service is visible in snapshots (the paper's Fig. 9 quantity).
+struct ControllerMetrics {
+  explicit ControllerMetrics(telemetry::MetricsRegistry& r)
+      : blocks_allocated(r, "controller", "blocks_allocated"),
+        admissions(&r.counter("controller", "admissions")),
+        rejections(&r.counter("controller", "rejections")),
+        tcam_rejections(&r.counter("controller", "tcam_rejections")),
+        releases(&r.counter("controller", "releases")),
+        reallocations(&r.counter("controller", "reallocations")),
+        table_entry_updates(&r.counter("controller", "table_entry_updates")),
+        blocks_snapshotted(&r.counter("controller", "blocks_snapshotted")),
+        extraction_timeouts(&r.counter("controller", "extraction_timeouts")),
+        compute_us(&r.histogram("controller", "admit_compute_us")),
+        provisioning_ns(&r.histogram("controller", "provisioning_ns")) {}
+
+  telemetry::CounterFamily blocks_allocated;
+  telemetry::Counter* admissions;
+  telemetry::Counter* rejections;
+  telemetry::Counter* tcam_rejections;
+  telemetry::Counter* releases;
+  telemetry::Counter* reallocations;
+  telemetry::Counter* table_entry_updates;
+  telemetry::Counter* blocks_snapshotted;
+  telemetry::Counter* extraction_timeouts;
+  telemetry::Histogram* compute_us;
+  telemetry::Histogram* provisioning_ns;
+};
 
 Controller::Controller(rmt::Pipeline& pipeline,
                        runtime::ActiveRuntime& runtime, alloc::Scheme scheme,
@@ -15,6 +46,14 @@ Controller::Controller(rmt::Pipeline& pipeline,
                                   pipeline.config().ingress_stages},
              pipeline.config().blocks_per_stage(), scheme, policy),
       costs_(costs) {}
+
+Controller::~Controller() = default;
+
+void Controller::set_metrics(telemetry::MetricsRegistry* metrics) {
+  alloc_.set_metrics(metrics);
+  metrics_ = metrics == nullptr ? nullptr
+                                : std::make_unique<ControllerMetrics>(*metrics);
+}
 
 std::map<u32, Interval> Controller::regions_of(Fid fid) const {
   const auto it = fid_to_app_.find(fid);
@@ -53,8 +92,9 @@ void Controller::take_snapshot(Fid fid) {
     if (entry == nullptr || entry->words() == 0) continue;
     snapshot[s] =
         pipeline_->stage(s).memory().dump(entry->start_word, entry->words());
-    stats_.blocks_snapshotted +=
-        entry->words() / pipeline_->config().block_words;
+    const u64 blocks = entry->words() / pipeline_->config().block_words;
+    stats_.blocks_snapshotted += blocks;
+    if (metrics_) metrics_->blocks_snapshotted->inc(blocks);
   }
   snapshots_[fid] = std::move(snapshot);
 }
@@ -96,6 +136,7 @@ void Controller::install_with_advance(Fid fid) {
       throw UsageError("Controller: TCAM capacity exceeded at install");
     }
     ++stats_.table_entry_updates;
+    if (metrics_) metrics_->table_entry_updates->inc();
   }
 }
 
@@ -106,6 +147,7 @@ u32 Controller::remove_entries(Fid fid) {
       pipeline_->stage(s).remove(fid);
       ++ops;
       ++stats_.table_entry_updates;
+      if (metrics_) metrics_->table_entry_updates->inc();
     }
   }
   return ops;
@@ -129,6 +171,12 @@ AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
   result.compute_ms = result.outcome.search_ms + result.outcome.assign_ms;
   if (!result.outcome.success) {
     ++stats_.rejections;
+    if (metrics_) metrics_->rejections->inc();
+    if (auto* sink = telemetry::trace_sink()) {
+      sink->emit("controller", "rejection", telemetry::kNoFid,
+                 {{"cause", "no_feasible_placement"},
+                  {"mutants_considered", result.outcome.mutants_considered}});
+    }
     return result;
   }
 
@@ -144,6 +192,14 @@ AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
       result.outcome.success = false;
       ++stats_.rejections;
       ++stats_.tcam_rejections;
+      if (metrics_) {
+        metrics_->rejections->inc();
+        metrics_->tcam_rejections->inc();
+      }
+      if (auto* sink = telemetry::trace_sink()) {
+        sink->emit("controller", "rejection", telemetry::kNoFid,
+                   {{"cause", "tcam_headroom"}, {"stage", stage}});
+      }
       return result;
     }
   }
@@ -192,6 +248,27 @@ AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
   result.clear_cost =
       static_cast<SimTime>(blocks_cleared) * costs_.clear_per_block;
 
+  if (metrics_) {
+    metrics_->admissions->inc();
+    metrics_->reallocations->inc(result.disturbed.size());
+    u64 fid_blocks = 0;
+    for (const auto& [stage, region] :
+         alloc_.regions_of(result.outcome.app)) {
+      fid_blocks += region.size();
+    }
+    metrics_->blocks_allocated.at(fid).inc(fid_blocks);
+    metrics_->compute_us->record(
+        static_cast<u64>(result.compute_ms * 1000.0));
+    metrics_->provisioning_ns->record(
+        static_cast<u64>(result.provisioning_time()));
+  }
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("controller", "admission", fid,
+               {{"disturbed", result.disturbed.size()},
+                {"pending", !result.disturbed.empty()},
+                {"provisioning_ns", result.provisioning_time()}});
+  }
+
   if (result.disturbed.empty()) {
     pending_ = PendingAdmission{fid, {}};
     finalize();
@@ -220,6 +297,11 @@ bool Controller::extraction_complete(Fid fid) {
 void Controller::timeout_pending() {
   if (!pending_) return;
   stats_.extraction_timeouts += pending_->awaiting.size();
+  if (metrics_) metrics_->extraction_timeouts->inc(pending_->awaiting.size());
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("controller", "extraction_timeout", pending_->new_fid,
+               {{"abandoned", pending_->awaiting.size()}});
+  }
   pending_->awaiting.clear();
 }
 
@@ -259,6 +341,10 @@ void Controller::finalize() {
   for (const Fid fid : disturbed) clear_regions(fid);
 
   for (const Fid fid : disturbed) runtime_->reactivate(fid);
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("controller", "apply", new_fid,
+               {{"reactivated", disturbed.size()}});
+  }
   pending_.reset();
 }
 
@@ -269,6 +355,7 @@ ReleaseResult Controller::release(Fid fid) {
   const auto it = fid_to_app_.find(fid);
   if (it == fid_to_app_.end()) throw UsageError("Controller: unknown FID");
   ++stats_.releases;
+  if (metrics_) metrics_->releases->inc();
 
   ReleaseResult result;
   const alloc::AppId app = it->second;
@@ -276,6 +363,7 @@ ReleaseResult Controller::release(Fid fid) {
   u64 entry_ops = remove_entries(fid);
   const auto disturbed_apps = alloc_.deallocate(app);
   stats_.reallocations += disturbed_apps.size();
+  if (metrics_) metrics_->reallocations->inc(disturbed_apps.size());
 
   const u32 block_words = pipeline_->config().block_words;
   u64 blocks_snapshotted = 0;
@@ -309,6 +397,10 @@ ReleaseResult Controller::release(Fid fid) {
   mutants_.erase(fid);
   snapshots_.erase(fid);
   runtime_->reactivate(fid);  // forget any stale deactivation
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("controller", "release", fid,
+               {{"disturbed", result.disturbed.size()}});
+  }
   return result;
 }
 

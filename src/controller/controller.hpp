@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -26,6 +27,8 @@
 #include "runtime/runtime.hpp"
 
 namespace artmt::controller {
+
+struct ControllerMetrics;  // telemetry handle bundle (controller.cpp)
 
 struct AdmissionResult {
   bool admitted = false;
@@ -71,6 +74,7 @@ class Controller {
              alloc::Scheme scheme = alloc::Scheme::kWorstFit,
              alloc::MutantPolicy policy = alloc::MutantPolicy::most_constrained(),
              CostModel costs = {});
+  ~Controller();
 
   // --- admission / release ---
   AdmissionResult admit(const alloc::AllocationRequest& request);
@@ -109,6 +113,13 @@ class Controller {
   [[nodiscard]] const alloc::Mutant* mutant_of(Fid fid) const;
   [[nodiscard]] const CostModel& costs() const { return costs_; }
 
+  // Mirrors ControllerStats into `metrics` under component "controller"
+  // (blocks_allocated also per-FID) and cascades to the owned allocator;
+  // nullptr detaches. Admissions, rejections, releases, timeouts, and
+  // layout applications also emit trace events while a
+  // telemetry::TraceSink is installed.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct PendingAdmission {
     Fid new_fid = 0;
@@ -131,6 +142,7 @@ class Controller {
   alloc::Allocator alloc_;
   CostModel costs_;
   ControllerStats stats_;
+  std::unique_ptr<ControllerMetrics> metrics_;
 
   std::unordered_map<Fid, alloc::AppId> fid_to_app_;
   std::unordered_map<alloc::AppId, Fid> app_to_fid_;

@@ -1,11 +1,40 @@
 #include "controller/switch_node.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artmt::controller {
 
 using packet::ActivePacket;
 using packet::ActiveType;
+
+// The node's own counters ("switch" component); the embedded runtime,
+// controller, allocator, and program cache register theirs under their own
+// component names in the same registry.
+struct SwitchMetrics {
+  explicit SwitchMetrics(telemetry::MetricsRegistry& r)
+      : packets(r, "switch", "packets"),
+        malformed(&r.counter("switch", "malformed")),
+        control_rejects(&r.counter("switch", "control_rejects")),
+        unknown_destination(&r.counter("switch", "unknown_destination")),
+        forwarded(&r.counter("switch", "forwarded")),
+        returned(&r.counter("switch", "returned")),
+        dropped(&r.counter("switch", "dropped")),
+        zero_copy_frames(&r.counter("switch", "zero_copy_frames")),
+        legacy_frames(&r.counter("switch", "legacy_frames")),
+        exec_latency_ns(&r.histogram("switch", "exec_latency_ns")) {}
+
+  telemetry::CounterFamily packets;
+  telemetry::Counter* malformed;
+  telemetry::Counter* control_rejects;
+  telemetry::Counter* unknown_destination;
+  telemetry::Counter* forwarded;
+  telemetry::Counter* returned;
+  telemetry::Counter* dropped;
+  telemetry::Counter* zero_copy_frames;
+  telemetry::Counter* legacy_frames;
+  telemetry::Histogram* exec_latency_ns;
+};
 
 SwitchNode::SwitchNode(std::string name, const Config& config)
     : netsim::Node(std::move(name)),
@@ -17,6 +46,31 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       default_recirc_budget_(config.default_recirc_budget),
       zero_copy_(config.zero_copy) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
+  if (config.metrics != nullptr) {
+    metrics_registry_ = config.metrics;
+  } else {
+    own_registry_ = std::make_unique<telemetry::MetricsRegistry>();
+    metrics_registry_ = own_registry_.get();
+  }
+  metrics_ = std::make_unique<SwitchMetrics>(*metrics_registry_);
+  runtime_.set_metrics(metrics_registry_);
+  controller_.set_metrics(metrics_registry_);
+  program_cache_.set_metrics(metrics_registry_);
+}
+
+SwitchNode::~SwitchNode() = default;
+
+SwitchNode::NodeStats SwitchNode::node_stats() const {
+  NodeStats s;
+  s.malformed = metrics_->malformed->value();
+  s.control_rejects = metrics_->control_rejects->value();
+  s.unknown_destination = metrics_->unknown_destination->value();
+  s.forwarded = metrics_->forwarded->value();
+  s.returned = metrics_->returned->value();
+  s.dropped = metrics_->dropped->value();
+  s.zero_copy_frames = metrics_->zero_copy_frames->value();
+  s.legacy_frames = metrics_->legacy_frames->value();
+  return s;
 }
 
 namespace {
@@ -59,7 +113,7 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
                                    SimTime delay) {
   const auto it = l2_table_.find(dst);
   if (it == l2_table_.end()) {
-    ++stats_.unknown_destination;
+    metrics_->unknown_destination->inc();
     return;
   }
   const u32 port = it->second;
@@ -100,12 +154,12 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
       const auto eth = packet::EthernetHeader::parse(in);
       const auto it = l2_table_.find(eth.dst);
       if (it != l2_table_.end()) {
-        ++stats_.forwarded;
+        metrics_->forwarded->inc();
         network().transmit(*this, it->second, std::move(frame));
         return;
       }
     }
-    ++stats_.malformed;
+    metrics_->malformed->inc();
     return;
   }
 
@@ -141,15 +195,18 @@ void SwitchNode::handle_program(ActivePacket pkt) {
       pkt.compiled && !pkt.program
           ? runtime_.execute(*pkt.compiled, pkt, cursor, meta, now)
           : runtime_.execute(pkt, meta, now);
+  metrics_->packets.at(pkt.initial.fid).inc();
+  metrics_->legacy_frames->inc();
+  metrics_->exec_latency_ns->record(static_cast<u64>(result.latency));
   switch (result.verdict) {
     case runtime::Verdict::kDrop:
-      ++stats_.dropped;
+      metrics_->dropped->inc();
       return;
     case runtime::Verdict::kReturnToSender:
-      ++stats_.returned;
+      metrics_->returned->inc();
       break;
     case runtime::Verdict::kForward:
-      ++stats_.forwarded;
+      metrics_->forwarded->inc();
       break;
   }
   // One outbound frame synthesis: the shrink reply comes from the cursor,
@@ -182,18 +239,20 @@ void SwitchNode::handle_program_view(packet::ProgramView view,
   const SimTime now = network().simulator().now();
   const runtime::ExecutionResult result =
       runtime_.execute(view, cursor, meta, now);
+  metrics_->packets.at(view.initial.fid).inc();
+  metrics_->exec_latency_ns->record(static_cast<u64>(result.latency));
   switch (result.verdict) {
     case runtime::Verdict::kDrop:
-      ++stats_.dropped;
+      metrics_->dropped->inc();
       return;
     case runtime::Verdict::kReturnToSender:
-      ++stats_.returned;
+      metrics_->returned->inc();
       break;
     case runtime::Verdict::kForward:
-      ++stats_.forwarded;
+      metrics_->forwarded->inc();
       break;
   }
-  ++stats_.zero_copy_frames;
+  metrics_->zero_copy_frames->inc();
   // The reply is rewritten into the inbound buffer (the window slides
   // forward over the shrunk bytes): wire-in to wire-out without a copy.
   netsim::Frame out =
@@ -248,7 +307,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
   try {
     request = proto::decode_request(op.pkt);
   } catch (const ParseError&) {
-    ++stats_.malformed;
+    metrics_->control_rejects->inc();
     finish_control();
     return;
   }
@@ -259,7 +318,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
   } catch (const UsageError&) {
     // Structurally invalid request (e.g. crafted positions beyond the
     // program length): deny rather than wedge the control plane.
-    ++stats_.malformed;
+    metrics_->control_rejects->inc();
     send_to_mac(op.requester, proto::encode_denial(op.pkt.initial.seq));
     finish_control();
     return;

@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "controller/controller.hpp"
@@ -15,7 +16,13 @@
 #include "rmt/pipeline.hpp"
 #include "runtime/runtime.hpp"
 
+namespace artmt::telemetry {
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
 namespace artmt::controller {
+
+struct SwitchMetrics;  // telemetry handle bundle (switch_node.cpp)
 
 class SwitchNode : public netsim::Node {
  public:
@@ -37,18 +44,29 @@ class SwitchNode : public netsim::Node {
     // Disable to force full materialization (parity tests, bench
     // baseline).
     bool zero_copy = true;
+    // Registry receiving this node's metrics (runtime, controller,
+    // allocator, program cache, and the node's own counters). nullptr =
+    // the node owns a private registry, so per-node counts stay exact no
+    // matter how many switches share the process; tools and benches pass
+    // &telemetry::registry() to aggregate into the process-wide snapshot.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
+  // Snapshot view over the node's registry counters (built per call; the
+  // registry is the single source of truth).
   struct NodeStats {
-    u64 malformed = 0;
-    u64 unknown_destination = 0;
+    u64 malformed = 0;            // unparseable passive frames
+    u64 control_rejects = 0;      // malformed/invalid control requests
+    u64 unknown_destination = 0;  // no L2 entry for the destination MAC
     u64 forwarded = 0;
     u64 returned = 0;  // RTS'd capsules
     u64 dropped = 0;
     u64 zero_copy_frames = 0;  // program capsules served by the fast path
+    u64 legacy_frames = 0;     // program capsules fully materialized
   };
 
   SwitchNode(std::string name, const Config& config);
+  ~SwitchNode() override;
 
   // Static L2 table: which port reaches `mac`.
   void bind(packet::MacAddr mac, u32 port);
@@ -58,9 +76,13 @@ class SwitchNode : public netsim::Node {
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] runtime::ActiveRuntime& runtime() { return runtime_; }
   [[nodiscard]] rmt::Pipeline& pipeline() { return pipeline_; }
-  [[nodiscard]] const NodeStats& node_stats() const { return stats_; }
+  [[nodiscard]] NodeStats node_stats() const;
   [[nodiscard]] const active::ProgramCache& program_cache() const {
     return program_cache_;
+  }
+  // The registry this node records into (its own or the configured one).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() const {
+    return *metrics_registry_;
   }
 
  private:
@@ -90,7 +112,9 @@ class SwitchNode : public netsim::Node {
   runtime::ActiveRuntime runtime_;
   Controller controller_;
   active::ProgramCache program_cache_;
-  NodeStats stats_;
+  std::unique_ptr<telemetry::MetricsRegistry> own_registry_;
+  telemetry::MetricsRegistry* metrics_registry_ = nullptr;
+  std::unique_ptr<SwitchMetrics> metrics_;
 
   std::map<packet::MacAddr, u32> l2_table_;
   std::map<Fid, packet::MacAddr> client_of_;

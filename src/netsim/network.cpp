@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace artmt::netsim {
+
+void Network::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_delivered_ = nullptr;
+    m_bytes_ = nullptr;
+    m_dropped_ = nullptr;
+    return;
+  }
+  m_delivered_ = &metrics->counter("netsim", "frames_delivered");
+  m_bytes_ = &metrics->counter("netsim", "bytes_delivered");
+  m_dropped_ = &metrics->counter("netsim", "frames_dropped");
+}
 
 void Network::attach(std::shared_ptr<Node> node) {
   if (node == nullptr) throw UsageError("Network::attach: null node");
@@ -28,6 +43,13 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
   const auto it = egress_.find({&from, port});
   if (it == egress_.end()) {
     ++frames_dropped_;  // unplugged port: frame is lost
+    if (m_dropped_ != nullptr) m_dropped_->inc();
+    if (auto* sink = telemetry::trace_sink()) {
+      sink->emit("netsim", "frame_dropped", telemetry::kNoFid,
+                 {{"node", from.name()},
+                  {"port", port},
+                  {"bytes", frame.size()}});
+    }
     return;
   }
   const Egress& out = it->second;
@@ -43,6 +65,10 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
   sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
     ++frames_delivered_;
     bytes_delivered_ += f.size();
+    if (m_delivered_ != nullptr) {
+      m_delivered_->inc();
+      m_bytes_->inc(f.size());
+    }
     dest.node->on_frame(std::move(f), dest.port);
   });
 }

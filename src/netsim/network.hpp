@@ -82,6 +82,11 @@ class Network {
   [[nodiscard]] u64 bytes_delivered() const { return bytes_delivered_; }
   [[nodiscard]] u64 frames_dropped() const { return frames_dropped_; }
 
+  // Mirrors delivery/drop counts into `metrics` under component "netsim"
+  // (nullptr detaches). Drops also emit a "frame_dropped" trace event
+  // while a telemetry::TraceSink is installed.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct Endpoint {
     Node* node = nullptr;
@@ -117,6 +122,9 @@ class Network {
   u64 frames_delivered_ = 0;
   u64 bytes_delivered_ = 0;
   u64 frames_dropped_ = 0;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_bytes_ = nullptr;
+  telemetry::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace artmt::netsim

@@ -3,13 +3,32 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 namespace artmt::netsim {
+
+void Simulator::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_dispatched_ = nullptr;
+    m_spilled_ = nullptr;
+    m_queue_depth_ = nullptr;
+    return;
+  }
+  m_dispatched_ = &metrics->counter("netsim", "events_dispatched");
+  m_spilled_ = &metrics->counter("netsim", "actions_spilled");
+  m_queue_depth_ = &metrics->gauge("netsim", "queue_depth");
+  // Count dispatches from attach time, not since construction.
+  dispatched_flushed_ = events_dispatched_;
+}
 
 void Simulator::schedule_at(SimTime at, Action action) {
   if (at < now_) {
     throw UsageError("Simulator::schedule_at: time is in the past");
   }
-  if (action.heap_allocated()) ++actions_spilled_;
+  if (action.heap_allocated()) {
+    ++actions_spilled_;
+    if (m_spilled_ != nullptr) m_spilled_->inc();
+  }
   queue_.push_back(Event{at, next_seq_++, std::move(action)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
@@ -27,8 +46,19 @@ bool Simulator::step() {
   Event ev = std::move(queue_.back());
   queue_.pop_back();
   now_ = ev.at;
+  ++events_dispatched_;
   ev.action();
   return true;
+}
+
+// Per-event mirroring would put two telemetry updates on every frame hop;
+// batching at the drain boundary keeps the dispatch counter exact for
+// every observer that reads after run()/run_until() returns.
+void Simulator::flush_metrics() {
+  if (m_dispatched_ == nullptr) return;
+  m_dispatched_->inc(events_dispatched_ - dispatched_flushed_);
+  dispatched_flushed_ = events_dispatched_;
+  m_queue_depth_->set(static_cast<i64>(queue_.size()));
 }
 
 void Simulator::run_until(SimTime until) {
@@ -36,11 +66,13 @@ void Simulator::run_until(SimTime until) {
     step();
   }
   if (now_ < until) now_ = until;
+  flush_metrics();
 }
 
 void Simulator::run() {
   while (step()) {
   }
+  flush_metrics();
 }
 
 }  // namespace artmt::netsim

@@ -17,6 +17,12 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 
+namespace artmt::telemetry {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
 namespace artmt::netsim {
 
 // Move-only type-erased callable with a large inline capture buffer.
@@ -145,6 +151,13 @@ class Simulator {
   // cost a heap allocation); the frame fast path should keep this at zero.
   [[nodiscard]] u64 actions_spilled() const { return actions_spilled_; }
 
+  // Mirrors dispatch/spill counts and the queue-depth gauge into
+  // `metrics` under component "netsim" (nullptr detaches). Dispatch count
+  // and queue depth are flushed at run()/run_until() boundaries rather
+  // than per event, keeping the per-event cost off the frame hot path;
+  // single-stepping callers see them refresh on the next run_until().
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   struct Event {
     SimTime at;
@@ -158,9 +171,16 @@ class Simulator {
     }
   };
 
+  void flush_metrics();
+
   SimTime now_ = 0;
   u64 next_seq_ = 0;
   u64 actions_spilled_ = 0;
+  u64 events_dispatched_ = 0;
+  u64 dispatched_flushed_ = 0;
+  telemetry::Counter* m_dispatched_ = nullptr;
+  telemetry::Counter* m_spilled_ = nullptr;
+  telemetry::Gauge* m_queue_depth_ = nullptr;
   // Min-heap managed with std::push_heap/pop_heap (Later makes the earliest
   // event the front element) so step() can move the Event — and its inline
   // action — out of the container instead of copying it.

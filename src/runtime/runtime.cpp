@@ -3,8 +3,48 @@
 #include <algorithm>
 
 #include "rmt/hash.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artmt::runtime {
+
+// Pre-registered handles so the per-packet path never touches the
+// registry mutex: per-FID families memoize, the rest are direct pointers.
+struct RuntimeMetrics {
+  explicit RuntimeMetrics(telemetry::MetricsRegistry& r)
+      : packets(r, "runtime", "packets"),
+        recirculations(r, "runtime", "recirculations"),
+        instructions(&r.counter("runtime", "instructions")),
+        drops_protection(&r.counter("runtime", "drops_protection")),
+        drops_no_allocation(&r.counter("runtime", "drops_no_allocation")),
+        drops_recirc_limit(&r.counter("runtime", "drops_recirc_limit")),
+        drops_recirc_budget(&r.counter("runtime", "drops_recirc_budget")),
+        drops_privilege(&r.counter("runtime", "drops_privilege")),
+        drops_explicit(&r.counter("runtime", "drops_explicit")),
+        rts_packets(&r.counter("runtime", "rts_packets")),
+        forwarded_unprocessed(
+            &r.counter("runtime", "forwarded_unprocessed")) {}
+
+  telemetry::CounterFamily packets;
+  telemetry::CounterFamily recirculations;
+  telemetry::Counter* instructions;
+  telemetry::Counter* drops_protection;
+  telemetry::Counter* drops_no_allocation;
+  telemetry::Counter* drops_recirc_limit;
+  telemetry::Counter* drops_recirc_budget;
+  telemetry::Counter* drops_privilege;
+  telemetry::Counter* drops_explicit;
+  telemetry::Counter* rts_packets;
+  telemetry::Counter* forwarded_unprocessed;
+};
+
+ActiveRuntime::ActiveRuntime(rmt::Pipeline& pipeline) : pipeline_(&pipeline) {}
+
+ActiveRuntime::~ActiveRuntime() = default;
+
+void ActiveRuntime::set_metrics(telemetry::MetricsRegistry* metrics) {
+  metrics_ =
+      metrics == nullptr ? nullptr : std::make_unique<RuntimeMetrics>(*metrics);
+}
 
 using active::CompiledInsn;
 using active::CompiledProgram;
@@ -284,6 +324,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
   const auto& cfg = pipeline_->config();
   ExecutionResult res;
   ++stats_.packets;
+  if (metrics_) metrics_->packets.at(ctx.fid).inc();
   res.latency = cfg.pass_latency;
 
   cursor.reset(program.size());
@@ -293,6 +334,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
       (ctx.flags & packet::kFlagManagement) == 0) {
     res.fault = Fault::kDeactivated;
     ++stats_.forwarded_unprocessed;
+    if (metrics_) metrics_->forwarded_unprocessed->inc();
     return res;
   }
 
@@ -421,6 +463,12 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
   }
   stats_.instructions += res.instructions_executed;
   stats_.recirculations += res.passes - 1;
+  if (metrics_) {
+    metrics_->instructions->inc(res.instructions_executed);
+    if (res.passes > 1) {
+      metrics_->recirculations.at(ctx.fid).inc(res.passes - 1);
+    }
+  }
 
   res.phv = phv;
   res.fault = fault_;
@@ -428,28 +476,36 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
 
   if (phv.drop) {
     res.verdict = Verdict::kDrop;
+    telemetry::Counter* drop_counter = nullptr;
     switch (fault_) {
       case Fault::kExplicitDrop:
         ++stats_.drops_explicit;
+        if (metrics_) drop_counter = metrics_->drops_explicit;
         break;
       case Fault::kProtectionViolation:
         ++stats_.drops_protection;
+        if (metrics_) drop_counter = metrics_->drops_protection;
         break;
       case Fault::kNoAllocation:
         ++stats_.drops_no_allocation;
+        if (metrics_) drop_counter = metrics_->drops_no_allocation;
         break;
       case Fault::kRecircLimit:
         ++stats_.drops_recirc_limit;
+        if (metrics_) drop_counter = metrics_->drops_recirc_limit;
         break;
       case Fault::kRecircBudget:
         ++stats_.drops_recirc_budget;
+        if (metrics_) drop_counter = metrics_->drops_recirc_budget;
         break;
       case Fault::kPrivilege:
         ++stats_.drops_privilege;
+        if (metrics_) drop_counter = metrics_->drops_privilege;
         break;
       default:
         break;
     }
+    if (drop_counter != nullptr) drop_counter->inc();
     return res;
   }
 
@@ -459,6 +515,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
       std::swap(*ctx.eth_src, *ctx.eth_dst);
     }
     ++stats_.rts_packets;
+    if (metrics_) metrics_->rts_packets->inc();
   }
   return res;
 }
@@ -470,6 +527,7 @@ ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
     // Malformed capsule: forward untouched.
     ExecutionResult res;
     ++stats_.packets;
+    if (metrics_) metrics_->packets.at(telemetry::kNoFid).inc();
     res.latency = pipeline_->config().pass_latency;
     return res;
   }
@@ -501,6 +559,7 @@ ExecutionResult ActiveRuntime::execute(ActivePacket& pkt,
     // Control packets and passive traffic just forward.
     ExecutionResult res;
     ++stats_.packets;
+    if (metrics_) metrics_->packets.at(telemetry::kNoFid).inc();
     res.latency = pipeline_->config().pass_latency;
     return res;
   }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -23,7 +24,13 @@
 #include "rmt/pipeline.hpp"
 #include "runtime/phv.hpp"
 
+namespace artmt::telemetry {
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
 namespace artmt::runtime {
+
+struct RuntimeMetrics;  // telemetry handle bundle (runtime.cpp)
 
 // What the switch should do with the packet after execution.
 enum class Verdict {
@@ -116,7 +123,8 @@ struct ExecContext {
 
 class ActiveRuntime {
  public:
-  explicit ActiveRuntime(rmt::Pipeline& pipeline) : pipeline_(&pipeline) {}
+  explicit ActiveRuntime(rmt::Pipeline& pipeline);
+  ~ActiveRuntime();
 
   // Core hot path: executes the immutable `program` against `ctx`,
   // threading all mutable execution state through `cursor` (reset
@@ -176,6 +184,10 @@ class ActiveRuntime {
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   [[nodiscard]] rmt::Pipeline& pipeline() { return *pipeline_; }
 
+  // Mirrors RuntimeStats into `metrics` under component "runtime"
+  // (packets and recirculations also per-FID); nullptr detaches.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   // Executes one instruction in one stage. Returns false when the packet
   // faulted (phv.drop set with `fault_` recorded).
@@ -195,6 +207,7 @@ class ActiveRuntime {
 
   rmt::Pipeline* pipeline_;
   RuntimeStats stats_;
+  std::unique_ptr<RuntimeMetrics> metrics_;
   std::unordered_set<Fid> deactivated_;
   std::unordered_map<Fid, BucketState> recirc_buckets_;
   bool enforce_privilege_ = false;

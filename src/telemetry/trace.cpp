@@ -1,0 +1,85 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <ostream>
+
+namespace artmt::telemetry {
+
+namespace {
+
+// Minimal JSON string escaping; trace payloads are identifiers and
+// mnemonics, so the common case copies straight through.
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+}  // namespace
+
+void TraceSink::emit(std::string_view component, std::string_view event,
+                     i64 fid, std::initializer_list<Field> fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostream& out = *out_;
+  out << "{\"ts\":" << (clock_ ? clock_() : 0) << ",\"component\":";
+  write_escaped(out, component);
+  out << ",\"event\":";
+  write_escaped(out, event);
+  if (fid >= 0) out << ",\"fid\":" << fid;
+  for (const Field& f : fields) {
+    out << ',';
+    write_escaped(out, f.key_);
+    out << ':';
+    switch (f.kind_) {
+      case Field::Kind::kBool:
+        out << (f.b_ ? "true" : "false");
+        break;
+      case Field::Kind::kInt:
+        out << f.i_;
+        break;
+      case Field::Kind::kUint:
+        out << f.u_;
+        break;
+      case Field::Kind::kDouble:
+        out << f.d_;
+        break;
+      case Field::Kind::kString:
+        write_escaped(out, f.s_);
+        break;
+    }
+  }
+  out << "}\n";
+  ++emitted_;
+}
+
+void set_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+}  // namespace artmt::telemetry

@@ -1,0 +1,92 @@
+// Structured trace export: one JSON object per line, stamped with the
+// simulated clock. The sink is the single schema authority -- the
+// runtime's per-stage TraceEvents, the controller's admission/release
+// events, the allocator's placement decisions, and netsim frame drops all
+// flow through emit(), so traces from the debugger (artmt_trace --json)
+// and the simulator are diffable line-by-line.
+//
+// Envelope (stable field order):
+//   {"ts":<ns>,"component":"...","event":"...","fid":N, <fields...>}
+// `fid` is omitted for events not attached to a flow (pass kNoFid).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <type_traits>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace artmt::telemetry {
+
+class TraceSink {
+ public:
+  // A typed key/value pair rendered into the JSON line.
+  class Field {
+   public:
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    Field(std::string_view key, T v) : key_(key) {
+      if constexpr (std::is_signed_v<T>) {
+        kind_ = Kind::kInt;
+        i_ = static_cast<i64>(v);
+      } else {
+        kind_ = Kind::kUint;
+        u_ = static_cast<u64>(v);
+      }
+    }
+    Field(std::string_view key, bool v) : key_(key), kind_(Kind::kBool) {
+      b_ = v;
+    }
+    Field(std::string_view key, double v) : key_(key), kind_(Kind::kDouble) {
+      d_ = v;
+    }
+    Field(std::string_view key, std::string_view v)
+        : key_(key), kind_(Kind::kString), s_(v) {}
+    Field(std::string_view key, const char* v)
+        : Field(key, std::string_view(v)) {}
+
+   private:
+    friend class TraceSink;
+    enum class Kind { kBool, kInt, kUint, kDouble, kString };
+
+    std::string_view key_;
+    Kind kind_;
+    union {
+      bool b_;
+      i64 i_;
+      u64 u_;
+      double d_;
+    };
+    std::string_view s_;
+  };
+
+  explicit TraceSink(std::ostream& out) : out_(&out) {}
+
+  // Timestamps come from this callback (the owner points it at the
+  // simulator's clock); unset -> ts 0.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  void emit(std::string_view component, std::string_view event, i64 fid,
+            std::initializer_list<Field> fields = {});
+
+  [[nodiscard]] u64 emitted() const { return emitted_; }
+
+ private:
+  std::ostream* out_;
+  std::function<SimTime()> clock_;
+  std::mutex mu_;
+  u64 emitted_ = 0;
+};
+
+// Process-wide trace sink; components emit only while one is installed
+// (nullptr detaches -- the default, so tracing costs one load + branch on
+// the paths that offer it).
+void set_trace_sink(TraceSink* sink);
+TraceSink* trace_sink();
+
+}  // namespace artmt::telemetry

@@ -7,6 +7,8 @@
 #include "active/assembler.hpp"
 #include "controller/switch_node.hpp"
 #include "netsim/network.hpp"
+#include "proto/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artmt {
 namespace {
@@ -30,10 +32,14 @@ class Recorder : public netsim::Node {
 
 // One switch with a client-side and a server-side recorder, zero-copy on
 // or off; everything else identical so outputs can be diffed bitwise.
+// Pass a registry to share it with the caller (the telemetry tests read
+// counters directly); by default the switch keeps a private one.
 struct Bed {
-  explicit Bed(bool zero_copy) {
+  explicit Bed(bool zero_copy,
+               telemetry::MetricsRegistry* metrics = nullptr) {
     SwitchNode::Config cfg;
     cfg.zero_copy = zero_copy;
+    cfg.metrics = metrics;
     sw = std::make_shared<SwitchNode>("switch", cfg);
     client = std::make_shared<Recorder>("client");
     server = std::make_shared<Recorder>("server");
@@ -239,6 +245,70 @@ TEST(Datapath, TruncatedProgramFrameFallsBackToL2Forward) {
   EXPECT_EQ(bed.server->frames[0].to_vector(), frame);
   EXPECT_EQ(bed.sw->node_stats().forwarded, 1u);
   EXPECT_EQ(bed.sw->node_stats().zero_copy_frames, 0u);
+}
+
+// ---------- telemetry-on parity ----------
+
+TEST(Datapath, TelemetryCountsMatchOnBothPaths) {
+  // The same capsules through a zero-copy and a materializing switch,
+  // each recording into a caller-owned registry: the per-FID packet
+  // counters, the latency histogram, and the NodeStats snapshot view all
+  // agree across the two paths (except zero_copy_frames, by design).
+  telemetry::set_enabled(true);
+  telemetry::MetricsRegistry fast_reg;
+  telemetry::MetricsRegistry slow_reg;
+  Bed fast(/*zero_copy=*/true, &fast_reg);
+  Bed slow(/*zero_copy=*/false, &slow_reg);
+  const auto frame = program_frame("MBR_LOAD $0\nMBR_STORE $1\nRETURN",
+                                   ArgumentHeader{{3, 0, 0, 0}});
+  for (int i = 0; i < 3; ++i) {
+    fast.inject(frame);
+    slow.inject(frame);
+  }
+
+  for (auto* reg : {&fast_reg, &slow_reg}) {
+    EXPECT_EQ(reg->counter_value("switch", "packets", 1), 3u);
+    EXPECT_EQ(reg->counter_value("runtime", "packets", 1), 3u);
+    EXPECT_EQ(reg->counter_value("switch", "forwarded"), 3u);
+    const telemetry::Histogram* lat =
+        reg->find_histogram("switch", "exec_latency_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count(), 3u);
+    EXPECT_GT(lat->sum(), 0u);
+  }
+  EXPECT_EQ(fast_reg.counter_value("switch", "zero_copy_frames"), 3u);
+  EXPECT_EQ(slow_reg.counter_value("switch", "zero_copy_frames"), 0u);
+
+  // The NodeStats snapshot is a view over the same registry.
+  const auto fs = fast.sw->node_stats();
+  EXPECT_EQ(fs.forwarded, 3u);
+  EXPECT_EQ(fs.zero_copy_frames, 3u);
+  EXPECT_EQ(fs.malformed, 0u);
+  EXPECT_EQ(fs.control_rejects, 0u);
+}
+
+TEST(Datapath, MalformedControlTrafficSplitsFromMalformedData) {
+  // A wire-valid allocation request whose access position lies beyond
+  // the declared program length is structurally invalid: it counts as a
+  // control reject, not as a malformed data frame and not as an unknown
+  // destination.
+  telemetry::MetricsRegistry reg;
+  Bed bed(/*zero_copy=*/true, &reg);
+  alloc::AllocationRequest request;
+  request.program_length = 3;
+  request.accesses.push_back(alloc::AccessDemand{/*position=*/200,
+                                                 /*demand_blocks=*/1,
+                                                 /*alias=*/-1});
+  auto pkt = proto::encode_request(request, /*seq=*/1);
+  pkt.ethernet.src = kClientMac;
+  pkt.ethernet.dst = kServerMac;
+  bed.inject(pkt.serialize());
+
+  const auto stats = bed.sw->node_stats();
+  EXPECT_EQ(stats.control_rejects, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.unknown_destination, 0u);
+  EXPECT_EQ(reg.counter_value("switch", "control_rejects"), 1u);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
-// Tests for the leveled logger and the stopwatch.
+// Tests for the leveled logger (sink capture, threshold filtering, the
+// ScopedLogLevel guard) and the stopwatch.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
@@ -9,41 +12,112 @@
 namespace artmt {
 namespace {
 
+// Installs a capturing sink for the test's lifetime, so assertions read
+// structured lines instead of scraping a redirected stderr.
 class LoggingTest : public ::testing::Test {
  protected:
-  LoggingTest() : previous_(log_level()) {}
-  ~LoggingTest() override { set_log_level(previous_); }
+  LoggingTest() : previous_(log_level()) {
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~LoggingTest() override {
+    set_log_sink({});
+    set_log_level(previous_);
+  }
+
+  [[nodiscard]] std::string joined() const {
+    std::string all;
+    for (const std::string& line : lines_) {
+      all += line;
+      all += '\n';
+    }
+    return all;
+  }
+
   LogLevel previous_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
 };
 
 TEST_F(LoggingTest, ThresholdFilters) {
   set_log_level(LogLevel::kWarn);
   EXPECT_EQ(log_level(), LogLevel::kWarn);
-  testing::internal::CaptureStderr();
   log(LogLevel::kDebug, "hidden");
   log(LogLevel::kInfo, "hidden too");
   log(LogLevel::kWarn, "visible ", 42);
   log(LogLevel::kError, "also visible");
-  const std::string captured = testing::internal::GetCapturedStderr();
+  const std::string captured = joined();
   EXPECT_EQ(captured.find("hidden"), std::string::npos);
   EXPECT_NE(captured.find("visible 42"), std::string::npos);
   EXPECT_NE(captured.find("[WARN ]"), std::string::npos);
   EXPECT_NE(captured.find("[ERROR]"), std::string::npos);
+  ASSERT_EQ(levels_.size(), 2u);
+  EXPECT_EQ(levels_[0], LogLevel::kWarn);
+  EXPECT_EQ(levels_[1], LogLevel::kError);
 }
 
 TEST_F(LoggingTest, OffSilencesEverything) {
   set_log_level(LogLevel::kOff);
-  testing::internal::CaptureStderr();
   log(LogLevel::kError, "nope");
-  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+  EXPECT_TRUE(lines_.empty());
 }
 
 TEST_F(LoggingTest, ConcatenatesMixedTypes) {
   set_log_level(LogLevel::kDebug);
-  testing::internal::CaptureStderr();
   log(LogLevel::kInfo, "x=", 1, " y=", 2.5, " z=", "s");
-  const std::string captured = testing::internal::GetCapturedStderr();
-  EXPECT_NE(captured.find("x=1 y=2.5 z=s"), std::string::npos);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("x=1 y=2.5 z=s"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ScopedLogLevelRestoresOnExit) {
+  set_log_level(LogLevel::kOff);
+  {
+    ScopedLogLevel scope(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    log(LogLevel::kDebug, "inside scope");
+  }
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  log(LogLevel::kError, "after scope");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("inside scope"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ScopedLogLevelNests) {
+  set_log_level(LogLevel::kWarn);
+  {
+    ScopedLogLevel outer(LogLevel::kInfo);
+    {
+      ScopedLogLevel inner(LogLevel::kError);
+      EXPECT_EQ(log_level(), LogLevel::kError);
+    }
+    EXPECT_EQ(log_level(), LogLevel::kInfo);
+  }
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, ConcurrentEmittersProduceWholeLines) {
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        log(LogLevel::kInfo, "thread=", t, " line=", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(lines_.size(),
+            static_cast<std::size_t>(kThreads) * kLines);
+  for (const std::string& line : lines_) {
+    // Every captured line is one complete message, never a splice.
+    EXPECT_NE(line.find("thread="), std::string::npos);
+    EXPECT_NE(line.find(" line="), std::string::npos);
+  }
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {

@@ -9,6 +9,9 @@
 //   artmt_trace [options] [file]      (reads stdin when no file given)
 //     --args a,b,c,d    argument-header words (decimal or 0x hex)
 //     --elastic         request an elastic allocation instead
+//     --json            emit telemetry::TraceSink JSON-lines on stdout
+//                       (same schema as the simulator's trace export, so
+//                       debugger and simulator traces diff line-by-line)
 //
 // Example:
 //   echo 'MAR_LOAD $0
@@ -27,6 +30,7 @@
 #include "active/compiled_program.hpp"
 #include "client/compiler.hpp"
 #include "controller/controller.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace artmt;
 
@@ -70,6 +74,7 @@ const char* fault_name(runtime::Fault fault) {
 int main(int argc, char** argv) {
   packet::ArgumentHeader args;
   bool elastic = false;
+  bool json = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--args") == 0 && i + 1 < argc) {
@@ -81,9 +86,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--elastic") == 0) {
       elastic = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: artmt_trace [--args a,b,c,d] [--elastic] [file]\n");
+      std::fprintf(
+          stderr,
+          "usage: artmt_trace [--args a,b,c,d] [--elastic] [--json] [file]\n");
       return 2;
     } else {
       path = argv[i];
@@ -135,37 +143,69 @@ int main(int argc, char** argv) {
         spec, *controller.mutant_of(fid), controller.response_for(fid),
         config.logical_stages);
     to_run = synthesized.program;
-    std::printf("allocated fid=%u; per-access regions:\n", fid);
-    for (std::size_t i = 0; i < synthesized.access_base.size(); ++i) {
-      std::printf("  access %zu -> stage %u, words [%u, %u)\n", i,
-                  (*controller.mutant_of(fid))[i] % config.logical_stages,
-                  synthesized.access_base[i],
-                  synthesized.access_base[i] + synthesized.access_words[i]);
+    if (!json) {
+      std::printf("allocated fid=%u; per-access regions:\n", fid);
+      for (std::size_t i = 0; i < synthesized.access_base.size(); ++i) {
+        std::printf("  access %zu -> stage %u, words [%u, %u)\n", i,
+                    (*controller.mutant_of(fid))[i] % config.logical_stages,
+                    synthesized.access_base[i],
+                    synthesized.access_base[i] + synthesized.access_words[i]);
+      }
     }
     // Direct-addressed programs expect args[0] to be a physical address;
     // default it into the first region when the caller left it at 0.
     if (args.args[0] == 0) args.args[0] = synthesized.access_base[0];
   }
 
-  std::printf("\n%-5s %-6s %-5s %-20s %-10s %-10s %-10s flags\n", "idx",
-              "stage", "pass", "instruction", "MAR", "MBR", "MBR2");
-  runtime.set_trace([](const runtime::TraceEvent& event) {
-    std::printf("%-5u %-6u %-5u %-20s %-10u %-10u %-10u %s%s%s\n",
-                event.index, event.logical_stage, event.pass,
-                event.skipped
-                    ? "(skipped)"
-                    : std::string(active::mnemonic(event.op)).c_str(),
-                event.phv.mar, event.phv.mbr, event.phv.mbr2,
-                event.phv.complete ? "complete " : "",
-                event.phv.disabled ? "disabled " : "",
-                event.phv.rts ? "rts" : "");
-  });
+  // JSON mode: the same schema (and the same emitter) as the simulator's
+  // structured trace export, one object per consumed stage.
+  telemetry::TraceSink sink(std::cout);
+  if (json) {
+    runtime.set_trace([&sink, fid](const runtime::TraceEvent& event) {
+      sink.emit("runtime", "stage", fid,
+                {{"index", event.index},
+                 {"stage", event.logical_stage},
+                 {"pass", event.pass},
+                 {"op", active::mnemonic(event.op)},
+                 {"skipped", event.skipped},
+                 {"mar", event.phv.mar},
+                 {"mbr", event.phv.mbr},
+                 {"mbr2", event.phv.mbr2},
+                 {"complete", event.phv.complete},
+                 {"disabled", event.phv.disabled},
+                 {"rts", event.phv.rts}});
+    });
+  } else {
+    std::printf("\n%-5s %-6s %-5s %-20s %-10s %-10s %-10s flags\n", "idx",
+                "stage", "pass", "instruction", "MAR", "MBR", "MBR2");
+    runtime.set_trace([](const runtime::TraceEvent& event) {
+      std::printf("%-5u %-6u %-5u %-20s %-10u %-10u %-10u %s%s%s\n",
+                  event.index, event.logical_stage, event.pass,
+                  event.skipped
+                      ? "(skipped)"
+                      : std::string(active::mnemonic(event.op)).c_str(),
+                  event.phv.mar, event.phv.mbr, event.phv.mbr2,
+                  event.phv.complete ? "complete " : "",
+                  event.phv.disabled ? "disabled " : "",
+                  event.phv.rts ? "rts" : "");
+    });
+  }
 
   const auto compiled = std::make_shared<const active::CompiledProgram>(
       active::CompiledProgram::compile(to_run));
   auto capsule = packet::ActivePacket::make_program(fid, args, compiled);
   active::ExecCursor cursor;
   const auto result = runtime.execute(*compiled, capsule, cursor);
+
+  if (json) {
+    sink.emit("runtime", "execute_done", fid,
+              {{"verdict", verdict_name(result.verdict)},
+               {"fault", fault_name(result.fault)},
+               {"passes", result.passes},
+               {"latency_ns", result.latency},
+               {"instructions", result.instructions_executed}});
+    return result.verdict == runtime::Verdict::kDrop ? 1 : 0;
+  }
 
   std::printf("\nverdict: %s", verdict_name(result.verdict));
   if (result.fault != runtime::Fault::kNone) {
