@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Throughput regression gate over BENCH_datapath.json.
+
+Collects every ``packets_per_sec`` leaf in the working-tree
+BENCH_datapath.json and compares it against the committed baseline
+(``git show HEAD:BENCH_datapath.json`` by default). Exits nonzero when
+any section regresses by more than the threshold (10% unless
+--threshold says otherwise). Sections present on only one side are
+reported but never fail the gate: new benchmarks have no baseline, and
+retired ones have no current value.
+
+Stdlib only; runs anywhere git and python3 exist.
+
+Usage: scripts/bench_compare.py [--threshold 0.10] [--file BENCH_datapath.json]
+                                [--baseline-ref HEAD]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def pps_leaves(obj, path=""):
+    """Yields (section-path, value) for every packets_per_sec leaf."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            child = f"{path}.{key}" if path else key
+            if key == "packets_per_sec" and isinstance(value, (int, float)):
+                yield path or key, float(value)
+            else:
+                yield from pps_leaves(value, child)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from pps_leaves(value, f"{path}[{i}]")
+
+
+def load_baseline(ref, path):
+    try:
+        text = subprocess.run(
+            ["git", "show", f"{ref}:{path}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional pps drop (default 0.10)")
+    parser.add_argument("--file", default="BENCH_datapath.json")
+    parser.add_argument("--baseline-ref", default="HEAD")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            current = dict(pps_leaves(json.load(f)))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {args.file}: {err}",
+              file=sys.stderr)
+        return 2
+
+    baseline_json = load_baseline(args.baseline_ref, args.file)
+    if baseline_json is None:
+        print(f"bench_compare: no baseline {args.file} at "
+              f"{args.baseline_ref}; nothing to compare")
+        return 0
+    baseline = dict(pps_leaves(baseline_json))
+
+    regressions = []
+    for section in sorted(current.keys() | baseline.keys()):
+        cur = current.get(section)
+        base = baseline.get(section)
+        if cur is None:
+            print(f"  {section}: retired (baseline {base:.0f} pps)")
+            continue
+        if base is None:
+            print(f"  {section}: new ({cur:.0f} pps, no baseline)")
+            continue
+        if base <= 0:
+            continue
+        delta = cur / base - 1.0
+        mark = ""
+        if delta < -args.threshold:
+            regressions.append((section, base, cur, delta))
+            mark = "  << REGRESSION"
+        print(f"  {section}: {base:.0f} -> {cur:.0f} pps "
+              f"({delta:+.1%}){mark}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} section(s) regressed "
+              f"more than {args.threshold:.0%} vs {args.baseline_ref}",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite, a bench smoke job, a
-# telemetry-overhead gate, then an ASan+UBSan job.
+# telemetry-overhead gate, a throughput-regression gate, an ASan+UBSan
+# job, then a ThreadSanitizer job (the sharded engine's worker threads).
 #
-# Usage: scripts/ci.sh [release|bench|telemetry-overhead|sanitize|all]
+# Usage: scripts/ci.sh
+#   [release|bench|telemetry-overhead|bench-regression|sanitize|tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +43,17 @@ run_telemetry_overhead() {
   fi
 }
 
+run_bench_regression() {
+  echo "== bench regression gate: packets/sec vs committed baseline =="
+  cmake --preset default
+  cmake --build --preset default
+  # Refresh BENCH_datapath.json from this checkout, then compare every
+  # packets_per_sec section against the committed baseline; more than a
+  # 10% drop in any section fails the job.
+  ./build/bench/bench_micro --benchmark_filter=NONE
+  python3 scripts/bench_compare.py
+}
+
 run_sanitize() {
   echo "== ASan+UBSan build + tests =="
   cmake --preset asan-ubsan
@@ -48,19 +61,30 @@ run_sanitize() {
   ctest --preset asan-ubsan
 }
 
+run_tsan() {
+  echo "== ThreadSanitizer build + tests =="
+  cmake --preset tsan
+  cmake --build --preset tsan
+  ctest --preset tsan
+}
+
 case "$job" in
   release) run_release ;;
   bench) run_bench ;;
   telemetry-overhead) run_telemetry_overhead ;;
+  bench-regression) run_bench_regression ;;
   sanitize) run_sanitize ;;
+  tsan) run_tsan ;;
   all)
     run_release
     run_bench
     run_telemetry_overhead
+    run_bench_regression
     run_sanitize
+    run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|telemetry-overhead|sanitize|all)" >&2
+    echo "unknown job '$job' (expected release|bench|telemetry-overhead|bench-regression|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

@@ -176,7 +176,11 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
         }
         return true;
       });
-  outcome.search_ms = watch.elapsed_ms();
+  outcome.search_ms =
+      compute_model_.modeled
+          ? static_cast<double>(outcome.mutants_considered) *
+                compute_model_.search_us_per_mutant / 1000.0
+          : watch.elapsed_ms();
   if (m_search_us_ != nullptr) {
     m_search_us_->record(static_cast<u64>(outcome.search_ms * 1000.0));
   }
@@ -218,8 +222,17 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
   outcome.chosen = best;
   outcome.regions = regions_of(id);
   outcome.reallocated = diff_against(before, id);
-  outcome.assign_ms = watch.elapsed_ms();
   const u64 blocks = region_blocks(outcome.regions);
+  if (compute_model_.modeled) {
+    u64 moved = blocks;
+    for (const AppId other : outcome.reallocated) {
+      moved += region_blocks(regions_of(other));
+    }
+    outcome.assign_ms =
+        static_cast<double>(moved) * compute_model_.assign_us_per_block / 1000.0;
+  } else {
+    outcome.assign_ms = watch.elapsed_ms();
+  }
   if (m_allocations_ != nullptr) {
     m_allocations_->inc();
     m_blocks_allocated_->inc(blocks);

@@ -33,6 +33,26 @@ enum class Scheme {
 
 const char* scheme_name(Scheme scheme);
 
+// How AllocationOutcome::search_ms / assign_ms are produced. The default
+// measures real host time (the paper's Figs. 5/12 methodology), which
+// makes downstream virtual timelines host-load dependent: the switch
+// schedules provisioning after compute_ms of virtual time. Experiments
+// that need reproducible timelines (the sharded engine's determinism
+// guarantee, CI comparisons) switch to the modeled form, where both
+// durations derive from deterministic work counts instead.
+struct ComputeModel {
+  bool modeled = false;
+  double search_us_per_mutant = 0.2;  // feasibility check cost per mutant
+  double assign_us_per_block = 0.5;   // assignment cost per block moved
+
+  static ComputeModel wall_clock() { return {}; }
+  static ComputeModel deterministic() {
+    ComputeModel m;
+    m.modeled = true;
+    return m;
+  }
+};
+
 struct AppRecord {
   AppId id = 0;
   bool elastic = false;
@@ -89,6 +109,13 @@ class Allocator {
   // telemetry::TraceSink is installed.
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
+  // Selects wall-clock vs modeled compute timing for future allocate()
+  // calls (see ComputeModel).
+  void set_compute_model(const ComputeModel& model) { compute_model_ = model; }
+  [[nodiscard]] const ComputeModel& compute_model() const {
+    return compute_model_;
+  }
+
  private:
   // Per-stage demand of a request under a mutant (accesses in the same
   // physical stage collapse to their maximum demand: one object per stage).
@@ -113,6 +140,7 @@ class Allocator {
   Scheme scheme_;
   MutantPolicy policy_;
   std::vector<StageState> stages_;
+  ComputeModel compute_model_;
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_id_ = 1;
   telemetry::Counter* m_allocations_ = nullptr;

@@ -171,6 +171,10 @@ FrameBuf FramePool::copy(std::span<const u8> bytes, std::size_t headroom) {
   return buf;
 }
 
+FrameBuf FramePool::clone(const FrameBuf& src) {
+  return copy(src.cspan(), src.headroom());
+}
+
 const FramePool::Stats& FramePool::stats() const { return state_->stats; }
 
 std::size_t FramePool::free_slabs() const { return state_->freelist.size(); }

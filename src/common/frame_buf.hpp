@@ -12,7 +12,12 @@
 //    instead of recycling it (simulator event queues routinely drain after
 //    the network -- and its pool -- are gone).
 //  - Mutation requires unique(); shared views alias the same bytes.
-//  - Not thread-safe: the discrete-event datapath is single-threaded.
+//  - Not thread-safe: refcounts and freelists are plain (non-atomic).
+//    Each simulation shard owns one pool, and every FrameBuf minted from
+//    it is confined to that shard's worker thread. Frames crossing a
+//    shard boundary are deep-copied into the destination pool via
+//    FramePool::clone at the epoch barrier (see netsim/sharded.hpp);
+//    a slab never changes threads.
 #pragma once
 
 #include <cstring>
@@ -152,6 +157,14 @@ class FramePool {
   // Copies `bytes` into a pooled buffer (the common ingress case).
   FrameBuf copy(std::span<const u8> bytes,
                 std::size_t headroom = FrameBuf::kDefaultHeadroom);
+
+  // Deep-copies `src` into this pool, preserving its headroom so in-place
+  // reply synthesis still works on the clone. This is the cross-shard
+  // handoff primitive: slabs (non-atomic refcounts, per-shard freelists)
+  // must never migrate between shards, so a frame crossing a shard
+  // boundary is cloned into the destination shard's pool at the epoch
+  // barrier and the original is released by its owner.
+  FrameBuf clone(const FrameBuf& src);
 
   struct Stats {
     u64 acquired = 0;       // total acquire()/copy() calls

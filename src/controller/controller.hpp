@@ -102,6 +102,13 @@ class Controller {
   [[nodiscard]] const std::map<u32, std::vector<Word>>* snapshot_of(
       Fid fid) const;
 
+  // Selects wall-clock vs modeled allocator compute timing (see
+  // alloc::ComputeModel); modeled timing makes admission timelines
+  // host-load independent.
+  void set_compute_model(const alloc::ComputeModel& model) {
+    alloc_.set_compute_model(model);
+  }
+
   // --- queries ---
   [[nodiscard]] const alloc::Allocator& allocator() const { return alloc_; }
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }

@@ -46,6 +46,7 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       default_recirc_budget_(config.default_recirc_budget),
       zero_copy_(config.zero_copy) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
+  controller_.set_compute_model(config.compute_model);
   if (config.metrics != nullptr) {
     metrics_registry_ = config.metrics;
   } else {
@@ -129,6 +130,10 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
 
 void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
   (void)port;
+  // Sharded engine tripwire: the pipeline's state (runtime, allocator,
+  // control queue, program cache) is only ever touched by its owning
+  // shard's worker.
+  assert_confined();
   if (zero_copy_ && packet::ProgramView::is_program_frame(frame)) {
     // Fast path: parse the capsule in place -- no ActivePacket, no byte
     // copies. An unparseable program-typed frame falls through to the
@@ -284,6 +289,9 @@ void SwitchNode::enqueue_control(ActivePacket pkt) {
 }
 
 void SwitchNode::process_next_control() {
+  // Control continuations are scheduled closures; confinement here (and
+  // in ready_to_apply) catches one landing on the wrong shard's queue.
+  assert_confined();
   if (control_queue_.empty()) {
     control_busy_ = false;
     return;
@@ -386,6 +394,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
 }
 
 void SwitchNode::ready_to_apply() {
+  assert_confined();
   if (!txn_ || txn_->applying) return;
   txn_->applying = true;
   network().simulator().schedule_after(txn_->apply_cost, [this] {

@@ -31,6 +31,11 @@ class SwitchNode : public netsim::Node {
     alloc::Scheme scheme = alloc::Scheme::kWorstFit;
     alloc::MutantPolicy policy = alloc::MutantPolicy::most_constrained();
     CostModel costs;
+    // Wall-clock by default (the paper measures real allocator compute);
+    // deterministic experiments (sharded-engine determinism tests,
+    // artmt_stats --shards) use ComputeModel::deterministic() so virtual
+    // timelines don't depend on host load.
+    alloc::ComputeModel compute_model;
     // Section 7.2 deployment hardening (off by default, as in the paper's
     // prototype).
     bool enforce_privilege = false;

@@ -2,12 +2,59 @@
 
 #include <utility>
 
+#include "netsim/sharded.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace artmt::netsim {
 
+void Node::assert_confined() const {
+  const auto* ctx = detail::tls_shard;
+  if (ctx == nullptr) return;  // serial engine or quiescent main thread
+  if (network_ == nullptr || network_->sharded_ == nullptr) return;
+  if (ctx->owner != network_->sharded_ || ctx->index != shard_) {
+    throw UsageError("Node '" + name_ + "' owned by shard " +
+                     std::to_string(shard_) +
+                     " was touched from shard worker " +
+                     std::to_string(ctx->index) +
+                     " (schedule node work via schedule_on or the node's "
+                     "own network().simulator())");
+  }
+}
+
+Network::Network(ShardedSimulator& sharded) : sharded_(&sharded) {
+  sharded.bind_network(*this);
+  const u32 n = sharded.shards();
+  shard_counters_.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    telemetry::MetricsRegistry& reg = sharded.shard_metrics(i);
+    shard_counters_[i].m_delivered = &reg.counter("netsim", "frames_delivered");
+    shard_counters_[i].m_bytes = &reg.counter("netsim", "bytes_delivered");
+    shard_counters_[i].m_dropped = &reg.counter("netsim", "frames_dropped");
+  }
+}
+
+Simulator& Network::shard_simulator() const {
+  const auto* ctx = detail::tls_shard;
+  if (ctx != nullptr && ctx->owner == sharded_) return *ctx->sim;
+  // Quiescent: all shard clocks agree, so shard 0 stands in for "the"
+  // simulator (tool code scheduling here lands on shard 0; use
+  // ShardedSimulator::schedule_on to target another node's shard).
+  return sharded_->shard_sim(0);
+}
+
+FramePool& Network::shard_pool() {
+  const auto* ctx = detail::tls_shard;
+  if (ctx != nullptr && ctx->owner == sharded_) return *ctx->pool;
+  return sharded_->shard_pool(0);
+}
+
 void Network::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (sharded_ != nullptr) {
+    throw UsageError(
+        "Network::set_metrics: sharded mode wires per-shard registries "
+        "automatically; merge them via ShardedSimulator::merge_metrics_into");
+  }
   if (metrics == nullptr) {
     m_delivered_ = nullptr;
     m_bytes_ = nullptr;
@@ -19,12 +66,31 @@ void Network::set_metrics(telemetry::MetricsRegistry* metrics) {
   m_dropped_ = &metrics->counter("netsim", "frames_dropped");
 }
 
+u64 Network::frames_delivered() const {
+  u64 total = frames_delivered_;
+  for (const auto& c : shard_counters_) total += c.delivered;
+  return total;
+}
+
+u64 Network::bytes_delivered() const {
+  u64 total = bytes_delivered_;
+  for (const auto& c : shard_counters_) total += c.bytes;
+  return total;
+}
+
+u64 Network::frames_dropped() const {
+  u64 total = frames_dropped_;
+  for (const auto& c : shard_counters_) total += c.dropped;
+  return total;
+}
+
 void Network::attach(std::shared_ptr<Node> node) {
   if (node == nullptr) throw UsageError("Network::attach: null node");
   if (node->network_ != nullptr) {
     throw UsageError("Network::attach: node already attached");
   }
   node->network_ = this;
+  node->attach_index_ = static_cast<u32>(nodes_.size());
   nodes_.push_back(std::move(node));
   nodes_.back()->on_attach();
 }
@@ -39,17 +105,42 @@ void Network::connect(Node& node_a, u32 port_a, Node& node_b, u32 port_b,
   egress_.emplace(PortKey{&node_b, port_b}, Egress{{&node_a, port_a}, spec});
 }
 
+void Network::count_drop(const Node& from, u32 port, std::size_t bytes) {
+  if (sharded_ != nullptr) {
+    const auto* ctx = detail::tls_shard;
+    const u32 shard =
+        (ctx != nullptr && ctx->owner == sharded_) ? ctx->index : 0;
+    ShardCounters& c = shard_counters_[shard];
+    ++c.dropped;
+    if (c.m_dropped != nullptr) c.m_dropped->inc();
+    // Trace emission is skipped under workers: the sink is a process
+    // global and the hot path stays lock-free.
+    return;
+  }
+  ++frames_dropped_;
+  if (m_dropped_ != nullptr) m_dropped_->inc();
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("netsim", "frame_dropped", telemetry::kNoFid,
+               {{"node", from.name()}, {"port", port}, {"bytes", bytes}});
+  }
+}
+
+void Network::deliver(Node& dest, u32 port, Frame frame, u32 shard) {
+  ShardCounters& c = shard_counters_[shard];
+  ++c.delivered;
+  c.bytes += frame.size();
+  if (c.m_delivered != nullptr) {
+    c.m_delivered->inc();
+    c.m_bytes->inc(frame.size());
+  }
+  dest.on_frame(std::move(frame), port);
+}
+
 void Network::transmit(Node& from, u32 port, Frame frame) {
+  from.assert_confined();
   const auto it = egress_.find({&from, port});
   if (it == egress_.end()) {
-    ++frames_dropped_;  // unplugged port: frame is lost
-    if (m_dropped_ != nullptr) m_dropped_->inc();
-    if (auto* sink = telemetry::trace_sink()) {
-      sink->emit("netsim", "frame_dropped", telemetry::kNoFid,
-                 {{"node", from.name()},
-                  {"port", port},
-                  {"bytes", frame.size()}});
-    }
+    count_drop(from, port, frame.size());  // unplugged port: frame is lost
     return;
   }
   const Egress& out = it->second;
@@ -60,8 +151,30 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
   const double bits = static_cast<double>(frame.size()) * 8.0;
   const auto serialize =
       static_cast<SimTime>(bits / out.spec.gbps);  // Gbps -> bits/ns
-  const SimTime arrival = sim_->now() + serialize + out.spec.latency;
 
+  if (sharded_ != nullptr) {
+    // Uniform mailbox: every delivery -- same-shard included -- is
+    // barrier-injected, so event ordering does not depend on how nodes
+    // are packed onto shards (the determinism invariant).
+    const auto* ctx = detail::tls_shard;
+    const SimTime send = (ctx != nullptr && ctx->owner == sharded_)
+                             ? ctx->sim->now()
+                             : sharded_->now();
+    ShardedSimulator::MailMsg msg;
+    msg.net = this;
+    msg.dest = dest.node;
+    msg.port = dest.port;
+    msg.src_shard = from.shard_;
+    msg.src_index = from.attach_index_;
+    msg.tx_seq = from.tx_seq_++;
+    msg.send = send;
+    msg.arrival = send + serialize + out.spec.latency;
+    msg.frame = std::move(frame);
+    sharded_->enqueue(std::move(msg));
+    return;
+  }
+
+  const SimTime arrival = sim_->now() + serialize + out.spec.latency;
   sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
     ++frames_delivered_;
     bytes_delivered_ += f.size();

@@ -1,0 +1,415 @@
+#include "netsim/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace artmt::netsim {
+
+namespace detail {
+thread_local const ShardContext* tls_shard = nullptr;
+}  // namespace detail
+
+// Total order over drained messages derived from simulation state alone
+// (never from shard packing or wall clock), so every shard count drains
+// the same barrier batch in the same order.
+bool ShardedSimulator::mail_before(const MailMsg* a, const MailMsg* b) {
+  if (a->arrival != b->arrival) return a->arrival < b->arrival;
+  if (a->send != b->send) return a->send < b->send;
+  if (a->src_index != b->src_index) return a->src_index < b->src_index;
+  return a->tx_seq < b->tx_seq;
+}
+
+bool ShardedSimulator::mail_before_val(const MailMsg& a, const MailMsg& b) {
+  return mail_before(&a, &b);
+}
+
+namespace {
+
+u64 elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - since)
+                              .count());
+}
+
+}  // namespace
+
+// Reusable two-phase rendezvous. The last arriver runs `serial` while
+// holding the barrier mutex, so serial-section writes (next epoch window,
+// done flag) are ordered before every other worker's wakeup -- the
+// happens-before edge that keeps the engine's plain epoch state and
+// mailbox vectors race-free.
+class ShardedSimulator::Barrier {
+ public:
+  explicit Barrier(u32 n) : n_(n) {}
+
+  template <typename F>
+  void arrive_and_wait(F&& serial) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (++arrived_ == n_) {
+      serial();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    const u64 gen = generation_;
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  u32 n_;
+  u32 arrived_ = 0;
+  u64 generation_ = 0;
+};
+
+ShardedSimulator::ShardedSimulator(u32 shards) {
+  if (shards == 0) {
+    throw UsageError("ShardedSimulator: shard count must be >= 1");
+  }
+  shards_.reserve(shards);
+  for (u32 i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->metrics = std::make_unique<telemetry::MetricsRegistry>();
+    shard->sim.set_metrics(shard->metrics.get());
+    shard->outbox.resize(shards);
+    shards_.push_back(std::move(shard));
+  }
+  barrier_ = std::make_unique<Barrier>(shards);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::bind_network(Network& net) {
+  if (net_ != nullptr) {
+    throw UsageError("ShardedSimulator: already driving a Network");
+  }
+  net_ = &net;
+}
+
+void ShardedSimulator::pin(Node& node, u32 shard) {
+  if (shard >= shards()) {
+    throw UsageError("ShardedSimulator::pin: shard out of range");
+  }
+  if (detail::tls_shard != nullptr) {
+    throw UsageError("ShardedSimulator::pin: only while quiescent");
+  }
+  if (node.shard_assigned_) {
+    throw UsageError("ShardedSimulator::pin: node '" + node.name() +
+                     "' already assigned (pin before the first run)");
+  }
+  node.shard_ = shard;
+  node.shard_assigned_ = true;
+}
+
+void ShardedSimulator::schedule_at(SimTime at, Simulator::Action action) {
+  const auto* ctx = detail::tls_shard;
+  if (ctx != nullptr && ctx->owner == this) {
+    ctx->sim->schedule_at(at, std::move(action));
+    return;
+  }
+  shards_[0]->sim.schedule_at(at, std::move(action));
+}
+
+void ShardedSimulator::schedule_after(SimTime delay, Simulator::Action action) {
+  const auto* ctx = detail::tls_shard;
+  if (ctx != nullptr && ctx->owner == this) {
+    ctx->sim->schedule_after(delay, std::move(action));
+    return;
+  }
+  shards_[0]->sim.schedule_after(delay, std::move(action));
+}
+
+void ShardedSimulator::schedule_on(const Node& node, SimTime at,
+                                   Simulator::Action action) {
+  if (detail::tls_shard != nullptr) {
+    throw UsageError(
+        "ShardedSimulator::schedule_on: only while quiescent (workers "
+        "schedule through their own network().simulator())");
+  }
+  assign_unowned_nodes();  // the node may predate the first run
+  shards_[node.shard_]->sim.schedule_at(at, std::move(action));
+}
+
+const ShardStats& ShardedSimulator::shard_stats(u32 shard) const {
+  if (shard >= shards()) {
+    throw UsageError("ShardedSimulator::shard_stats: shard out of range");
+  }
+  return shards_[shard]->stats;
+}
+
+telemetry::MetricsRegistry& ShardedSimulator::shard_metrics(u32 shard) {
+  if (shard >= shards()) {
+    throw UsageError("ShardedSimulator::shard_metrics: shard out of range");
+  }
+  return *shards_[shard]->metrics;
+}
+
+void ShardedSimulator::merge_metrics_into(
+    telemetry::MetricsRegistry& out) const {
+  for (const auto& shard : shards_) {
+    out.merge_from(*shard->metrics);
+  }
+}
+
+void ShardedSimulator::export_shard_stats(
+    telemetry::MetricsRegistry& out) const {
+  // merge_add accumulates: export once per snapshot registry.
+  for (u32 i = 0; i < shards(); ++i) {
+    const ShardStats& s = shards_[i]->stats;
+    const auto fid = static_cast<i32>(i);
+    out.counter("sharding", "events_dispatched", fid)
+        .merge_add(s.events_dispatched);
+    out.counter("sharding", "epochs", fid).merge_add(s.epochs);
+    out.counter("sharding", "frames_in", fid).merge_add(s.frames_in);
+    out.counter("sharding", "frames_out", fid).merge_add(s.frames_out);
+    out.counter("sharding", "barrier_wait_ns", fid)
+        .merge_add(s.barrier_wait_ns);
+  }
+}
+
+void ShardedSimulator::enqueue(MailMsg msg) {
+  const auto* ctx = detail::tls_shard;
+  if (ctx != nullptr && ctx->owner == this) {
+    Shard& src = *shards_[ctx->index];
+    const u32 dst = msg.dest->shard_;
+    if (dst != ctx->index) ++src.stats.frames_out;
+    src.outbox[dst].push_back(std::move(msg));
+    return;
+  }
+  // Quiescent injection (tools priming a scenario before run()): the
+  // frame was built from some shard's pool, so clone it into the
+  // destination shard's pool now -- no workers are running -- and hold
+  // it until the next run's initial drain.
+  assign_unowned_nodes();
+  msg.src_shard = msg.dest->shard_;  // clone already done: drain moves it
+  msg.frame = shards_[msg.dest->shard_]->pool.clone(msg.frame);
+  external_mail_.push_back(std::move(msg));
+}
+
+void ShardedSimulator::assign_unowned_nodes() {
+  if (net_ == nullptr) return;
+  const u32 n = shards();
+  for (const auto& node : net_->nodes_) {
+    if (node->shard_assigned_) continue;
+    // Default policy: shard 0 is reserved for pinned nodes (the switch
+    // pipeline); unpinned fleets round-robin over the remaining shards.
+    node->shard_ = (n == 1) ? 0 : 1 + (next_rr_++ % (n - 1));
+    node->shard_assigned_ = true;
+  }
+}
+
+void ShardedSimulator::compute_lookahead() {
+  SimTime w = kNoEvent;
+  for (const auto& [key, egress] : net_->egress_) {
+    if (egress.spec.latency <= 0) {
+      throw UsageError(
+          "ShardedSimulator: every link needs latency >= 1ns -- the minimum "
+          "latency is the conservative lookahead window");
+    }
+    w = std::min(w, egress.spec.latency);
+  }
+  lookahead_ = w;  // kNoEvent when there are no links: one epoch runs all
+}
+
+void ShardedSimulator::prepare() {
+  if (net_ != nullptr) {
+    assign_unowned_nodes();
+    compute_lookahead();
+  }
+  drain_external();
+}
+
+void ShardedSimulator::schedule_delivery(Simulator& sim, MailMsg& msg,
+                                         Frame frame, u32 shard) {
+  Network* net = msg.net;
+  Node* dest = msg.dest;
+  const u32 port = msg.port;
+  sim.schedule_at(msg.arrival,
+                  [net, dest, port, shard, f = std::move(frame)]() mutable {
+                    net->deliver(*dest, port, std::move(f), shard);
+                  });
+}
+
+void ShardedSimulator::drain_external() {
+  if (external_mail_.empty()) return;
+  std::sort(external_mail_.begin(), external_mail_.end(), mail_before_val);
+  for (MailMsg& msg : external_mail_) {
+    // Frames were cloned into the destination pool at enqueue time.
+    schedule_delivery(shards_[msg.dest->shard_]->sim, msg,
+                      std::move(msg.frame), msg.dest->shard_);
+  }
+  external_mail_.clear();
+}
+
+void ShardedSimulator::drain_inboxes(u32 dst_idx) {
+  Shard& dst = *shards_[dst_idx];
+  std::vector<MailMsg*>& batch = dst.drain_scratch;
+  batch.clear();
+  for (const auto& src : shards_) {
+    for (MailMsg& msg : src->outbox[dst_idx]) batch.push_back(&msg);
+  }
+  // Each outbox is appended in the sender's dispatch (send-time) order,
+  // so with one source shard and uniform links the batch usually arrives
+  // pre-sorted; the O(n) check dodges the sort on the common path.
+  if (!std::is_sorted(batch.begin(), batch.end(), mail_before)) {
+    std::sort(batch.begin(), batch.end(), mail_before);
+  }
+  for (MailMsg* msg : batch) {
+    Frame frame;
+    if (msg->src_shard == dst_idx) {
+      // Same-shard delivery: the slab already belongs to our pool.
+      frame = std::move(msg->frame);
+    } else {
+      // Cross-shard handoff: deep-copy into our pool; the source shard
+      // releases the original when it clears its outboxes next epoch.
+      frame = dst.pool.clone(msg->frame);
+      ++dst.stats.frames_in;
+    }
+    schedule_delivery(dst.sim, *msg, std::move(frame), dst_idx);
+  }
+}
+
+void ShardedSimulator::store_error(std::exception_ptr err) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = err;
+  }
+  abort_.store(true, std::memory_order_relaxed);
+}
+
+void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
+  Shard& shard = *shards_[shard_idx];
+  const detail::ShardContext ctx{this, shard_idx, &shard.sim, &shard.pool};
+  detail::tls_shard = &ctx;
+
+  while (true) {
+    // Phase A: reclaim last epoch's outbox frames (their slabs return to
+    // this shard's pool), then run this epoch's window of events.
+    try {
+      for (auto& box : shard.outbox) box.clear();
+      if (!abort_.load(std::memory_order_relaxed)) {
+        // Events with at < window_end and at <= limit; the shard clock
+        // stays at its last event (never outrunning it) and is aligned
+        // globally once the run quiesces.
+        SimTime bound = window_end_;  // kNoEvent: no links, drain all
+        if (limit != kNoEvent && limit < bound - 1) bound = limit + 1;
+        shard.sim.run_window(bound);
+      }
+    } catch (...) {
+      store_error(std::current_exception());
+    }
+
+    auto wait_from = std::chrono::steady_clock::now();
+    barrier_->arrive_and_wait([] {});
+    shard.stats.barrier_wait_ns += elapsed_ns(wait_from);
+
+    // Phase B: drain every mailbox addressed to this shard -- all of
+    // them carry arrivals at or beyond the next epoch window, because
+    // arrival >= send + lookahead >= window_start + lookahead.
+    try {
+      if (!abort_.load(std::memory_order_relaxed)) drain_inboxes(shard_idx);
+    } catch (...) {
+      store_error(std::current_exception());
+    }
+
+    wait_from = std::chrono::steady_clock::now();
+    barrier_->arrive_and_wait([this, limit] {
+      // Serial section: pick the next epoch window from the globally
+      // earliest pending event (shard-count-invariant by induction).
+      if (abort_.load(std::memory_order_relaxed)) {
+        done_ = true;
+        return;
+      }
+      SimTime next = kNoEvent;
+      for (const auto& s : shards_) {
+        next = std::min(next, s->sim.next_event_time());
+      }
+      if (next == kNoEvent || next > limit) {
+        done_ = true;
+        return;
+      }
+      window_end_ = (lookahead_ == kNoEvent || lookahead_ >= kNoEvent - next)
+                        ? kNoEvent
+                        : next + lookahead_;
+      ++epochs_;
+    });
+    shard.stats.barrier_wait_ns += elapsed_ns(wait_from);
+    ++shard.stats.epochs;
+
+    if (done_) break;  // ordered by the barrier mutex
+  }
+
+  detail::tls_shard = nullptr;
+}
+
+void ShardedSimulator::run_epochs(SimTime limit) {
+  if (detail::tls_shard != nullptr) {
+    throw UsageError("ShardedSimulator::run: re-entrant run");
+  }
+  prepare();
+
+  SimTime start = kNoEvent;
+  for (const auto& s : shards_) {
+    start = std::min(start, s->sim.next_event_time());
+  }
+  if (start != kNoEvent && start <= limit) {
+    window_end_ = (lookahead_ == kNoEvent || lookahead_ >= kNoEvent - start)
+                      ? kNoEvent
+                      : start + lookahead_;
+    done_ = false;
+    abort_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++epochs_;
+
+    const u32 n = shards();
+    if (n == 1) {
+      worker_loop(0, limit);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(n);
+      for (u32 i = 0; i < n; ++i) {
+        workers.emplace_back([this, i, limit] { worker_loop(i, limit); });
+      }
+      for (auto& t : workers) t.join();
+    }
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+  // Quiescent again: release frames still parked in outboxes (the final
+  // epoch's cross-shard originals) and align every shard clock.
+  for (const auto& s : shards_) {
+    for (auto& box : s->outbox) box.clear();
+  }
+  SimTime final_time = global_now_;
+  if (limit != kNoEvent) final_time = std::max(final_time, limit);
+  for (const auto& s : shards_) {
+    final_time = std::max(final_time, s->sim.now());
+  }
+  for (const auto& s : shards_) {
+    // Pending events (beyond `limit`) all sit after final_time, so this
+    // only advances the clock.
+    s->sim.run_until(final_time);
+  }
+  global_now_ = final_time;
+  for (const auto& s : shards_) {
+    s->stats.events_dispatched = s->sim.events_dispatched();
+  }
+}
+
+void ShardedSimulator::run() { run_epochs(kNoEvent); }
+
+void ShardedSimulator::run_until(SimTime until) { run_epochs(until); }
+
+}  // namespace artmt::netsim

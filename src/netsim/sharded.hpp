@@ -1,0 +1,219 @@
+// Sharded, multi-worker discrete-event engine: conservative parallel DES
+// in the Chandy-Misra lookahead style. Attached Nodes are partitioned
+// into shards (the switch pipeline pinned to shard 0 by convention;
+// unpinned client/server fleets round-robined across the remaining
+// shards), each shard owning its own event queue (a plain serial
+// Simulator), clock, FramePool, and telemetry registry. All shards
+// advance in lock-step *epochs* of width W = the minimum link latency:
+// within an epoch every worker runs its shard's events concurrently with
+// zero locking on the hot path, because a frame transmitted at time t
+// cannot arrive before t + W -- i.e. never inside the epoch that sent it.
+//
+// Determinism (same seed => byte-identical telemetry snapshots and reply
+// streams, for ANY shard count):
+//  - Every transmit -- cross-shard AND same-shard -- goes through a
+//    per-(src,dst) mailbox drained at the epoch barrier, so delivery
+//    scheduling is independent of how nodes are packed onto shards.
+//  - Epoch windows derive only from simulation state: the next window
+//    starts at the globally earliest pending event and spans W, where W
+//    is the minimum over ALL links (not just cross-shard ones). Both are
+//    shard-count-invariant, so the partition of virtual time into epochs
+//    -- and therefore which deliveries drain at which barrier -- is too.
+//  - Drained messages are sorted by (arrival, send_time, sender attach
+//    index, per-sender tx sequence) before scheduling, a total order
+//    derived from simulation state alone.
+//  - Nodes interact only via frames (enforced by Node::assert_confined
+//    tripwires), and telemetry merges are commutative sums.
+//
+// Memory model: a FrameBuf's refcount and its pool's freelist are plain
+// (non-atomic), so slabs are confined to their shard. A frame crossing a
+// shard boundary is deep-copied into the destination shard's pool at the
+// drain (FramePool::clone); the source shard releases the original when
+// it clears its outboxes at the start of its next epoch. Mailbox vectors
+// are handed between workers only across the barrier, whose mutex gives
+// the happens-before edge (the engine runs clean under TSan).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/frame_buf.hpp"
+#include "common/types.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+
+namespace artmt::telemetry {
+class MetricsRegistry;
+}  // namespace artmt::telemetry
+
+namespace artmt::netsim {
+
+namespace detail {
+
+// Identifies the shard a worker thread is driving; Network::simulator()
+// and Network::pool() resolve through this so node/app code is identical
+// under the serial and sharded engines.
+struct ShardContext {
+  ShardedSimulator* owner = nullptr;
+  u32 index = 0;
+  Simulator* sim = nullptr;
+  FramePool* pool = nullptr;
+};
+
+extern thread_local const ShardContext* tls_shard;
+
+}  // namespace detail
+
+// Per-shard engine statistics (satellite: shard-level reporting). The
+// first four are simulation-determined; barrier_wait_ns is wall clock
+// and therefore excluded from determinism-compared snapshots.
+struct ShardStats {
+  u64 events_dispatched = 0;  // events run by this shard's Simulator
+  u64 epochs = 0;             // lock-step epochs participated in
+  u64 frames_in = 0;          // cross-shard frames drained into this shard
+  u64 frames_out = 0;         // cross-shard frames sent by this shard
+  u64 barrier_wait_ns = 0;    // wall-clock time blocked at epoch barriers
+};
+
+class ShardedSimulator {
+ public:
+  static constexpr SimTime kNoEvent = Simulator::kNoEvent;
+
+  // `shards` >= 1. shards == 1 runs the same epoch loop inline on the
+  // calling thread (the parity/reference configuration); shards > 1
+  // spawn one worker thread per shard for each run()/run_until() call.
+  explicit ShardedSimulator(u32 shards);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] u32 shards() const { return static_cast<u32>(shards_.size()); }
+
+  // Pins `node` to `shard`. Call after Network::attach and before the
+  // first run; unpinned nodes are round-robined over shards 1..N-1 at
+  // that point (everything lands on shard 0 when N == 1). By convention
+  // the switch is pinned to shard 0.
+  void pin(Node& node, u32 shard);
+
+  // Quiescent (main-thread, between runs) API mirroring Simulator.
+  // schedule_at/after land on shard 0; use schedule_on to start work on
+  // the shard that owns a specific node (closures touching a node MUST
+  // run on its owning shard -- assert_confined trips otherwise). Worker
+  // code never calls these; it schedules via network().simulator().
+  void schedule_at(SimTime at, Simulator::Action action);
+  void schedule_after(SimTime delay, Simulator::Action action);
+  void schedule_on(const Node& node, SimTime at, Simulator::Action action);
+
+  // Runs epochs until every shard's queue drains / the clock would pass
+  // `until` (events exactly at `until` run, matching Simulator).
+  void run();
+  void run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const { return global_now_; }
+  // Lookahead window W (min link latency); kNoEvent before the first run
+  // or when the network has no links (one epoch runs everything).
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+  [[nodiscard]] u64 epochs() const { return epochs_; }
+
+  [[nodiscard]] const ShardStats& shard_stats(u32 shard) const;
+  // The registry shard `shard`'s components record into (the switch's
+  // Config::metrics should point at its shard's registry).
+  [[nodiscard]] telemetry::MetricsRegistry& shard_metrics(u32 shard);
+
+  // Folds every per-shard registry into `out` (commutative sums /
+  // histogram merges; deterministic for a given simulation). Quiescent
+  // only. Does NOT include ShardStats -- see export_shard_stats.
+  void merge_metrics_into(telemetry::MetricsRegistry& out) const;
+
+  // Publishes per-shard ShardStats into `out` under component "sharding"
+  // with fid = shard index. Kept separate from merge_metrics_into because
+  // barrier_wait_ns is wall clock and per-shard splits vary with the
+  // shard count -- including them would break cross-shard-count snapshot
+  // equality that the determinism tests assert.
+  void export_shard_stats(telemetry::MetricsRegistry& out) const;
+
+ private:
+  friend class Network;
+
+  // One queued delivery; lives in its source shard's outbox until the
+  // epoch barrier.
+  struct MailMsg {
+    Network* net = nullptr;
+    Node* dest = nullptr;
+    u32 port = 0;
+    u32 src_shard = 0;  // sending shard (move vs clone at the drain)
+    u32 src_index = 0;  // sender's attach index
+    u64 tx_seq = 0;     // sender's transmit sequence
+    SimTime send = 0;
+    SimTime arrival = 0;
+    Frame frame;
+  };
+
+  struct Shard {
+    Simulator sim;
+    FramePool pool;
+    std::unique_ptr<telemetry::MetricsRegistry> metrics;
+    // outbox[d]: messages this shard sent toward shard d this epoch.
+    // Written only by this shard's worker; read by d's worker in the
+    // drain phase; cleared by this worker at its next epoch start (so
+    // slabs are released into the pool that owns them).
+    std::vector<std::vector<MailMsg>> outbox;
+    std::vector<MailMsg*> drain_scratch;  // reused sort buffer
+    ShardStats stats;
+  };
+
+  class Barrier;
+
+  // Called by Network::transmit: append to the current shard's outbox
+  // (or, when quiescent, clone into the destination pool and hold in the
+  // external mailbox until the next run).
+  void enqueue(MailMsg msg);
+
+  void bind_network(Network& net);
+  [[nodiscard]] Simulator& shard_sim(u32 shard) { return shards_[shard]->sim; }
+  [[nodiscard]] FramePool& shard_pool(u32 shard) { return shards_[shard]->pool; }
+
+  // Pre-run (quiescent): assign unpinned nodes, recompute the lookahead,
+  // size outboxes, inject the external mailbox.
+  void prepare();
+  void assign_unowned_nodes();
+  void compute_lookahead();
+  void drain_external();
+  void run_epochs(SimTime limit);
+  void worker_loop(u32 shard, SimTime limit);
+  void drain_inboxes(u32 shard);
+  void store_error(std::exception_ptr err);
+  // Turns a drained message into a delivery event on `sim`.
+  static void schedule_delivery(Simulator& sim, MailMsg& msg, Frame frame,
+                                u32 shard);
+  // Deterministic drain order: simulation state only, never shard packing.
+  static bool mail_before(const MailMsg* a, const MailMsg* b);
+  static bool mail_before_val(const MailMsg& a, const MailMsg& b);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Network* net_ = nullptr;
+  std::vector<MailMsg> external_mail_;  // quiescent injections
+  u32 next_rr_ = 0;                     // round-robin assignment cursor
+  SimTime global_now_ = 0;
+  SimTime lookahead_ = kNoEvent;
+  u64 epochs_ = 0;
+
+  // Epoch state: written in the barrier's serial section, read by
+  // workers after the barrier (mutex-ordered).
+  SimTime window_end_ = 0;
+  bool done_ = false;
+  std::unique_ptr<Barrier> barrier_;
+
+  // A worker that throws records the error, raises abort_, and keeps
+  // arriving at barriers so nobody deadlocks; the serial section turns
+  // abort_ into done_ and run() rethrows after the join.
+  std::atomic<bool> abort_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace artmt::netsim

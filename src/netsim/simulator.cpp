@@ -40,7 +40,7 @@ void Simulator::schedule_after(SimTime delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
-bool Simulator::step() {
+bool Simulator::dispatch_one() {
   if (queue_.empty()) return false;
   std::pop_heap(queue_.begin(), queue_.end(), Later{});
   Event ev = std::move(queue_.back());
@@ -51,9 +51,17 @@ bool Simulator::step() {
   return true;
 }
 
+bool Simulator::step() {
+  const bool ran = dispatch_one();
+  // Single-stepping callers (tests, artmt_stats tooling) read the registry
+  // between events, so step() flushes even though the run loops batch.
+  flush_metrics();
+  return ran;
+}
+
 // Per-event mirroring would put two telemetry updates on every frame hop;
 // batching at the drain boundary keeps the dispatch counter exact for
-// every observer that reads after run()/run_until() returns.
+// every observer that reads after run()/run_until()/step() returns.
 void Simulator::flush_metrics() {
   if (m_dispatched_ == nullptr) return;
   m_dispatched_->inc(events_dispatched_ - dispatched_flushed_);
@@ -63,14 +71,21 @@ void Simulator::flush_metrics() {
 
 void Simulator::run_until(SimTime until) {
   while (!queue_.empty() && queue_.front().at <= until) {
-    step();
+    dispatch_one();
   }
   if (now_ < until) now_ = until;
   flush_metrics();
 }
 
 void Simulator::run() {
-  while (step()) {
+  while (dispatch_one()) {
+  }
+  flush_metrics();
+}
+
+void Simulator::run_window(SimTime end) {
+  while (!queue_.empty() && queue_.front().at < end) {
+    dispatch_one();
   }
   flush_metrics();
 }

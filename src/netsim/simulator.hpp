@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -128,6 +129,9 @@ class Simulator {
  public:
   using Action = InlineAction;
 
+  // Returned by next_event_time() when the queue is empty.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
   // Schedules `action` to run at absolute virtual time `at` (>= now).
   // Events at equal times run in scheduling order (FIFO).
   void schedule_at(SimTime at, Action action);
@@ -142,20 +146,34 @@ class Simulator {
   // Runs until the queue is empty.
   void run();
 
+  // Runs events with `at < end` (kNoEvent drains the queue) WITHOUT
+  // advancing the clock to `end` -- the clock stays at the last
+  // dispatched event. The sharded engine's epoch loop uses this so a
+  // shard's clock never outruns its own events.
+  void run_window(SimTime end);
+
   // Executes at most one event; returns false if the queue was empty.
+  // Flushes the attached metrics registry (dispatch count, queue depth)
+  // so single-stepping callers never read stale values.
   bool step();
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] u64 events_dispatched() const { return events_dispatched_; }
+  // Timestamp of the earliest pending event, kNoEvent when idle. The
+  // sharded engine uses this to pick the next epoch window.
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? kNoEvent : queue_.front().at;
+  }
   // Scheduled actions whose captures exceeded the inline buffer (each one
   // cost a heap allocation); the frame fast path should keep this at zero.
   [[nodiscard]] u64 actions_spilled() const { return actions_spilled_; }
 
   // Mirrors dispatch/spill counts and the queue-depth gauge into
   // `metrics` under component "netsim" (nullptr detaches). Dispatch count
-  // and queue depth are flushed at run()/run_until() boundaries rather
-  // than per event, keeping the per-event cost off the frame hot path;
-  // single-stepping callers see them refresh on the next run_until().
+  // and queue depth are flushed at run()/run_until()/step() boundaries
+  // rather than per event inside the run loops, keeping the per-event
+  // cost off the frame hot path.
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
  private:
@@ -171,6 +189,7 @@ class Simulator {
     }
   };
 
+  bool dispatch_one();
   void flush_metrics();
 
   SimTime now_ = 0;

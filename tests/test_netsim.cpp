@@ -3,6 +3,7 @@
 
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artmt::netsim {
 namespace {
@@ -108,6 +109,52 @@ TEST(Simulator, NestedSchedulingWithinRun) {
   sim.run();
   EXPECT_EQ(count, 5);
   EXPECT_EQ(sim.now(), 4);
+}
+
+// Regression: step() used to leave the attached registry stale (dispatch
+// count and queue depth were only flushed by the run loops), so
+// single-stepping tools read counts from the previous drain.
+TEST(Simulator, StepFlushesMetrics) {
+  Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  sim.set_metrics(&metrics);
+  auto& dispatched = metrics.counter("netsim", "events_dispatched");
+  auto& depth = metrics.gauge("netsim", "queue_depth");
+  sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  sim.schedule_at(30, [] {});
+
+  ASSERT_TRUE(sim.step());
+  EXPECT_EQ(dispatched.value(), 1u);
+  EXPECT_EQ(depth.value(), 2);
+  ASSERT_TRUE(sim.step());
+  EXPECT_EQ(dispatched.value(), 2u);
+  EXPECT_EQ(depth.value(), 1);
+  sim.run();
+  EXPECT_EQ(dispatched.value(), 3u);
+  EXPECT_EQ(depth.value(), 0);
+  EXPECT_FALSE(sim.step());  // empty queue: still flushes, returns false
+  EXPECT_EQ(dispatched.value(), 3u);
+}
+
+// run_window() dispatches strictly-before-end events without dragging the
+// clock to the window edge (the sharded engine's epoch phase).
+TEST(Simulator, RunWindowDoesNotAdvanceClockPastLastEvent) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(10, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(25, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(40, [&] { seen.push_back(sim.now()); });
+
+  sim.run_window(40);  // strictly before 40
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 25}));
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(sim.next_event_time(), 40);
+
+  sim.run_window(Simulator::kNoEvent);  // drains the rest
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 25, 40}));
+  EXPECT_EQ(sim.now(), 40);
+  EXPECT_EQ(sim.next_event_time(), Simulator::kNoEvent);
 }
 
 // ---------- network ----------

@@ -6,10 +6,17 @@
 // quantities without recompiling a single printf.
 //
 // Usage:
-//   artmt_stats [--requests N] [--trace FILE]
+//   artmt_stats [--requests N] [--trace FILE] [--shards N]
 //     --requests N   data-plane requests per service (default 2000)
 //     --trace FILE   also write TraceSink JSON-lines (simulated
 //                    timestamps) for every control-plane/netsim event
+//     --shards N     run on the sharded multi-worker engine with N
+//                    shards (switch pinned to shard 0, fleets spread
+//                    over the rest). Uses the modeled allocator compute
+//                    cost, so the snapshot is byte-identical for any N
+//                    and across repeated runs. Incompatible with
+//                    --trace: the trace sink is process-global and
+//                    worker threads would interleave its lines.
 //
 // The snapshot goes to stdout; a human summary goes to stderr.
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include "client/client_node.hpp"
 #include "common/logging.hpp"
 #include "controller/switch_node.hpp"
+#include "netsim/sharded.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/zipf.hpp"
@@ -33,27 +41,50 @@ using namespace artmt;
 
 int main(int argc, char** argv) {
   u32 requests = 2000;
+  u32 shards = 0;  // 0 = the serial reference engine
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       requests = static_cast<u32>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<u32>(std::stoul(argv[++i]));
     } else {
-      std::fprintf(stderr,
-                   "usage: artmt_stats [--requests N] [--trace FILE]\n");
+      std::fprintf(
+          stderr,
+          "usage: artmt_stats [--requests N] [--trace FILE] [--shards N]\n");
       return 2;
     }
   }
+  if (shards > 0 && trace_path != nullptr) {
+    std::fprintf(stderr,
+                 "artmt_stats: --trace requires the serial engine (the "
+                 "trace sink is process-global; drop --shards)\n");
+    return 2;
+  }
 
-  netsim::Simulator sim;
-  netsim::Network net(sim);
+  std::unique_ptr<netsim::Simulator> sim;
+  std::unique_ptr<netsim::ShardedSimulator> ssim;
+  std::unique_ptr<netsim::Network> net_holder;
+  if (shards > 0) {
+    ssim = std::make_unique<netsim::ShardedSimulator>(shards);
+    net_holder = std::make_unique<netsim::Network>(*ssim);
+  } else {
+    sim = std::make_unique<netsim::Simulator>();
+    net_holder = std::make_unique<netsim::Network>(*sim);
+  }
+  netsim::Network& net = *net_holder;
 
-  // Everything records into the process-wide registry; the snapshot at
-  // the end is the union of every component's counters.
+  // Serial mode: everything records into the process-wide registry and
+  // the snapshot at the end is the union of every component's counters.
+  // Sharded mode: each shard owns a registry (wired up by the engine);
+  // they are merged -- plus the per-shard engine stats -- after the run.
   telemetry::MetricsRegistry& registry = telemetry::registry();
-  sim.set_metrics(&registry);
-  net.set_metrics(&registry);
+  if (sim) {
+    sim->set_metrics(&registry);
+    net.set_metrics(&registry);
+  }
 
   std::ofstream trace_file;
   std::unique_ptr<telemetry::TraceSink> sink;
@@ -64,12 +95,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     sink = std::make_unique<telemetry::TraceSink>(trace_file);
-    sink->set_clock([&sim] { return sim.now(); });
+    sink->set_clock([&sim] { return sim->now(); });
     telemetry::set_trace_sink(sink.get());
   }
 
   controller::SwitchNode::Config cfg;
-  cfg.metrics = &registry;
+  if (ssim) {
+    // The switch lives on shard 0; its components record there. Modeled
+    // compute makes the timeline -- and therefore the snapshot --
+    // reproducible for any shard count.
+    cfg.metrics = &ssim->shard_metrics(0);
+    cfg.compute_model = alloc::ComputeModel::deterministic();
+  } else {
+    cfg.metrics = &registry;
+  }
   auto sw = std::make_shared<controller::SwitchNode>("switch", cfg);
   auto server = std::make_shared<apps::ServerNode>("server", 0xbb);
   auto client = std::make_shared<client::ClientNode>("client", 0x100, 0xaa);
@@ -80,6 +119,7 @@ int main(int argc, char** argv) {
   net.connect(*sw, 1, *client, 0);
   sw->bind(0xbb, 0);
   sw->bind(0x100, 1);
+  if (ssim) ssim->pin(*sw, 0);  // fleets round-robin over shards 1..N-1
 
   workload::ZipfGenerator zipf(5'000, 1.2);
   Rng rng(42);
@@ -108,11 +148,14 @@ int main(int argc, char** argv) {
   client->register_service(monitor);
   std::size_t heavy_hitters = 0;
 
+  // The recursive drivers schedule through net.simulator(), which
+  // resolves to the serial engine or -- on a worker thread -- to the
+  // client's shard, so both engines run the identical scenario.
   std::function<void(u32)> get_next = [&](u32 remaining) {
     if (remaining == 0) return;
     cache->get(key_of(zipf.next_rank(rng)));
-    sim.schedule_after(100 * 1000,
-                       [&get_next, remaining] { get_next(remaining - 1); });
+    net.simulator().schedule_after(
+        100 * 1000, [&get_next, remaining] { get_next(remaining - 1); });
   };
   std::function<void(u32)> observe_next = [&](u32 remaining) {
     if (remaining == 0) {
@@ -125,7 +168,7 @@ int main(int argc, char** argv) {
       return;
     }
     monitor->observe(key_of(zipf.next_rank(rng)));
-    sim.schedule_after(
+    net.simulator().schedule_after(
         50 * 1000, [&observe_next, remaining] { observe_next(remaining - 1); });
   };
 
@@ -137,18 +180,36 @@ int main(int argc, char** argv) {
   monitor->on_ready = [&] { observe_next(requests); };
 
   cache->request_allocation();
-  sim.schedule_at(kSecond, [&] { monitor->request_allocation(); });
-
-  sim.run();
+  // The monitor's kick-off touches the client node, so in sharded mode
+  // it must run on the client's shard.
+  if (ssim) {
+    ssim->schedule_on(*client, kSecond, [&] { monitor->request_allocation(); });
+    ssim->run();
+  } else {
+    sim->schedule_at(kSecond, [&] { monitor->request_allocation(); });
+    sim->run();
+  }
+  const SimTime end_time = ssim ? ssim->now() : sim->now();
 
   std::fprintf(stderr,
                "scenario done at t=%.3fs: cache %llu hits / %llu misses, "
                "%zu heavy hitters, %llu capsules through the switch\n",
-               sim.now() / 1e9, static_cast<unsigned long long>(hits),
+               end_time / 1e9, static_cast<unsigned long long>(hits),
                static_cast<unsigned long long>(misses), heavy_hitters,
                static_cast<unsigned long long>(sw->runtime().stats().packets));
+  if (ssim) {
+    std::fprintf(stderr, "sharded engine: %u shards, %llu epochs\n", shards,
+                 static_cast<unsigned long long>(ssim->epochs()));
+  }
 
-  telemetry::snapshot_json(std::cout);
+  if (ssim) {
+    telemetry::MetricsRegistry merged;
+    ssim->merge_metrics_into(merged);
+    ssim->export_shard_stats(merged);
+    merged.snapshot_json(std::cout);
+  } else {
+    telemetry::snapshot_json(std::cout);
+  }
 
   if (sink != nullptr) {
     telemetry::set_trace_sink(nullptr);
