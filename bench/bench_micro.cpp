@@ -26,8 +26,12 @@
 #include "active/assembler.hpp"
 #include "active/program_cache.hpp"
 #include "alloc/allocator.hpp"
+#include "apps/cache_service.hpp"
 #include "apps/programs.hpp"
+#include "apps/server_node.hpp"
+#include "client/client_node.hpp"
 #include "controller/switch_node.hpp"
+#include "faults/injector.hpp"
 #include "netsim/network.hpp"
 #include "netsim/sharded.hpp"
 #include "packet/active_packet.hpp"
@@ -559,6 +563,156 @@ int run_sharded_e2e(char* json, std::size_t cap) {
   return 0;
 }
 
+// --- chaos: injector hook overhead + lossy reliability soak ---------------
+// Two results ride in the "chaos" block of BENCH_datapath.json: a
+// FaultInjector with an empty plan on the zero-copy datapath must stay
+// within 5% of the hookless packets/sec baseline (the cost of having the
+// subsystem compiled in and attached but idle), and a cache-populate soak
+// through 5% uniform loss must converge, recording the injected /
+// retransmitted / recovered capsule counts.
+
+struct ChaosSoak {
+  u64 injected_drops = 0;
+  u64 retransmits = 0;
+  u64 recovered = 0;
+  u64 give_ups = 0;
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  bool converged = false;
+};
+
+ChaosSoak run_chaos_soak() {
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  controller::SwitchNode::Config cfg;
+  cfg.costs.table_entry_update = 100 * kMicrosecond;
+  cfg.costs.snapshot_per_block = 1 * kMicrosecond;
+  cfg.costs.clear_per_block = 1 * kMicrosecond;
+  auto sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+  auto server = std::make_shared<apps::ServerNode>("server", 0xbb);
+  auto client = std::make_shared<client::ClientNode>("client", 0x100, 0xaa);
+  net.attach(sw);
+  net.attach(server);
+  net.attach(client);
+  net.connect(*sw, 0, *server, 0);
+  net.connect(*sw, 1, *client, 0);
+  sw->bind(0xbb, 0);
+  sw->bind(0x100, 1);
+
+  // The loss window opens after admission settles: allocation-control
+  // capsules carry no retransmission by design, so the soak measures the
+  // reliability layer, not handshake luck.
+  faults::FaultPlan plan = faults::FaultPlan::uniform_loss(3, 0.05);
+  plan.link_faults[0].from = 50 * kMillisecond;
+  faults::FaultInjector injector(plan);
+  net.set_transmit_hook(&injector);
+
+  auto cache = std::make_shared<apps::CacheService>("cache", 0xbb);
+  client->register_service(cache);
+  client->on_passive = [&cache](netsim::Frame& frame) {
+    const auto msg = apps::KvMessage::parse(std::span<const u8>(frame).subspan(
+        packet::EthernetHeader::kWireSize));
+    if (msg) cache->handle_server_reply(*msg);
+  };
+  ChaosSoak soak;
+  cache->on_result = [&](u32, u64, u32, bool hit) {
+    (hit ? soak.cache_hits : soak.cache_misses)++;
+  };
+  for (u64 key = 0; key < 2048; ++key) server->put(key, 1);
+
+  bool populated = false;
+  std::function<void(u32)> get_next = [&](u32 remaining) {
+    if (remaining == 0) return;
+    cache->get(remaining % 256);
+    sim.schedule_after(100 * kMicrosecond,
+                       [&get_next, remaining] { get_next(remaining - 1); });
+  };
+  cache->on_ready = [&] {
+    std::vector<std::pair<u64, u32>> hot;
+    for (u32 key = 0; key < 128; ++key) hot.emplace_back(key, key + 1);
+    sim.schedule_at(60 * kMillisecond, [&cache, hot = std::move(hot), &populated,
+                                        &get_next] {
+      cache->populate(hot, [&populated] { populated = true; });
+      get_next(1000);
+    });
+  };
+  cache->request_allocation();
+  sim.run();
+
+  soak.injected_drops = injector.injected(faults::FaultKind::kDrop);
+  const auto& stats = cache->populate_reliability().stats();
+  soak.retransmits = stats.retransmits;
+  soak.recovered = stats.recovered;
+  soak.give_ups = stats.give_ups;
+  soak.converged =
+      populated && cache->populate_reliability().outstanding() == 0;
+  return soak;
+}
+
+// Fills `json` with the "chaos" member of BENCH_datapath.json (trailing
+// comma included). Returns 0 on success, 1 when a gate fails.
+int run_chaos_block(char* json, std::size_t cap) {
+  E2eRig base_rig(/*zero_copy=*/true);
+  E2eRig hook_rig(/*zero_copy=*/true);
+  faults::FaultInjector idle{faults::FaultPlan{}};
+  hook_rig.net.set_transmit_hook(&idle);
+  telemetry::set_enabled(false);
+  base_rig.pump(1000);
+  hook_rig.pump(1000);
+  E2eMeasurement base;
+  E2eMeasurement hook;
+  constexpr u64 kChaosRounds = 10;
+  constexpr u64 kChaosPerRound = 5'000;
+  for (u64 r = 0; r < kChaosRounds; ++r) {
+    measure_e2e(base_rig, 1, kChaosPerRound, &base);
+    measure_e2e(hook_rig, 1, kChaosPerRound, &hook);
+  }
+  telemetry::set_enabled(true);
+  const double overhead_pct =
+      100.0 * (1.0 - hook.packets_per_sec / base.packets_per_sec);
+  const bool within_5pct = hook.packets_per_sec >= 0.95 * base.packets_per_sec;
+
+  const ChaosSoak soak = run_chaos_soak();
+  std::snprintf(
+      json, cap,
+      "  \"chaos\": {\n"
+      "    \"idle_injector\": {\"packets_per_sec\": %.0f, "
+      "\"baseline_packets_per_sec\": %.0f,\n"
+      "                      \"overhead_pct\": %.2f, \"within_5pct\": %s},\n"
+      "    \"lossy_soak\": {\"loss\": 0.05, \"injected_drops\": %llu, "
+      "\"retransmits\": %llu,\n"
+      "                   \"recovered\": %llu, \"give_ups\": %llu, "
+      "\"cache_hits\": %llu,\n"
+      "                   \"cache_misses\": %llu, \"converged\": %s}\n"
+      "  },\n",
+      hook.packets_per_sec, base.packets_per_sec, overhead_pct,
+      within_5pct ? "true" : "false",
+      static_cast<unsigned long long>(soak.injected_drops),
+      static_cast<unsigned long long>(soak.retransmits),
+      static_cast<unsigned long long>(soak.recovered),
+      static_cast<unsigned long long>(soak.give_ups),
+      static_cast<unsigned long long>(soak.cache_hits),
+      static_cast<unsigned long long>(soak.cache_misses),
+      soak.converged ? "true" : "false");
+
+  if (!within_5pct) {
+    std::fprintf(stderr,
+                 "FAIL: idle fault injector ran at %.0f pps vs %.0f pps "
+                 "baseline (%.2f%% overhead, budget 5%%)\n",
+                 hook.packets_per_sec, base.packets_per_sec, overhead_pct);
+    return 1;
+  }
+  if (!soak.converged) {
+    std::fprintf(stderr,
+                 "FAIL: lossy soak did not converge (populate done=%d, "
+                 "outstanding writes give-ups=%llu)\n",
+                 soak.converged,
+                 static_cast<unsigned long long>(soak.give_ups));
+    return 1;
+  }
+  return 0;
+}
+
 // Returns 0 on success, 1 when the zero-allocation assertion fails.
 int run_e2e_datapath() {
   constexpr u64 kRounds = 12;
@@ -610,6 +764,8 @@ int run_e2e_datapath() {
 
   char sharding_json[1024];
   const int sharded_rc = run_sharded_e2e(sharding_json, sizeof(sharding_json));
+  char chaos_json[1024];
+  const int chaos_rc = run_chaos_block(chaos_json, sizeof(chaos_json));
 
   char json[4096];
   std::snprintf(
@@ -639,6 +795,7 @@ int run_e2e_datapath() {
       "%llu},\n"
       "  \"simulator\": {\"actions_spilled\": %llu},\n"
       "%s"
+      "%s"
       "}\n",
       kBenchPayloadBytes, zc_rig.wire.size(),
       static_cast<unsigned long long>(kPackets), legacy.packets_per_sec,
@@ -660,7 +817,7 @@ int run_e2e_datapath() {
       static_cast<unsigned long long>(zc_rig.net.frames_delivered()),
       static_cast<unsigned long long>(zc_rig.net.frames_dropped()),
       static_cast<unsigned long long>(zc_rig.sim.actions_spilled()),
-      sharding_json);
+      chaos_json, sharding_json);
   std::fputs(json, stdout);
   std::fflush(stdout);
   if (std::FILE* f = std::fopen("BENCH_datapath.json", "w")) {
@@ -691,7 +848,7 @@ int run_e2e_datapath() {
                  tel.packets_per_sec, zc.packets_per_sec, tel_overhead_pct);
     return 1;
   }
-  return sharded_rc;
+  return sharded_rc != 0 ? sharded_rc : chaos_rc;
 }
 
 // --- google-benchmark cases ----------------------------------------------

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite, a bench smoke job, a
-# telemetry-overhead gate, a throughput-regression gate, an ASan+UBSan
-# job, then a ThreadSanitizer job (the sharded engine's worker threads).
+# telemetry-overhead gate, a throughput-regression gate, a chaos soak
+# (fault-injection digest-equality matrix), an ASan+UBSan job, then a
+# ThreadSanitizer job (the sharded engine's worker threads).
 #
 # Usage: scripts/ci.sh
-#   [release|bench|telemetry-overhead|bench-regression|sanitize|tsan|all]
+#   [release|bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,6 +55,23 @@ run_bench_regression() {
   python3 scripts/bench_compare.py
 }
 
+run_chaos_soak() {
+  echo "== chaos soak: fault-injection digest-equality matrix =="
+  cmake --preset default
+  cmake --build --preset default
+  # artmt_chaos runs the e2e cache + heavy-hitter + load-balancer scenario
+  # fault-free and under scripted chaos (uniform loss, two link flaps, a
+  # switch brownout with register wipe) at shard counts 1, 2 and 4, and
+  # exits nonzero unless every run converges to the same application-state
+  # digest with identical injected-fault counts per seed.
+  for seed in 1 7; do
+    for loss in 0.005 0.01; do
+      echo "-- chaos matrix: seed=$seed loss=$loss"
+      ./build/tools/artmt_chaos --requests 1000 --seed "$seed" --loss "$loss"
+    done
+  done
+}
+
 run_sanitize() {
   echo "== ASan+UBSan build + tests =="
   cmake --preset asan-ubsan
@@ -73,6 +91,7 @@ case "$job" in
   bench) run_bench ;;
   telemetry-overhead) run_telemetry_overhead ;;
   bench-regression) run_bench_regression ;;
+  chaos-soak) run_chaos_soak ;;
   sanitize) run_sanitize ;;
   tsan) run_tsan ;;
   all)
@@ -80,11 +99,12 @@ case "$job" in
     run_bench
     run_telemetry_overhead
     run_bench_regression
+    run_chaos_soak
     run_sanitize
     run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|telemetry-overhead|bench-regression|sanitize|tsan|all)" >&2
+    echo "unknown job '$job' (expected release|bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

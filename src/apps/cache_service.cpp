@@ -8,14 +8,30 @@
 namespace artmt::apps {
 
 namespace {
-constexpr SimTime kPopulateSweep = 10 * kMillisecond;
 // Client-side bucket hash uses a hash engine the switch programs don't.
 constexpr u32 kBucketEngine = 6;
+
+client::ReliabilityTracker::Options populate_retry_options() {
+  client::ReliabilityTracker::Options opts;
+  opts.rto = 10 * kMillisecond;  // the former fixed sweep interval
+  return opts;
+}
 }  // namespace
 
 CacheService::CacheService(std::string name, packet::MacAddr server_mac)
     : client::Service(std::move(name), cache_service_spec()),
-      server_mac_(server_mac) {}
+      server_mac_(server_mac),
+      populate_retry_(
+          "populate", [this]() -> netsim::Simulator& { return node().sim(); },
+          populate_retry_options()) {
+  // Writes hold off while the allocation is being renegotiated
+  // (transmissions pause in kMemoryManagement; Section 5) without
+  // charging the retry budget.
+  populate_retry_.paused = [this] { return !operational(); };
+  populate_retry_.on_give_up = [this](u32 request_id) {
+    populate_resolved(request_id);
+  };
+}
 
 u32 CacheService::bucket_count() const {
   const auto* synth = synthesized();
@@ -119,27 +135,21 @@ void CacheService::populate(std::vector<std::pair<u64, u32>> items,
     const u32 request_id = next_request_++;
     outstanding_populates_[request_id] = {key, value};
     send_populate(key, value, request_id);
-  }
-  if (!sweep_armed_ && !outstanding_populates_.empty()) {
-    sweep_armed_ = true;
-    node().sim().schedule_after(kPopulateSweep, [this] { sweep_populates(); });
+    populate_retry_.track(request_id, [this](u32 id, u32) {
+      const auto it = outstanding_populates_.find(id);
+      if (it == outstanding_populates_.end()) return;
+      send_populate(it->second.first, it->second.second, id);
+    });
   }
 }
 
-void CacheService::sweep_populates() {
-  sweep_armed_ = false;
-  if (outstanding_populates_.empty()) return;
-  if (!operational()) {
-    // Paused mid-reallocation; try again after the next sweep interval.
-    sweep_armed_ = true;
-    node().sim().schedule_after(kPopulateSweep, [this] { sweep_populates(); });
-    return;
+void CacheService::populate_resolved(u32 request_id) {
+  outstanding_populates_.erase(request_id);
+  if (outstanding_populates_.empty() && populate_done_) {
+    auto done = std::move(populate_done_);
+    populate_done_ = nullptr;
+    done();
   }
-  for (const auto& [request_id, item] : outstanding_populates_) {
-    send_populate(item.first, item.second, request_id);
-  }
-  sweep_armed_ = true;
-  node().sim().schedule_after(kPopulateSweep, [this] { sweep_populates(); });
 }
 
 void CacheService::on_returned(packet::ActivePacket& pkt) {
@@ -155,13 +165,10 @@ void CacheService::on_returned(packet::ActivePacket& pkt) {
       return;
     }
     case KvMessage::Type::kPopulate: {
+      if (!outstanding_populates_.contains(msg->request_id)) return;
       ++stats_.populate_acks;
-      outstanding_populates_.erase(msg->request_id);
-      if (outstanding_populates_.empty() && populate_done_) {
-        auto done = std::move(populate_done_);
-        populate_done_ = nullptr;
-        done();
-      }
+      populate_retry_.ack(msg->request_id);
+      populate_resolved(msg->request_id);
       return;
     }
     default:

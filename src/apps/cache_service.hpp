@@ -2,7 +2,8 @@
 // activated with the Listing-1 query program; hits RTS back from the
 // switch with the value, misses continue to the authoritative server.
 // The client populates buckets with the write program (RTS-acked, with
-// retransmission) and re-populates after the allocator moves its memory.
+// per-capsule retransmission via client::ReliabilityTracker) and
+// re-populates after the allocator moves its memory.
 #pragma once
 
 #include <functional>
@@ -25,9 +26,15 @@ class CacheService : public client::Service {
   void get(u64 key);
 
   // Writes the given items into their buckets; calls `done` once every
-  // write is acknowledged. Retransmits unacked writes every sweep.
+  // write is acknowledged (or given up on after the tracker's retry
+  // budget). Unacked writes back off and retransmit per capsule.
   void populate(std::vector<std::pair<u64, u32>> items,
                 std::function<void()> done = nullptr);
+
+  // The populate write-back retransmit loop (stats, schedule tuning).
+  [[nodiscard]] client::ReliabilityTracker& populate_reliability() {
+    return populate_retry_;
+  }
 
   // Wire this to the client node's passive path for server replies.
   void handle_server_reply(const KvMessage& reply);
@@ -63,7 +70,7 @@ class CacheService : public client::Service {
  private:
   void send_query(u64 key, u32 request_id);
   void send_populate(u64 key, u32 value, u32 request_id);
-  void sweep_populates();
+  void populate_resolved(u32 request_id);
   void resynthesize_populate();
 
   packet::MacAddr server_mac_;
@@ -71,8 +78,8 @@ class CacheService : public client::Service {
   CacheStats stats_;
   u32 next_request_ = 1;
   std::unordered_map<u32, std::pair<u64, u32>> outstanding_populates_;
+  client::ReliabilityTracker populate_retry_;
   std::function<void()> populate_done_;
-  bool sweep_armed_ = false;
   std::vector<std::pair<u64, u32>> hot_set_;  // last populated items
 };
 

@@ -9,11 +9,16 @@
 namespace artmt::apps {
 
 namespace {
-constexpr SimTime kExtractSweep = 5 * kMillisecond;
 // Access indices within the monitor program's access list.
 constexpr u32 kAccessThreshold = 2;
 constexpr u32 kAccessKey0 = 3;
 constexpr u32 kAccessKey1 = 4;
+
+client::ReliabilityTracker::Options extract_retry_options() {
+  client::ReliabilityTracker::Options opts;
+  opts.rto = 5 * kMillisecond;  // the former fixed sweep interval
+  return opts;
+}
 }  // namespace
 
 FrequentItemService::FrequentItemService(std::string name,
@@ -21,7 +26,12 @@ FrequentItemService::FrequentItemService(std::string name,
                                          u32 cms_blocks, u32 table_blocks)
     : client::Service(std::move(name),
                       hh_service_spec(cms_blocks, table_blocks)),
-      server_mac_(server_mac) {}
+      server_mac_(server_mac),
+      extract_retry_(
+          "extract", [this]() -> netsim::Simulator& { return node().sim(); },
+          extract_retry_options()) {
+  extract_retry_.on_give_up = [this](u32 id) { read_given_up(id); };
+}
 
 u32 FrequentItemService::table_words() const {
   const auto* synth = synthesized();
@@ -112,18 +122,32 @@ void FrequentItemService::extract(ItemsFn done, u32 min_count,
 
   for (u32 i = 0; i < words; ++i) {
     send_key_read(i);
+    extract_retry_.track(key_read_id(i), [this](u32 id, u32) {
+      if (extraction_) send_key_read(id / 2);
+    });
     send_threshold_read(i);
+    extract_retry_.track(threshold_read_id(i), [this](u32 id, u32) {
+      if (extraction_) send_threshold_read(id / 2);
+    });
   }
-  node().sim().schedule_after(kExtractSweep, [this] { sweep_extraction(); });
 }
 
-void FrequentItemService::sweep_extraction() {
+void FrequentItemService::read_given_up(u32 id) {
+  // A read that exhausted its budget reports as an empty bucket so the
+  // extraction still terminates (give-ups are visible in the tracker's
+  // stats and the exported reliability metrics).
   if (!extraction_) return;
-  for (u32 i = 0; i < extraction_->have_keys.size(); ++i) {
-    if (!extraction_->have_keys[i]) send_key_read(i);
-    if (!extraction_->have_threshold[i]) send_threshold_read(i);
+  auto& ex = *extraction_;
+  const u32 index = id / 2;
+  if (index >= ex.have_keys.size()) return;
+  if (id == key_read_id(index) && !ex.have_keys[index]) {
+    ex.have_keys[index] = true;
+    --ex.remaining;
+  } else if (id == threshold_read_id(index) && !ex.have_threshold[index]) {
+    ex.have_threshold[index] = true;
+    --ex.remaining;
   }
-  node().sim().schedule_after(kExtractSweep, [this] { sweep_extraction(); });
+  maybe_finish();
 }
 
 void FrequentItemService::on_returned(packet::ActivePacket& pkt) {
@@ -147,28 +171,36 @@ void FrequentItemService::on_returned(packet::ActivePacket& pkt) {
       ex.key1[index] = pkt.arguments->args[1];
       ex.have_keys[index] = true;  // simplification: halves arrive in order
     }
-    if (ex.have_keys[index]) --ex.remaining;
+    if (ex.have_keys[index]) {
+      --ex.remaining;
+      extract_retry_.ack(key_read_id(index));
+    }
   } else if (msg->key == kTagThreshold) {
     if (ex.have_threshold[index]) return;
     ex.thresholds[index] = pkt.arguments->args[1];
     ex.have_threshold[index] = true;
     --ex.remaining;
+    extract_retry_.ack(threshold_read_id(index));
   }
-  if (ex.remaining == 0) {
-    std::vector<std::pair<u64, u32>> items;
-    for (u32 i = 0; i < ex.thresholds.size(); ++i) {
-      if (ex.thresholds[i] >= ex.min_count &&
-          (ex.key0[i] != 0 || ex.key1[i] != 0)) {
-        items.emplace_back(join_key(ex.key0[i], ex.key1[i]),
-                           ex.thresholds[i]);
-      }
+  maybe_finish();
+}
+
+void FrequentItemService::maybe_finish() {
+  if (!extraction_ || extraction_->remaining != 0) return;
+  auto& ex = *extraction_;
+  std::vector<std::pair<u64, u32>> items;
+  for (u32 i = 0; i < ex.thresholds.size(); ++i) {
+    if (ex.thresholds[i] >= ex.min_count &&
+        (ex.key0[i] != 0 || ex.key1[i] != 0)) {
+      items.emplace_back(join_key(ex.key0[i], ex.key1[i]), ex.thresholds[i]);
     }
-    std::sort(items.begin(), items.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
-    auto done = std::move(ex.done);
-    extraction_.reset();
-    if (done) done(std::move(items));
   }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  auto done = std::move(ex.done);
+  extraction_.reset();
+  extract_retry_.cancel_all();
+  if (done) done(std::move(items));
 }
 
 }  // namespace artmt::apps

@@ -24,8 +24,10 @@ class FrequentItemService : public client::Service {
   void observe(u64 key);
 
   // Reads back the key/threshold tables over the data plane and reports
-  // every bucket whose threshold exceeds `min_count`. Retransmits lost
-  // capsules until the full table is read.
+  // every bucket whose threshold exceeds `min_count`. Lost capsules back
+  // off and retransmit per read (client::ReliabilityTracker); a read that
+  // exhausts its retry budget reports as empty so extraction always
+  // terminates.
   using ItemsFn =
       std::function<void(std::vector<std::pair<u64, u32>> items)>;
   void extract(ItemsFn done, u32 min_count = 1, bool management = false);
@@ -33,6 +35,11 @@ class FrequentItemService : public client::Service {
   std::function<void()> on_ready;
 
   [[nodiscard]] u32 table_words() const;
+
+  // The extraction read retransmit loop (stats, schedule tuning).
+  [[nodiscard]] client::ReliabilityTracker& extract_reliability() {
+    return extract_retry_;
+  }
 
  protected:
   void on_operational() override {
@@ -57,13 +64,19 @@ class FrequentItemService : public client::Service {
   static constexpr u32 kTagKeys = 1;
   static constexpr u32 kTagThreshold = 2;
 
+  // Tracker ids: one per table word per array (keys, threshold).
+  static constexpr u32 key_read_id(u32 index) { return 2 * index; }
+  static constexpr u32 threshold_read_id(u32 index) { return 2 * index + 1; }
+
   void send_key_read(u32 index);
   void send_threshold_read(u32 index);
-  void sweep_extraction();
+  void read_given_up(u32 id);
+  void maybe_finish();
   [[nodiscard]] client::MemRef ref_for_access(u32 access, u32 index) const;
 
   packet::MacAddr server_mac_;
   u32 next_request_ = 1;
+  client::ReliabilityTracker extract_retry_;
   std::optional<Extraction> extraction_;
 };
 

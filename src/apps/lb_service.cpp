@@ -7,13 +7,25 @@
 namespace artmt::apps {
 
 namespace {
-constexpr SimTime kWriteSweep = 10 * kMillisecond;
-
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+client::ReliabilityTracker::Options write_retry_options() {
+  client::ReliabilityTracker::Options opts;
+  opts.rto = 10 * kMillisecond;  // the former fixed sweep interval
+  return opts;
+}
 }  // namespace
 
 CheetahLbService::CheetahLbService(std::string name, u32 pool_blocks)
-    : client::Service(std::move(name), lb_service_spec(pool_blocks)) {}
+    : client::Service(std::move(name), lb_service_spec(pool_blocks)),
+      write_retry_(
+          "lb_pool", [this]() -> netsim::Simulator& { return node().sim(); },
+          write_retry_options()) {
+  write_retry_.paused = [this] { return !operational(); };
+  write_retry_.on_give_up = [this](u32 request_id) {
+    write_resolved(request_id);
+  };
+}
 
 client::MemRef CheetahLbService::ref_for_access(u32 access, u32 index) const {
   const auto* synth = synthesized();
@@ -52,6 +64,9 @@ void CheetahLbService::configure(std::vector<u32> server_ports,
     const u32 request_id = next_request_++;
     outstanding_writes_[request_id] = {ref, value};
     send_write(request_id);
+    write_retry_.track(request_id, [this](u32 id, u32) {
+      if (outstanding_writes_.contains(id)) send_write(id);
+    });
   };
   queue_write(ref_for_access(kAccessPoolSize, 0),
               static_cast<Word>(server_ports.size() - 1));
@@ -59,20 +74,15 @@ void CheetahLbService::configure(std::vector<u32> server_ports,
     queue_write(ref_for_access(kAccessPool, i), server_ports[i]);
   }
   configured_ = true;
-  if (!sweep_armed_) {
-    sweep_armed_ = true;
-    node().sim().schedule_after(kWriteSweep, [this] { sweep_writes(); });
-  }
 }
 
-void CheetahLbService::sweep_writes() {
-  sweep_armed_ = false;
-  if (outstanding_writes_.empty()) return;
-  for (const auto& [request_id, write] : outstanding_writes_) {
-    send_write(request_id);
+void CheetahLbService::write_resolved(u32 request_id) {
+  outstanding_writes_.erase(request_id);
+  if (outstanding_writes_.empty() && configure_done_) {
+    auto done = std::move(configure_done_);
+    configure_done_ = nullptr;
+    done();
   }
-  sweep_armed_ = true;
-  node().sim().schedule_after(kWriteSweep, [this] { sweep_writes(); });
 }
 
 void CheetahLbService::open_flow(u32 flow_id) {
@@ -115,12 +125,9 @@ void CheetahLbService::on_returned(packet::ActivePacket& pkt) {
   const auto msg = KvMessage::parse(pkt.payload);
   if (!msg) return;
   if (msg->type == KvMessage::Type::kMemSync) {
-    outstanding_writes_.erase(msg->request_id);
-    if (outstanding_writes_.empty() && configure_done_) {
-      auto done = std::move(configure_done_);
-      configure_done_ = nullptr;
-      done();
-    }
+    if (!outstanding_writes_.contains(msg->request_id)) return;
+    write_retry_.ack(msg->request_id);
+    write_resolved(msg->request_id);
   }
 }
 

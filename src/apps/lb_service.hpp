@@ -2,7 +2,8 @@
 // the server-selection program (round-robin over the VIP pool, cookie =
 // hash(5-tuple) ^ server); data packets run the stateless routing program
 // (server = hash(5-tuple) ^ cookie). The pool itself is configured over
-// the data plane with memory-sync writes.
+// the data plane with memory-sync writes, retransmitted per capsule via
+// client::ReliabilityTracker until acknowledged.
 #pragma once
 
 #include <functional>
@@ -40,6 +41,11 @@ class CheetahLbService : public client::Service {
     return configured_ && outstanding_writes_.empty();
   }
 
+  // The pool-write retransmit loop (stats, schedule tuning).
+  [[nodiscard]] client::ReliabilityTracker& configure_reliability() {
+    return write_retry_;
+  }
+
  protected:
   void on_operational() override {
     if (on_ready) on_ready();
@@ -53,14 +59,14 @@ class CheetahLbService : public client::Service {
   static constexpr u32 kAccessPool = 2;
 
   void send_write(u32 request_id);
-  void sweep_writes();
+  void write_resolved(u32 request_id);
   [[nodiscard]] client::MemRef ref_for_access(u32 access, u32 index) const;
 
   u32 next_request_ = 1;
   bool configured_ = false;
   std::function<void()> configure_done_;
   std::map<u32, std::pair<client::MemRef, Word>> outstanding_writes_;
-  bool sweep_armed_ = false;
+  client::ReliabilityTracker write_retry_;
   std::map<u32, u32> cookies_;  // flow id -> cookie
 };
 

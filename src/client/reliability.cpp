@@ -1,0 +1,157 @@
+#include "client/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace artmt::client {
+
+namespace {
+
+// FNV-1a, so two trackers on one node with different names draw from
+// different jitter streams (std::hash is not cross-platform stable).
+u64 fnv1a(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ReliabilityTracker::ReliabilityTracker(std::string name,
+                                       std::function<netsim::Simulator&()> sim)
+    : ReliabilityTracker(std::move(name), std::move(sim), Options()) {}
+
+ReliabilityTracker::ReliabilityTracker(
+    std::string name, std::function<netsim::Simulator&()> sim, Options opts)
+    : name_(std::move(name)),
+      sim_(std::move(sim)),
+      opts_(opts),
+      rng_(Rng::substream(opts.seed, fnv1a(name_))) {
+  if (sim_ == nullptr) {
+    throw UsageError("ReliabilityTracker: null simulator resolver");
+  }
+  if (opts_.backoff < 1.0) {
+    throw UsageError("ReliabilityTracker: backoff multiplier must be >= 1");
+  }
+}
+
+void ReliabilityTracker::set_options(Options opts) {
+  if (opts.backoff < 1.0) {
+    throw UsageError("ReliabilityTracker: backoff multiplier must be >= 1");
+  }
+  opts_ = opts;
+  rng_ = Rng::substream(opts.seed, fnv1a(name_));
+}
+
+SimTime ReliabilityTracker::jittered(SimTime rto) {
+  if (opts_.jitter <= 0.0) return std::max<SimTime>(rto, 1);
+  const double factor =
+      1.0 + opts_.jitter * (2.0 * rng_.uniform_double() - 1.0);
+  return std::max<SimTime>(
+      static_cast<SimTime>(static_cast<double>(rto) * factor), 1);
+}
+
+void ReliabilityTracker::track(u32 id, ResendFn resend) {
+  Entry entry;
+  entry.rto = opts_.rto;
+  entry.deadline = sim_().now() + jittered(opts_.rto);
+  entry.resend = std::move(resend);
+  entries_[id] = std::move(entry);
+  ++stats_.tracked;
+  arm();
+}
+
+bool ReliabilityTracker::ack(u32 id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  ++stats_.acked;
+  if (it->second.attempts > 0) ++stats_.recovered;
+  entries_.erase(it);
+  return true;
+}
+
+void ReliabilityTracker::cancel(u32 id) { entries_.erase(id); }
+
+void ReliabilityTracker::cancel_all() { entries_.clear(); }
+
+void ReliabilityTracker::arm() {
+  if (entries_.empty()) return;
+  SimTime earliest = entries_.begin()->second.deadline;
+  for (const auto& [id, entry] : entries_) {
+    earliest = std::min(earliest, entry.deadline);
+  }
+  if (timer_armed_ && timer_at_ <= earliest) return;
+  timer_armed_ = true;
+  timer_at_ = earliest;
+  const u64 generation = ++timer_generation_;
+  sim_().schedule_at(earliest,
+                     [this, generation] { on_timer(generation); });
+}
+
+void ReliabilityTracker::on_timer(u64 generation) {
+  if (generation != timer_generation_) return;  // superseded by re-arm
+  timer_armed_ = false;
+  const SimTime now = sim_().now();
+  const bool gate = paused != nullptr && paused();
+
+  // Expired ids snapshotted first: resend/give-up callbacks may track,
+  // ack, or cancel entries, so each id is re-looked-up before use.
+  std::vector<u32> expired;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.deadline <= now) expired.push_back(id);
+  }
+  for (const u32 id : expired) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    Entry& entry = it->second;
+    if (gate) {
+      // Transmissions are paused; hold the capsule without charging the
+      // retry budget.
+      entry.deadline = now + jittered(entry.rto);
+      continue;
+    }
+    if (entry.attempts >= opts_.retry_budget) {
+      ++stats_.give_ups;
+      entries_.erase(it);
+      if (on_give_up) on_give_up(id);
+      continue;
+    }
+    ++entry.attempts;
+    ++stats_.retransmits;
+    backoff_samples_.push_back(static_cast<u64>(entry.rto));
+    entry.rto = std::min<SimTime>(
+        opts_.max_rto,
+        static_cast<SimTime>(static_cast<double>(entry.rto) * opts_.backoff));
+    entry.deadline = now + jittered(entry.rto);
+    const u32 attempt = entry.attempts;
+    ResendFn resend = entry.resend;  // copy: the callback may erase `id`
+    resend(id, attempt);
+  }
+  arm();
+}
+
+void ReliabilityTracker::export_metrics(telemetry::MetricsRegistry& metrics,
+                                        i32 fid) const {
+  if (stats_.tracked == 0) return;
+  metrics.counter("reliability", name_ + "_tracked", fid)
+      .merge_add(stats_.tracked);
+  metrics.counter("reliability", name_ + "_acked", fid)
+      .merge_add(stats_.acked);
+  metrics.counter("reliability", name_ + "_retransmits", fid)
+      .merge_add(stats_.retransmits);
+  metrics.counter("reliability", name_ + "_recovered", fid)
+      .merge_add(stats_.recovered);
+  metrics.counter("reliability", name_ + "_give_ups", fid)
+      .merge_add(stats_.give_ups);
+  if (!backoff_samples_.empty()) {
+    auto& histogram = metrics.histogram("reliability", "backoff_ns", fid);
+    for (const u64 sample : backoff_samples_) histogram.record(sample);
+  }
+}
+
+}  // namespace artmt::client

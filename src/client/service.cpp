@@ -7,8 +7,28 @@
 
 namespace artmt::client {
 
+namespace {
+
+// The ExtractComplete resend schedule: a handful of quick retries inside
+// the switch's extraction timeout window (CostModel::extraction_timeout,
+// 1 s by default; testbeds shrink it), then the switch's own deadline
+// takes over via force_finalize.
+ReliabilityTracker::Options handshake_options() {
+  ReliabilityTracker::Options opts;
+  opts.rto = 20 * kMillisecond;
+  opts.max_rto = 160 * kMillisecond;
+  opts.retry_budget = 8;
+  return opts;
+}
+
+}  // namespace
+
 Service::Service(std::string name, ServiceSpec spec)
-    : name_(std::move(name)), spec_(std::move(spec)) {}
+    : name_(std::move(name)),
+      spec_(std::move(spec)),
+      handshake_retry_(
+          "handshake", [this]() -> netsim::Simulator& { return node().sim(); },
+          handshake_options()) {}
 
 ClientNode& Service::node() const {
   if (node_ == nullptr) throw UsageError("Service not attached to a client");
@@ -75,6 +95,15 @@ void Service::extraction_done() {
   }
   node().send_active(packet::ActivePacket::make_control(
       fid_, packet::ActiveType::kExtractComplete));
+  // The implicit ack is the switch's new AllocResponse; until it arrives
+  // (still kMemoryManagement) the control packet is resent -- it is
+  // idempotent on the switch, so a lost ExtractComplete no longer stalls
+  // the admission until the extraction timeout.
+  handshake_retry_.track(kHandshakeId, [this](u32, u32) {
+    if (state_ != State::kMemoryManagement) return;
+    node().send_active(packet::ActivePacket::make_control(
+        fid_, packet::ActiveType::kExtractComplete));
+  });
 }
 
 void Service::accept_allocation(const packet::ActivePacket& pkt) {
@@ -89,6 +118,7 @@ void Service::accept_allocation(const packet::ActivePacket& pkt) {
 void Service::handle_active(packet::ActivePacket& pkt) {
   switch (pkt.initial.type) {
     case packet::ActiveType::kAllocResponse: {
+      handshake_retry_.ack(kHandshakeId);  // no-op outside the handshake
       if ((pkt.initial.flags & packet::kFlagAllocFailed) != 0) {
         state_ = State::kDenied;
         log(LogLevel::kWarn, "service ", name_, ": allocation denied");
@@ -108,10 +138,12 @@ void Service::handle_active(packet::ActivePacket& pkt) {
     }
     case packet::ActiveType::kReallocNotice:
       state_ = State::kMemoryManagement;
+      handshake_retry_.cancel(kHandshakeId);  // fresh handshake
       log(LogLevel::kInfo, "service ", name_, ": realloc notice");
       on_realloc_notice();
       return;
     case packet::ActiveType::kDeallocAck:
+      handshake_retry_.cancel(kHandshakeId);
       state_ = State::kReleased;
       log(LogLevel::kInfo, "service ", name_, ": released");
       on_released();

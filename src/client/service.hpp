@@ -9,6 +9,7 @@
 #include <string>
 
 #include "client/compiler.hpp"
+#include "client/reliability.hpp"
 #include "packet/active_packet.hpp"
 
 namespace artmt::client {
@@ -54,6 +55,14 @@ class Service {
   }
   [[nodiscard]] bool operational() const {
     return state_ == State::kOperational;
+  }
+
+  // Retransmits the handshake's kExtractComplete until the switch's new
+  // AllocResponse lands (the data plane may lose either side; the control
+  // packets are idempotent). Exposed so tools can export its stats and
+  // tests can tighten the schedule.
+  [[nodiscard]] ReliabilityTracker& handshake_reliability() {
+    return handshake_retry_;
   }
 
   // Sends a program capsule under this service's FID. `management` marks
@@ -107,8 +116,12 @@ class Service {
   }
   void accept_allocation(const packet::ActivePacket& pkt);
 
+  // The handshake tracker carries exactly one entry.
+  static constexpr u32 kHandshakeId = 0;
+
   std::string name_;
   ServiceSpec spec_;
+  ReliabilityTracker handshake_retry_;
   ClientNode* node_ = nullptr;
   u32 seq_ = 0;  // correlates the allocation request with its response
   State state_ = State::kIdle;

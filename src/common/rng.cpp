@@ -82,4 +82,11 @@ double Rng::exponential(double rate) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::substream(u64 seed, u64 tag) {
+  // Scramble the tag through splitmix64 before folding it into the seed;
+  // adjacent tags (0, 1, 2, ...) must not yield correlated streams.
+  u64 t = tag;
+  return Rng(seed ^ splitmix64(t));
+}
+
 }  // namespace artmt

@@ -38,6 +38,12 @@ class Rng {
   // per-client generators).
   Rng split();
 
+  // An independent stream derived from (seed, tag) without consuming any
+  // state: two subsystems sharing one root seed (e.g. workload generation
+  // and fault injection) draw from isolated streams, so enabling one never
+  // perturbs the other's sequence. Same (seed, tag) => same stream.
+  static Rng substream(u64 seed, u64 tag);
+
  private:
   std::array<u64, 4> state_;
 };

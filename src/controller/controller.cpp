@@ -305,6 +305,12 @@ void Controller::timeout_pending() {
   pending_->awaiting.clear();
 }
 
+void Controller::force_finalize() {
+  if (!pending_) throw UsageError("Controller: no pending admission");
+  timeout_pending();
+  apply_pending();
+}
+
 void Controller::apply_pending() {
   if (!pending_) throw UsageError("Controller: no pending admission");
   if (!pending_->awaiting.empty()) {

@@ -89,6 +89,11 @@ class Controller {
   // callers use it right after the handshake, event-driven callers after
   // the modeled table-update delay has elapsed.
   void apply_pending();
+  // Deadline path in one step: gives up on the remaining extractions and
+  // applies the layout immediately (timeout_pending + apply_pending).
+  // SwitchNode spreads the same sequence over the modeled apply delay
+  // when the extraction timeout fires on simulated time.
+  void force_finalize();
   [[nodiscard]] bool has_pending() const { return pending_.has_value(); }
   [[nodiscard]] bool pending_ready() const {
     return pending_.has_value() && pending_->awaiting.empty();

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace artmt::controller {
 
@@ -22,6 +23,7 @@ struct SwitchMetrics {
         dropped(&r.counter("switch", "dropped")),
         zero_copy_frames(&r.counter("switch", "zero_copy_frames")),
         legacy_frames(&r.counter("switch", "legacy_frames")),
+        register_wipes(&r.counter("switch", "register_wipes")),
         exec_latency_ns(&r.histogram("switch", "exec_latency_ns")) {}
 
   telemetry::CounterFamily packets;
@@ -33,6 +35,7 @@ struct SwitchMetrics {
   telemetry::Counter* dropped;
   telemetry::Counter* zero_copy_frames;
   telemetry::Counter* legacy_frames;
+  telemetry::Counter* register_wipes;
   telemetry::Histogram* exec_latency_ns;
 };
 
@@ -102,6 +105,22 @@ runtime::PacketMeta derive_meta(const packet::EthernetHeader& eth,
 
 void SwitchNode::bind(packet::MacAddr mac, u32 port) {
   l2_table_[mac] = port;
+}
+
+u64 SwitchNode::wipe_registers() {
+  assert_confined();
+  u64 wiped = 0;
+  for (u32 s = 0; s < pipeline_.stage_count(); ++s) {
+    rmt::RegisterArray& memory = pipeline_.stage(s).memory();
+    memory.fill(0, memory.size(), 0);
+    wiped += memory.size();
+  }
+  metrics_->register_wipes->inc();
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("switch", "registers_wiped", telemetry::kNoFid,
+               {{"node", name()}, {"words", wiped}});
+  }
+  return wiped;
 }
 
 void SwitchNode::send_to_mac(packet::MacAddr dst, ActivePacket pkt,

@@ -76,6 +76,14 @@ class SwitchNode : public netsim::Node {
   // Static L2 table: which port reaches `mac`.
   void bind(packet::MacAddr mac, u32 port);
 
+  // Models the up-edge of a power cycle ("brownout", src/faults): every
+  // stage's register array is zeroed -- SRAM does not survive the restart
+  // -- while table entries and allocator state, which live on the
+  // controller, persist. Clients re-populate through the normal data
+  // plane (the paper's content migration is always client-driven).
+  // Returns the number of words wiped.
+  u64 wipe_registers();
+
   void on_frame(netsim::Frame frame, u32 port) override;
 
   [[nodiscard]] Controller& controller() { return controller_; }

@@ -136,45 +136,25 @@ void Network::deliver(Node& dest, u32 port, Frame frame, u32 shard) {
   dest.on_frame(std::move(frame), port);
 }
 
-void Network::transmit(Node& from, u32 port, Frame frame) {
-  from.assert_confined();
-  const auto it = egress_.find({&from, port});
-  if (it == egress_.end()) {
-    count_drop(from, port, frame.size());  // unplugged port: frame is lost
-    return;
-  }
-  const Egress& out = it->second;
-  const Endpoint dest = out.peer;
-
-  // Serialization delay: bytes * 8 / rate. At 40 Gbps a 256-byte frame
-  // serializes in ~51 ns.
-  const double bits = static_cast<double>(frame.size()) * 8.0;
-  const auto serialize =
-      static_cast<SimTime>(bits / out.spec.gbps);  // Gbps -> bits/ns
-
+void Network::dispatch(const Endpoint& dest, Node& from, u64 tx_seq,
+                       SimTime send, SimTime arrival, Frame frame) {
   if (sharded_ != nullptr) {
     // Uniform mailbox: every delivery -- same-shard included -- is
     // barrier-injected, so event ordering does not depend on how nodes
     // are packed onto shards (the determinism invariant).
-    const auto* ctx = detail::tls_shard;
-    const SimTime send = (ctx != nullptr && ctx->owner == sharded_)
-                             ? ctx->sim->now()
-                             : sharded_->now();
     ShardedSimulator::MailMsg msg;
     msg.net = this;
     msg.dest = dest.node;
     msg.port = dest.port;
     msg.src_shard = from.shard_;
     msg.src_index = from.attach_index_;
-    msg.tx_seq = from.tx_seq_++;
+    msg.tx_seq = tx_seq;
     msg.send = send;
-    msg.arrival = send + serialize + out.spec.latency;
+    msg.arrival = arrival;
     msg.frame = std::move(frame);
     sharded_->enqueue(std::move(msg));
     return;
   }
-
-  const SimTime arrival = sim_->now() + serialize + out.spec.latency;
   sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
     ++frames_delivered_;
     bytes_delivered_ += f.size();
@@ -184,6 +164,63 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
     }
     dest.node->on_frame(std::move(f), dest.port);
   });
+}
+
+void Network::transmit(Node& from, u32 port, Frame frame) {
+  from.assert_confined();
+  const auto it = egress_.find({&from, port});
+  if (it == egress_.end()) {
+    count_drop(from, port, frame.size());  // unplugged port: frame is lost
+    return;
+  }
+  const Egress& out = it->second;
+  const Endpoint dest = out.peer;
+  // Consumed unconditionally, by both engines, hook or not: the pair
+  // (attach_index, tx_seq) names this transmission identically no matter
+  // how the scenario is run, which is what keeps injected faults
+  // shard-count-invariant.
+  const u64 tx_seq = from.tx_seq_++;
+
+  SimTime send;
+  if (sharded_ != nullptr) {
+    const auto* ctx = detail::tls_shard;
+    send = (ctx != nullptr && ctx->owner == sharded_) ? ctx->sim->now()
+                                                      : sharded_->now();
+  } else {
+    send = sim_->now();
+  }
+
+  TransmitHook::Verdict verdict;
+  if (hook_ != nullptr) {
+    verdict = hook_->on_transmit(from, *dest.node, send, tx_seq, frame, pool());
+    if (verdict.drop || verdict.copies == 0) return;
+  }
+
+  // Serialization delay: bytes * 8 / rate. At 40 Gbps a 256-byte frame
+  // serializes in ~51 ns.
+  const double bits = static_cast<double>(frame.size()) * 8.0;
+  const auto serialize =
+      static_cast<SimTime>(bits / out.spec.gbps);  // Gbps -> bits/ns
+  const SimTime nominal = send + serialize + out.spec.latency;
+
+  if (verdict.copies > 1) {
+    // Injected duplicates: independent deep copies on the same link, each
+    // consuming its own tx sequence slot (cloned before the original is
+    // moved out, dispatched after it so same-arrival duplicates trail the
+    // original in both engines' orderings).
+    std::vector<Frame> dups;
+    dups.reserve(verdict.copies - 1);
+    for (u32 i = 1; i < verdict.copies; ++i) dups.push_back(pool().clone(frame));
+    dispatch(dest, from, tx_seq, send, nominal + verdict.extra_delay,
+             std::move(frame));
+    for (auto& dup : dups) {
+      dispatch(dest, from, from.tx_seq_++, send, nominal + verdict.dup_delay,
+               std::move(dup));
+    }
+    return;
+  }
+  dispatch(dest, from, tx_seq, send, nominal + verdict.extra_delay,
+           std::move(frame));
 }
 
 }  // namespace artmt::netsim

@@ -46,6 +46,11 @@ class Node {
   // Shard owning this node under a ShardedSimulator (0 in serial mode).
   [[nodiscard]] u32 shard() const { return shard_; }
 
+  // Attach order (stable across runs); with the per-node transmit
+  // sequence it identifies every frame the node has ever sent, which is
+  // what fault injection keys its deterministic decisions on.
+  [[nodiscard]] u32 attach_index() const { return attach_index_; }
+
   // Shard-confinement check: under a ShardedSimulator, a node's state may
   // only be touched by its owning shard's worker (or by the main thread
   // while the engine is quiescent). Throws UsageError when called from a
@@ -69,6 +74,35 @@ class Node {
 struct LinkSpec {
   SimTime latency = 1 * kMicrosecond;  // propagation delay
   double gbps = 40.0;                  // line rate (paper testbed: 40 Gbps)
+};
+
+// Consulted on every transmit after egress resolution (see
+// Network::set_transmit_hook). The hook may drop the frame, mutate its
+// bytes in place, duplicate it, or delay it -- the fault-injection layer
+// (src/faults) implements this. Contract: the verdict must be a pure
+// function of the arguments plus the hook's immutable configuration,
+// because under the sharded engine the hook is called concurrently from
+// every shard's worker; per-shard mutable state (counters) must be
+// indexed by the sending node's shard.
+class TransmitHook {
+ public:
+  virtual ~TransmitHook() = default;
+
+  struct Verdict {
+    bool drop = false;        // lose the frame (not counted in
+                              // Network::frames_dropped(); the hook keeps
+                              // its own books)
+    u32 copies = 1;           // > 1 duplicates the frame
+    SimTime extra_delay = 0;  // added to the first copy's arrival
+    SimTime dup_delay = 0;    // added to every extra copy's arrival
+  };
+
+  // `tx_seq` is `from`'s per-node transmit sequence for this frame; with
+  // from.attach_index() it uniquely identifies the transmission. `frame`
+  // may be mutated (corruption); use `pool` to take a deep copy first if
+  // the buffer is shared.
+  virtual Verdict on_transmit(const Node& from, const Node& to, SimTime now,
+                              u64 tx_seq, Frame& frame, FramePool& pool) = 0;
 };
 
 // Owns nodes and links; routes frames between node ports over the virtual
@@ -128,6 +162,12 @@ class Network {
   // this there throws UsageError (merge shard registries instead).
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
+  // Installs (or with nullptr removes) the transmit hook. Install while
+  // quiescent, before frames flow; the pointer is read on every transmit
+  // without synchronization.
+  void set_transmit_hook(TransmitHook* hook) { hook_ = hook; }
+  [[nodiscard]] TransmitHook* transmit_hook() const { return hook_; }
+
  private:
   friend class Node;  // assert_confined reads sharded_
   friend class ShardedSimulator;
@@ -175,10 +215,15 @@ class Network {
   // Runs a delivery on the destination shard's worker: counts it against
   // `shard` and hands the frame to the node. Called by ShardedSimulator.
   void deliver(Node& dest, u32 port, Frame frame, u32 shard);
+  // Schedules one copy of a frame for delivery (per-mode: serial event or
+  // sharded mailbox message).
+  void dispatch(const Endpoint& dest, Node& from, u64 tx_seq, SimTime send,
+                SimTime arrival, Frame frame);
   void count_drop(const Node& from, u32 port, std::size_t bytes);
 
   Simulator* sim_ = nullptr;
   ShardedSimulator* sharded_ = nullptr;
+  TransmitHook* hook_ = nullptr;
   FramePool pool_;
   std::vector<std::shared_ptr<Node>> nodes_;
   // (node, port) -> egress direction; built in connect() so transmit()

@@ -7,6 +7,7 @@
 //
 // Usage:
 //   artmt_stats [--requests N] [--trace FILE] [--shards N]
+//               [--loss P] [--fault-seed S]
 //     --requests N   data-plane requests per service (default 2000)
 //     --trace FILE   also write TraceSink JSON-lines (simulated
 //                    timestamps) for every control-plane/netsim event
@@ -17,6 +18,11 @@
 //                    and across repeated runs. Incompatible with
 //                    --trace: the trace sink is process-global and
 //                    worker threads would interleave its lines.
+//     --loss P       attach a FaultInjector with uniform loss P on every
+//                    link; faults.* counters land in the snapshot and
+//                    the reliability.* retransmit schedules absorb the
+//                    loss (artmt_chaos runs the full scripted matrix)
+//     --fault-seed S seed for the loss plan's substreams (default 1)
 //
 // The snapshot goes to stdout; a human summary goes to stderr.
 #include <cstdio>
@@ -32,6 +38,7 @@
 #include "client/client_node.hpp"
 #include "common/logging.hpp"
 #include "controller/switch_node.hpp"
+#include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -42,6 +49,8 @@ using namespace artmt;
 int main(int argc, char** argv) {
   u32 requests = 2000;
   u32 shards = 0;  // 0 = the serial reference engine
+  double loss = 0.0;
+  u64 fault_seed = 1;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
@@ -50,10 +59,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<u32>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      loss = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::stoull(argv[++i]);
     } else {
-      std::fprintf(
-          stderr,
-          "usage: artmt_stats [--requests N] [--trace FILE] [--shards N]\n");
+      std::fprintf(stderr,
+                   "usage: artmt_stats [--requests N] [--trace FILE] "
+                   "[--shards N] [--loss P] [--fault-seed S]\n");
       return 2;
     }
   }
@@ -120,6 +133,16 @@ int main(int argc, char** argv) {
   sw->bind(0xbb, 0);
   sw->bind(0x100, 1);
   if (ssim) ssim->pin(*sw, 0);  // fleets round-robin over shards 1..N-1
+
+  // Optional uniform loss: the reliability trackers ride through it and
+  // the injected-fault counters join the snapshot.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (loss > 0.0) {
+    injector = std::make_unique<faults::FaultInjector>(
+        faults::FaultPlan::uniform_loss(fault_seed, loss),
+        shards > 0 ? shards : 1);
+    net.set_transmit_hook(injector.get());
+  }
 
   workload::ZipfGenerator zipf(5'000, 1.2);
   Rng rng(42);
@@ -202,12 +225,25 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(ssim->epochs()));
   }
 
+  // Fault and reliability metrics live outside the engine registries:
+  // mirror them into whichever snapshot we emit.
+  auto export_extras = [&](telemetry::MetricsRegistry& reg) {
+    if (injector) injector->export_metrics(reg);
+    const auto cache_fid = static_cast<i32>(cache->fid());
+    const auto monitor_fid = static_cast<i32>(monitor->fid());
+    cache->populate_reliability().export_metrics(reg, cache_fid);
+    cache->handshake_reliability().export_metrics(reg, cache_fid);
+    monitor->extract_reliability().export_metrics(reg, monitor_fid);
+    monitor->handshake_reliability().export_metrics(reg, monitor_fid);
+  };
   if (ssim) {
     telemetry::MetricsRegistry merged;
     ssim->merge_metrics_into(merged);
     ssim->export_shard_stats(merged);
+    export_extras(merged);
     merged.snapshot_json(std::cout);
   } else {
+    export_extras(registry);
     telemetry::snapshot_json(std::cout);
   }
 
