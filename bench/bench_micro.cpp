@@ -37,6 +37,7 @@
 #include "packet/active_packet.hpp"
 #include "proto/wire.hpp"
 #include "rmt/hash.hpp"
+#include "runtime/exec_batch.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -83,6 +84,17 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 namespace artmt {
 namespace {
+
+// CI perf-smoke mode (scripts/ci.sh): ARTMT_BENCH_QUICK=1 shrinks every
+// packet count so the whole harness finishes in seconds. Allocation
+// assertions still run at full strength -- they are count-independent --
+// but performance-ratio gates are skipped (the reduced rounds are too
+// noisy to judge) and BENCH_datapath.json is NOT rewritten, so a smoke
+// run never clobbers committed full-run numbers.
+bool quick_mode() {
+  static const bool quick = std::getenv("ARTMT_BENCH_QUICK") != nullptr;
+  return quick;
+}
 
 // --- steady-state packet-path harness ------------------------------------
 
@@ -179,9 +191,9 @@ void measure_paths(SteadyStateRig& legacy_rig, SteadyStateRig& cached_rig,
 
 // Returns 0 on success, 1 when the zero-allocation assertion fails.
 int run_steady_state() {
-  constexpr u64 kRounds = 10;
-  constexpr u64 kPerRound = 20'000;
-  constexpr u64 kIterations = kRounds * kPerRound;
+  const u64 kRounds = quick_mode() ? 3 : 10;
+  const u64 kPerRound = quick_mode() ? 2'000 : 20'000;
+  const u64 kIterations = kRounds * kPerRound;
   SteadyStateRig legacy_rig;
   SteadyStateRig cached_rig;
   active::ProgramCache cache;
@@ -295,6 +307,10 @@ struct E2eRig {
       : pooled_ingress(zero_copy) {
     controller::SwitchNode::Config cfg;
     cfg.zero_copy = zero_copy;
+    // These rigs measure the per-packet reference engine (frames are
+    // pumped one at a time anyway, so batching would only add a flush
+    // event per frame); the batched ingress is measured by BurstRig.
+    cfg.batching = false;
     sw = std::make_shared<controller::SwitchNode>("switch", cfg);
     if (telemetry) {
       // Mirror the full artmt_stats wiring: netsim counters join the
@@ -481,29 +497,31 @@ struct ShardedRings {
 // Returns 0 on success, 1 when a scaling gate fails on a capable host.
 int run_sharded_e2e(char* json, std::size_t cap) {
   const unsigned cores = std::thread::hardware_concurrency();
+  const u64 frames_per_ring = quick_mode() ? 1'000 : kFramesPerRing;
+  const u64 warmup_per_ring = quick_mode() ? 200 : kWarmupFramesPerRing;
+  const u32 rounds = quick_mode() ? 2 : kShardedRounds;
   ShardedRings serial(0);
   ShardedRings one(1);
   ShardedRings wide(kRingCount);
   telemetry::set_enabled(false);
-  serial.drive(kWarmupFramesPerRing);
-  one.drive(kWarmupFramesPerRing);
-  wide.drive(kWarmupFramesPerRing);
+  serial.drive(warmup_per_ring);
+  one.drive(warmup_per_ring);
+  wide.drive(warmup_per_ring);
 
   double serial_pps = 0.0;
   double one_pps = 0.0;
   double wide_pps = 0.0;
-  constexpr double kFrames =
-      static_cast<double>(kFramesPerRing) * kRingCount;
-  for (u32 r = 0; r < kShardedRounds; ++r) {
-    serial_pps = std::max(serial_pps, kFrames / serial.drive(kFramesPerRing));
-    one_pps = std::max(one_pps, kFrames / one.drive(kFramesPerRing));
-    wide_pps = std::max(wide_pps, kFrames / wide.drive(kFramesPerRing));
+  const double kFrames =
+      static_cast<double>(frames_per_ring) * kRingCount;
+  for (u32 r = 0; r < rounds; ++r) {
+    serial_pps = std::max(serial_pps, kFrames / serial.drive(frames_per_ring));
+    one_pps = std::max(one_pps, kFrames / one.drive(frames_per_ring));
+    wide_pps = std::max(wide_pps, kFrames / wide.drive(frames_per_ring));
   }
   telemetry::set_enabled(true);
 
   const u64 expected =
-      kRingCount * (kWarmupFramesPerRing +
-                    kShardedRounds * kFramesPerRing);
+      kRingCount * (warmup_per_ring + rounds * frames_per_ring);
   for (const ShardedRings* rig : {&serial, &one, &wide}) {
     if (rig->received() != expected) {
       std::fprintf(stderr,
@@ -517,7 +535,7 @@ int run_sharded_e2e(char* json, std::size_t cap) {
 
   const double speedup = wide_pps / serial_pps;
   const bool one_within_5pct = one_pps >= 0.95 * serial_pps;
-  const bool enforce = cores >= 4;
+  const bool enforce = cores >= 4 && !quick_mode();
   u64 events = 0;
   u64 cross = 0;
   u64 barrier_ns = 0;
@@ -538,7 +556,7 @@ int run_sharded_e2e(char* json, std::size_t cap) {
       "    \"cross_shard_frames\": %llu, \"barrier_wait_ns\": %llu,\n"
       "    \"gates_enforced\": %s\n"
       "  }\n",
-      kRingCount, static_cast<unsigned long long>(kFramesPerRing), cores,
+      kRingCount, static_cast<unsigned long long>(frames_per_ring), cores,
       serial_pps, one_pps, one_within_5pct ? "true" : "false", kRingCount,
       wide_pps, speedup, static_cast<unsigned long long>(wide.ssim->epochs()),
       static_cast<unsigned long long>(events),
@@ -558,6 +576,280 @@ int run_sharded_e2e(char* json, std::size_t cap) {
                  "FAIL: %u shards reached %.2fx over serial on %u cores "
                  "(gate: >= 2x)\n",
                  kRingCount, speedup, cores);
+    return 1;
+  }
+  return 0;
+}
+
+// --- batched ingress burst harness ----------------------------------------
+// Measures the SwitchNode batch ingress: kBurst capsules transmitted
+// back-to-back arrive at the switch at the same virtual instant, so the
+// flush event drains the whole burst into one runtime::ExecBatch stage
+// sweep (one memoized protection lookup and one register working set per
+// stage for all lanes). A second rig runs the identical burst workload
+// with Config::batching off -- the per-packet reference engine -- so the
+// engine speedup is isolated from the workload. The capsule carries a
+// small payload (active capsules are probe-sized; the 1400-byte payload
+// of the per-frame rigs would make the harness's injection memcpy the
+// bottleneck of what is an execution measurement). Gate (exit 1, full
+// runs only): the batched path must clear 2x this run's zero-copy
+// per-packet baseline.
+
+constexpr u32 kBurst = 64;
+constexpr std::size_t kBurstPayloadBytes = 64;
+
+struct BurstRig {
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  std::shared_ptr<controller::SwitchNode> sw;
+  std::shared_ptr<SinkNode> client;
+  std::shared_ptr<SinkNode> server;
+  std::vector<u8> wire;
+
+  explicit BurstRig(bool batching) {
+    controller::SwitchNode::Config cfg;
+    cfg.batching = batching;
+    sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+    client = std::make_shared<SinkNode>("client");
+    server = std::make_shared<SinkNode>("server");
+    net.attach(sw);
+    net.attach(client);
+    net.attach(server);
+    net.connect(*sw, 0, *client, 0);
+    net.connect(*sw, 1, *server, 0);
+    sw->bind(kBenchClientMac, 0);
+    sw->bind(kBenchServerMac, 1);
+    for (u32 s = 0; s < sw->pipeline().stage_count(); ++s) {
+      sw->pipeline().stage(s).install(1, 0, 4096, 0);
+    }
+    auto pkt = packet::ActivePacket::make_program(
+        1, packet::ArgumentHeader{{10, 2, 3, 0}},
+        apps::cache_query_program());
+    pkt.ethernet.src = kBenchClientMac;
+    pkt.ethernet.dst = kBenchServerMac;
+    pkt.payload.assign(kBurstPayloadBytes, 0x5a);
+    wire = pkt.serialize();
+  }
+
+  // All frames of a burst are transmitted at the same virtual instant
+  // before the simulator drains, so they share one arrival timestamp.
+  void pump(u64 bursts) {
+    for (u64 i = 0; i < bursts; ++i) {
+      for (u32 b = 0; b < kBurst; ++b) {
+        net.transmit(*client, 0, net.pool().copy(wire));
+      }
+      sim.run();
+    }
+  }
+};
+
+// Engine-level lanes: kBurst pre-parsed execution contexts against one
+// pipeline, run per-packet (execute) or batched (ExecBatch). This
+// isolates the execution engines from parse/encode/netsim costs -- the
+// number the flat-dispatch/stage-sweep refactor actually moves.
+struct EngineLanes {
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipeline{cfg};
+  runtime::ActiveRuntime runtime{pipeline};
+  active::CompiledProgram compiled;
+  std::vector<std::array<Word, active::kArgFields>> args;
+  std::vector<runtime::ExecContext> ctxs;
+  std::vector<active::ExecCursor> cursors;
+  runtime::PacketMeta meta;
+  runtime::ExecBatch batch{runtime};
+
+  // `resident_fids` populates every stage's protection table: 1 mirrors
+  // the committed zero-copy baseline conditions; a populated table makes
+  // the per-access lookup cost what a multi-tenant switch pays.
+  EngineLanes(const active::Program& program, u32 resident_fids)
+      : compiled(active::CompiledProgram::compile(program)) {
+    for (u32 s = 0; s < cfg.logical_stages; ++s) {
+      for (u32 f = 1; f <= resident_fids; ++f) {
+        pipeline.stage(s).install(f, 0, 4096, 0);
+      }
+    }
+    args.resize(kBurst);
+    ctxs.resize(kBurst);
+    cursors.resize(kBurst);
+    for (u32 i = 0; i < kBurst; ++i) {
+      args[i] = {10, 2, 3, 0};
+      ctxs[i].args = &args[i];
+      ctxs[i].fid = 1;
+    }
+  }
+
+  void run_per_packet(u64 reps) {
+    for (u64 r = 0; r < reps; ++r) {
+      for (u32 i = 0; i < kBurst; ++i) {
+        benchmark::DoNotOptimize(
+            runtime.execute(compiled, ctxs[i], cursors[i], meta, 0));
+      }
+    }
+  }
+
+  void run_batched(u64 reps) {
+    for (u64 r = 0; r < reps; ++r) {
+      batch.clear();
+      for (u32 i = 0; i < kBurst; ++i) {
+        batch.add(compiled, ctxs[i], cursors[i], meta, 0);
+      }
+      batch.execute();
+      for (u32 i = 0; i < kBurst; ++i) {
+        benchmark::DoNotOptimize(batch.result(i));
+      }
+    }
+  }
+};
+
+struct EnginePair {
+  double per_packet_pps = 0.0;
+  double batched_pps = 0.0;
+};
+
+EnginePair measure_engine(EngineLanes& rig, u64 rounds, u64 reps) {
+  EnginePair out;
+  rig.run_per_packet(reps / 4 + 1);  // warm
+  rig.run_batched(reps / 4 + 1);
+  const double frames = static_cast<double>(reps) * kBurst;
+  for (u64 r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    rig.run_per_packet(reps);
+    out.per_packet_pps =
+        std::max(out.per_packet_pps, frames / seconds_since(start));
+    start = std::chrono::steady_clock::now();
+    rig.run_batched(reps);
+    out.batched_pps = std::max(out.batched_pps, frames / seconds_since(start));
+  }
+  return out;
+}
+
+// A telemetry-counter program: one address load, then a counter bump in
+// every remaining ingress+egress stage. Nearly every instruction is a
+// protected memory access, so per-packet execution pays a protection
+// lookup per stage per packet while the sweep pays one per stage per
+// BATCH -- the access pattern the stage-sweep engine is built for.
+active::Program counter_sweep_program() {
+  return active::assemble(R"(
+      MAR_LOAD $0
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      MEM_INCREMENT
+      RETURN
+  )");
+}
+
+// Fills `json` with the "batched" member of BENCH_datapath.json (trailing
+// comma included). Returns 0 on success, 1 when the 2x gate fails.
+int run_batched_block(char* json, std::size_t cap, double zc_baseline_pps) {
+  const u64 rounds = quick_mode() ? 3 : 10;
+  const u64 bursts_per_round = quick_mode() ? 20 : 500;
+  const u64 frames_per_round = bursts_per_round * kBurst;
+  BurstRig per_packet(/*batching=*/false);
+  BurstRig batched(/*batching=*/true);
+  telemetry::set_enabled(false);
+  per_packet.pump(quick_mode() ? 5 : 50);
+  batched.pump(quick_mode() ? 5 : 50);
+
+  double pp_pps = 0.0;
+  double bat_pps = 0.0;
+  u64 bat_allocs = 0;
+  for (u64 r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    per_packet.pump(bursts_per_round);
+    pp_pps = std::max(pp_pps, static_cast<double>(frames_per_round) /
+                                  seconds_since(start));
+    const auto allocs_before = g_alloc_count;
+    start = std::chrono::steady_clock::now();
+    batched.pump(bursts_per_round);
+    bat_pps = std::max(bat_pps, static_cast<double>(frames_per_round) /
+                                    seconds_since(start));
+    bat_allocs += g_alloc_count - allocs_before;
+  }
+  // One instrumented burst (recording was gated off during measurement):
+  // proves the burst actually coalesced into a single ExecBatch.
+  telemetry::set_enabled(true);
+  batched.pump(1);
+  const u64 batches =
+      batched.sw->metrics().counter("switch", "exec_batches").value();
+  const u64 coalesced =
+      batched.sw->metrics().counter("switch", "zero_copy_frames").value();
+  if (batches == 0 || coalesced / std::max<u64>(batches, 1) < kBurst / 2) {
+    std::fprintf(stderr,
+                 "FAIL: burst of %u frames did not coalesce (batches=%llu)\n",
+                 kBurst, static_cast<unsigned long long>(batches));
+    return 1;
+  }
+
+  // Engine-level comparison, two workloads: the cache query under the
+  // committed baseline's table conditions (the gate anchor), and the
+  // counter sweep against a populated protection table (where the
+  // memoized per-stage lookup is the dominant saving).
+  const u64 engine_rounds = quick_mode() ? 3 : 10;
+  const u64 engine_reps = quick_mode() ? 200 : 2'000;
+  EngineLanes query_rig(apps::cache_query_program(), /*resident_fids=*/1);
+  EngineLanes sweep_rig(counter_sweep_program(), /*resident_fids=*/64);
+  telemetry::set_enabled(false);
+  const EnginePair query = measure_engine(query_rig, engine_rounds,
+                                          engine_reps);
+  const EnginePair sweep = measure_engine(sweep_rig, engine_rounds,
+                                          engine_reps);
+  telemetry::set_enabled(true);
+
+  const double vs_zero_copy = query.batched_pps / zc_baseline_pps;
+  const bool gate_met = query.batched_pps >= 2.0 * zc_baseline_pps;
+  std::snprintf(
+      json, cap,
+      "  \"batched\": {\n"
+      "    \"packets_per_sec\": %.0f,\n"
+      "    \"speedup_vs_zero_copy\": %.2f, \"gate_2x_zero_copy\": %s,\n"
+      "    \"engine_cache_query\": {\"resident_fids\": 1,\n"
+      "      \"per_packet_packets_per_sec\": %.0f, "
+      "\"batched_packets_per_sec\": %.0f, \"speedup\": %.2f},\n"
+      "    \"engine_counter_sweep\": {\"resident_fids\": 64,\n"
+      "      \"per_packet_packets_per_sec\": %.0f, "
+      "\"batched_packets_per_sec\": %.0f, \"speedup\": %.2f},\n"
+      "    \"e2e_burst\": {\"program\": \"cache_query\", \"burst\": %u, "
+      "\"payload_bytes\": %zu,\n"
+      "      \"per_packet_packets_per_sec\": %.0f, "
+      "\"batched_packets_per_sec\": %.0f,\n"
+      "      \"allocs_per_frame_steady\": %.6f, \"exec_batches\": %llu}\n"
+      "  },\n",
+      query.batched_pps, vs_zero_copy, gate_met ? "true" : "false",
+      query.per_packet_pps, query.batched_pps,
+      query.batched_pps / query.per_packet_pps, sweep.per_packet_pps,
+      sweep.batched_pps, sweep.batched_pps / sweep.per_packet_pps, kBurst,
+      kBurstPayloadBytes, pp_pps, bat_pps,
+      static_cast<double>(bat_allocs) /
+          static_cast<double>(rounds * frames_per_round),
+      static_cast<unsigned long long>(batches));
+
+  if (bat_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: batched ingress allocated %llu times over %llu "
+                 "frames (expected 0 in steady state)\n",
+                 static_cast<unsigned long long>(bat_allocs),
+                 static_cast<unsigned long long>(rounds * frames_per_round));
+    return 1;
+  }
+  if (!quick_mode() && !gate_met) {
+    std::fprintf(stderr,
+                 "FAIL: batched engine ran at %.0f pps, %.2fx the zero-copy "
+                 "datapath baseline of %.0f pps (gate: >= 2x)\n",
+                 query.batched_pps, vs_zero_copy, zc_baseline_pps);
     return 1;
   }
   return 0;
@@ -661,8 +953,8 @@ int run_chaos_block(char* json, std::size_t cap) {
   hook_rig.pump(1000);
   E2eMeasurement base;
   E2eMeasurement hook;
-  constexpr u64 kChaosRounds = 10;
-  constexpr u64 kChaosPerRound = 5'000;
+  const u64 kChaosRounds = quick_mode() ? 3 : 10;
+  const u64 kChaosPerRound = quick_mode() ? 1'000 : 5'000;
   for (u64 r = 0; r < kChaosRounds; ++r) {
     measure_e2e(base_rig, 1, kChaosPerRound, &base);
     measure_e2e(hook_rig, 1, kChaosPerRound, &hook);
@@ -695,7 +987,7 @@ int run_chaos_block(char* json, std::size_t cap) {
       static_cast<unsigned long long>(soak.cache_misses),
       soak.converged ? "true" : "false");
 
-  if (!within_5pct) {
+  if (!quick_mode() && !within_5pct) {
     std::fprintf(stderr,
                  "FAIL: idle fault injector ran at %.0f pps vs %.0f pps "
                  "baseline (%.2f%% overhead, budget 5%%)\n",
@@ -715,9 +1007,9 @@ int run_chaos_block(char* json, std::size_t cap) {
 
 // Returns 0 on success, 1 when the zero-allocation assertion fails.
 int run_e2e_datapath() {
-  constexpr u64 kRounds = 12;
-  constexpr u64 kPerRound = 5'000;
-  constexpr u64 kPackets = kRounds * kPerRound;
+  const u64 kRounds = quick_mode() ? 3 : 12;
+  const u64 kPerRound = quick_mode() ? 1'000 : 5'000;
+  const u64 kPackets = kRounds * kPerRound;
   E2eRig legacy_rig(/*zero_copy=*/false);
   E2eRig zc_rig(/*zero_copy=*/true);
   E2eRig tel_rig(/*zero_copy=*/true, /*telemetry=*/true);
@@ -764,14 +1056,20 @@ int run_e2e_datapath() {
 
   char sharding_json[1024];
   const int sharded_rc = run_sharded_e2e(sharding_json, sizeof(sharding_json));
+  char batched_json[1024];
+  const int batched_rc =
+      run_batched_block(batched_json, sizeof(batched_json),
+                        zc.packets_per_sec);
   char chaos_json[1024];
   const int chaos_rc = run_chaos_block(chaos_json, sizeof(chaos_json));
 
-  char json[4096];
+  char json[6144];
   std::snprintf(
       json, sizeof(json),
       "{\n"
       "  \"benchmark\": \"e2e_netsim_datapath\",\n"
+      "  \"cores\": %u,\n"
+      "  \"quick\": %s,\n"
       "  \"workload\": {\"program\": \"cache_query\", \"payload_bytes\": "
       "%zu,\n"
       "               \"frame_bytes\": %zu, \"packets_per_path\": %llu},\n"
@@ -796,8 +1094,10 @@ int run_e2e_datapath() {
       "  \"simulator\": {\"actions_spilled\": %llu},\n"
       "%s"
       "%s"
+      "%s"
       "}\n",
-      kBenchPayloadBytes, zc_rig.wire.size(),
+      std::thread::hardware_concurrency(),
+      quick_mode() ? "true" : "false", kBenchPayloadBytes, zc_rig.wire.size(),
       static_cast<unsigned long long>(kPackets), legacy.packets_per_sec,
       legacy_allocs_per_frame, zc.packets_per_sec, zc_allocs_per_frame,
       speedup, tel.packets_per_sec, tel_allocs_per_frame, tel_overhead_pct,
@@ -817,12 +1117,14 @@ int run_e2e_datapath() {
       static_cast<unsigned long long>(zc_rig.net.frames_delivered()),
       static_cast<unsigned long long>(zc_rig.net.frames_dropped()),
       static_cast<unsigned long long>(zc_rig.sim.actions_spilled()),
-      chaos_json, sharding_json);
+      batched_json, chaos_json, sharding_json);
   std::fputs(json, stdout);
   std::fflush(stdout);
-  if (std::FILE* f = std::fopen("BENCH_datapath.json", "w")) {
-    std::fputs(json, f);
-    std::fclose(f);
+  if (!quick_mode()) {
+    if (std::FILE* f = std::fopen("BENCH_datapath.json", "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+    }
   }
 
   if (zc.allocs != 0) {
@@ -841,14 +1143,15 @@ int run_e2e_datapath() {
                  static_cast<unsigned long long>(kPackets));
     return 1;
   }
-  if (!tel_within_5pct) {
+  if (!quick_mode() && !tel_within_5pct) {
     std::fprintf(stderr,
                  "FAIL: telemetry-enabled datapath ran at %.0f pps vs %.0f "
                  "pps baseline (%.2f%% overhead, budget 5%%)\n",
                  tel.packets_per_sec, zc.packets_per_sec, tel_overhead_pct);
     return 1;
   }
-  return sharded_rc != 0 ? sharded_rc : chaos_rc;
+  if (sharded_rc != 0) return sharded_rc;
+  return batched_rc != 0 ? batched_rc : chaos_rc;
 }
 
 // --- google-benchmark cases ----------------------------------------------

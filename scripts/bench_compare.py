@@ -59,11 +59,28 @@ def main():
 
     try:
         with open(args.file, encoding="utf-8") as f:
-            current = dict(pps_leaves(json.load(f)))
+            current_json = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"bench_compare: cannot read {args.file}: {err}",
               file=sys.stderr)
         return 2
+    current = dict(pps_leaves(current_json))
+
+    # Sharded speedup numbers are contention-distorted on hosts without
+    # enough cores to actually run the workers in parallel; bench_micro
+    # records the host core count and whether it enforced the speedup
+    # gates. Skip those sections here with an unmissable notice instead
+    # of letting a cramped runner quietly pass (or fail) the comparison.
+    cores = current_json.get("cores")
+    enforced = current_json.get("sharding", {}).get("gates_enforced", True)
+    skip_sharding = (cores is not None and cores < 4) or not enforced
+    if skip_sharding:
+        print("=" * 68, file=sys.stderr)
+        print(f"bench_compare: NOTICE: host has {cores} core(s) and "
+              f"gates_enforced={str(enforced).lower()} -- sharded speedup "
+              "sections SKIPPED,\nnot compared. Rerun on a >=4-core host "
+              "to exercise the sharding gates.", file=sys.stderr)
+        print("=" * 68, file=sys.stderr)
 
     baseline_json = load_baseline(args.baseline_ref, args.file)
     if baseline_json is None:
@@ -73,7 +90,11 @@ def main():
     baseline = dict(pps_leaves(baseline_json))
 
     regressions = []
+    skipped = []
     for section in sorted(current.keys() | baseline.keys()):
+        if skip_sharding and section.startswith("sharding."):
+            skipped.append(section)
+            continue
         cur = current.get(section)
         base = baseline.get(section)
         if cur is None:
@@ -92,6 +113,8 @@ def main():
         print(f"  {section}: {base:.0f} -> {cur:.0f} pps "
               f"({delta:+.1%}){mark}")
 
+    for section in skipped:
+        print(f"  {section}: SKIPPED (single-core/unenforced run)")
     if regressions:
         print(f"bench_compare: {len(regressions)} section(s) regressed "
               f"more than {args.threshold:.0%} vs {args.baseline_ref}",

@@ -5,7 +5,8 @@
 # ThreadSanitizer job (the sharded engine's worker threads).
 #
 # Usage: scripts/ci.sh
-#   [release|bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all]
+#   [release|bench|perf-smoke|telemetry-overhead|bench-regression|chaos-soak|
+#    sanitize|tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +28,19 @@ run_bench() {
   # frame datapath allocates in steady state (allocs_per_frame_steady > 0);
   # it also writes BENCH_datapath.json for the record.
   ./build/bench/bench_micro --benchmark_filter=NONE
+}
+
+run_perf_smoke() {
+  echo "== perf smoke: quick-mode datapath bench (reduced packet counts) =="
+  cmake --preset default
+  cmake --build --preset default
+  # ARTMT_BENCH_QUICK=1 shrinks every packet count so the whole datapath
+  # bench (batched engine, burst coalescing, sharded epochs, chaos rig)
+  # finishes in seconds. The zero-alloc assertions stay at full strength;
+  # perf-ratio gates are skipped and BENCH_datapath.json is left alone, so
+  # this catches functional rot in the bench harness on any runner without
+  # flaking on machine speed.
+  ARTMT_BENCH_QUICK=1 ./build/bench/bench_micro --benchmark_filter=NONE
 }
 
 run_telemetry_overhead() {
@@ -89,6 +103,7 @@ run_tsan() {
 case "$job" in
   release) run_release ;;
   bench) run_bench ;;
+  perf-smoke) run_perf_smoke ;;
   telemetry-overhead) run_telemetry_overhead ;;
   bench-regression) run_bench_regression ;;
   chaos-soak) run_chaos_soak ;;
@@ -97,6 +112,7 @@ case "$job" in
   all)
     run_release
     run_bench
+    run_perf_smoke
     run_telemetry_overhead
     run_bench_regression
     run_chaos_soak
@@ -104,7 +120,7 @@ case "$job" in
     run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
+    echo "unknown job '$job' (expected release|bench|perf-smoke|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

@@ -40,6 +40,77 @@ struct CompiledInsn {
 
 inline constexpr u32 kNoIndex = 0xffff'ffffu;
 
+// Dense renumbering of the sparse wire Opcode space (0x00..0x54 with
+// gaps), so the runtime's dispatch switch covers a gap-free 0..N-1 range
+// and compiles to a single indexed jump table.
+enum class FlatKind : u8 {
+  kNop = 0,
+  kAddrMask,
+  kAddrOffset,
+  kHash,
+  kMbrLoad,
+  kMbrStore,
+  kMbr2Load,
+  kMarLoad,
+  kCopyMbr2Mbr,
+  kCopyMbrMbr2,
+  kCopyMbrMar,
+  kCopyMarMbr,
+  kCopyHashdataMbr,
+  kCopyHashdataMbr2,
+  kCopyHashdata5Tuple,
+  kMbrAddMbr2,
+  kMarAddMbr,
+  kMarAddMbr2,
+  kMarMbrAddMbr2,
+  kMbrSubtractMbr2,
+  kBitAndMarMbr,
+  kBitOrMbrMbr2,
+  kMbrEqualsMbr2,
+  kMax,
+  kMin,
+  kRevMin,
+  kSwapMbrMbr2,
+  kMbrNot,
+  kMbrEqualsData,
+  kReturn,
+  kCret,
+  kCreti,
+  kCjump,
+  kCjumpi,
+  kUjump,
+  kMemWrite,
+  kMemRead,
+  kMemIncrement,
+  kMemMinread,
+  kMemMinreadinc,
+  kDrop,
+  kFork,
+  kSetDst,
+  kRts,
+  kCrts,
+  kEof,
+};
+
+// Maps a wire opcode onto its dense dispatch index.
+[[nodiscard]] FlatKind flat_kind(Opcode op);
+
+// One instruction lowered for flat dispatch: a plain 12-byte struct with
+// the dense opcode index and every statically resolvable property
+// (memory-access flag, pre-resolved next memory access for ADDR_MASK /
+// ADDR_OFFSET, precompiled branch target). The runtime's hot loop and the
+// batch engine's stage sweep both consume this array; the parallel
+// CompiledInsn array keeps the wire-facing fields (original opcode,
+// wire_done) for replies, digests, and tracing.
+struct FlatOp {
+  FlatKind kind = FlatKind::kNop;
+  u8 operand = 0;
+  u8 label = 0;
+  bool memory_access = false;
+  u32 next_access = kNoIndex;
+  u32 branch_target = kNoIndex;
+};
+
 class CompiledProgram {
  public:
   // Compiles a decoded program (wire `done` flags are taken from each
@@ -54,6 +125,9 @@ class CompiledProgram {
                                  bool preload_mar, bool preload_mbr);
 
   [[nodiscard]] const std::vector<CompiledInsn>& code() const { return code_; }
+  // Flat decoded-op array, index-parallel with code(); what the runtime's
+  // dispatch loop actually executes.
+  [[nodiscard]] const std::vector<FlatOp>& flat() const { return flat_; }
   [[nodiscard]] std::size_t size() const { return code_.size(); }
   [[nodiscard]] bool empty() const { return code_.empty(); }
   [[nodiscard]] bool preload_mar() const { return preload_mar_; }
@@ -75,9 +149,12 @@ class CompiledProgram {
 
  private:
   CompiledProgram() = default;
-  void link();  // fills next_access / branch_target and the digest
+  // Fills next_access / branch_target, lowers the flat-dispatch array,
+  // and computes the digest.
+  void link();
 
   std::vector<CompiledInsn> code_;
+  std::vector<FlatOp> flat_;
   std::vector<u8> wire_;
   bool preload_mar_ = false;
   bool preload_mbr_ = false;

@@ -24,7 +24,9 @@ struct SwitchMetrics {
         zero_copy_frames(&r.counter("switch", "zero_copy_frames")),
         legacy_frames(&r.counter("switch", "legacy_frames")),
         register_wipes(&r.counter("switch", "register_wipes")),
-        exec_latency_ns(&r.histogram("switch", "exec_latency_ns")) {}
+        exec_batches(&r.counter("switch", "exec_batches")),
+        exec_latency_ns(&r.histogram("switch", "exec_latency_ns")),
+        batch_size(&r.histogram("switch", "batch_size")) {}
 
   telemetry::CounterFamily packets;
   telemetry::Counter* malformed;
@@ -36,7 +38,9 @@ struct SwitchMetrics {
   telemetry::Counter* zero_copy_frames;
   telemetry::Counter* legacy_frames;
   telemetry::Counter* register_wipes;
+  telemetry::Counter* exec_batches;
   telemetry::Histogram* exec_latency_ns;
+  telemetry::Histogram* batch_size;
 };
 
 SwitchNode::SwitchNode(std::string name, const Config& config)
@@ -47,7 +51,9 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
                   config.costs),
       program_cache_(config.program_cache_entries),
       default_recirc_budget_(config.default_recirc_budget),
-      zero_copy_(config.zero_copy) {
+      zero_copy_(config.zero_copy),
+      batching_(config.batching),
+      batch_(runtime_) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
   controller_.set_compute_model(config.compute_model);
   if (config.metrics != nullptr) {
@@ -109,6 +115,9 @@ void SwitchNode::bind(packet::MacAddr mac, u32 port) {
 
 u64 SwitchNode::wipe_registers() {
   assert_confined();
+  // Staged packets were delivered before the wipe; they must see the
+  // pre-wipe registers, exactly as the per-packet engine ordered it.
+  flush_batch();
   u64 wiped = 0;
   for (u32 s = 0; s < pipeline_.stage_count(); ++s) {
     rmt::RegisterArray& memory = pipeline_.stage(s).memory();
@@ -143,6 +152,7 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
   }
   network().simulator().schedule_after(
       delay, [this, port, f = std::move(frame)]() mutable {
+        flush_batch();  // keep transmit order identical to per-packet mode
         network().transmit(*this, port, std::move(f));
       });
 }
@@ -164,10 +174,17 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
       view.reset();
     }
     if (view) {
-      handle_program_view(*std::move(view), std::move(frame));
+      if (batching_) {
+        stage_program_view(*std::move(view), std::move(frame));
+      } else {
+        handle_program_view(*std::move(view), std::move(frame));
+      }
       return;
     }
   }
+  // Anything that is not a batchable program capsule ends the burst:
+  // staged packets execute first, preserving arrival order.
+  flush_batch();
   ActivePacket pkt;
   try {
     pkt = proto::parse_capsule(frame, program_cache_);
@@ -247,6 +264,7 @@ void SwitchNode::handle_program(ActivePacket pkt) {
     const u32 port = result.phv.dst_value;
     network().simulator().schedule_after(
         result.latency, [this, port, f = std::move(frame)]() mutable {
+          flush_batch();
           network().transmit(*this, port, std::move(f));
         });
     return;
@@ -263,6 +281,13 @@ void SwitchNode::handle_program_view(packet::ProgramView view,
   const SimTime now = network().simulator().now();
   const runtime::ExecutionResult result =
       runtime_.execute(view, cursor, meta, now);
+  emit_program_result(view, std::move(frame), cursor, result);
+}
+
+void SwitchNode::emit_program_result(packet::ProgramView& view,
+                                     netsim::Frame frame,
+                                     active::ExecCursor& cursor,
+                                     const runtime::ExecutionResult& result) {
   metrics_->packets.at(view.initial.fid).inc();
   metrics_->exec_latency_ns->record(static_cast<u64>(result.latency));
   switch (result.verdict) {
@@ -292,11 +317,58 @@ void SwitchNode::handle_program_view(packet::ProgramView view,
     const u32 port = result.phv.dst_value;
     network().simulator().schedule_after(
         result.latency, [this, port, f = std::move(out)]() mutable {
+          flush_batch();
           network().transmit(*this, port, std::move(f));
         });
     return;
   }
   send_frame_to_mac(view.ethernet.dst, std::move(out), result.latency);
+}
+
+void SwitchNode::stage_program_view(packet::ProgramView view,
+                                    netsim::Frame frame) {
+  pending_.push_back(PendingExec{std::move(view), std::move(frame)});
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // A plain event at `now` sorts after every delivery arriving at `now`
+  // (deliveries carry their earlier send time as the tie key), so by the
+  // time this fires the whole same-instant burst has been staged. Any
+  // earlier-keyed closure at this instant flushes eagerly instead.
+  network().simulator().schedule_after(0, [this] {
+    flush_scheduled_ = false;
+    flush_batch();
+  });
+}
+
+void SwitchNode::flush_batch() {
+  if (pending_.empty()) return;
+  const SimTime now = network().simulator().now();
+  const std::size_t n = pending_.size();
+  // Lane state captures pointers into these; size them only once the
+  // burst is complete so nothing reallocates under a live lane.
+  batch_ctx_.resize(n);
+  batch_cursors_.resize(n);
+  batch_meta_.resize(n);
+  batch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingExec& p = pending_[i];
+    batch_meta_[i] = derive_meta(p.view.ethernet, p.view.payload(p.frame));
+    runtime::ExecContext& ctx = batch_ctx_[i];
+    ctx.args = &p.view.arguments.args;
+    ctx.fid = p.view.initial.fid;
+    ctx.flags = p.view.initial.flags;
+    ctx.eth_src = &p.view.ethernet.src;
+    ctx.eth_dst = &p.view.ethernet.dst;
+    batch_.add(*p.view.compiled, ctx, batch_cursors_[i], batch_meta_[i], now);
+  }
+  batch_.execute();
+  metrics_->exec_batches->inc();
+  metrics_->batch_size->record(static_cast<u64>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    emit_program_result(pending_[i].view, std::move(pending_[i].frame),
+                        batch_cursors_[i], batch_.result(i));
+  }
+  pending_.clear();
 }
 
 void SwitchNode::enqueue_control(ActivePacket pkt) {
@@ -321,6 +393,7 @@ void SwitchNode::process_next_control() {
   // Digest delivery to the switch CPU.
   network().simulator().schedule_after(
       controller_.costs().digest_latency, [this, op = std::move(op)]() {
+        flush_batch();  // staged packets predate this control op
         if (op.pkt.initial.type == ActiveType::kAllocRequest) {
           run_admission(op);
         } else {
@@ -356,8 +429,10 @@ void SwitchNode::run_admission(const ControlOp& op) {
   if (!result.admitted) {
     send_to_mac(op.requester, proto::encode_denial(op.pkt.initial.seq),
                 compute_delay);
-    network().simulator().schedule_after(compute_delay,
-                                         [this] { finish_control(); });
+    network().simulator().schedule_after(compute_delay, [this] {
+      flush_batch();
+      finish_control();
+    });
     return;
   }
 
@@ -381,6 +456,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
     txn_->applying = true;
     network().simulator().schedule_after(
         compute_delay + txn_->apply_cost, [this] {
+          flush_batch();
           send_to_mac(txn_->requester,
                       proto::encode_response(
                           txn_->new_fid,
@@ -395,6 +471,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
   // Handshake: notify the disturbed apps, arm the extraction timeout.
   const u64 txn_id = txn.id;
   network().simulator().schedule_after(compute_delay, [this, txn_id] {
+    flush_batch();
     if (!txn_ || txn_->id != txn_id) return;
     for (const Fid fid : txn_->disturbed) {
       const auto it = client_of_.find(fid);
@@ -406,6 +483,7 @@ void SwitchNode::run_admission(const ControlOp& op) {
   network().simulator().schedule_after(
       compute_delay + controller_.costs().extraction_timeout,
       [this, txn_id] {
+        flush_batch();
         if (!txn_ || txn_->id != txn_id || txn_->applying) return;
         controller_.timeout_pending();
         ready_to_apply();
@@ -417,6 +495,7 @@ void SwitchNode::ready_to_apply() {
   if (!txn_ || txn_->applying) return;
   txn_->applying = true;
   network().simulator().schedule_after(txn_->apply_cost, [this] {
+    flush_batch();  // packets staged before the apply see the old layout
     controller_.apply_pending();
     // New allocations for the requester and every moved app.
     send_to_mac(txn_->requester,
@@ -451,6 +530,7 @@ void SwitchNode::run_release(const ControlOp& op) {
   // headers, payload, and program vectors into the closure for nothing.
   network().simulator().schedule_after(
       delay, [this, requester = op.requester, fid, result] {
+    flush_batch();
     send_to_mac(requester,
                 ActivePacket::make_control(fid, ActiveType::kDeallocAck));
     // Departure-triggered moves: tell the affected apps their new layout.

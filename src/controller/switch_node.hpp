@@ -9,11 +9,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "controller/controller.hpp"
 #include "netsim/network.hpp"
 #include "proto/wire.hpp"
 #include "rmt/pipeline.hpp"
+#include "runtime/exec_batch.hpp"
 #include "runtime/runtime.hpp"
 
 namespace artmt::telemetry {
@@ -49,6 +51,14 @@ class SwitchNode : public netsim::Node {
     // Disable to force full materialization (parity tests, bench
     // baseline).
     bool zero_copy = true;
+    // Batch ingress: program capsules deliverable at the same virtual
+    // instant are staged and executed as one runtime::ExecBatch stage
+    // sweep, replies still encoded in place by the zero-copy writer.
+    // Byte-identical to per-packet execution (the batch engine drives the
+    // same lane protocol, and a flush runs before any other node activity
+    // at that instant). Only applies to the zero-copy path. Disable to
+    // force per-packet execution (reference engine, parity tests).
+    bool batching = true;
     // Registry receiving this node's metrics (runtime, controller,
     // allocator, program cache, and the node's own counters). nullptr =
     // the node owns a private registry, so per-node counts stay exact no
@@ -109,6 +119,23 @@ class SwitchNode : public netsim::Node {
   // stays alive (and unmodified) for the whole call; the reply reuses its
   // bytes when the buffer is uniquely owned.
   void handle_program_view(packet::ProgramView view, netsim::Frame frame);
+  // Batch ingress: stages a parsed program frame for the flush event
+  // scheduled at the current instant (the event comparator runs plain
+  // events after every same-instant delivery, so the flush sees the whole
+  // burst).
+  void stage_program_view(packet::ProgramView view, netsim::Frame frame);
+  // Executes everything staged, in arrival order, as one ExecBatch; emits
+  // replies in that same order. Called by the flush event AND eagerly at
+  // the top of every other node entry point (non-program frames, control
+  // closures, delayed transmits, wipes) so staged packets always take
+  // effect exactly where the per-packet engine would have executed them.
+  void flush_batch();
+  // Shared reply tail of the zero-copy path (metrics, verdict counters,
+  // in-place encode, FORK/SET_DST egress); used by both the per-packet
+  // and the batched engine.
+  void emit_program_result(packet::ProgramView& view, netsim::Frame frame,
+                           active::ExecCursor& cursor,
+                           const runtime::ExecutionResult& result);
   void enqueue_control(packet::ActivePacket pkt);
   void process_next_control();
   void run_admission(const ControlOp& op);
@@ -149,6 +176,22 @@ class SwitchNode : public netsim::Node {
   u64 txn_counter_ = 0;
   runtime::RecircBudget default_recirc_budget_;
   bool zero_copy_ = true;
+  bool batching_ = true;
+
+  // Batched-ingress staging. The scratch vectors are sized per flush
+  // (AFTER staging completes, so lane pointers never dangle across
+  // reallocation) and keep their storage between flushes: the warm
+  // steady state stages and executes without heap traffic.
+  struct PendingExec {
+    packet::ProgramView view;
+    netsim::Frame frame;
+  };
+  std::vector<PendingExec> pending_;
+  std::vector<runtime::ExecContext> batch_ctx_;
+  std::vector<active::ExecCursor> batch_cursors_;
+  std::vector<runtime::PacketMeta> batch_meta_;
+  runtime::ExecBatch batch_;
+  bool flush_scheduled_ = false;
 };
 
 }  // namespace artmt::controller

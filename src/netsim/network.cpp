@@ -139,9 +139,29 @@ void Network::deliver(Node& dest, u32 port, Frame frame, u32 shard) {
 void Network::dispatch(const Endpoint& dest, Node& from, u64 tx_seq,
                        SimTime send, SimTime arrival, Frame frame) {
   if (sharded_ != nullptr) {
-    // Uniform mailbox: every delivery -- same-shard included -- is
-    // barrier-injected, so event ordering does not depend on how nodes
-    // are packed onto shards (the determinism invariant).
+    const auto* ctx = detail::tls_shard;
+    if (ctx != nullptr && ctx->owner == sharded_ &&
+        dest.node->shard_ == ctx->index) {
+      // Same-shard delivery: the slab already lives in this shard's pool
+      // and no other worker can observe the event, so schedule it
+      // directly instead of parking it in a mailbox until the barrier.
+      // The canonical delivery key makes the queue position identical to
+      // what a barrier drain would have produced, so this is purely a
+      // scheduling relaxation -- it also frees the epoch window to be
+      // derived from cross-shard link latencies alone.
+      Node* node = dest.node;
+      const u32 port = dest.port;
+      const u32 shard = ctx->index;
+      ctx->sim->schedule_delivery(
+          arrival, send, from.attach_index_, tx_seq,
+          [this, node, port, shard, f = std::move(frame)]() mutable {
+            deliver(*node, port, std::move(f), shard);
+          });
+      return;
+    }
+    // Cross-shard (or quiescent) delivery: mailbox, drained at the epoch
+    // barrier; ordering stays canonical because the drain schedules with
+    // the same delivery key.
     ShardedSimulator::MailMsg msg;
     msg.net = this;
     msg.dest = dest.node;
@@ -155,15 +175,17 @@ void Network::dispatch(const Endpoint& dest, Node& from, u64 tx_seq,
     sharded_->enqueue(std::move(msg));
     return;
   }
-  sim_->schedule_at(arrival, [this, dest, f = std::move(frame)]() mutable {
-    ++frames_delivered_;
-    bytes_delivered_ += f.size();
-    if (m_delivered_ != nullptr) {
-      m_delivered_->inc();
-      m_bytes_->inc(f.size());
-    }
-    dest.node->on_frame(std::move(f), dest.port);
-  });
+  sim_->schedule_delivery(
+      arrival, send, from.attach_index_, tx_seq,
+      [this, dest, f = std::move(frame)]() mutable {
+        ++frames_delivered_;
+        bytes_delivered_ += f.size();
+        if (m_delivered_ != nullptr) {
+          m_delivered_->inc();
+          m_bytes_->inc(f.size());
+        }
+        dest.node->on_frame(std::move(f), dest.port);
+      });
 }
 
 void Network::transmit(Node& from, u32 port, Frame frame) {

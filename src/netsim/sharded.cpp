@@ -82,6 +82,7 @@ ShardedSimulator::ShardedSimulator(u32 shards) {
     shard->outbox.resize(shards);
     shards_.push_back(std::move(shard));
   }
+  shard_bound_.assign(shards, kNoEvent);
   barrier_ = std::make_unique<Barrier>(shards);
 }
 
@@ -173,6 +174,12 @@ void ShardedSimulator::export_shard_stats(
     out.counter("sharding", "barrier_wait_ns", fid)
         .merge_add(s.barrier_wait_ns);
   }
+  // Engine-wide scheduler shape: widths of bounded epoch windows and the
+  // count of unbounded (no cross-shard constraint) ones. Lives here and
+  // not in merge_metrics_into because the epoch partition varies with the
+  // shard count.
+  out.histogram("sharding", "epoch_width_ns").merge_from(epoch_width_);
+  out.counter("sharding", "unbounded_epochs").merge_add(unbounded_epochs_);
 }
 
 void ShardedSimulator::enqueue(MailMsg msg) {
@@ -207,6 +214,13 @@ void ShardedSimulator::assign_unowned_nodes() {
 }
 
 void ShardedSimulator::compute_lookahead() {
+  const u32 n = shards();
+  // Direct per-shard-pair minima: reach_[j][i] starts as the cheapest
+  // link whose sender lives on shard j and receiver on shard i. Same-shard
+  // links never constrain a window (those deliveries are scheduled
+  // directly at transmit time) but their latency is still validated --
+  // a zero-latency link would break the serial engine's causality too.
+  reach_.assign(static_cast<std::size_t>(n) * n, kNoEvent);
   SimTime w = kNoEvent;
   for (const auto& [key, egress] : net_->egress_) {
     if (egress.spec.latency <= 0) {
@@ -214,9 +228,32 @@ void ShardedSimulator::compute_lookahead() {
           "ShardedSimulator: every link needs latency >= 1ns -- the minimum "
           "latency is the conservative lookahead window");
     }
+    const u32 src = key.node->shard_;
+    const u32 dst = egress.peer.node->shard_;
+    if (src == dst) continue;
     w = std::min(w, egress.spec.latency);
+    SimTime& edge = reach_[static_cast<std::size_t>(src) * n + dst];
+    edge = std::min(edge, egress.spec.latency);
   }
-  lookahead_ = w;  // kNoEvent when there are no links: one epoch runs all
+  lookahead_ = w;  // kNoEvent when no link crosses shards: unbounded epochs
+  // Close the matrix over relays (Floyd-Warshall on the shard graph): a
+  // frame can take j -> k -> i across successive epochs, with same-shard
+  // forwarding treated as free so the result stays a lower bound on any
+  // multi-hop arrival. Relaxing the diagonal yields the shortest round
+  // trip j -> ... -> j through another shard, which is exactly the bound
+  // a shard needs against replies triggered by its own traffic.
+  for (u32 k = 0; k < n; ++k) {
+    for (u32 j = 0; j < n; ++j) {
+      const SimTime jk = reach_[static_cast<std::size_t>(j) * n + k];
+      if (jk == kNoEvent) continue;
+      for (u32 i = 0; i < n; ++i) {
+        const SimTime ki = reach_[static_cast<std::size_t>(k) * n + i];
+        if (ki == kNoEvent || ki >= kNoEvent - jk) continue;
+        SimTime& ji = reach_[static_cast<std::size_t>(j) * n + i];
+        ji = std::min(ji, jk + ki);
+      }
+    }
+  }
 }
 
 void ShardedSimulator::prepare() {
@@ -232,10 +269,14 @@ void ShardedSimulator::schedule_delivery(Simulator& sim, MailMsg& msg,
   Network* net = msg.net;
   Node* dest = msg.dest;
   const u32 port = msg.port;
-  sim.schedule_at(msg.arrival,
-                  [net, dest, port, shard, f = std::move(frame)]() mutable {
-                    net->deliver(*dest, port, std::move(f), shard);
-                  });
+  // The delivery key (arrival, send, src_index, tx_seq) reproduces the
+  // mailbox sort order inside the event queue itself, so a message's
+  // dispatch position is independent of which barrier drained it -- the
+  // property that lets same-shard traffic skip the mailbox entirely.
+  sim.schedule_delivery(msg.arrival, msg.send, msg.src_index, msg.tx_seq,
+                        [net, dest, port, shard, f = std::move(frame)]() mutable {
+                          net->deliver(*dest, port, std::move(f), shard);
+                        });
 }
 
 void ShardedSimulator::drain_external() {
@@ -285,6 +326,54 @@ void ShardedSimulator::store_error(std::exception_ptr err) {
   abort_.store(true, std::memory_order_relaxed);
 }
 
+// Opens the epoch whose earliest event sits at `start`: computes every
+// shard's window bound from the reachability matrix and the current
+// per-shard next-event times, and records the epoch's shape. Runs only
+// while quiescent or inside a barrier serial section.
+void ShardedSimulator::open_window(SimTime start) {
+  const u32 n = shards();
+  SimTime min_bound = kNoEvent;
+  for (u32 i = 0; i < n; ++i) {
+    SimTime bound = kNoEvent;
+    for (u32 j = 0; j < n; ++j) {
+      const SimTime nj = shards_[j]->sim.next_event_time();
+      if (nj == kNoEvent) continue;
+      const SimTime r = reach_[static_cast<std::size_t>(j) * n + i];
+      if (r == kNoEvent || r >= kNoEvent - nj) continue;
+      bound = std::min(bound, nj + r);
+    }
+    shard_bound_[i] = bound;
+    min_bound = std::min(min_bound, bound);
+  }
+  if (min_bound == kNoEvent) {
+    ++unbounded_epochs_;
+  } else {
+    // reach_ entries are >= 1ns and start is the global minimum next
+    // event, so bounded widths are always positive.
+    epoch_width_.record(static_cast<u64>(min_bound - start));
+  }
+  ++epochs_;
+}
+
+void ShardedSimulator::select_next_window(SimTime limit) {
+  if (abort_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  SimTime next = kNoEvent;
+  for (const auto& s : shards_) {
+    next = std::min(next, s->sim.next_event_time());
+  }
+  if (next == kNoEvent || next > limit) {
+    done_ = true;
+    return;
+  }
+  // Skip-empty fast-forward falls out for free: `next` is wherever the
+  // earliest pending event actually is, however far beyond the previous
+  // window that may be.
+  open_window(next);
+}
+
 void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
   Shard& shard = *shards_[shard_idx];
   const detail::ShardContext ctx{this, shard_idx, &shard.sim, &shard.pool};
@@ -296,10 +385,10 @@ void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
     try {
       for (auto& box : shard.outbox) box.clear();
       if (!abort_.load(std::memory_order_relaxed)) {
-        // Events with at < window_end and at <= limit; the shard clock
-        // stays at its last event (never outrunning it) and is aligned
+        // Events with at < bound and at <= limit; the shard clock stays
+        // at its last event (never outrunning it) and is aligned
         // globally once the run quiesces.
-        SimTime bound = window_end_;  // kNoEvent: no links, drain all
+        SimTime bound = shard_bound_[shard_idx];  // kNoEvent: drain all
         if (limit != kNoEvent && limit < bound - 1) bound = limit + 1;
         shard.sim.run_window(bound);
       }
@@ -308,46 +397,65 @@ void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
     }
 
     auto wait_from = std::chrono::steady_clock::now();
-    barrier_->arrive_and_wait([] {});
-    shard.stats.barrier_wait_ns += elapsed_ns(wait_from);
-
-    // Phase B: drain every mailbox addressed to this shard -- all of
-    // them carry arrivals at or beyond the next epoch window, because
-    // arrival >= send + lookahead >= window_start + lookahead.
-    try {
-      if (!abort_.load(std::memory_order_relaxed)) drain_inboxes(shard_idx);
-    } catch (...) {
-      store_error(std::current_exception());
-    }
-
-    wait_from = std::chrono::steady_clock::now();
     barrier_->arrive_and_wait([this, limit] {
-      // Serial section: pick the next epoch window from the globally
-      // earliest pending event (shard-count-invariant by induction).
-      if (abort_.load(std::memory_order_relaxed)) {
-        done_ = true;
-        return;
-      }
-      SimTime next = kNoEvent;
+      // If no shard posted cross-shard mail this epoch there is nothing
+      // to drain: pick the next window right here and let everyone skip
+      // phase B and its second rendezvous.
+      skip_drain_ = true;
       for (const auto& s : shards_) {
-        next = std::min(next, s->sim.next_event_time());
+        for (const auto& box : s->outbox) {
+          if (!box.empty()) {
+            skip_drain_ = false;
+            return;
+          }
+        }
       }
-      if (next == kNoEvent || next > limit) {
-        done_ = true;
-        return;
-      }
-      window_end_ = (lookahead_ == kNoEvent || lookahead_ >= kNoEvent - next)
-                        ? kNoEvent
-                        : next + lookahead_;
-      ++epochs_;
+      select_next_window(limit);
     });
     shard.stats.barrier_wait_ns += elapsed_ns(wait_from);
+
+    if (!skip_drain_) {
+      // Phase B: drain every mailbox addressed to this shard -- all of
+      // them carry arrivals at or beyond every receiver's next bound,
+      // because arrival >= next_sender + direct link >= bound_receiver.
+      try {
+        if (!abort_.load(std::memory_order_relaxed)) drain_inboxes(shard_idx);
+      } catch (...) {
+        store_error(std::current_exception());
+      }
+
+      wait_from = std::chrono::steady_clock::now();
+      barrier_->arrive_and_wait([this, limit] {
+        // Serial section: pick the next epoch window from the globally
+        // earliest pending event (shard-count-invariant by induction).
+        select_next_window(limit);
+      });
+      shard.stats.barrier_wait_ns += elapsed_ns(wait_from);
+    }
     ++shard.stats.epochs;
 
     if (done_) break;  // ordered by the barrier mutex
   }
 
   detail::tls_shard = nullptr;
+}
+
+// shards == 1: no cross-shard link can exist, so the whole run is one
+// unbounded window on the calling thread -- no barriers, no mailboxes,
+// no worker threads. Deliveries carry the same canonical keys as under
+// the multi-shard engine, so this bypass is byte-identical to it.
+void ShardedSimulator::run_single_shard(SimTime limit) {
+  Shard& shard = *shards_[0];
+  const detail::ShardContext ctx{this, 0, &shard.sim, &shard.pool};
+  detail::tls_shard = &ctx;
+  try {
+    shard.sim.run_window(limit == kNoEvent ? kNoEvent : limit + 1);
+  } catch (...) {
+    detail::tls_shard = nullptr;
+    throw;
+  }
+  detail::tls_shard = nullptr;
+  ++shard.stats.epochs;
 }
 
 void ShardedSimulator::run_epochs(SimTime limit) {
@@ -361,17 +469,18 @@ void ShardedSimulator::run_epochs(SimTime limit) {
     start = std::min(start, s->sim.next_event_time());
   }
   if (start != kNoEvent && start <= limit) {
-    window_end_ = (lookahead_ == kNoEvent || lookahead_ >= kNoEvent - start)
-                      ? kNoEvent
-                      : start + lookahead_;
     done_ = false;
+    skip_drain_ = false;
     abort_.store(false, std::memory_order_relaxed);
     first_error_ = nullptr;
-    ++epochs_;
+    open_window(start);
 
     const u32 n = shards();
     if (n == 1) {
-      worker_loop(0, limit);
+      // One shard cannot have cross-shard links, so the epoch machinery
+      // degenerates to a plain serial run; bypass it entirely (exceptions
+      // propagate directly, no rendezvous to keep alive).
+      run_single_shard(limit);
     } else {
       std::vector<std::thread> workers;
       workers.reserve(n);
@@ -379,11 +488,11 @@ void ShardedSimulator::run_epochs(SimTime limit) {
         workers.emplace_back([this, i, limit] { worker_loop(i, limit); });
       }
       for (auto& t : workers) t.join();
-    }
-    if (first_error_) {
-      std::exception_ptr err = first_error_;
-      first_error_ = nullptr;
-      std::rethrow_exception(err);
+      if (first_error_) {
+        std::exception_ptr err = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
     }
   }
 

@@ -4,24 +4,36 @@
 // unpinned client/server fleets round-robined across the remaining
 // shards), each shard owning its own event queue (a plain serial
 // Simulator), clock, FramePool, and telemetry registry. All shards
-// advance in lock-step *epochs* of width W = the minimum link latency:
-// within an epoch every worker runs its shard's events concurrently with
-// zero locking on the hot path, because a frame transmitted at time t
-// cannot arrive before t + W -- i.e. never inside the epoch that sent it.
+// advance in lock-step *epochs*, but each shard gets its own adaptive
+// window bound derived from per-shard-pair link latencies rather than a
+// single global minimum: shard i may run events up to
+//   bound_i = min over event-holding shards j of (next_j + reach[j][i])
+// where reach[j][i] is the cheapest cross-shard path from j to i (the
+// diagonal is the cheapest round trip, bounding a shard against replies
+// to its own traffic). Within its window every worker runs its shard's
+// events concurrently with zero locking on the hot path, because no
+// frame can arrive below its bound. Same-shard frames never constrain
+// the window; they are scheduled directly onto the sender's own queue at
+// transmit time, so a shard unreachable over cross-shard links drains
+// everything in one unbounded window. The one-shard engine skips the
+// barrier/worker machinery entirely and runs inline on the calling
+// thread. When a barrier finds every mailbox empty, window selection
+// happens right there and the drain phase (plus its second barrier) is
+// skipped -- halving rendezvous traffic on cross-shard-quiet epochs.
 //
 // Determinism (same seed => byte-identical telemetry snapshots and reply
 // streams, for ANY shard count):
-//  - Every transmit -- cross-shard AND same-shard -- goes through a
-//    per-(src,dst) mailbox drained at the epoch barrier, so delivery
-//    scheduling is independent of how nodes are packed onto shards.
-//  - Epoch windows derive only from simulation state: the next window
-//    starts at the globally earliest pending event and spans W, where W
-//    is the minimum over ALL links (not just cross-shard ones). Both are
-//    shard-count-invariant, so the partition of virtual time into epochs
-//    -- and therefore which deliveries drain at which barrier -- is too.
-//  - Drained messages are sorted by (arrival, send_time, sender attach
-//    index, per-sender tx sequence) before scheduling, a total order
-//    derived from simulation state alone.
+//  - Every delivery -- serial, same-shard direct, or mailbox-drained --
+//    is scheduled with its canonical key (arrival, send time, sender
+//    attach index, per-sender tx sequence), and the Simulator orders
+//    same-timestamp events by exactly that chain (Simulator::
+//    schedule_delivery). A message's dispatch position is therefore a
+//    function of simulation state alone, never of which engine, epoch,
+//    or barrier materialized the event. This is what makes the epoch
+//    partition -- which DOES vary with the shard count now that W is
+//    derived from cross-shard links -- unobservable to the simulation.
+//  - Cross-shard messages are additionally sorted by that key at the
+//    drain, so per-shard seq assignment is canonical too.
 //  - Nodes interact only via frames (enforced by Node::assert_confined
 //    tripwires), and telemetry merges are commutative sums.
 //
@@ -44,10 +56,7 @@
 #include "common/types.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
-
-namespace artmt::telemetry {
-class MetricsRegistry;
-}  // namespace artmt::telemetry
+#include "telemetry/metrics.hpp"
 
 namespace artmt::netsim {
 
@@ -114,8 +123,9 @@ class ShardedSimulator {
   void run_until(SimTime until);
 
   [[nodiscard]] SimTime now() const { return global_now_; }
-  // Lookahead window W (min link latency); kNoEvent before the first run
-  // or when the network has no links (one epoch runs everything).
+  // Lookahead window W (minimum cross-shard link latency); kNoEvent
+  // before the first run or when no link crosses a shard boundary (one
+  // unbounded epoch runs everything).
   [[nodiscard]] SimTime lookahead() const { return lookahead_; }
   [[nodiscard]] u64 epochs() const { return epochs_; }
 
@@ -184,9 +194,15 @@ class ShardedSimulator {
   void compute_lookahead();
   void drain_external();
   void run_epochs(SimTime limit);
+  void run_single_shard(SimTime limit);
   void worker_loop(u32 shard, SimTime limit);
   void drain_inboxes(u32 shard);
   void store_error(std::exception_ptr err);
+  // Opens the epoch window starting at `start` (records its width).
+  void open_window(SimTime start);
+  // Barrier serial section: picks the next window from the globally
+  // earliest pending event, or raises done_.
+  void select_next_window(SimTime limit);
   // Turns a drained message into a delivery event on `sim`.
   static void schedule_delivery(Simulator& sim, MailMsg& msg, Frame frame,
                                 u32 shard);
@@ -201,11 +217,32 @@ class ShardedSimulator {
   SimTime global_now_ = 0;
   SimTime lookahead_ = kNoEvent;
   u64 epochs_ = 0;
+  // Width (virtual ns) of every bounded epoch window opened, plus a count
+  // of unbounded (no cross-shard constraint) epochs. Exported via
+  // export_shard_stats only: like barrier_wait_ns, the epoch partition
+  // varies with the shard count, so merged determinism snapshots must not
+  // include it.
+  telemetry::Histogram epoch_width_;
+  u64 unbounded_epochs_ = 0;
+
+  // reach_[j*n + i]: minimum virtual time a frame originating on shard j
+  // needs to reach shard i over the cross-shard link graph (same-shard
+  // relays count as free, keeping it a lower bound); kNoEvent when no
+  // path exists. The diagonal holds the shortest round trip through
+  // another shard -- the bound a shard needs against replies to its own
+  // traffic. Rebuilt by compute_lookahead() each prepare().
+  std::vector<SimTime> reach_;
 
   // Epoch state: written in the barrier's serial section, read by
-  // workers after the barrier (mutex-ordered).
-  SimTime window_end_ = 0;
+  // workers after the barrier (mutex-ordered). shard_bound_[i] is shard
+  // i's exclusive window end this epoch: min over event-holding shards j
+  // of next_j + reach_[j][i] (kNoEvent = unbounded, drain everything).
+  std::vector<SimTime> shard_bound_;
   bool done_ = false;
+  // Raised by the first barrier's serial section when every outbox is
+  // empty: the drain phase (and its second barrier) is skipped, the next
+  // window having been selected in the same rendezvous.
+  bool skip_drain_ = false;
   std::unique_ptr<Barrier> barrier_;
 
   // A worker that throws records the error, raises abort_, and keeps

@@ -21,7 +21,8 @@ void Simulator::set_metrics(telemetry::MetricsRegistry* metrics) {
   dispatched_flushed_ = events_dispatched_;
 }
 
-void Simulator::schedule_at(SimTime at, Action action) {
+void Simulator::push_event(SimTime at, SimTime tie, u32 src_index, u64 tx_seq,
+                           Action action) {
   if (at < now_) {
     throw UsageError("Simulator::schedule_at: time is in the past");
   }
@@ -29,8 +30,20 @@ void Simulator::schedule_at(SimTime at, Action action) {
     ++actions_spilled_;
     if (m_spilled_ != nullptr) m_spilled_->inc();
   }
-  queue_.push_back(Event{at, next_seq_++, std::move(action)});
+  queue_.push_back(Event{at, tie, src_index, tx_seq, next_seq_++,
+                         std::move(action)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  // tie = the current clock: non-decreasing with seq, so ordering among
+  // plain events is exactly the historical scheduling-order FIFO.
+  push_event(at, now_, kNoSrc, 0, std::move(action));
+}
+
+void Simulator::schedule_delivery(SimTime at, SimTime send, u32 src_index,
+                                  u64 tx_seq, Action action) {
+  push_event(at, send, src_index, tx_seq, std::move(action));
 }
 
 void Simulator::schedule_after(SimTime delay, Action action) {

@@ -139,6 +139,17 @@ class Simulator {
   // Schedules `action` `delay` nanoseconds from now.
   void schedule_after(SimTime delay, Action action);
 
+  // Schedules a frame-delivery event carrying its canonical ordering key:
+  // ties at equal `at` resolve by (send time, sender attach index, sender
+  // tx sequence) -- all derived from simulation state, never from when
+  // the event object was materialized. Every engine (serial, sharded
+  // mailbox drain, same-shard direct) schedules deliveries through this,
+  // so the dispatch order of same-timestamp deliveries is identical no
+  // matter which path created them. Deliveries sort ahead of plain events
+  // whose tie (scheduling time) equals their send time.
+  void schedule_delivery(SimTime at, SimTime send, u32 src_index, u64 tx_seq,
+                         Action action);
+
   // Runs events until the queue drains or the clock would pass `until`.
   // Events scheduled exactly at `until` are executed.
   void run_until(SimTime until);
@@ -177,18 +188,35 @@ class Simulator {
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
  private:
+  // Sentinel src_index for non-delivery events: sorts them after any
+  // delivery sharing (at, tie), so a closure scheduled at time t never
+  // runs before a frame that was already in flight toward t.
+  static constexpr u32 kNoSrc = 0xffff'ffffu;
+
   struct Event {
     SimTime at;
-    u64 seq;  // tie-break for FIFO ordering at equal times
+    // Canonical tie-break chain below `at`. Plain events carry tie = the
+    // clock when they were scheduled (non-decreasing with seq, so FIFO
+    // order among them is unchanged); deliveries carry tie = send time
+    // plus the (src_index, tx_seq) transmission identity.
+    SimTime tie;
+    u32 src_index;
+    u64 tx_seq;
+    u64 seq;  // final tie-break: FIFO in scheduling order
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.tie != b.tie) return a.tie > b.tie;
+      if (a.src_index != b.src_index) return a.src_index > b.src_index;
+      if (a.tx_seq != b.tx_seq) return a.tx_seq > b.tx_seq;
       return a.seq > b.seq;
     }
   };
 
+  void push_event(SimTime at, SimTime tie, u32 src_index, u64 tx_seq,
+                  Action action);
   bool dispatch_one();
   void flush_metrics();
 

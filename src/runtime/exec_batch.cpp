@@ -1,0 +1,58 @@
+#include "runtime/exec_batch.hpp"
+
+namespace artmt::runtime {
+
+void ExecBatch::add(const active::CompiledProgram& program, ExecContext& ctx,
+                    active::ExecCursor& cursor, const PacketMeta& meta,
+                    SimTime now) {
+  lanes_.emplace_back();
+  runtime_->lane_begin(program, ctx, cursor, meta, now, lanes_.back());
+}
+
+void ExecBatch::execute() {
+  const u32 stages = runtime_->pipeline().config().logical_stages;
+  // A trace observer must see stages in per-packet order, so tracing
+  // degrades the whole batch to the reference schedule.
+  const bool tracing = static_cast<bool>(runtime_->trace_);
+
+  std::size_t i = 0;
+  while (i < lanes_.size()) {
+    const bool sweepable =
+        !tracing && lanes_[i].program->size() <= stages;
+    if (!sweepable) {
+      LaneState& lane = lanes_[i];
+      while (!lane.halted) runtime_->lane_step(lane, /*memo=*/nullptr);
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < lanes_.size() && lanes_[j].program->size() <= stages) ++j;
+    run_sweep(i, j);
+    i = j;
+  }
+}
+
+void ExecBatch::run_sweep(std::size_t begin, std::size_t end) {
+  // Every live lane in [begin, end) sits at the same logical stage: each
+  // sweep iteration consumes exactly one stage per lane (or halts it), so
+  // the single-slot memo is keyed to the iteration's stage and amortizes
+  // the protection lookup across all same-FID lanes.
+  StageMemo memo;
+  bool live = true;
+  while (live) {
+    live = false;
+    memo.reset();
+    for (std::size_t i = begin; i < end; ++i) {
+      LaneState& lane = lanes_[i];
+      if (lane.halted) continue;
+      runtime_->lane_step(lane, &memo);
+      if (!lane.halted) live = true;
+    }
+  }
+}
+
+ExecutionResult ExecBatch::result(std::size_t i) {
+  return runtime_->lane_finish(lanes_[i]);
+}
+
+}  // namespace artmt::runtime

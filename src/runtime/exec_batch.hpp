@@ -1,0 +1,65 @@
+// Batched stage-sweep execution engine. ExecBatch collects a set of
+// execution lanes (packets deliverable at the same virtual instant) and
+// runs them one STAGE SWEEP at a time: for each logical stage s, it steps
+// every live lane once, so the whole batch touches stage s's protection
+// entry and register array together -- one memoized FID lookup and one
+// register working set serve every packet, instead of re-deriving both
+// per instruction per packet.
+//
+// Equivalence to the per-packet reference engine (ActiveRuntime::execute)
+// is by construction, not by reimplementation: both engines drive the
+// exact same lane_begin / lane_step / lane_finish methods; only the step
+// ORDER differs. For single-pass programs (size <= logical_stages) the
+// sweep order is observationally identical to the per-packet order: a
+// lane's stage-s instruction can only read state written by stage-s
+// instructions, and those execute in lane order under both schedules.
+// Lanes that could recirculate (size > logical_stages) would revisit a
+// stage and break that argument, so they -- and every lane when a trace
+// observer is installed, to preserve trace order -- run per-packet at
+// their position between sweep segments, keeping the global per-stage
+// effect order equal to add order throughout.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/exec_core.hpp"
+
+namespace artmt::runtime {
+
+class ExecBatch {
+ public:
+  explicit ExecBatch(ActiveRuntime& runtime) : runtime_(&runtime) {}
+
+  // Drops all lanes, keeping their storage for reuse (the steady-state
+  // ingress path re-runs batches with zero heap traffic once warm).
+  void clear() { lanes_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return lanes_.size(); }
+  [[nodiscard]] bool empty() const { return lanes_.empty(); }
+
+  // Adds one lane and runs its prologue (packet accounting, cursor reset,
+  // deactivation early-out, PHV preload) -- in add order, exactly as the
+  // per-packet engine would. The referenced program, context, cursor, and
+  // metadata are captured by pointer and must stay valid until result().
+  void add(const active::CompiledProgram& program, ExecContext& ctx,
+           active::ExecCursor& cursor, const PacketMeta& meta, SimTime now);
+
+  // Runs every lane added since clear() to completion: contiguous runs of
+  // sweepable lanes as stage sweeps, the rest per-packet in between.
+  void execute();
+
+  // Epilogue (passes, latency, recirculation charge, verdict) and result
+  // for lane `i`. Call once per lane, in add order, after execute() --
+  // that reproduces the per-packet engine's epilogue order, which matters
+  // for the recirculation token buckets.
+  ExecutionResult result(std::size_t i);
+
+ private:
+  void run_sweep(std::size_t begin, std::size_t end);
+
+  ActiveRuntime* runtime_;
+  std::vector<LaneState> lanes_;
+};
+
+}  // namespace artmt::runtime

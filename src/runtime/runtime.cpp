@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "rmt/hash.hpp"
+#include "runtime/exec_core.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace artmt::runtime {
@@ -69,217 +69,267 @@ void shrink(active::Program& program) {
 
 }  // namespace
 
-bool ActiveRuntime::execute_instruction(ExecContext& ctx, Phv& phv,
-                                        const CompiledInsn& insn,
-                                        u32 logical_stage,
-                                        const PacketMeta& meta) {
-  auto& args = *ctx.args;
-  const Fid fid = ctx.fid;
-  rmt::Stage& stage = pipeline_->stage(logical_stage);
+bool ActiveRuntime::lane_begin(const CompiledProgram& program, ExecContext& ctx,
+                               ExecCursor& cursor, const PacketMeta& meta,
+                               SimTime now, LaneState& lane) {
+  const auto& cfg = pipeline_->config();
+  lane = LaneState{};
+  lane.program = &program;
+  lane.ctx = &ctx;
+  lane.cursor = &cursor;
+  lane.meta = &meta;
+  lane.now = now;
+
+  ++stats_.packets;
+  if (metrics_) metrics_->packets.at(ctx.fid).inc();
+  lane.res.latency = cfg.pass_latency;
+
+  cursor.reset(program.size());
+  cursor.shrink = (ctx.flags & packet::kFlagNoShrink) == 0;
+
+  if (is_deactivated(ctx.fid) &&
+      (ctx.flags & packet::kFlagManagement) == 0) {
+    lane.res.fault = Fault::kDeactivated;
+    ++stats_.forwarded_unprocessed;
+    if (metrics_) metrics_->forwarded_unprocessed->inc();
+    lane.halted = true;
+    lane.bypassed = true;
+    return false;
+  }
+
+  if (program.preload_mar()) lane.phv.mar = (*ctx.args)[0];
+  if (program.preload_mbr()) lane.phv.mbr = (*ctx.args)[1];
+  lane.res.executed = true;
+  lane.halted = program.empty();
+  return true;
+}
+
+// Consumes exactly one logical stage of the lane's program (or halts it):
+// the body of the historical interpreter loop, flat-dispatched so the
+// per-packet path and the batch engine's stage sweep run the same code.
+void ActiveRuntime::lane_step(LaneState& lane, StageMemo* memo) {
+  const auto& cfg = pipeline_->config();
+  Phv& phv = lane.phv;
+  ExecCursor& cursor = *lane.cursor;
+  ExecContext& ctx = *lane.ctx;
+  const auto& flat = lane.program->flat();
+
+  if (phv.complete) {
+    lane.halted = true;
+    return;
+  }
+  if (lane.pass_index >= cfg.max_recirculations + 1) {
+    lane.fault = Fault::kRecircLimit;
+    phv.drop = true;
+    lane.halted = true;
+    return;
+  }
+  const active::FlatOp& op = flat[lane.pc];
+
+  const auto emit_trace = [&](bool skipped) {
+    if (!trace_) return;
+    TraceEvent event;
+    event.index = lane.pc;
+    event.logical_stage = lane.logical_stage;
+    event.pass = lane.pass_index;
+    event.op = lane.program->code()[lane.pc].op;
+    event.skipped = skipped;
+    event.phv = phv;
+    trace_(event);
+  };
+  const auto advance = [&] {
+    ++lane.pc;
+    if (++lane.logical_stage == cfg.logical_stages) {
+      lane.logical_stage = 0;
+      ++lane.pass_index;
+    }
+    if (lane.pc >= flat.size()) lane.halted = true;
+  };
+
+  if (phv.disabled) {
+    // Skipped instructions still consume their stage; execution resumes
+    // at the branch's precompiled target index.
+    if (lane.pc == cursor.resume_index) {
+      phv.disabled = false;
+      phv.pending_label = 0;
+      cursor.resume_index = kNoIndex;
+    } else {
+      cursor.mark_done(lane.pc);
+      ++lane.res.stages_consumed;
+      emit_trace(/*skipped=*/true);
+      advance();
+      return;
+    }
+  }
+
+  // Resolve ADDR_MASK / ADDR_OFFSET via the compiled next-access table:
+  // they translate MAR for the stage of the NEXT memory access.
+  if (op.kind == active::FlatKind::kAddrMask ||
+      op.kind == active::FlatKind::kAddrOffset) {
+    const rmt::FidEntry* target =
+        op.next_access == kNoIndex
+            ? nullptr
+            : pipeline_->stage(op.next_access % cfg.logical_stages)
+                  .lookup(ctx.fid);
+    if (target == nullptr) {
+      lane.fault = Fault::kNoAllocation;
+      phv.drop = true;
+      cursor.mark_done(lane.pc);
+      lane.halted = true;
+      return;
+    }
+    if (op.kind == active::FlatKind::kAddrMask) {
+      phv.mar &= target->mask;
+    } else {
+      phv.mar += target->offset;
+    }
+    cursor.mark_done(lane.pc);
+    ++lane.res.stages_consumed;
+    ++lane.res.instructions_executed;
+    emit_trace(/*skipped=*/false);
+    advance();
+    return;
+  }
 
   // Memory instructions: protection check first (range match on MAR).
+  // The memo caches the (stage, fid) lookup across the lanes of a sweep.
+  rmt::Stage& stage = pipeline_->stage(lane.logical_stage);
   const rmt::FidEntry* entry = nullptr;
-  if (insn.memory_access) {
-    entry = stage.lookup(fid);
-    if (entry == nullptr) {
-      fault_ = Fault::kNoAllocation;
-      phv.drop = true;
-      return false;
+  bool ok = true;
+  if (op.memory_access) {
+    if (memo != nullptr && memo->valid && memo->fid == ctx.fid) {
+      entry = memo->entry;
+    } else {
+      entry = stage.lookup(ctx.fid);
+      if (memo != nullptr) {
+        memo->fid = ctx.fid;
+        memo->entry = entry;
+        memo->valid = true;
+      }
     }
-    if (!entry->covers(phv.mar)) {
-      fault_ = Fault::kProtectionViolation;
+    if (entry == nullptr) {
+      lane.fault = Fault::kNoAllocation;
       phv.drop = true;
-      return false;
+      ok = false;
+    } else if (!entry->covers(phv.mar)) {
+      lane.fault = Fault::kProtectionViolation;
+      phv.drop = true;
+      ok = false;
+    }
+  }
+  if (ok) {
+    ok = core::dispatch_op(op, phv, *ctx.args, *lane.meta, stage, entry,
+                           ctx.flags, enforce_privilege_, lane.logical_stage,
+                           lane.fault);
+  }
+  if (phv.disabled) {
+    // This instruction took a branch: arm its precompiled resume point
+    // (kNoIndex for a missing target disables to the end, as before).
+    cursor.resume_index = op.branch_target;
+  }
+  cursor.mark_done(lane.pc);
+  ++lane.res.stages_consumed;
+  ++lane.res.instructions_executed;
+  emit_trace(/*skipped=*/false);
+  if (!ok) {
+    lane.halted = true;
+    return;
+  }
+  advance();
+}
+
+ExecutionResult ActiveRuntime::lane_finish(LaneState& lane) {
+  if (lane.bypassed) return lane.res;
+  const auto& cfg = pipeline_->config();
+  Phv& phv = lane.phv;
+  ExecutionResult& res = lane.res;
+  ExecContext& ctx = *lane.ctx;
+
+  const u32 consumed = std::max<u32>(1, lane.pc);
+  res.passes = (consumed - 1) / cfg.logical_stages + 1;
+
+  // RTS from an egress stage cannot change ports on this pass; it costs one
+  // extra recirculation (Section 3.1). FORK likewise recirculates.
+  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) ++res.passes;
+  if (phv.fork) ++res.passes;
+
+  // Latency: ~pass_latency per 10-stage pipeline engaged (Fig. 8b measures
+  // +0.5 us from 10 to 20 to 30 instructions); a port-change or FORK
+  // recirculation loops through both pipelines once more.
+  const u32 pipelines_engaged =
+      std::max<u32>(1, (consumed + cfg.ingress_stages - 1) /
+                           cfg.ingress_stages);
+  u32 penalty_pipelines = 0;
+  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) penalty_pipelines += 2;
+  if (phv.fork) penalty_pipelines += 2;
+  res.latency = static_cast<SimTime>(pipelines_engaged + penalty_pipelines) *
+                cfg.pass_latency;
+
+  // Recirculation-bandwidth governor: packets whose extra passes exceed
+  // the FID's remaining budget are dropped (side effects of completed
+  // stages persist, as on hardware).
+  if (res.passes > 1 && lane.fault == Fault::kNone &&
+      !charge_recirculation(ctx.fid, res.passes - 1, lane.now)) {
+    lane.fault = Fault::kRecircBudget;
+    phv.drop = true;
+  }
+  stats_.instructions += res.instructions_executed;
+  stats_.recirculations += res.passes - 1;
+  if (metrics_) {
+    metrics_->instructions->inc(res.instructions_executed);
+    if (res.passes > 1) {
+      metrics_->recirculations.at(ctx.fid).inc(res.passes - 1);
     }
   }
 
-  switch (insn.op) {
-    case Opcode::kNop:
-      break;
-    // --- data copying ---
-    case Opcode::kMbrLoad:
-      phv.mbr = args[insn.operand];
-      break;
-    case Opcode::kMbrStore:
-      args[insn.operand] = phv.mbr;
-      break;
-    case Opcode::kMbr2Load:
-      phv.mbr2 = args[insn.operand];
-      break;
-    case Opcode::kMarLoad:
-      phv.mar = args[insn.operand];
-      break;
-    case Opcode::kCopyMbr2Mbr:
-      phv.mbr2 = phv.mbr;
-      break;
-    case Opcode::kCopyMbrMbr2:
-      phv.mbr = phv.mbr2;
-      break;
-    case Opcode::kCopyMbrMar:
-      phv.mbr = phv.mar;
-      break;
-    case Opcode::kCopyMarMbr:
-      phv.mar = phv.mbr;
-      break;
-    case Opcode::kCopyHashdataMbr:
-      phv.hashdata[insn.operand % active::kHashdataWords] = phv.mbr;
-      break;
-    case Opcode::kCopyHashdataMbr2:
-      phv.hashdata[insn.operand % active::kHashdataWords] = phv.mbr2;
-      break;
-    case Opcode::kCopyHashdata5Tuple:
-      phv.hashdata = meta.five_tuple;
-      break;
-    // --- data manipulation ---
-    case Opcode::kMbrAddMbr2:
-      phv.mbr += phv.mbr2;
-      break;
-    case Opcode::kMarAddMbr:
-      phv.mar += phv.mbr;
-      break;
-    case Opcode::kMarAddMbr2:
-      phv.mar += phv.mbr2;
-      break;
-    case Opcode::kMarMbrAddMbr2:
-      phv.mar = phv.mbr + phv.mbr2;
-      break;
-    case Opcode::kMbrSubtractMbr2:
-      phv.mbr -= phv.mbr2;
-      break;
-    case Opcode::kBitAndMarMbr:
-      phv.mar &= phv.mbr;
-      break;
-    case Opcode::kBitOrMbrMbr2:
-      phv.mbr |= phv.mbr2;
-      break;
-    case Opcode::kMbrEqualsMbr2:
-      phv.mbr ^= phv.mbr2;
-      break;
-    case Opcode::kMbrEqualsData:
-      phv.mbr ^= args[insn.operand];
-      break;
-    case Opcode::kMax:
-      phv.mbr = std::max(phv.mbr, phv.mbr2);
-      break;
-    case Opcode::kMin:
-      phv.mbr = std::min(phv.mbr, phv.mbr2);
-      break;
-    case Opcode::kRevMin:
-      phv.mbr2 = std::min(phv.mbr, phv.mbr2);
-      break;
-    case Opcode::kSwapMbrMbr2:
-      std::swap(phv.mbr, phv.mbr2);
-      break;
-    case Opcode::kMbrNot:
-      phv.mbr = ~phv.mbr;
-      break;
-    // --- control flow ---
-    case Opcode::kReturn:
-      phv.complete = true;
-      break;
-    case Opcode::kCret:
-      if (phv.mbr != 0) phv.complete = true;
-      break;
-    case Opcode::kCreti:
-      if (phv.mbr == 0) phv.complete = true;
-      break;
-    case Opcode::kCjump:
-      if (phv.mbr != 0) {
-        phv.disabled = true;
-        phv.pending_label = insn.label;
-      }
-      break;
-    case Opcode::kCjumpi:
-      if (phv.mbr == 0) {
-        phv.disabled = true;
-        phv.pending_label = insn.label;
-      }
-      break;
-    case Opcode::kUjump:
-      phv.disabled = true;
-      phv.pending_label = insn.label;
-      break;
-    // --- memory access (entry checked above) ---
-    case Opcode::kMemWrite:
-      stage.memory().write(phv.mar, phv.mbr);
-      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
-      break;
-    case Opcode::kMemRead:
-      phv.mbr = stage.memory().read(phv.mar);
-      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
-      break;
-    case Opcode::kMemIncrement:
-      phv.mbr = stage.memory().increment(phv.mar, phv.inc);
-      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
-      break;
-    case Opcode::kMemMinread:
-      phv.mbr = stage.memory().min_read(phv.mar, phv.mbr);
-      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
-      break;
-    case Opcode::kMemMinreadinc: {
-      const Word count = stage.memory().increment(phv.mar, phv.inc);
-      phv.mbr = count;
-      phv.mbr2 = std::min(count, phv.mbr2);
-      phv.mar = static_cast<Word>(static_cast<i64>(phv.mar) + entry->advance);
-      break;
+  res.phv = phv;
+  res.fault = lane.fault;
+  res.forked = phv.fork;
+
+  if (phv.drop) {
+    res.verdict = Verdict::kDrop;
+    telemetry::Counter* drop_counter = nullptr;
+    switch (lane.fault) {
+      case Fault::kExplicitDrop:
+        ++stats_.drops_explicit;
+        if (metrics_) drop_counter = metrics_->drops_explicit;
+        break;
+      case Fault::kProtectionViolation:
+        ++stats_.drops_protection;
+        if (metrics_) drop_counter = metrics_->drops_protection;
+        break;
+      case Fault::kNoAllocation:
+        ++stats_.drops_no_allocation;
+        if (metrics_) drop_counter = metrics_->drops_no_allocation;
+        break;
+      case Fault::kRecircLimit:
+        ++stats_.drops_recirc_limit;
+        if (metrics_) drop_counter = metrics_->drops_recirc_limit;
+        break;
+      case Fault::kRecircBudget:
+        ++stats_.drops_recirc_budget;
+        if (metrics_) drop_counter = metrics_->drops_recirc_budget;
+        break;
+      case Fault::kPrivilege:
+        ++stats_.drops_privilege;
+        if (metrics_) drop_counter = metrics_->drops_privilege;
+        break;
+      default:
+        break;
     }
-    // ADDR_MASK / ADDR_OFFSET are resolved in execute(), which applies the
-    // compiled next-access table.
-    case Opcode::kAddrMask:
-    case Opcode::kAddrOffset:
-      break;
-    case Opcode::kHash:
-      phv.mar = rmt::hash_words(phv.hashdata, insn.operand);
-      break;
-    // --- packet forwarding ---
-    // FORK, SET_DST, and DROP can affect other tenants' traffic; under
-    // privilege enforcement (Section 7.2) they require a trusted shim's
-    // flag.
-    case Opcode::kDrop:
-      if (enforce_privilege_ &&
-          (ctx.flags & packet::kFlagPrivileged) == 0) {
-        fault_ = Fault::kPrivilege;
-        phv.drop = true;
-        return false;
-      }
-      fault_ = Fault::kExplicitDrop;
-      phv.drop = true;
-      return false;
-    case Opcode::kFork:
-      if (enforce_privilege_ &&
-          (ctx.flags & packet::kFlagPrivileged) == 0) {
-        fault_ = Fault::kPrivilege;
-        phv.drop = true;
-        return false;
-      }
-      phv.fork = true;
-      break;
-    case Opcode::kSetDst:
-      if (enforce_privilege_ &&
-          (ctx.flags & packet::kFlagPrivileged) == 0) {
-        fault_ = Fault::kPrivilege;
-        phv.drop = true;
-        return false;
-      }
-      phv.dst_overridden = true;
-      phv.dst_value = phv.mbr;
-      break;
-    case Opcode::kRts:
-      phv.rts = true;
-      phv.rts_stage = logical_stage;
-      break;
-    case Opcode::kCrts:
-      if (phv.mbr != 0) {
-        phv.rts = true;
-        phv.rts_stage = logical_stage;
-      }
-      break;
-    case Opcode::kEof:
-      break;
-    default:
-      break;
+    if (drop_counter != nullptr) drop_counter->inc();
+    return res;
   }
-  return true;
+
+  if (phv.rts) {
+    res.verdict = Verdict::kReturnToSender;
+    if (ctx.eth_src != nullptr && ctx.eth_dst != nullptr) {
+      std::swap(*ctx.eth_src, *ctx.eth_dst);
+    }
+    ++stats_.rts_packets;
+    if (metrics_) metrics_->rts_packets->inc();
+  }
+  return res;
 }
 
 void ActiveRuntime::set_recirc_budget(Fid fid, const RecircBudget& budget) {
@@ -321,203 +371,12 @@ bool ActiveRuntime::charge_recirculation(Fid fid, u32 extra_passes,
 ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,
                                        ExecContext& ctx, ExecCursor& cursor,
                                        const PacketMeta& meta, SimTime now) {
-  const auto& cfg = pipeline_->config();
-  ExecutionResult res;
-  ++stats_.packets;
-  if (metrics_) metrics_->packets.at(ctx.fid).inc();
-  res.latency = cfg.pass_latency;
-
-  cursor.reset(program.size());
-  cursor.shrink = (ctx.flags & packet::kFlagNoShrink) == 0;
-
-  if (is_deactivated(ctx.fid) &&
-      (ctx.flags & packet::kFlagManagement) == 0) {
-    res.fault = Fault::kDeactivated;
-    ++stats_.forwarded_unprocessed;
-    if (metrics_) metrics_->forwarded_unprocessed->inc();
-    return res;
+  // The per-packet reference engine: one lane, stepped to completion.
+  LaneState lane;
+  if (lane_begin(program, ctx, cursor, meta, now, lane)) {
+    while (!lane.halted) lane_step(lane, /*memo=*/nullptr);
   }
-
-  Phv phv;
-  if (program.preload_mar()) phv.mar = (*ctx.args)[0];
-  if (program.preload_mbr()) phv.mbr = (*ctx.args)[1];
-
-  const auto& code = program.code();
-  fault_ = Fault::kNone;
-  res.executed = true;
-
-  const u32 stages = cfg.logical_stages;
-  const auto emit_trace = [&](u32 index, active::Opcode op, bool skipped,
-                              const Phv& state) {
-    if (!trace_) return;
-    TraceEvent event;
-    event.index = index;
-    event.logical_stage = index % stages;
-    event.pass = index / stages;
-    event.op = op;
-    event.skipped = skipped;
-    event.phv = state;
-    trace_(event);
-  };
-  // pass / stage indices carried incrementally: a divide per instruction
-  // is measurable at line rate.
-  u32 pc = 0;
-  u32 pass_index = 0;
-  u32 logical_stage = 0;
-  const auto advance_stage = [&] {
-    if (++logical_stage == stages) {
-      logical_stage = 0;
-      ++pass_index;
-    }
-  };
-  for (; pc < code.size(); ++pc, advance_stage()) {
-    if (phv.complete) break;
-    if (pass_index >= cfg.max_recirculations + 1) {
-      fault_ = Fault::kRecircLimit;
-      phv.drop = true;
-      break;
-    }
-    const CompiledInsn& insn = code[pc];
-
-    if (phv.disabled) {
-      // Skipped instructions still consume their stage; execution resumes
-      // at the branch's precompiled target index.
-      if (pc == cursor.resume_index) {
-        phv.disabled = false;
-        phv.pending_label = 0;
-        cursor.resume_index = kNoIndex;
-      } else {
-        cursor.mark_done(pc);
-        ++res.stages_consumed;
-        emit_trace(pc, insn.op, /*skipped=*/true, phv);
-        continue;
-      }
-    }
-
-    // Resolve ADDR_MASK / ADDR_OFFSET via the compiled next-access table:
-    // they translate MAR for the stage of the NEXT memory access.
-    if (insn.op == Opcode::kAddrMask || insn.op == Opcode::kAddrOffset) {
-      const rmt::FidEntry* target =
-          insn.next_access == kNoIndex
-              ? nullptr
-              : pipeline_->stage(insn.next_access % stages)
-                    .lookup(ctx.fid);
-      if (target == nullptr) {
-        fault_ = Fault::kNoAllocation;
-        phv.drop = true;
-        cursor.mark_done(pc);
-        break;
-      }
-      if (insn.op == Opcode::kAddrMask) {
-        phv.mar &= target->mask;
-      } else {
-        phv.mar += target->offset;
-      }
-      cursor.mark_done(pc);
-      ++res.stages_consumed;
-      ++res.instructions_executed;
-      emit_trace(pc, insn.op, /*skipped=*/false, phv);
-      continue;
-    }
-
-    const bool ok = execute_instruction(ctx, phv, insn, logical_stage, meta);
-    if (phv.disabled) {
-      // This instruction took a branch: arm its precompiled resume point
-      // (kNoIndex for a missing target disables to the end, as before).
-      cursor.resume_index = insn.branch_target;
-    }
-    cursor.mark_done(pc);
-    ++res.stages_consumed;
-    ++res.instructions_executed;
-    emit_trace(pc, insn.op, /*skipped=*/false, phv);
-    if (!ok) break;
-  }
-
-  const u32 consumed = std::max<u32>(1, static_cast<u32>(pc));
-  res.passes = (consumed - 1) / stages + 1;
-
-  // RTS from an egress stage cannot change ports on this pass; it costs one
-  // extra recirculation (Section 3.1). FORK likewise recirculates.
-  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) ++res.passes;
-  if (phv.fork) ++res.passes;
-
-  // Latency: ~pass_latency per 10-stage pipeline engaged (Fig. 8b measures
-  // +0.5 us from 10 to 20 to 30 instructions); a port-change or FORK
-  // recirculation loops through both pipelines once more.
-  const u32 pipelines_engaged =
-      std::max<u32>(1, (consumed + cfg.ingress_stages - 1) /
-                           cfg.ingress_stages);
-  u32 penalty_pipelines = 0;
-  if (phv.rts && !pipeline_->is_ingress(phv.rts_stage)) penalty_pipelines += 2;
-  if (phv.fork) penalty_pipelines += 2;
-  res.latency = static_cast<SimTime>(pipelines_engaged + penalty_pipelines) *
-                cfg.pass_latency;
-
-  // Recirculation-bandwidth governor: packets whose extra passes exceed
-  // the FID's remaining budget are dropped (side effects of completed
-  // stages persist, as on hardware).
-  if (res.passes > 1 && fault_ == Fault::kNone &&
-      !charge_recirculation(ctx.fid, res.passes - 1, now)) {
-    fault_ = Fault::kRecircBudget;
-    phv.drop = true;
-  }
-  stats_.instructions += res.instructions_executed;
-  stats_.recirculations += res.passes - 1;
-  if (metrics_) {
-    metrics_->instructions->inc(res.instructions_executed);
-    if (res.passes > 1) {
-      metrics_->recirculations.at(ctx.fid).inc(res.passes - 1);
-    }
-  }
-
-  res.phv = phv;
-  res.fault = fault_;
-  res.forked = phv.fork;
-
-  if (phv.drop) {
-    res.verdict = Verdict::kDrop;
-    telemetry::Counter* drop_counter = nullptr;
-    switch (fault_) {
-      case Fault::kExplicitDrop:
-        ++stats_.drops_explicit;
-        if (metrics_) drop_counter = metrics_->drops_explicit;
-        break;
-      case Fault::kProtectionViolation:
-        ++stats_.drops_protection;
-        if (metrics_) drop_counter = metrics_->drops_protection;
-        break;
-      case Fault::kNoAllocation:
-        ++stats_.drops_no_allocation;
-        if (metrics_) drop_counter = metrics_->drops_no_allocation;
-        break;
-      case Fault::kRecircLimit:
-        ++stats_.drops_recirc_limit;
-        if (metrics_) drop_counter = metrics_->drops_recirc_limit;
-        break;
-      case Fault::kRecircBudget:
-        ++stats_.drops_recirc_budget;
-        if (metrics_) drop_counter = metrics_->drops_recirc_budget;
-        break;
-      case Fault::kPrivilege:
-        ++stats_.drops_privilege;
-        if (metrics_) drop_counter = metrics_->drops_privilege;
-        break;
-      default:
-        break;
-    }
-    if (drop_counter != nullptr) drop_counter->inc();
-    return res;
-  }
-
-  if (phv.rts) {
-    res.verdict = Verdict::kReturnToSender;
-    if (ctx.eth_src != nullptr && ctx.eth_dst != nullptr) {
-      std::swap(*ctx.eth_src, *ctx.eth_dst);
-    }
-    ++stats_.rts_packets;
-    if (metrics_) metrics_->rts_packets->inc();
-  }
-  return res;
+  return lane_finish(lane);
 }
 
 ExecutionResult ActiveRuntime::execute(const CompiledProgram& program,

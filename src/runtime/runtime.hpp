@@ -31,6 +31,9 @@ class MetricsRegistry;
 namespace artmt::runtime {
 
 struct RuntimeMetrics;  // telemetry handle bundle (runtime.cpp)
+struct LaneState;       // per-packet execution lane (exec_core.hpp)
+struct StageMemo;       // per-stage protection-table memo (exec_core.hpp)
+class ExecBatch;        // batched stage-sweep engine (exec_batch.hpp)
 
 // What the switch should do with the packet after execution.
 enum class Verdict {
@@ -189,11 +192,23 @@ class ActiveRuntime {
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
  private:
-  // Executes one instruction in one stage. Returns false when the packet
-  // faulted (phv.drop set with `fault_` recorded).
-  bool execute_instruction(ExecContext& ctx, Phv& phv,
-                           const active::CompiledInsn& insn, u32 logical_stage,
-                           const PacketMeta& meta);
+  // The batch engine drives the same lane protocol the per-packet path
+  // uses, so its results are byte-identical by construction.
+  friend class ExecBatch;
+
+  // Lane protocol (shared with ExecBatch; state structs in exec_core.hpp).
+  // lane_begin runs the prologue (accounting, cursor reset, deactivation
+  // early-out, preload); returns false when the lane finished there.
+  // lane_step consumes exactly one logical stage (or marks the lane
+  // halted); `memo` optionally amortizes the stage's protection lookup
+  // across lanes of a sweep (nullptr on the per-packet path). lane_finish
+  // runs the epilogue (passes, latency, recirculation charge, verdict)
+  // and returns the result.
+  bool lane_begin(const active::CompiledProgram& program, ExecContext& ctx,
+                  active::ExecCursor& cursor, const PacketMeta& meta,
+                  SimTime now, LaneState& lane);
+  void lane_step(LaneState& lane, StageMemo* memo);
+  ExecutionResult lane_finish(LaneState& lane);
 
   // Charges `extra_passes` against the FID's token bucket at time `now`;
   // false when the budget is exhausted.
@@ -212,7 +227,6 @@ class ActiveRuntime {
   std::unordered_map<Fid, BucketState> recirc_buckets_;
   bool enforce_privilege_ = false;
   TraceFn trace_;
-  Fault fault_ = Fault::kNone;
 };
 
 }  // namespace artmt::runtime

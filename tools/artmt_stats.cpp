@@ -223,6 +223,33 @@ int main(int argc, char** argv) {
   if (ssim) {
     std::fprintf(stderr, "sharded engine: %u shards, %llu epochs\n", shards,
                  static_cast<unsigned long long>(ssim->epochs()));
+    for (u32 s = 0; s < ssim->shards(); ++s) {
+      const netsim::ShardStats& st = ssim->shard_stats(s);
+      std::fprintf(
+          stderr,
+          "  shard %u: %llu events, %llu frames in / %llu out, "
+          "barrier wait %.3f ms\n",
+          s, static_cast<unsigned long long>(st.events_dispatched),
+          static_cast<unsigned long long>(st.frames_in),
+          static_cast<unsigned long long>(st.frames_out),
+          static_cast<double>(st.barrier_wait_ns) / 1e6);
+    }
+    // Scheduler shape: adaptive epoch-window widths (virtual ns) and the
+    // count of unbounded windows (no cross-shard constraint applied).
+    telemetry::MetricsRegistry shape;
+    ssim->export_shard_stats(shape);
+    const telemetry::Histogram& widths =
+        shape.histogram("sharding", "epoch_width_ns");
+    std::fprintf(
+        stderr,
+        "  epoch widths: %llu bounded (p50 %llu ns, p99 %llu ns, "
+        "max %llu ns), %llu unbounded\n",
+        static_cast<unsigned long long>(widths.count()),
+        static_cast<unsigned long long>(widths.percentile(0.50)),
+        static_cast<unsigned long long>(widths.percentile(0.99)),
+        static_cast<unsigned long long>(widths.max()),
+        static_cast<unsigned long long>(
+            shape.counter_value("sharding", "unbounded_epochs")));
   }
 
   // Fault and reliability metrics live outside the engine registries:
