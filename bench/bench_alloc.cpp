@@ -1,0 +1,441 @@
+// Allocator churn bench gate (BENCH_alloc.json): drives the incremental
+// (indexed) allocator and the legacy full-rescan reference through
+// identical Poisson churn event streams and reports
+//   - placement parity: every scheme, byte-identical placements, disturbed
+//     sets, and mutants_considered between the two search modes (hard
+//     assertion; any divergence exits non-zero),
+//   - allocations/sec at ~1k and ~10k resident services, with the
+//     indexed-vs-rescan speedup gated at >= 5x at 10k residents,
+//   - modeled p99 provisioning latency with per-entry vs batched+coalesced
+//     table updates (CostModel::table_update_time),
+//   - fragmentation over time (largest-free-run contiguity) while churning.
+//
+// The 10k-resident runs use a scaled geometry (20 stages x 2048 blocks):
+// the paper's 368-block stages hold only a few dozen services, and the
+// point of this gate is search/bookkeeping scaling, not capacity. Request
+// demands are small (1-4 blocks) to match a 10k-service mix.
+//
+// CI smoke mode: ARTMT_BENCH_QUICK=1 shrinks event counts and skips the
+// 10k run and the speedup gate (too noisy at reduced scale); parity
+// assertions still run at full strength, and BENCH_alloc.json is NOT
+// rewritten so a smoke run never clobbers committed full-run numbers.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "common/stopwatch.hpp"
+#include "controller/cost_model.hpp"
+#include "workload/churn.hpp"
+
+namespace artmt {
+namespace {
+
+bool quick_mode() {
+  static const bool quick = std::getenv("ARTMT_BENCH_QUICK") != nullptr;
+  return quick;
+}
+
+// --- synthetic 10k-service request mix -----------------------------------
+
+// Small-footprint services: the churn kind slot doubles as the demand-mix
+// selector (weights set per experiment below).
+alloc::AllocationRequest request_for_kind(workload::AppKind kind) {
+  alloc::AllocationRequest r;
+  r.program_length = 12;
+  switch (kind) {
+    case workload::AppKind::kCache:  // elastic, min 1 / cap 4 per stage
+      r.accesses = {alloc::AccessDemand{5, 1, -1}};
+      r.elastic = true;
+      r.elastic_cap_blocks = 4;
+      break;
+    case workload::AppKind::kHeavyHitter:  // two pinned two-block regions
+      r.accesses = {alloc::AccessDemand{3, 2, -1},
+                    alloc::AccessDemand{7, 2, -1}};
+      break;
+    case workload::AppKind::kLoadBalancer:  // single pinned block
+      r.accesses = {alloc::AccessDemand{4, 1, -1}};
+      break;
+  }
+  return r;
+}
+
+// --- churn driver ----------------------------------------------------------
+
+// Replays a churn event stream against one Allocator, mapping generator
+// service ids to allocator AppIds. Departures of never-admitted services
+// exercise the graceful unknown-dealloc path by design.
+struct Driver {
+  alloc::Allocator alloc;
+  std::unordered_map<u64, alloc::AppId> ids;
+  u64 admitted = 0;
+  u64 failed = 0;
+  u64 released = 0;
+
+  Driver(const alloc::StageGeometry& geom, u32 blocks, alloc::Scheme scheme)
+      : alloc(geom, blocks, scheme) {
+    alloc.set_compute_model(alloc::ComputeModel::deterministic());
+  }
+
+  alloc::AllocationOutcome apply(const workload::ChurnEvent& event) {
+    if (event.type == workload::ChurnEvent::Type::kArrival) {
+      auto outcome = alloc.allocate(request_for_kind(event.kind));
+      if (outcome.success) {
+        ids.emplace(event.service, outcome.app);
+        ++admitted;
+      } else {
+        ++failed;
+      }
+      return outcome;
+    }
+    alloc::AllocationOutcome outcome;
+    const auto it = ids.find(event.service);
+    if (it != ids.end()) {
+      // Disturbed-set parity piggybacks on the outcome's reallocated list.
+      outcome.reallocated = alloc.deallocate(it->second);
+      ids.erase(it);
+      ++released;
+    }
+    return outcome;
+  }
+};
+
+// Full per-stage region map: the byte-identical placement check.
+using Layout = std::vector<std::map<alloc::AppId, Interval>>;
+
+Layout layout_of(const alloc::Allocator& a) {
+  Layout out;
+  for (u32 s = 0; s < a.geometry().logical_stages; ++s) {
+    out.push_back(a.stage(s).regions());
+  }
+  return out;
+}
+
+// --- parity ----------------------------------------------------------------
+
+u64 g_parity_checks = 0;
+
+bool outcomes_match(const alloc::AllocationOutcome& idx,
+                    const alloc::AllocationOutcome& ref, const char* where) {
+  ++g_parity_checks;
+  if (idx.success != ref.success || idx.chosen != ref.chosen ||
+      idx.regions != ref.regions || idx.reallocated != ref.reallocated) {
+    std::fprintf(stderr, "FAIL: placement divergence (%s)\n", where);
+    return false;
+  }
+  // The indexed path's only accounting divergence: hopeless failures are
+  // pruned against the global bound (mutants_considered == 0) where the
+  // rescan path enumerates the whole space.
+  if (idx.mutants_considered != ref.mutants_considered &&
+      !(idx.mutants_considered == 0 && !idx.success)) {
+    std::fprintf(stderr, "FAIL: mutants_considered divergence (%s)\n", where);
+    return false;
+  }
+  return true;
+}
+
+// Runs one indexed and one rescan allocator through the same events,
+// asserting identical outcomes after every operation and identical full
+// layouts at the end. Returns false on any divergence.
+bool parity_run(alloc::Scheme scheme, const alloc::StageGeometry& geom,
+                u32 blocks, const workload::ChurnConfig& churn,
+                std::size_t events, const char* label) {
+  Driver indexed(geom, blocks, scheme);
+  Driver rescan(geom, blocks, scheme);
+  rescan.alloc.set_search_mode(alloc::SearchMode::kRescan);
+  workload::PoissonChurn gen(churn);
+  for (std::size_t i = 0; i < events; ++i) {
+    const auto event = gen.next();
+    const auto a = indexed.apply(event);
+    const auto b = rescan.apply(event);
+    if (!outcomes_match(a, b, label)) return false;
+  }
+  if (layout_of(indexed.alloc) != layout_of(rescan.alloc)) {
+    std::fprintf(stderr, "FAIL: final layout divergence (%s)\n", label);
+    return false;
+  }
+  if (indexed.alloc.resident_count() != rescan.alloc.resident_count()) {
+    std::fprintf(stderr, "FAIL: resident-count divergence (%s)\n", label);
+    return false;
+  }
+  return true;
+}
+
+// --- throughput + fragmentation --------------------------------------------
+
+struct FragPoint {
+  std::size_t events = 0;
+  u32 residents = 0;
+  double utilization = 0.0;
+  double contiguity = 0.0;  // sum(largest free run) / sum(free blocks)
+};
+
+double contiguity_of(const alloc::Allocator& a) {
+  u64 largest = 0;
+  u64 free_blocks = 0;
+  for (u32 s = 0; s < a.geometry().logical_stages; ++s) {
+    largest += a.stage(s).largest_free_run();
+    free_blocks += a.stage(s).free_blocks();
+  }
+  return free_blocks == 0 ? 1.0
+                          : static_cast<double>(largest) /
+                                static_cast<double>(free_blocks);
+}
+
+struct ThroughputResult {
+  u32 target_residents = 0;
+  u32 residents_at_window = 0;
+  std::size_t window_events = 0;
+  u64 window_allocs = 0;
+  double indexed_allocs_per_sec = 0.0;
+  double rescan_allocs_per_sec = 0.0;
+  double speedup = 0.0;
+  double p99_unbatched_ms = 0.0;  // modeled provisioning, per-entry updates
+  double p99_batched_ms = 0.0;    // modeled provisioning, coalesced batches
+  bool layouts_match = false;
+  std::vector<FragPoint> frag;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Modeled provisioning latency of one admission: allocator compute plus
+// driver table updates (one install per region of the new app; one
+// remove + one install per region of each disturbed app).
+double provisioning_ms(const alloc::AllocationOutcome& outcome,
+                       const alloc::Allocator& a,
+                       const controller::CostModel& costs) {
+  u64 entries = outcome.regions.size();
+  for (const alloc::AppId app : outcome.reallocated) {
+    entries += 2 * a.regions_of(app).size();
+  }
+  const u64 batches = 1 + outcome.reallocated.size();
+  const SimTime table = costs.table_update_time(entries, batches);
+  return outcome.search_ms + outcome.assign_ms +
+         static_cast<double>(table) / static_cast<double>(kMillisecond);
+}
+
+ThroughputResult measure(u32 target_residents, double arrival_rate,
+                         double mean_lifetime, std::size_t window,
+                         u64 seed, const alloc::StageGeometry& geom,
+                         u32 blocks) {
+  ThroughputResult r;
+  r.target_residents = target_residents;
+  r.window_events = window;
+
+  workload::ChurnConfig churn;
+  churn.arrival_rate = arrival_rate;
+  churn.mean_lifetime = mean_lifetime;
+  churn.kind_weights = {0.1, 0.2, 0.7};  // elastic / 2-stage / 1-block
+  churn.seed = seed;
+
+  // Pre-generate the fill (until the generator population reaches the
+  // target) and the measurement window, so both modes replay identical
+  // streams.
+  std::vector<workload::ChurnEvent> fill;
+  std::vector<workload::ChurnEvent> window_events;
+  {
+    workload::PoissonChurn gen(churn);
+    while (gen.resident() < target_residents) fill.push_back(gen.next());
+    for (std::size_t i = 0; i < window; ++i) {
+      window_events.push_back(gen.next());
+    }
+  }
+
+  controller::CostModel unbatched;
+  controller::CostModel batched;
+  batched.batched_updates = true;
+
+  // Indexed run: fill (recording fragmentation), then the timed window.
+  Driver indexed(geom, blocks, alloc::Scheme::kWorstFit);
+  {
+    const std::size_t stride = std::max<std::size_t>(1, fill.size() / 16);
+    for (std::size_t i = 0; i < fill.size(); ++i) {
+      indexed.apply(fill[i]);
+      if (i % stride == 0 || i + 1 == fill.size()) {
+        r.frag.push_back(FragPoint{i + 1, indexed.alloc.resident_count(),
+                                   indexed.alloc.utilization(),
+                                   contiguity_of(indexed.alloc)});
+      }
+    }
+  }
+  r.residents_at_window = indexed.alloc.resident_count();
+  std::vector<double> lat_unbatched;
+  std::vector<double> lat_batched;
+  const u64 allocs_before = indexed.admitted;
+  Stopwatch watch;
+  for (const auto& event : window_events) {
+    const auto outcome = indexed.apply(event);
+    if (outcome.success) {
+      lat_unbatched.push_back(
+          provisioning_ms(outcome, indexed.alloc, unbatched));
+      lat_batched.push_back(provisioning_ms(outcome, indexed.alloc, batched));
+    }
+  }
+  const double indexed_sec = watch.elapsed_ms() / 1000.0;
+  r.window_allocs = indexed.admitted - allocs_before;
+  r.indexed_allocs_per_sec =
+      indexed_sec > 0.0 ? static_cast<double>(r.window_allocs) / indexed_sec
+                        : 0.0;
+  r.p99_unbatched_ms = percentile(lat_unbatched, 0.99);
+  r.p99_batched_ms = percentile(lat_batched, 0.99);
+  r.frag.push_back(FragPoint{fill.size() + window_events.size(),
+                             indexed.alloc.resident_count(),
+                             indexed.alloc.utilization(),
+                             contiguity_of(indexed.alloc)});
+
+  // Rescan run: identical fill (replayed indexed for speed -- placements
+  // are identical by parity), then the same window under full rescans.
+  Driver rescan(geom, blocks, alloc::Scheme::kWorstFit);
+  for (const auto& event : fill) rescan.apply(event);
+  rescan.alloc.set_search_mode(alloc::SearchMode::kRescan);
+  const u64 rescan_before = rescan.admitted;
+  watch.reset();
+  for (const auto& event : window_events) rescan.apply(event);
+  const double rescan_sec = watch.elapsed_ms() / 1000.0;
+  const u64 rescan_allocs = rescan.admitted - rescan_before;
+  r.rescan_allocs_per_sec =
+      rescan_sec > 0.0 ? static_cast<double>(rescan_allocs) / rescan_sec : 0.0;
+  r.speedup = r.rescan_allocs_per_sec > 0.0
+                  ? r.indexed_allocs_per_sec / r.rescan_allocs_per_sec
+                  : 0.0;
+  r.layouts_match = layout_of(indexed.alloc) == layout_of(rescan.alloc);
+  return r;
+}
+
+std::string frag_json(const std::vector<FragPoint>& frag) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < frag.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"events\": %zu, \"residents\": %u, "
+                  "\"utilization\": %.4f, \"contiguity\": %.4f}",
+                  i == 0 ? "" : ", ", frag[i].events, frag[i].residents,
+                  frag[i].utilization, frag[i].contiguity);
+    out += buf;
+  }
+  return out + "]";
+}
+
+std::string throughput_json(const ThroughputResult& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"target_residents\": %u, \"residents_at_window\": %u,\n"
+      "     \"window_events\": %zu, \"window_allocs\": %llu,\n"
+      "     \"indexed_allocs_per_sec\": %.1f, \"rescan_allocs_per_sec\": "
+      "%.1f,\n"
+      "     \"speedup\": %.2f, \"layouts_match\": %s,\n"
+      "     \"p99_provisioning_ms_unbatched\": %.3f, "
+      "\"p99_provisioning_ms_batched\": %.3f,\n"
+      "     \"fragmentation\": ",
+      r.target_residents, r.residents_at_window, r.window_events,
+      static_cast<unsigned long long>(r.window_allocs),
+      r.indexed_allocs_per_sec, r.rescan_allocs_per_sec, r.speedup,
+      r.layouts_match ? "true" : "false", r.p99_unbatched_ms,
+      r.p99_batched_ms);
+  return std::string(buf) + frag_json(r.frag) + "}";
+}
+
+}  // namespace
+}  // namespace artmt
+
+int main() {
+  using namespace artmt;
+  const bool quick = quick_mode();
+
+  // --- Phase 1: placement parity, every scheme, two geometries. ---
+  const alloc::StageGeometry paper_geom{20, 10};
+  const alloc::StageGeometry scaled_geom{20, 10};
+  const std::size_t parity_events = quick ? 400 : 1500;
+  const alloc::Scheme schemes[] = {
+      alloc::Scheme::kWorstFit, alloc::Scheme::kBestFit,
+      alloc::Scheme::kFirstFit, alloc::Scheme::kRealloc};
+  bool parity_ok = true;
+  for (const alloc::Scheme scheme : schemes) {
+    // Paper geometry under saturating churn: small capacity forces
+    // failures, exercising the prune/enumerate divergence rule.
+    workload::ChurnConfig saturating;
+    saturating.arrival_rate = 4.0;
+    saturating.mean_lifetime = 25.0;
+    saturating.kind_weights = {0.4, 0.3, 0.3};
+    saturating.seed = 11;
+    parity_ok &= parity_run(scheme, paper_geom, 368, saturating,
+                            parity_events, alloc::scheme_name(scheme));
+    // Scaled geometry at a few hundred residents: deep disturbance chains.
+    workload::ChurnConfig scaled;
+    scaled.arrival_rate = 20.0;
+    scaled.mean_lifetime = 20.0;
+    scaled.kind_weights = {0.1, 0.2, 0.7};
+    scaled.seed = 23;
+    parity_ok &= parity_run(scheme, scaled_geom, 512, scaled, parity_events,
+                            alloc::scheme_name(scheme));
+  }
+  std::printf("parity: %s (%llu outcome checks)\n",
+              parity_ok ? "ok" : "FAILED",
+              static_cast<unsigned long long>(g_parity_checks));
+  if (!parity_ok) return 1;
+
+  // --- Phase 2: throughput + provisioning + fragmentation. ---
+  const u32 scaled_blocks = 2048;
+  std::vector<ThroughputResult> results;
+  results.push_back(measure(1000, 15.0, 100.0, quick ? 300 : 2000, 42,
+                            scaled_geom, scaled_blocks));
+  if (!quick) {
+    results.push_back(
+        measure(10000, 150.0, 100.0, 600, 42, scaled_geom, scaled_blocks));
+  }
+  bool layouts_ok = true;
+  for (const auto& r : results) {
+    std::printf(
+        "residents=%u: indexed %.0f allocs/s, rescan %.0f allocs/s "
+        "(%.1fx), p99 provisioning %.1f ms (batched %.1f ms), layouts %s\n",
+        r.residents_at_window, r.indexed_allocs_per_sec,
+        r.rescan_allocs_per_sec, r.speedup, r.p99_unbatched_ms,
+        r.p99_batched_ms, r.layouts_match ? "match" : "DIVERGE");
+    layouts_ok &= r.layouts_match;
+  }
+  if (!layouts_ok) {
+    std::fprintf(stderr, "FAIL: indexed/rescan layout divergence\n");
+    return 1;
+  }
+
+  // --- JSON + gates (full mode only). ---
+  if (!quick) {
+    std::string json = "{\n  \"quick\": false,\n";
+    json += "  \"geometry\": {\"stages\": 20, \"blocks_per_stage\": 2048},\n";
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "  \"parity\": {\"checks\": %llu, \"ok\": true},\n",
+                  static_cast<unsigned long long>(g_parity_checks));
+    json += head;
+    json += "  \"throughput\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json += throughput_json(results[i]);
+      json += i + 1 == results.size() ? "\n" : ",\n";
+    }
+    json += "  ]\n}\n";
+    std::fputs(json.c_str(), stdout);
+    if (std::FILE* f = std::fopen("BENCH_alloc.json", "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    }
+
+    const ThroughputResult& at10k = results.back();
+    if (at10k.speedup < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: indexed allocator %.2fx over rescan at %u "
+                   "residents (gate: 5x)\n",
+                   at10k.speedup, at10k.residents_at_window);
+      return 1;
+    }
+  }
+  return 0;
+}

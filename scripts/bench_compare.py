@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Throughput regression gate over BENCH_datapath.json.
+"""Throughput regression gate over the committed bench baselines.
 
-Collects every ``packets_per_sec`` leaf in the working-tree
-BENCH_datapath.json and compares it against the committed baseline
-(``git show HEAD:BENCH_datapath.json`` by default). Exits nonzero when
-any section regresses by more than the threshold (10% unless
+Collects every throughput leaf in the working-tree bench JSONs --
+``packets_per_sec`` in BENCH_datapath.json, ``indexed_allocs_per_sec``
+and ``speedup`` in BENCH_alloc.json -- and compares each against the
+committed baseline (``git show HEAD:<file>`` by default). Exits nonzero
+when any section regresses by more than the threshold (10% unless
 --threshold says otherwise). Sections present on only one side are
 reported but never fail the gate: new benchmarks have no baseline, and
-retired ones have no current value.
+retired ones have no current value. A bench file missing from the
+working tree is skipped with a notice (its bench may not have run).
 
 Stdlib only; runs anywhere git and python3 exist.
 
-Usage: scripts/bench_compare.py [--threshold 0.10] [--file BENCH_datapath.json]
+Usage: scripts/bench_compare.py [--threshold 0.10]
+                                [--file BENCH_datapath.json]
+                                [--alloc-file BENCH_alloc.json]
                                 [--baseline-ref HEAD]
 """
 
@@ -21,18 +25,26 @@ import subprocess
 import sys
 
 
-def pps_leaves(obj, path=""):
-    """Yields (section-path, value) for every packets_per_sec leaf."""
+def metric_leaves(obj, keys, path=""):
+    """Yields (section-path, value) for every leaf named in `keys`."""
     if isinstance(obj, dict):
         for key, value in obj.items():
             child = f"{path}.{key}" if path else key
-            if key == "packets_per_sec" and isinstance(value, (int, float)):
-                yield path or key, float(value)
+            if key in keys and isinstance(value, (int, float)):
+                yield child, float(value)
             else:
-                yield from pps_leaves(value, child)
+                yield from metric_leaves(value, keys, child)
     elif isinstance(obj, list):
         for i, value in enumerate(obj):
-            yield from pps_leaves(value, f"{path}[{i}]")
+            yield from metric_leaves(value, keys, f"{path}[{i}]")
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
 
 
 def load_baseline(ref, path):
@@ -49,30 +61,64 @@ def load_baseline(ref, path):
         return None
 
 
+def compare(name, current, baseline, threshold, skip_section=None):
+    """Prints the per-section report; returns the regression list."""
+    regressions = []
+    skipped = []
+    for section in sorted(current.keys() | baseline.keys()):
+        if skip_section is not None and skip_section(section):
+            skipped.append(section)
+            continue
+        cur = current.get(section)
+        base = baseline.get(section)
+        if cur is None:
+            print(f"  {section}: retired (baseline {base:.0f})")
+            continue
+        if base is None:
+            print(f"  {section}: new ({cur:.0f}, no baseline)")
+            continue
+        if base <= 0:
+            continue
+        delta = cur / base - 1.0
+        mark = ""
+        if delta < -threshold:
+            regressions.append((section, base, cur, delta))
+            mark = "  << REGRESSION"
+        print(f"  {section}: {base:.0f} -> {cur:.0f} ({delta:+.1%}){mark}")
+    for section in skipped:
+        print(f"  {section}: SKIPPED (single-core/unenforced run)")
+    if regressions:
+        print(f"bench_compare: {name}: {len(regressions)} section(s) "
+              f"regressed more than {threshold:.0%}", file=sys.stderr)
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.10,
-                        help="allowed fractional pps drop (default 0.10)")
+                        help="allowed fractional drop (default 0.10)")
     parser.add_argument("--file", default="BENCH_datapath.json")
+    parser.add_argument("--alloc-file", default="BENCH_alloc.json")
     parser.add_argument("--baseline-ref", default="HEAD")
     args = parser.parse_args()
 
-    try:
-        with open(args.file, encoding="utf-8") as f:
-            current_json = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"bench_compare: cannot read {args.file}: {err}",
-              file=sys.stderr)
+    regressions = []
+    compared_any = False
+
+    # --- datapath: packets_per_sec leaves ---
+    datapath = load_json(args.file)
+    if datapath is None:
+        print(f"bench_compare: cannot read {args.file}", file=sys.stderr)
         return 2
-    current = dict(pps_leaves(current_json))
+    current = dict(metric_leaves(datapath, {"packets_per_sec"}))
 
     # Sharded speedup numbers are contention-distorted on hosts without
     # enough cores to actually run the workers in parallel; bench_micro
     # records the host core count and whether it enforced the speedup
     # gates. Skip those sections here with an unmissable notice instead
     # of letting a cramped runner quietly pass (or fail) the comparison.
-    cores = current_json.get("cores")
-    enforced = current_json.get("sharding", {}).get("gates_enforced", True)
+    cores = datapath.get("cores")
+    enforced = datapath.get("sharding", {}).get("gates_enforced", True)
     skip_sharding = (cores is not None and cores < 4) or not enforced
     if skip_sharding:
         print("=" * 68, file=sys.stderr)
@@ -86,41 +132,39 @@ def main():
     if baseline_json is None:
         print(f"bench_compare: no baseline {args.file} at "
               f"{args.baseline_ref}; nothing to compare")
-        return 0
-    baseline = dict(pps_leaves(baseline_json))
+    else:
+        compared_any = True
+        baseline = dict(metric_leaves(baseline_json, {"packets_per_sec"}))
+        regressions += compare(
+            args.file, current, baseline, args.threshold,
+            skip_section=(lambda s: s.startswith("sharding."))
+            if skip_sharding else None)
 
-    regressions = []
-    skipped = []
-    for section in sorted(current.keys() | baseline.keys()):
-        if skip_sharding and section.startswith("sharding."):
-            skipped.append(section)
-            continue
-        cur = current.get(section)
-        base = baseline.get(section)
-        if cur is None:
-            print(f"  {section}: retired (baseline {base:.0f} pps)")
-            continue
-        if base is None:
-            print(f"  {section}: new ({cur:.0f} pps, no baseline)")
-            continue
-        if base <= 0:
-            continue
-        delta = cur / base - 1.0
-        mark = ""
-        if delta < -args.threshold:
-            regressions.append((section, base, cur, delta))
-            mark = "  << REGRESSION"
-        print(f"  {section}: {base:.0f} -> {cur:.0f} pps "
-              f"({delta:+.1%}){mark}")
+    # --- allocator: allocations/sec + indexed-vs-rescan speedup ---
+    # The speedup ratio is intra-process (both sides timed in the same
+    # run), so it stays meaningful on slow or contended runners where
+    # absolute allocs/sec would flake.
+    alloc_keys = {"indexed_allocs_per_sec", "speedup"}
+    alloc = load_json(args.alloc_file)
+    if alloc is None:
+        print(f"bench_compare: NOTICE: {args.alloc_file} not present; "
+              "allocator sections not compared (run bench_alloc first)")
+    else:
+        alloc_baseline = load_baseline(args.baseline_ref, args.alloc_file)
+        if alloc_baseline is None:
+            print(f"bench_compare: no baseline {args.alloc_file} at "
+                  f"{args.baseline_ref}; nothing to compare")
+        else:
+            compared_any = True
+            regressions += compare(
+                args.alloc_file, dict(metric_leaves(alloc, alloc_keys)),
+                dict(metric_leaves(alloc_baseline, alloc_keys)),
+                args.threshold)
 
-    for section in skipped:
-        print(f"  {section}: SKIPPED (single-core/unenforced run)")
     if regressions:
-        print(f"bench_compare: {len(regressions)} section(s) regressed "
-              f"more than {args.threshold:.0%} vs {args.baseline_ref}",
-              file=sys.stderr)
         return 1
-    print("bench_compare: OK")
+    print("bench_compare: OK" if compared_any
+          else "bench_compare: nothing to compare")
     return 0
 
 

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, a bench smoke job, a
-# telemetry-overhead gate, a throughput-regression gate, a chaos soak
+# CI entry point: release build + full test suite, a bench smoke job, an
+# allocator parity/churn gate, a telemetry-overhead gate, a
+# throughput-regression gate, a chaos soak
 # (fault-injection digest-equality matrix), an ASan+UBSan job, then a
 # ThreadSanitizer job (the sharded engine's worker threads).
 #
 # Usage: scripts/ci.sh
-#   [release|bench|perf-smoke|telemetry-overhead|bench-regression|chaos-soak|
-#    sanitize|tsan|all]
+#   [release|bench|perf-smoke|alloc-bench|telemetry-overhead|
+#    bench-regression|chaos-soak|sanitize|tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +44,19 @@ run_perf_smoke() {
   ARTMT_BENCH_QUICK=1 ./build/bench/bench_micro --benchmark_filter=NONE
 }
 
+run_alloc_bench() {
+  echo "== alloc bench: indexed/rescan parity + churn smoke =="
+  cmake --preset default
+  cmake --build --preset default
+  # bench_alloc replays identical Poisson churn through the indexed and
+  # legacy-rescan allocator paths and exits nonzero on any placement,
+  # disturbed-set, or mutants_considered divergence. ARTMT_BENCH_QUICK=1
+  # shrinks event counts and skips the 10k-resident speedup gate (too
+  # noisy at reduced scale) without touching BENCH_alloc.json; parity
+  # assertions run at full strength.
+  ARTMT_BENCH_QUICK=1 ./build/bench/bench_alloc
+}
+
 run_telemetry_overhead() {
   echo "== telemetry overhead gate: <=5% pps, zero steady-state allocs =="
   cmake --preset default
@@ -62,10 +76,13 @@ run_bench_regression() {
   echo "== bench regression gate: packets/sec vs committed baseline =="
   cmake --preset default
   cmake --build --preset default
-  # Refresh BENCH_datapath.json from this checkout, then compare every
-  # packets_per_sec section against the committed baseline; more than a
-  # 10% drop in any section fails the job.
+  # Refresh BENCH_datapath.json and BENCH_alloc.json from this checkout,
+  # then compare every packets_per_sec / allocations-per-second section
+  # against the committed baselines; more than a 10% drop in any section
+  # fails the job. bench_alloc also enforces its own 5x indexed-vs-rescan
+  # speedup gate at 10k residents.
   ./build/bench/bench_micro --benchmark_filter=NONE
+  ./build/bench/bench_alloc
   python3 scripts/bench_compare.py
 }
 
@@ -104,6 +121,7 @@ case "$job" in
   release) run_release ;;
   bench) run_bench ;;
   perf-smoke) run_perf_smoke ;;
+  alloc-bench) run_alloc_bench ;;
   telemetry-overhead) run_telemetry_overhead ;;
   bench-regression) run_bench_regression ;;
   chaos-soak) run_chaos_soak ;;
@@ -113,6 +131,7 @@ case "$job" in
     run_release
     run_bench
     run_perf_smoke
+    run_alloc_bench
     run_telemetry_overhead
     run_bench_regression
     run_chaos_soak
@@ -120,7 +139,7 @@ case "$job" in
     run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|perf-smoke|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
+    echo "unknown job '$job' (expected release|bench|perf-smoke|alloc-bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

@@ -34,6 +34,16 @@ const char* scheme_name(Scheme scheme) {
   return "unknown";
 }
 
+const char* search_mode_name(SearchMode mode) {
+  switch (mode) {
+    case SearchMode::kIndexed:
+      return "indexed";
+    case SearchMode::kRescan:
+      return "rescan";
+  }
+  return "unknown";
+}
+
 Allocator::Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
                      Scheme scheme, MutantPolicy policy)
     : geometry_(geometry),
@@ -45,6 +55,10 @@ Allocator::Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
   for (u32 i = 0; i < geometry_.logical_stages; ++i) {
     stages_.emplace_back(blocks_per_stage);
   }
+  index_.reset(stages_);
+  scratch_demand_.assign(geometry_.logical_stages, 0);
+  scratch_stamp_.assign(geometry_.logical_stages, 0);
+  scratch_stages_.reserve(geometry_.logical_stages);
 }
 
 void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
@@ -52,6 +66,8 @@ void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
     m_allocations_ = nullptr;
     m_failures_ = nullptr;
     m_deallocations_ = nullptr;
+    m_dealloc_unknown_ = nullptr;
+    m_search_pruned_ = nullptr;
     m_blocks_allocated_ = nullptr;
     m_blocks_freed_ = nullptr;
     m_resident_ = nullptr;
@@ -62,6 +78,8 @@ void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
   m_allocations_ = &metrics->counter("alloc", "allocations");
   m_failures_ = &metrics->counter("alloc", "failures");
   m_deallocations_ = &metrics->counter("alloc", "deallocations");
+  m_dealloc_unknown_ = &metrics->counter("alloc", "dealloc_unknown");
+  m_search_pruned_ = &metrics->counter("alloc", "search_pruned");
   m_blocks_allocated_ = &metrics->counter("alloc", "blocks_allocated");
   m_blocks_freed_ = &metrics->counter("alloc", "blocks_freed");
   m_resident_ = &metrics->gauge("alloc", "resident_apps");
@@ -93,33 +111,72 @@ bool Allocator::feasible(const AllocationRequest& request,
   return true;
 }
 
+double Allocator::score_term(const AllocationRequest& request, u32 stage,
+                             u32 demand) const {
+  const StageState& state = stages_[stage];
+  switch (scheme_) {
+    case Scheme::kWorstFit:
+      // Prefer the most fungible memory: lower score = more fungible.
+      return -static_cast<double>(state.fungible_blocks());
+    case Scheme::kBestFit:
+      return static_cast<double>(state.fungible_blocks());
+    case Scheme::kRealloc:
+      // Count resident apps this placement would disturb: every elastic
+      // member of a stage the new app shares (their shares rebalance),
+      // plus elastic members pushed by a frontier extension.
+      if (request.elastic || state.inelastic_needs_frontier(demand)) {
+        return static_cast<double>(state.elastic_member_count());
+      }
+      return 0.0;
+    case Scheme::kFirstFit:
+      return 0.0;  // never scored
+  }
+  return 0.0;
+}
+
 double Allocator::score(const AllocationRequest& request,
                         const std::map<u32, u32>& demands) const {
   double total = 0.0;
   for (const auto& [stage, demand] : demands) {
-    const StageState& state = stages_[stage];
-    switch (scheme_) {
-      case Scheme::kWorstFit:
-        // Prefer the most fungible memory: lower score = more fungible.
-        total -= state.fungible_blocks();
-        break;
-      case Scheme::kBestFit:
-        total += state.fungible_blocks();
-        break;
-      case Scheme::kRealloc: {
-        // Count resident apps this placement would disturb: every elastic
-        // member of a stage the new app shares (their shares rebalance),
-        // plus elastic members pushed by a frontier extension.
-        if (request.elastic || state.inelastic_needs_frontier(demand)) {
-          total += state.elastic_member_count();
-        }
-        break;
-      }
-      case Scheme::kFirstFit:
-        break;  // never scored
-    }
+    total += score_term(request, stage, demand);
   }
   return total;
+}
+
+bool Allocator::evaluate_indexed(const AllocationRequest& request,
+                                 const Mutant& candidate, double& score_out) {
+  // Collapse per-stage demands without allocating: stamped scratch entries
+  // expire by epoch, and scratch_stages_ lists the stages this candidate
+  // touches (first-encounter order).
+  ++scratch_epoch_;
+  scratch_stages_.clear();
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const u32 stage = candidate[i] % geometry_.logical_stages;
+    const u32 demand = request.accesses[i].demand_blocks;
+    if (scratch_stamp_[stage] != scratch_epoch_) {
+      scratch_stamp_[stage] = scratch_epoch_;
+      scratch_demand_[stage] = demand;
+      scratch_stages_.push_back(stage);
+    } else if (demand > scratch_demand_[stage]) {
+      scratch_demand_[stage] = demand;
+    }
+  }
+  for (const u32 stage : scratch_stages_) {
+    const StageState& state = stages_[stage];
+    const u32 demand = scratch_demand_[stage];
+    if (request.elastic ? !state.elastic_fits(demand)
+                        : !state.inelastic_fits(demand)) {
+      return false;
+    }
+  }
+  // Exact small-integer addends: the sum matches the legacy stage-sorted
+  // iteration bit-for-bit regardless of accumulation order.
+  double total = 0.0;
+  for (const u32 stage : scratch_stages_) {
+    total += score_term(request, stage, scratch_demand_[stage]);
+  }
+  score_out = total;
+  return true;
 }
 
 std::map<AppId, std::map<u32, Interval>> Allocator::snapshot() const {
@@ -151,31 +208,72 @@ std::vector<AppId> Allocator::diff_against(
   return changed;
 }
 
+std::vector<AppId> Allocator::collect_changed(const std::map<u32, u32>& touched,
+                                              AppId exclude) const {
+  std::vector<AppId> changed;
+  for (const auto& [stage, demand] : touched) {
+    for (const AppId id : stages_[stage].last_changed()) {
+      if (id != exclude) changed.push_back(id);
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  return changed;
+}
+
 AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
   AllocationOutcome outcome;
   Stopwatch watch;
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
 
   // --- Phase 1: systematic search over the mutant space. ---
   bool found = false;
   Mutant best;
   double best_score = std::numeric_limits<double>::infinity();
-  outcome.mutants_considered = for_each_mutant(
-      request, geometry_, policy_, [&](const Mutant& candidate) {
-        const auto demands = stage_demands(request, candidate);
-        if (!feasible(request, demands)) return true;
-        if (scheme_ == Scheme::kFirstFit) {
-          best = candidate;
-          found = true;
-          return false;  // stop at the first feasible mutant
-        }
-        const double s = score(request, demands);
-        if (!found || s < best_score) {
-          best = candidate;
-          best_score = s;
-          found = true;
-        }
-        return true;
-      });
+
+  // Global feasibility prune (indexed only): if the bottleneck access
+  // cannot be placed on *any* stage, no mutant is feasible -- reject
+  // without enumerating. This is the one intentional divergence from the
+  // legacy path's accounting: hopeless failures report
+  // mutants_considered == 0 where the rescan path enumerates them all.
+  bool pruned = false;
+  if (indexed) {
+    u32 max_demand = 0;
+    for (const auto& access : request.accesses) {
+      max_demand = std::max(max_demand, access.demand_blocks);
+    }
+    if (max_demand > 0 &&
+        !index_.feasible_anywhere(request.elastic, max_demand)) {
+      pruned = true;
+    }
+  }
+
+  if (!pruned) {
+    outcome.mutants_considered = for_each_mutant(
+        request, geometry_, policy_, [&](const Mutant& candidate) {
+          double s = 0.0;
+          if (indexed) {
+            if (!evaluate_indexed(request, candidate, s)) return true;
+          } else {
+            const auto demands = stage_demands(request, candidate);
+            if (!feasible(request, demands)) return true;
+            if (scheme_ != Scheme::kFirstFit) s = score(request, demands);
+          }
+          if (scheme_ == Scheme::kFirstFit) {
+            best = candidate;
+            found = true;
+            return false;  // stop at the first feasible mutant
+          }
+          if (!found || s < best_score) {
+            best = candidate;
+            best_score = s;
+            found = true;
+          }
+          return true;
+        });
+  } else if (m_search_pruned_ != nullptr) {
+    m_search_pruned_->inc();
+  }
   outcome.search_ms =
       compute_model_.modeled
           ? static_cast<double>(outcome.mutants_considered) *
@@ -190,7 +288,8 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
       sink->emit("alloc", "reject", telemetry::kNoFid,
                  {{"accesses", request.accesses.size()},
                   {"elastic", request.elastic},
-                  {"mutants_considered", outcome.mutants_considered}});
+                  {"mutants_considered", outcome.mutants_considered},
+                  {"pruned", pruned}});
     }
     return outcome;
   }
@@ -198,7 +297,8 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
   // --- Phase 2: final assignment for the new app and every resident app
   // whose share shifts (this dominates allocation time; Section 6.1). ---
   watch.reset();
-  const auto before = snapshot();
+  std::map<AppId, std::map<u32, Interval>> before;
+  if (!indexed) before = snapshot();
   const AppId id = next_id_++;
   const auto demands = stage_demands(request, best);
   for (const auto& [stage, demand] : demands) {
@@ -207,6 +307,7 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
     } else {
       stages_[stage].add_inelastic(id, demand);
     }
+    index_.refresh(stage, stages_[stage]);
   }
 
   AppRecord record;
@@ -221,7 +322,8 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
   outcome.app = id;
   outcome.chosen = best;
   outcome.regions = regions_of(id);
-  outcome.reallocated = diff_against(before, id);
+  outcome.reallocated =
+      indexed ? collect_changed(demands, id) : diff_against(before, id);
   const u64 blocks = region_blocks(outcome.regions);
   if (compute_model_.modeled) {
     u64 moved = blocks;
@@ -252,16 +354,29 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
 
 std::vector<AppId> Allocator::deallocate(AppId id) {
   const auto it = apps_.find(id);
-  if (it == apps_.end()) throw UsageError("Allocator: unknown app id");
+  if (it == apps_.end()) {
+    // Graceful no-op: release retries and departure races are routine
+    // under churn; the caller learns nothing was disturbed.
+    if (m_dealloc_unknown_ != nullptr) m_dealloc_unknown_->inc();
+    if (auto* sink = telemetry::trace_sink()) {
+      sink->emit("alloc", "dealloc_unknown", telemetry::kNoFid, {{"app", id}});
+    }
+    return {};
+  }
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
   const u64 blocks = region_blocks(regions_of(id));
-  const auto before = snapshot();
+  std::map<AppId, std::map<u32, Interval>> before;
+  if (!indexed) before = snapshot();
   for (const auto& [stage, demand] : it->second.stage_demand) {
     if (it->second.elastic) {
       stages_[stage].remove_elastic(id);
     } else {
       stages_[stage].remove_inelastic(id);
     }
+    index_.refresh(stage, stages_[stage]);
   }
+  const auto changed = indexed ? collect_changed(it->second.stage_demand, id)
+                               : diff_against(before, id);
   apps_.erase(it);
   if (m_deallocations_ != nullptr) {
     m_deallocations_->inc();
@@ -272,7 +387,7 @@ std::vector<AppId> Allocator::deallocate(AppId id) {
     sink->emit("alloc", "deallocate", telemetry::kNoFid,
                {{"app", id}, {"blocks", blocks}});
   }
-  return diff_against(before, id);
+  return changed;
 }
 
 double Allocator::utilization() const {

@@ -3,6 +3,18 @@
 // configured scheme scores best (worst-fit over fungible memory by
 // default), then computes final assignments for every (re)allocated
 // instance. Existing applications are never moved across stages.
+//
+// Two search paths produce byte-identical placements:
+//   - kIndexed (default): per-stage feasibility and scores are O(1) reads
+//     of the incremental StageState accounting and the StageScoreIndex;
+//     per-mutant demands collapse into epoch-stamped scratch arrays (no
+//     allocation per candidate), hopeless requests are rejected against
+//     the index's global bound before enumerating a single mutant, and
+//     disturbed apps are collected from per-stage rebalance change lists.
+//   - kRescan (legacy): the original full-rescan implementation -- a map
+//     of demands per mutant, linear stage scans, and whole-allocator
+//     region snapshots diffed before/after. Kept as the reference the
+//     parity tests and the allocator bench gate compare against.
 #pragma once
 
 #include <map>
@@ -11,6 +23,7 @@
 
 #include "alloc/mutant.hpp"
 #include "alloc/request.hpp"
+#include "alloc/stage_index.hpp"
 #include "alloc/stage_state.hpp"
 #include "common/types.hpp"
 
@@ -32,6 +45,16 @@ enum class Scheme {
 };
 
 const char* scheme_name(Scheme scheme);
+
+// Which admission-search implementation runs (see the header comment).
+// Placements are identical either way; kIndexed is O(changed) per
+// operation where kRescan is O(residents).
+enum class SearchMode {
+  kIndexed,  // incremental indexes (default)
+  kRescan,   // legacy full-rescan reference path
+};
+
+const char* search_mode_name(SearchMode mode);
 
 // How AllocationOutcome::search_ms / assign_ms are produced. The default
 // measures real host time (the paper's Figs. 5/12 methodology), which
@@ -82,6 +105,9 @@ class Allocator {
   AllocationOutcome allocate(const AllocationRequest& request);
 
   // Releases an application; returns the apps rebalanced as a result.
+  // A non-resident id is a graceful no-op (empty result, counted under
+  // `alloc.dealloc_unknown`): release retries and departure races are
+  // expected under churn and must not wedge the control plane.
   std::vector<AppId> deallocate(AppId id);
 
   // --- queries (drive the evaluation figures) ---
@@ -98,6 +124,7 @@ class Allocator {
   // Total blocks currently held by each elastic app (fairness input).
   [[nodiscard]] std::vector<double> elastic_totals() const;
   [[nodiscard]] const StageState& stage(u32 index) const;
+  [[nodiscard]] const StageScoreIndex& stage_index() const { return index_; }
   [[nodiscard]] const StageGeometry& geometry() const { return geometry_; }
   [[nodiscard]] u32 blocks_per_stage() const { return blocks_per_stage_; }
   [[nodiscard]] Scheme scheme() const { return scheme_; }
@@ -116,6 +143,11 @@ class Allocator {
     return compute_model_;
   }
 
+  // Selects the admission-search implementation (see SearchMode). Safe to
+  // flip between operations: both paths share the same stage state.
+  void set_search_mode(SearchMode mode) { search_mode_ = mode; }
+  [[nodiscard]] SearchMode search_mode() const { return search_mode_; }
+
  private:
   // Per-stage demand of a request under a mutant (accesses in the same
   // physical stage collapse to their maximum demand: one object per stage).
@@ -129,23 +161,51 @@ class Allocator {
   [[nodiscard]] double score(const AllocationRequest& request,
                              const std::map<u32, u32>& demands) const;
 
-  // Snapshot of every app's regions (for reallocation diffing).
+  // One scheme term for `stage` under `demand`; shared by both paths so
+  // their scores are bit-identical (integer-valued double addends).
+  [[nodiscard]] double score_term(const AllocationRequest& request, u32 stage,
+                                  u32 demand) const;
+
+  // Indexed search body: collapses the candidate's demands into the
+  // epoch-stamped scratch arrays and evaluates feasibility + score with
+  // O(1) per-stage reads. Returns false when infeasible.
+  [[nodiscard]] bool evaluate_indexed(const AllocationRequest& request,
+                                      const Mutant& candidate, double& score);
+
+  // Snapshot of every app's regions (kRescan reallocation diffing).
   [[nodiscard]] std::map<AppId, std::map<u32, Interval>> snapshot() const;
   [[nodiscard]] std::vector<AppId> diff_against(
       const std::map<AppId, std::map<u32, Interval>>& before,
       AppId exclude) const;
+
+  // kIndexed disturbance report: union of the touched stages' rebalance
+  // change lists, sorted and deduplicated, excluding `exclude`.
+  [[nodiscard]] std::vector<AppId> collect_changed(
+      const std::map<u32, u32>& touched, AppId exclude) const;
 
   StageGeometry geometry_;
   u32 blocks_per_stage_;
   Scheme scheme_;
   MutantPolicy policy_;
   std::vector<StageState> stages_;
+  StageScoreIndex index_;
   ComputeModel compute_model_;
+  SearchMode search_mode_ = SearchMode::kIndexed;
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_id_ = 1;
+
+  // Scratch for the indexed per-mutant demand collapse (no allocation per
+  // candidate: stamped entries expire by epoch, not by clearing).
+  std::vector<u32> scratch_demand_;
+  std::vector<u64> scratch_stamp_;
+  std::vector<u32> scratch_stages_;
+  u64 scratch_epoch_ = 0;
+
   telemetry::Counter* m_allocations_ = nullptr;
   telemetry::Counter* m_failures_ = nullptr;
   telemetry::Counter* m_deallocations_ = nullptr;
+  telemetry::Counter* m_dealloc_unknown_ = nullptr;
+  telemetry::Counter* m_search_pruned_ = nullptr;
   telemetry::Counter* m_blocks_allocated_ = nullptr;
   telemetry::Counter* m_blocks_freed_ = nullptr;
   telemetry::Gauge* m_resident_ = nullptr;

@@ -1,0 +1,46 @@
+#include "alloc/stage_index.hpp"
+
+namespace artmt::alloc {
+
+void StageScoreIndex::reset(const std::vector<StageState>& stages) {
+  entries_.clear();
+  by_fungible_.clear();
+  by_headroom_.clear();
+  by_inelastic_.clear();
+  entries_.reserve(stages.size());
+  for (u32 s = 0; s < stages.size(); ++s) {
+    const StageState& state = stages[s];
+    Entry e;
+    e.fungible = state.fungible_blocks();
+    e.headroom = state.elastic_headroom();
+    e.inelastic_fit = state.max_inelastic_fit();
+    entries_.push_back(e);
+    by_fungible_.emplace(e.fungible, s);
+    by_headroom_.emplace(e.headroom, s);
+    by_inelastic_.emplace(e.inelastic_fit, s);
+  }
+}
+
+void StageScoreIndex::refresh(u32 stage, const StageState& state) {
+  Entry& e = entries_[stage];
+  const u32 fungible = state.fungible_blocks();
+  const u32 headroom = state.elastic_headroom();
+  const u32 inelastic_fit = state.max_inelastic_fit();
+  if (fungible != e.fungible) {
+    by_fungible_.erase(by_fungible_.find({e.fungible, stage}));
+    by_fungible_.emplace(fungible, stage);
+    e.fungible = fungible;
+  }
+  if (headroom != e.headroom) {
+    by_headroom_.erase(by_headroom_.find({e.headroom, stage}));
+    by_headroom_.emplace(headroom, stage);
+    e.headroom = headroom;
+  }
+  if (inelastic_fit != e.inelastic_fit) {
+    by_inelastic_.erase(by_inelastic_.find({e.inelastic_fit, stage}));
+    by_inelastic_.emplace(inelastic_fit, stage);
+    e.inelastic_fit = inelastic_fit;
+  }
+}
+
+}  // namespace artmt::alloc

@@ -1,0 +1,87 @@
+// Ordered per-stage score indexes for the incremental allocator. The
+// admission search consults three orderings of the stage set -- fungible
+// blocks (worst-fit wants the max, best-fit the min), elastic headroom,
+// and the largest admissible inelastic demand -- and each must stay
+// current across thousands of allocate/deallocate events per second.
+// This index mirrors those three per-stage scalars into multisets so the
+// extremes are O(1) reads and a stage refresh after a mutation is
+// O(log S), replacing the per-admission rescans of every stage.
+//
+// The headroom/fit maxima double as a global feasibility bound: a request
+// whose bottleneck demand exceeds the best stage's capability cannot be
+// placed by any mutant, so the allocator rejects it without enumerating
+// the mutant space at all (the "hopeless mutant" prune).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "alloc/stage_state.hpp"
+#include "common/types.hpp"
+
+namespace artmt::alloc {
+
+class StageScoreIndex {
+ public:
+  StageScoreIndex() = default;
+
+  // (Re)builds every entry from scratch; O(S log S).
+  void reset(const std::vector<StageState>& stages);
+
+  // Re-syncs one stage's entries after a mutation; O(log S).
+  void refresh(u32 stage, const StageState& state);
+
+  // --- extremes (O(1): multiset ends) ---
+  // Most fungible memory anywhere (worst-fit's candidate score).
+  [[nodiscard]] u32 max_fungible() const { return max_of(by_fungible_); }
+  // Least fungible memory anywhere (best-fit's candidate score).
+  [[nodiscard]] u32 min_fungible() const { return min_of(by_fungible_); }
+  // Largest elastic minimum any single stage can still admit.
+  [[nodiscard]] u32 max_elastic_headroom() const {
+    return max_of(by_headroom_);
+  }
+  // Largest inelastic demand any single stage can still admit.
+  [[nodiscard]] u32 max_inelastic_fit() const { return max_of(by_inelastic_); }
+
+  // --- candidate stages (O(1)) ---
+  // Stage holding the most fungible memory (ties: highest stage index).
+  [[nodiscard]] u32 worst_fit_stage() const {
+    return by_fungible_.empty() ? 0 : std::prev(by_fungible_.end())->second;
+  }
+  // Stage holding the least fungible memory (ties: lowest stage index,
+  // the multiset's ordering).
+  [[nodiscard]] u32 best_fit_stage() const {
+    return by_fungible_.empty() ? 0 : by_fungible_.begin()->second;
+  }
+
+  // Whether `request_max_demand` could possibly be placed somewhere.
+  [[nodiscard]] bool feasible_anywhere(bool elastic, u32 max_demand) const {
+    return elastic ? max_elastic_headroom() >= max_demand
+                   : max_inelastic_fit() >= max_demand;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  using Order = std::multiset<std::pair<u32, u32>>;  // (value, stage)
+
+  struct Entry {
+    u32 fungible = 0;
+    u32 headroom = 0;
+    u32 inelastic_fit = 0;
+  };
+
+  static u32 max_of(const Order& order) {
+    return order.empty() ? 0 : std::prev(order.end())->first;
+  }
+  static u32 min_of(const Order& order) {
+    return order.empty() ? 0 : order.begin()->first;
+  }
+
+  std::vector<Entry> entries_;  // current value per stage, for erasure
+  Order by_fungible_;
+  Order by_headroom_;
+  Order by_inelastic_;
+};
+
+}  // namespace artmt::alloc

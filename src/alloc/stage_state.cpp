@@ -11,27 +11,31 @@ StageState::StageState(u32 capacity_blocks) : capacity_(capacity_blocks) {
   if (capacity_blocks == 0) throw UsageError("StageState: zero capacity");
 }
 
-u32 StageState::elastic_min_total() const {
-  u32 sum = 0;
-  for (const auto& member : elastic_) sum += member.min_blocks;
-  return sum;
-}
-
 bool StageState::inelastic_fits(u32 demand) const {
   if (demand == 0) throw UsageError("StageState: zero inelastic demand");
-  if (holes_.find_first_fit(demand)) return true;
+  if (holes_.max_size() >= demand) return true;
   // Extend the frontier: elastic members can be squeezed to their minima.
-  return capacity_ - frontier_ >= demand + elastic_min_total();
+  return capacity_ - frontier_ >= demand + elastic_min_total_;
 }
 
 bool StageState::inelastic_needs_frontier(u32 demand) const {
-  return !holes_.find_first_fit(demand).has_value();
+  return holes_.max_size() < demand;
+}
+
+u32 StageState::max_inelastic_fit() const {
+  const u32 pool = capacity_ - frontier_;
+  const u32 frontier_room =
+      pool > elastic_min_total_ ? pool - elastic_min_total_ : 0;
+  return std::max(holes_.max_size(), frontier_room);
+}
+
+u32 StageState::largest_free_run() const {
+  const u32 tail = capacity_ - layout_end_;
+  return std::max(holes_.max_size(), tail);
 }
 
 void StageState::add_inelastic(AppId id, u32 demand) {
-  if (inelastic_.contains(id) ||
-      std::any_of(elastic_.begin(), elastic_.end(),
-                  [id](const ElasticMember& m) { return m.id == id; })) {
+  if (regions_.contains(id)) {
     throw UsageError("StageState: app already resident in stage");
   }
   Interval region;
@@ -39,7 +43,7 @@ void StageState::add_inelastic(AppId id, u32 demand) {
     region = Interval{hole->begin, hole->begin + demand};
     holes_.remove(region);
   } else {
-    if (capacity_ - frontier_ < demand + elastic_min_total()) {
+    if (capacity_ - frontier_ < demand + elastic_min_total_) {
       throw UsageError("StageState: inelastic demand does not fit");
     }
     region = Interval{frontier_, frontier_ + demand};
@@ -47,6 +51,7 @@ void StageState::add_inelastic(AppId id, u32 demand) {
   }
   inelastic_[id] = region;
   regions_[id] = region;
+  inelastic_total_ += demand;
   rebalance();
 }
 
@@ -56,6 +61,7 @@ void StageState::remove_inelastic(AppId id) {
     throw UsageError("StageState: unknown inelastic app");
   }
   holes_.insert(it->second);
+  inelastic_total_ -= it->second.size();
   inelastic_.erase(it);
   regions_.erase(id);
   // Return frontier-adjacent free space to the elastic pool.
@@ -71,7 +77,7 @@ void StageState::remove_inelastic(AppId id) {
 
 bool StageState::elastic_fits(u32 min_blocks) const {
   if (min_blocks == 0) throw UsageError("StageState: zero elastic minimum");
-  return capacity_ - frontier_ >= elastic_min_total() + min_blocks;
+  return elastic_headroom() >= min_blocks;
 }
 
 void StageState::add_elastic(AppId id, u32 min_blocks, u32 cap_blocks) {
@@ -82,6 +88,7 @@ void StageState::add_elastic(AppId id, u32 min_blocks, u32 cap_blocks) {
     throw UsageError("StageState: elastic minimum does not fit");
   }
   elastic_.push_back(ElasticMember{id, min_blocks, cap_blocks});
+  elastic_min_total_ += min_blocks;
   rebalance();
 }
 
@@ -90,6 +97,7 @@ void StageState::remove_elastic(AppId id) {
       std::find_if(elastic_.begin(), elastic_.end(),
                    [id](const ElasticMember& m) { return m.id == id; });
   if (it == elastic_.end()) throw UsageError("StageState: unknown elastic app");
+  elastic_min_total_ -= it->min_blocks;
   elastic_.erase(it);
   regions_.erase(id);
   rebalance();
@@ -125,30 +133,28 @@ void StageState::rebalance() {
     heap.emplace(share[i], i);
   }
 
-  // Contiguous layout in arrival order, with regions_ updated in place.
+  // Contiguous layout in arrival order, with regions_ updated in place and
+  // every moved member recorded for the allocator's disturbance report.
+  changed_.clear();
   u32 cursor = frontier_;
+  u32 share_total = 0;
   for (std::size_t i = 0; i < elastic_.size(); ++i) {
-    regions_[elastic_[i].id] = Interval{cursor, cursor + share[i]};
-    cursor += share[i];
-  }
-}
-
-u32 StageState::allocated_blocks() const {
-  u32 sum = 0;
-  for (const auto& [id, region] : regions_) sum += region.size();
-  return sum;
-}
-
-u32 StageState::fungible_blocks() const {
-  return free_blocks() + [this] {
-    u32 beyond_min = 0;
-    for (const auto& member : elastic_) {
-      const auto it = regions_.find(member.id);
-      const u32 share = it == regions_.end() ? 0 : it->second.size();
-      beyond_min += share > member.min_blocks ? share - member.min_blocks : 0;
+    const Interval region{cursor, cursor + share[i]};
+    auto [it, inserted] = regions_.try_emplace(elastic_[i].id, region);
+    if (!inserted) {
+      if (it->second != region) {
+        it->second = region;
+        changed_.push_back(elastic_[i].id);
+      }
+    } else {
+      changed_.push_back(elastic_[i].id);
     }
-    return beyond_min;
-  }();
+    cursor += share[i];
+    share_total += share[i];
+  }
+  layout_end_ = cursor;
+  elastic_share_total_ = share_total;
+  std::sort(changed_.begin(), changed_.end());
 }
 
 }  // namespace artmt::alloc

@@ -5,6 +5,15 @@
 // literal progressive filling. Departing inelastic apps leave holes that
 // only new inelastic apps reuse (the fragmentation the paper accepts);
 // holes touching the frontier are returned to the elastic pool.
+//
+// All aggregate queries the allocator's admission search issues per
+// candidate stage -- fungible blocks, fit checks, allocated totals -- are
+// O(1) reads of incrementally maintained accounting (the hole set keeps a
+// size index, and the elastic minima/share totals update on membership
+// change), so scoring a mutant never rescans stage membership. Rebalances
+// additionally record which members' regions moved (`last_changed`), which
+// lets the allocator report disturbed apps without diffing a full
+// snapshot of every resident application.
 #pragma once
 
 #include <map>
@@ -46,11 +55,29 @@ class StageState {
   }
   [[nodiscard]] bool has_app(AppId id) const { return regions_.contains(id); }
   [[nodiscard]] u32 capacity() const { return capacity_; }
-  [[nodiscard]] u32 allocated_blocks() const;
+  // O(1): inelastic totals and elastic share totals update incrementally.
+  [[nodiscard]] u32 allocated_blocks() const {
+    return inelastic_total_ + elastic_share_total_;
+  }
   [[nodiscard]] u32 free_blocks() const { return capacity_ - allocated_blocks(); }
   // Free blocks plus elastic memory beyond minimum shares -- the paper's
-  // "fungible" metric driving worst/best-fit costs.
-  [[nodiscard]] u32 fungible_blocks() const;
+  // "fungible" metric driving worst/best-fit costs. O(1): algebraically
+  // capacity - inelastic_total - elastic_min_total, independent of the
+  // current share split.
+  [[nodiscard]] u32 fungible_blocks() const {
+    return capacity_ - inelastic_total_ - elastic_min_total_;
+  }
+  // Elastic pool room beyond the resident minima: one more elastic member
+  // with min m fits iff m <= elastic_headroom(). O(1).
+  [[nodiscard]] u32 elastic_headroom() const {
+    return capacity_ - frontier_ - elastic_min_total_;
+  }
+  // Largest inelastic demand this stage could admit right now (biggest
+  // hole, or frontier room once elastic members squeeze to minima). O(1).
+  [[nodiscard]] u32 max_inelastic_fit() const;
+  // Largest contiguous run of unallocated blocks (fragmentation metric:
+  // largest free run / free_blocks). O(1).
+  [[nodiscard]] u32 largest_free_run() const;
   [[nodiscard]] u32 elastic_member_count() const {
     return static_cast<u32>(elastic_.size());
   }
@@ -61,6 +88,14 @@ class StageState {
   // (i.e. disturb elastic members) rather than fill an existing hole.
   [[nodiscard]] bool inelastic_needs_frontier(u32 demand) const;
 
+  // Members whose regions changed in the most recent rebalance (sorted by
+  // AppId, no duplicates). Newly added members count as changed; removed
+  // members never appear. The allocator unions these across the stages an
+  // operation touched to report disturbed apps incrementally.
+  [[nodiscard]] const std::vector<AppId>& last_changed() const {
+    return changed_;
+  }
+
  private:
   struct ElasticMember {
     AppId id;
@@ -68,7 +103,7 @@ class StageState {
     u32 cap_blocks;  // 0 = uncapped
   };
 
-  [[nodiscard]] u32 elastic_min_total() const;
+  [[nodiscard]] u32 elastic_min_total() const { return elastic_min_total_; }
 
   u32 capacity_;
   u32 frontier_ = 0;  // elastic pool is [frontier_, capacity_)
@@ -76,6 +111,13 @@ class StageState {
   std::map<AppId, Interval> inelastic_;
   std::vector<ElasticMember> elastic_;     // arrival order = layout order
   std::map<AppId, Interval> regions_;      // all apps (derived)
+
+  // Incremental accounting (kept in lockstep by add/remove/rebalance).
+  u32 inelastic_total_ = 0;      // sum of inelastic region sizes
+  u32 elastic_min_total_ = 0;    // sum of elastic minima
+  u32 elastic_share_total_ = 0;  // sum of current elastic shares
+  u32 layout_end_ = 0;           // end of the last elastic region
+  std::vector<AppId> changed_;   // members moved by the last rebalance
 };
 
 }  // namespace artmt::alloc

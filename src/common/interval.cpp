@@ -7,7 +7,28 @@
 namespace artmt {
 
 IntervalSet::IntervalSet(u32 size) {
-  if (size > 0) intervals_.push_back(Interval{0, size});
+  if (size > 0) list_insert(intervals_.end(), Interval{0, size});
+}
+
+void IntervalSet::list_insert(std::vector<Interval>::iterator pos,
+                              const Interval& iv) {
+  by_size_.emplace(iv.size(), iv.begin);
+  total_ += iv.size();
+  intervals_.insert(pos, iv);
+}
+
+void IntervalSet::list_erase(std::vector<Interval>::iterator pos) {
+  by_size_.erase(by_size_.find({pos->size(), pos->begin}));
+  total_ -= pos->size();
+  intervals_.erase(pos);
+}
+
+void IntervalSet::list_resize(std::vector<Interval>::iterator pos,
+                              const Interval& iv) {
+  by_size_.erase(by_size_.find({pos->size(), pos->begin}));
+  total_ += iv.size() - pos->size();
+  by_size_.emplace(iv.size(), iv.begin);
+  *pos = iv;
 }
 
 void IntervalSet::insert(const Interval& iv) {
@@ -22,20 +43,24 @@ void IntervalSet::insert(const Interval& iv) {
   if (it != intervals_.begin() && iv.overlaps(*std::prev(it))) {
     throw UsageError("IntervalSet::insert: overlapping interval");
   }
-  it = intervals_.insert(it, iv);
-  // Coalesce with successor, then predecessor.
-  if (auto next = std::next(it);
-      next != intervals_.end() && it->end == next->begin) {
-    it->end = next->end;
-    intervals_.erase(next);
+  // Coalesce with successor and predecessor without round-tripping through
+  // separate inserts, so the size index sees each final interval once.
+  Interval merged = iv;
+  if (it != intervals_.end() && merged.end == it->begin) {
+    merged.end = it->end;
+    list_erase(it);
+    it = std::lower_bound(
+        intervals_.begin(), intervals_.end(), merged,
+        [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
   }
   if (it != intervals_.begin()) {
     auto prev = std::prev(it);
-    if (prev->end == it->begin) {
-      prev->end = it->end;
-      intervals_.erase(it);
+    if (prev->end == merged.begin) {
+      list_resize(prev, Interval{prev->begin, merged.end});
+      return;
     }
   }
+  list_insert(it, merged);
 }
 
 void IntervalSet::remove(const Interval& iv) {
@@ -44,9 +69,16 @@ void IntervalSet::remove(const Interval& iv) {
     if (it->begin <= iv.begin && iv.end <= it->end) {
       const Interval left{it->begin, iv.begin};
       const Interval right{iv.end, it->end};
-      intervals_.erase(it);
-      if (!right.empty()) insert(right);
-      if (!left.empty()) insert(left);
+      if (left.empty() && right.empty()) {
+        list_erase(it);
+      } else if (left.empty()) {
+        list_resize(it, right);
+      } else if (right.empty()) {
+        list_resize(it, left);
+      } else {
+        list_resize(it, left);
+        list_insert(std::next(it), right);
+      }
       return;
     }
   }
@@ -54,6 +86,7 @@ void IntervalSet::remove(const Interval& iv) {
 }
 
 std::optional<Interval> IntervalSet::find_first_fit(u32 size) const {
+  if (max_size() < size) return std::nullopt;  // O(1) rejection
   for (const auto& iv : intervals_) {
     if (iv.size() >= size) return iv;
   }
@@ -61,11 +94,11 @@ std::optional<Interval> IntervalSet::find_first_fit(u32 size) const {
 }
 
 std::optional<Interval> IntervalSet::find_best_fit(u32 size) const {
-  std::optional<Interval> best;
-  for (const auto& iv : intervals_) {
-    if (iv.size() >= size && (!best || iv.size() < best->size())) best = iv;
-  }
-  return best;
+  // (size, begin) ordering: the lower bound is the smallest interval that
+  // fits, lowest address among equal sizes.
+  const auto it = by_size_.lower_bound({size, 0});
+  if (it == by_size_.end()) return std::nullopt;
+  return Interval{it->second, it->second + it->first};
 }
 
 std::optional<Interval> IntervalSet::find_largest() const {
@@ -76,10 +109,8 @@ std::optional<Interval> IntervalSet::find_largest() const {
   return best;
 }
 
-u32 IntervalSet::total() const {
-  u32 sum = 0;
-  for (const auto& iv : intervals_) sum += iv.size();
-  return sum;
+u32 IntervalSet::max_size() const {
+  return by_size_.empty() ? 0 : by_size_.rbegin()->first;
 }
 
 bool IntervalSet::contains(const Interval& iv) const {

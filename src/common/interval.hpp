@@ -1,9 +1,15 @@
 // Half-open block intervals and a free-list style interval set, the
 // bookkeeping primitive beneath per-stage block allocation (Section 4.1:
 // applications receive a contiguous set of blocks per logical stage).
+//
+// The set keeps a size-ordered index alongside the address-ordered list,
+// so the queries the allocator's admission hot path issues per candidate
+// stage -- "does any hole fit `size`?" (max_size), total free space, and
+// best-fit lookup -- are O(1)/O(log n) instead of linear rescans.
 #pragma once
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -46,19 +52,31 @@ class IntervalSet {
   [[nodiscard]] std::optional<Interval> find_first_fit(u32 size) const;
 
   // Smallest interval that still fits `size` blocks (ties: lowest address).
+  // O(log n) via the size index.
   [[nodiscard]] std::optional<Interval> find_best_fit(u32 size) const;
 
   // Largest interval (ties: lowest address); caller checks it fits.
   [[nodiscard]] std::optional<Interval> find_largest() const;
 
-  [[nodiscard]] u32 total() const;
+  // Size of the largest interval (0 when empty); O(1).
+  [[nodiscard]] u32 max_size() const;
+
+  // Total blocks held; O(1) (maintained incrementally).
+  [[nodiscard]] u32 total() const { return total_; }
   [[nodiscard]] bool contains(const Interval& iv) const;
   [[nodiscard]] const std::vector<Interval>& intervals() const {
     return intervals_;
   }
 
  private:
+  // Raw list edits that keep the size index and total in sync.
+  void list_insert(std::vector<Interval>::iterator pos, const Interval& iv);
+  void list_erase(std::vector<Interval>::iterator pos);
+  void list_resize(std::vector<Interval>::iterator pos, const Interval& iv);
+
   std::vector<Interval> intervals_;  // sorted by begin, disjoint, non-empty
+  std::multiset<std::pair<u32, u32>> by_size_;  // (size, begin) mirror
+  u32 total_ = 0;
 };
 
 }  // namespace artmt

@@ -19,6 +19,7 @@ struct ControllerMetrics {
         releases(&r.counter("controller", "releases")),
         reallocations(&r.counter("controller", "reallocations")),
         table_entry_updates(&r.counter("controller", "table_entry_updates")),
+        table_update_batches(&r.counter("controller", "table_update_batches")),
         blocks_snapshotted(&r.counter("controller", "blocks_snapshotted")),
         extraction_timeouts(&r.counter("controller", "extraction_timeouts")),
         compute_us(&r.histogram("controller", "admit_compute_us")),
@@ -31,6 +32,7 @@ struct ControllerMetrics {
   telemetry::Counter* releases;
   telemetry::Counter* reallocations;
   telemetry::Counter* table_entry_updates;
+  telemetry::Counter* table_update_batches;
   telemetry::Counter* blocks_snapshotted;
   telemetry::Counter* extraction_timeouts;
   telemetry::Histogram* compute_us;
@@ -241,8 +243,12 @@ AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
       blocks_cleared += region.size();
     }
   }
+  // One coalesced driver batch per application whose entries change: the
+  // new app's contiguous installs plus each disturbed app's replace.
+  result.table_update_batches = 1 + result.disturbed.size();
   result.table_update_cost =
-      static_cast<SimTime>(entry_ops) * costs_.table_entry_update;
+      costs_.table_update_time(entry_ops, result.table_update_batches);
+  stats_.table_update_batches += result.table_update_batches;
   result.snapshot_cost =
       static_cast<SimTime>(blocks_snapshotted) * costs_.snapshot_per_block;
   result.clear_cost =
@@ -251,6 +257,7 @@ AdmissionResult Controller::admit(const alloc::AllocationRequest& request) {
   if (metrics_) {
     metrics_->admissions->inc();
     metrics_->reallocations->inc(result.disturbed.size());
+    metrics_->table_update_batches->inc(result.table_update_batches);
     u64 fid_blocks = 0;
     for (const auto& [stage, region] :
          alloc_.regions_of(result.outcome.app)) {
@@ -393,8 +400,15 @@ ReleaseResult Controller::release(Fid fid) {
     }
   }
 
+  // Coalesced batches: the departing app's removals plus one ranged
+  // replace per disturbed app.
+  result.table_update_batches = 1 + result.disturbed.size();
   result.table_update_cost =
-      static_cast<SimTime>(entry_ops) * costs_.table_entry_update;
+      costs_.table_update_time(entry_ops, result.table_update_batches);
+  stats_.table_update_batches += result.table_update_batches;
+  if (metrics_) {
+    metrics_->table_update_batches->inc(result.table_update_batches);
+  }
   result.snapshot_cost =
       static_cast<SimTime>(blocks_snapshotted) * costs_.snapshot_per_block;
 

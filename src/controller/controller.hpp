@@ -43,6 +43,9 @@ struct AdmissionResult {
   SimTime table_update_cost = 0;
   SimTime snapshot_cost = 0;
   SimTime clear_cost = 0;
+  // Coalesced driver batches behind table_update_cost: one for the new
+  // app plus one per disturbed app (see CostModel::batched_updates).
+  u64 table_update_batches = 0;
 
   [[nodiscard]] SimTime provisioning_time() const {
     return static_cast<SimTime>(compute_ms * kMillisecond) +
@@ -54,6 +57,7 @@ struct ReleaseResult {
   std::vector<Fid> disturbed;  // apps rebalanced by the departure
   SimTime table_update_cost = 0;
   SimTime snapshot_cost = 0;
+  u64 table_update_batches = 0;  // see AdmissionResult::table_update_batches
 };
 
 // Aggregate control-plane counters.
@@ -63,6 +67,7 @@ struct ControllerStats {
   u64 releases = 0;
   u64 reallocations = 0;     // app-events: one app disturbed once
   u64 table_entry_updates = 0;
+  u64 table_update_batches = 0;  // coalesced driver batches (admit+release)
   u64 blocks_snapshotted = 0;
   u64 extraction_timeouts = 0;
   u64 tcam_rejections = 0;  // admissions denied for range-entry headroom

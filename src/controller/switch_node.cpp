@@ -43,12 +43,24 @@ struct SwitchMetrics {
   telemetry::Histogram* batch_size;
 };
 
+namespace {
+
+// Folds the Config convenience flag into the cost model handed to the
+// controller (either switch turns batching on).
+CostModel effective_costs(const SwitchNode::Config& config) {
+  CostModel costs = config.costs;
+  costs.batched_updates |= config.batched_table_updates;
+  return costs;
+}
+
+}  // namespace
+
 SwitchNode::SwitchNode(std::string name, const Config& config)
     : netsim::Node(std::move(name)),
       pipeline_(config.pipeline),
       runtime_(pipeline_),
       controller_(pipeline_, runtime_, config.scheme, config.policy,
-                  config.costs),
+                  effective_costs(config)),
       program_cache_(config.program_cache_entries),
       default_recirc_budget_(config.default_recirc_budget),
       zero_copy_(config.zero_copy),

@@ -33,6 +33,12 @@ class SwitchNode : public netsim::Node {
     alloc::Scheme scheme = alloc::Scheme::kWorstFit;
     alloc::MutantPolicy policy = alloc::MutantPolicy::most_constrained();
     CostModel costs;
+    // Convenience switch for CostModel::batched_updates: coalesce each
+    // application's table-entry operations into one ranged driver batch
+    // (sub-linear provisioning under churn). Off by default so the
+    // Fig. 8a per-entry composition is reproduced exactly; setting either
+    // this or costs.batched_updates enables batching.
+    bool batched_table_updates = false;
     // Wall-clock by default (the paper measures real allocator compute);
     // deterministic experiments (sharded-engine determinism tests,
     // artmt_stats --shards) use ComputeModel::deterministic() so virtual

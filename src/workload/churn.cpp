@@ -1,0 +1,76 @@
+#include "workload/churn.hpp"
+
+#include "common/error.hpp"
+
+namespace artmt::workload {
+
+namespace {
+
+// Substream tags (arbitrary distinct constants; stable across versions so
+// seeded traces replay identically).
+constexpr u64 kGapsTag = 0x6368726e'00000001ULL;
+constexpr u64 kLifetimesTag = 0x6368726e'00000002ULL;
+constexpr u64 kKindsTag = 0x6368726e'00000003ULL;
+
+}  // namespace
+
+PoissonChurn::PoissonChurn(const ChurnConfig& config)
+    : config_(config),
+      gaps_(Rng::substream(config.seed, kGapsTag)),
+      lifetimes_(Rng::substream(config.seed, kLifetimesTag)),
+      kinds_(Rng::substream(config.seed, kKindsTag)) {
+  if (config.arrival_rate <= 0.0) {
+    throw UsageError("PoissonChurn: arrival_rate must be positive");
+  }
+  if (config.mean_lifetime <= 0.0) {
+    throw UsageError("PoissonChurn: mean_lifetime must be positive");
+  }
+  next_arrival_ = gaps_.exponential(config_.arrival_rate);
+}
+
+AppKind PoissonChurn::draw_kind() {
+  double total = 0.0;
+  for (const double w : config_.kind_weights) total += w;
+  if (total <= 0.0) {
+    return static_cast<AppKind>(kinds_.uniform(kAppKinds));
+  }
+  double x = kinds_.uniform_double() * total;
+  for (u32 k = 0; k < kAppKinds; ++k) {
+    x -= config_.kind_weights[k];
+    if (x < 0.0) return static_cast<AppKind>(k);
+  }
+  return static_cast<AppKind>(kAppKinds - 1);  // fp round-off fallback
+}
+
+ChurnEvent PoissonChurn::next() {
+  ChurnEvent event;
+  if (!departures_.empty() && departures_.top().time <= next_arrival_) {
+    const PendingDeparture dep = departures_.top();
+    departures_.pop();
+    event.type = ChurnEvent::Type::kDeparture;
+    event.time = dep.time;
+    event.service = dep.service;
+    event.kind = dep.kind;
+    return event;
+  }
+  event.type = ChurnEvent::Type::kArrival;
+  event.time = next_arrival_;
+  event.service = next_service_++;
+  event.kind = draw_kind();
+  departures_.push(PendingDeparture{
+      event.time + lifetimes_.exponential(1.0 / config_.mean_lifetime),
+      event.service, event.kind});
+  next_arrival_ += gaps_.exponential(config_.arrival_rate);
+  return event;
+}
+
+std::vector<ChurnEvent> PoissonChurn::generate(const ChurnConfig& config,
+                                               std::size_t count) {
+  PoissonChurn churn(config);
+  std::vector<ChurnEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) events.push_back(churn.next());
+  return events;
+}
+
+}  // namespace artmt::workload

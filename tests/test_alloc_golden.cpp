@@ -1,0 +1,237 @@
+// Golden placement tests for the allocator refactor: a fixed request
+// sequence must keep producing exactly these placements (chosen mutants,
+// mutants_considered, disturbance counts) under every scheme, and the
+// indexed search path must match the legacy full-rescan reference
+// placement-for-placement under churn. Any drift here means the
+// incremental indexes changed an allocation decision, which invalidates
+// every calibrated figure downstream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "apps/programs.hpp"
+#include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/churn.hpp"
+
+namespace artmt::alloc {
+namespace {
+
+const StageGeometry kGeom{20, 10};
+constexpr u32 kBlocks = 368;
+
+// The fixed sequence: cache, hh, cache, lb, hh, cache.
+std::vector<AllocationRequest> golden_sequence() {
+  return {apps::cache_request(), apps::hh_request(), apps::cache_request(),
+          apps::lb_request(),    apps::hh_request(), apps::cache_request()};
+}
+
+struct GoldenStep {
+  bool success;
+  Mutant chosen;
+  u64 mutants_considered;
+  std::size_t reallocated;
+};
+
+void expect_golden(Scheme scheme, const std::vector<GoldenStep>& golden) {
+  Allocator alloc(kGeom, kBlocks, scheme);
+  const auto seq = golden_sequence();
+  ASSERT_EQ(seq.size(), golden.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const auto out = alloc.allocate(seq[i]);
+    SCOPED_TRACE(testing::Message() << scheme_name(scheme) << " step " << i);
+    EXPECT_EQ(out.success, golden[i].success);
+    EXPECT_EQ(out.chosen, golden[i].chosen);
+    EXPECT_EQ(out.mutants_considered, golden[i].mutants_considered);
+    EXPECT_EQ(out.reallocated.size(), golden[i].reallocated);
+  }
+}
+
+TEST(AllocGolden, WorstFitPlacements) {
+  expect_golden(Scheme::kWorstFit, {{true, {1, 4, 8}, 52, 0},
+                                    {true, {7, 12, 16, 24, 29, 36}, 1, 1},
+                                    {true, {2, 5, 10}, 52, 0},
+                                    {true, {2, 5, 12}, 1, 1},
+                                    {true, {7, 12, 16, 24, 29, 36}, 1, 1},
+                                    {true, {3, 6, 11}, 52, 0}});
+}
+
+TEST(AllocGolden, BestFitPlacements) {
+  expect_golden(Scheme::kBestFit, {{true, {1, 4, 8}, 52, 0},
+                                   {true, {7, 12, 16, 24, 29, 36}, 1, 1},
+                                   {true, {1, 4, 12}, 52, 1},
+                                   {true, {2, 5, 12}, 1, 1},
+                                   {true, {7, 12, 16, 24, 29, 36}, 1, 2},
+                                   {true, {1, 4, 12}, 52, 2}});
+}
+
+TEST(AllocGolden, FirstFitPlacements) {
+  expect_golden(Scheme::kFirstFit, {{true, {1, 4, 8}, 1, 0},
+                                    {true, {7, 12, 16, 24, 29, 36}, 1, 1},
+                                    {true, {1, 4, 8}, 1, 1},
+                                    {true, {2, 5, 12}, 1, 0},
+                                    {true, {7, 12, 16, 24, 29, 36}, 1, 2},
+                                    {true, {1, 4, 8}, 1, 2}});
+}
+
+TEST(AllocGolden, ReallocPlacements) {
+  expect_golden(Scheme::kRealloc, {{true, {1, 4, 8}, 52, 0},
+                                   {true, {7, 12, 16, 24, 29, 36}, 1, 1},
+                                   {true, {2, 5, 9}, 52, 0},
+                                   {true, {2, 5, 12}, 1, 1},
+                                   {true, {7, 12, 16, 24, 29, 36}, 1, 2},
+                                   {true, {3, 6, 10}, 52, 0}});
+}
+
+// --- indexed vs legacy-rescan parity under churn ---------------------------
+
+using Layout = std::vector<std::map<AppId, Interval>>;
+
+Layout layout_of(const Allocator& a) {
+  Layout out;
+  for (u32 s = 0; s < kGeom.logical_stages; ++s) {
+    out.push_back(a.stage(s).regions());
+  }
+  return out;
+}
+
+const AllocationRequest& request_for(workload::AppKind kind) {
+  static const AllocationRequest cache = apps::cache_request();
+  static const AllocationRequest hh = apps::hh_request();
+  static const AllocationRequest lb = apps::lb_request();
+  switch (kind) {
+    case workload::AppKind::kHeavyHitter:
+      return hh;
+    case workload::AppKind::kLoadBalancer:
+      return lb;
+    default:
+      return cache;
+  }
+}
+
+// Replays one Poisson churn stream through an indexed and a rescan
+// allocator, asserting identical outcomes after every operation: same
+// placements, same disturbed apps, same mutants_considered (the indexed
+// path may report 0 only on a failure it pruned), same final layout.
+void expect_parity(Scheme scheme) {
+  Allocator indexed(kGeom, kBlocks, scheme);
+  Allocator rescan(kGeom, kBlocks, scheme);
+  rescan.set_search_mode(SearchMode::kRescan);
+  ASSERT_EQ(indexed.search_mode(), SearchMode::kIndexed);
+
+  workload::ChurnConfig churn;
+  churn.arrival_rate = 3.0;
+  churn.mean_lifetime = 20.0;  // steady state ~60 apps: saturates 368 blocks
+  churn.seed = 7;
+  workload::PoissonChurn gen(churn);
+
+  std::map<u64, AppId> ids;  // both allocators assign identical AppIds
+  for (int i = 0; i < 600; ++i) {
+    const auto event = gen.next();
+    SCOPED_TRACE(testing::Message()
+                 << scheme_name(scheme) << " event " << i << " service "
+                 << event.service);
+    if (event.type == workload::ChurnEvent::Type::kArrival) {
+      const auto a = indexed.allocate(request_for(event.kind));
+      const auto b = rescan.allocate(request_for(event.kind));
+      ASSERT_EQ(a.success, b.success);
+      ASSERT_EQ(a.chosen, b.chosen);
+      ASSERT_EQ(a.regions, b.regions);
+      ASSERT_EQ(a.reallocated, b.reallocated);
+      if (a.success) {
+        ASSERT_EQ(a.app, b.app);
+        ASSERT_EQ(a.mutants_considered, b.mutants_considered);
+        ids[event.service] = a.app;
+      } else if (a.mutants_considered != 0) {
+        // Prune divergence is allowed only as indexed == 0 on failure.
+        ASSERT_EQ(a.mutants_considered, b.mutants_considered);
+      }
+    } else {
+      const auto it = ids.find(event.service);
+      if (it == ids.end()) continue;  // was rejected on arrival
+      ASSERT_EQ(indexed.deallocate(it->second), rescan.deallocate(it->second));
+      ids.erase(it);
+    }
+  }
+  ASSERT_EQ(indexed.resident_count(), rescan.resident_count());
+  ASSERT_EQ(layout_of(indexed), layout_of(rescan));
+  ASSERT_NEAR(indexed.utilization(), rescan.utilization(), 0.0);
+}
+
+TEST(AllocParity, WorstFit) { expect_parity(Scheme::kWorstFit); }
+TEST(AllocParity, BestFit) { expect_parity(Scheme::kBestFit); }
+TEST(AllocParity, FirstFit) { expect_parity(Scheme::kFirstFit); }
+TEST(AllocParity, Realloc) { expect_parity(Scheme::kRealloc); }
+
+// --- the global feasibility prune ------------------------------------------
+
+TEST(AllocPrune, HopelessRequestFailsWithoutEnumeration) {
+  telemetry::MetricsRegistry metrics;
+  Allocator indexed(kGeom, kBlocks);
+  indexed.set_metrics(&metrics);
+  Allocator rescan(kGeom, kBlocks);
+  rescan.set_search_mode(SearchMode::kRescan);
+
+  AllocationRequest hopeless;
+  hopeless.accesses = {AccessDemand{4, kBlocks + 1, -1}};  // > any stage
+  hopeless.program_length = 12;
+
+  const auto a = indexed.allocate(hopeless);
+  const auto b = rescan.allocate(hopeless);
+  EXPECT_FALSE(a.success);
+  EXPECT_FALSE(b.success);
+  EXPECT_EQ(a.mutants_considered, 0u);  // rejected against the index bound
+  EXPECT_GT(b.mutants_considered, 0u);  // legacy enumerates the space
+  EXPECT_EQ(metrics.counter("alloc", "search_pruned").value(), 1u);
+  EXPECT_EQ(indexed.resident_count(), 0u);
+
+  // A feasible request still succeeds afterwards: the prune is stateless.
+  EXPECT_TRUE(indexed.allocate(apps::cache_request()).success);
+}
+
+TEST(AllocPrune, IndexTracksOccupancyThroughChurn) {
+  // The prune bound is only sound if the index aggregates stay equal to a
+  // fresh rescan of the stage states after arbitrary alloc/dealloc churn.
+  Allocator alloc(kGeom, kBlocks);
+  workload::ChurnConfig churn;
+  churn.arrival_rate = 4.0;
+  churn.mean_lifetime = 15.0;
+  churn.seed = 21;
+  workload::PoissonChurn gen(churn);
+  std::map<u64, AppId> ids;
+  for (int i = 0; i < 400; ++i) {
+    const auto event = gen.next();
+    if (event.type == workload::ChurnEvent::Type::kArrival) {
+      const auto out = alloc.allocate(request_for(event.kind));
+      if (out.success) ids[event.service] = out.app;
+    } else if (const auto it = ids.find(event.service); it != ids.end()) {
+      alloc.deallocate(it->second);
+      ids.erase(it);
+    }
+
+    u32 max_fung = 0;
+    u32 min_fung = kBlocks;
+    u32 max_headroom = 0;
+    u32 max_fit = 0;
+    for (u32 s = 0; s < kGeom.logical_stages; ++s) {
+      const auto& stage = alloc.stage(s);
+      max_fung = std::max(max_fung, stage.fungible_blocks());
+      min_fung = std::min(min_fung, stage.fungible_blocks());
+      max_headroom = std::max(max_headroom, stage.elastic_headroom());
+      max_fit = std::max(max_fit, stage.max_inelastic_fit());
+    }
+    ASSERT_EQ(alloc.stage_index().max_fungible(), max_fung) << "event " << i;
+    ASSERT_EQ(alloc.stage_index().min_fungible(), min_fung) << "event " << i;
+    ASSERT_EQ(alloc.stage_index().max_elastic_headroom(), max_headroom)
+        << "event " << i;
+    ASSERT_EQ(alloc.stage_index().max_inelastic_fit(), max_fit)
+        << "event " << i;
+  }
+  EXPECT_GT(alloc.resident_count(), 0u);
+}
+
+}  // namespace
+}  // namespace artmt::alloc

@@ -5,6 +5,7 @@
 #include "apps/programs.hpp"
 #include "alloc/allocator.hpp"
 #include "common/fairness.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace artmt::alloc {
 namespace {
@@ -138,9 +139,26 @@ TEST(Allocator, DeallocateRebalancesCoTenants) {
   EXPECT_FALSE(disturbed.empty());
 }
 
-TEST(Allocator, DeallocateUnknownThrows) {
+TEST(Allocator, DeallocateUnknownIsGracefulNoOp) {
+  // Regression: release retries and departure races under churn used to
+  // throw UsageError; now a non-resident id is a counted no-op that
+  // leaves every resident app and all stage state untouched.
+  telemetry::MetricsRegistry metrics;
   auto alloc = make();
-  EXPECT_THROW((void)alloc.deallocate(7), UsageError);
+  alloc.set_metrics(&metrics);
+  const auto a = alloc.allocate(apps::cache_request());
+  ASSERT_TRUE(a.success);
+  const auto regions_before = alloc.regions_of(a.app);
+  const double util_before = alloc.utilization();
+
+  EXPECT_TRUE(alloc.deallocate(7777).empty());
+  EXPECT_TRUE(alloc.deallocate(7777).empty());  // idempotent
+
+  EXPECT_EQ(alloc.resident_count(), 1u);
+  EXPECT_EQ(alloc.regions_of(a.app), regions_before);
+  EXPECT_NEAR(alloc.utilization(), util_before, 1e-12);
+  EXPECT_EQ(metrics.counter("alloc", "dealloc_unknown").value(), 2u);
+  EXPECT_EQ(metrics.counter("alloc", "deallocations").value(), 0u);
 }
 
 TEST(Allocator, InelasticNeverDisturbedByElasticArrivals) {

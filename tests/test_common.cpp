@@ -247,6 +247,30 @@ TEST(IntervalSet, BestFitSmallest) {
   EXPECT_EQ(fit->size(), 3u);
 }
 
+TEST(IntervalSet, MaxSizeTracksEdits) {
+  IntervalSet s(20);
+  EXPECT_EQ(s.max_size(), 20u);
+  s.remove({3, 10});  // free: [0,3), [10,20)
+  EXPECT_EQ(s.max_size(), 10u);
+  s.remove({10, 20});
+  EXPECT_EQ(s.max_size(), 3u);
+  s.remove({0, 3});
+  EXPECT_EQ(s.max_size(), 0u);
+  s.insert({4, 9});
+  EXPECT_EQ(s.max_size(), 5u);
+  s.insert({3, 4});  // coalesces with [4,9) into [3,9)
+  EXPECT_EQ(s.max_size(), 6u);
+}
+
+TEST(IntervalSet, MaxSizeSurvivesSplitOfLargestRun) {
+  IntervalSet s(100);
+  s.remove({40, 45});  // free: [0,40), [45,100): max is the upper run
+  EXPECT_EQ(s.max_size(), 55u);
+  s.remove({60, 95});  // splits the largest: [45,60), [95,100)
+  EXPECT_EQ(s.max_size(), 40u);
+  EXPECT_EQ(s.total(), 100u - 5u - 35u);
+}
+
 TEST(IntervalSet, FindLargest) {
   IntervalSet s(20);
   s.remove({3, 10});

@@ -213,6 +213,84 @@ TEST_F(ControllerTest, CostsScaleWithDisturbance) {
   EXPECT_GT(second.provisioning_time(), first.provisioning_time());
 }
 
+TEST(CostModel, TableUpdateTimeBatchedVsUnbatched) {
+  CostModel costs;  // defaults: unbatched, 15 ms/entry
+  EXPECT_EQ(costs.table_update_time(10, 1), 10 * costs.table_entry_update);
+  EXPECT_EQ(costs.table_update_time(0, 0), 0);
+
+  costs.batched_updates = true;
+  // One coalesced batch: setup + per-entry streaming cost.
+  EXPECT_EQ(costs.table_update_time(10, 1),
+            costs.batch_setup + 10 * costs.batched_entry_update);
+  EXPECT_EQ(costs.table_update_time(10, 3),
+            3 * costs.batch_setup + 10 * costs.batched_entry_update);
+  EXPECT_EQ(costs.table_update_time(0, 3), 0);  // nothing to install
+  // At the defaults, batching wins whenever a batch has >1 entry.
+  EXPECT_LT(costs.table_update_time(10, 1),
+            static_cast<SimTime>(10) * CostModel{}.table_entry_update);
+}
+
+TEST(CostModel, BatchedAdmissionCoalescesPerApp) {
+  rmt::PipelineConfig cfg;
+  rmt::Pipeline pipe(cfg);
+  runtime::ActiveRuntime rt(pipe);
+  CostModel costs;
+  costs.batched_updates = true;
+  Controller ctrl(pipe, rt, alloc::Scheme::kFirstFit,
+                  alloc::MutantPolicy::most_constrained(), costs);
+
+  const auto first = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(first.admitted);
+  // Undisturbed admission: a single batch for the new app's entries.
+  EXPECT_EQ(first.table_update_batches, 1u);
+
+  const auto second = ctrl.admit(apps::cache_request());
+  ASSERT_TRUE(second.admitted);
+  ASSERT_EQ(second.disturbed.size(), 1u);
+  // One batch for the new app plus one per disturbed app.
+  EXPECT_EQ(second.table_update_batches, 2u);
+  ctrl.extraction_complete(first.fid);
+  ctrl.apply_pending();
+
+  EXPECT_EQ(ctrl.stats().table_update_batches, 3u);
+
+  const auto release = ctrl.release(second.fid);
+  EXPECT_EQ(release.table_update_batches, 2u);  // removal + survivor rewrite
+}
+
+TEST(CostModel, BatchedAdmissionIsCheaperUnderDisturbance) {
+  // Same workload through an unbatched and a batched controller: identical
+  // placements (the cost model never affects allocation), strictly smaller
+  // table-update cost once installs are coalesced.
+  rmt::PipelineConfig cfg;
+  CostModel batched;
+  batched.batched_updates = true;
+  rmt::Pipeline pipe_a(cfg);
+  runtime::ActiveRuntime rt_a(pipe_a);
+  Controller plain(pipe_a, rt_a, alloc::Scheme::kFirstFit);
+  rmt::Pipeline pipe_b(cfg);
+  runtime::ActiveRuntime rt_b(pipe_b);
+  Controller fast(pipe_b, rt_b, alloc::Scheme::kFirstFit,
+                  alloc::MutantPolicy::most_constrained(), batched);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto a = plain.admit(apps::cache_request());
+    const auto b = fast.admit(apps::cache_request());
+    ASSERT_EQ(a.admitted, b.admitted);
+    ASSERT_EQ(a.disturbed.size(), b.disturbed.size());
+    if (!a.disturbed.empty()) {
+      EXPECT_LT(b.table_update_cost, a.table_update_cost);
+    }
+    for (Controller* c : {&plain, &fast}) {
+      if (c->has_pending()) {
+        c->timeout_pending();
+        c->apply_pending();
+      }
+    }
+  }
+  EXPECT_EQ(plain.stats().table_entry_updates, fast.stats().table_entry_updates);
+}
+
 TEST_F(ControllerTest, StatsAccumulate) {
   const auto a = controller_.admit(apps::cache_request());
   controller_.admit(apps::lb_request());

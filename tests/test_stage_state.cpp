@@ -162,6 +162,71 @@ TEST(StageState, MinimaHonoredUnderContention) {
   EXPECT_EQ(s.allocated_blocks(), 10u);
 }
 
+TEST(StageState, LastChangedReportsMovedMembersOnly) {
+  StageState s(100);
+  s.add_elastic(1, 1);
+  s.add_elastic(2, 1);
+  // Adding app 2 split app 1's region: both moved.
+  EXPECT_EQ(s.last_changed(), (std::vector<AppId>{1, 2}));
+  // Squeezing the elastic pool moves 1 and 2; the pinned newcomer itself is
+  // not an elastic member and is never reported.
+  s.add_inelastic(3, 10);
+  EXPECT_EQ(s.last_changed(), (std::vector<AppId>{1, 2}));
+  s.remove_inelastic(3);
+  EXPECT_EQ(s.last_changed(), (std::vector<AppId>{1, 2}));
+}
+
+TEST(StageState, LastChangedEmptyWhenLayoutUndisturbed) {
+  StageState s(100);
+  s.add_inelastic(1, 10);
+  s.add_inelastic(2, 5);
+  // Pinned regions never move; removing a non-edge member disturbs nobody.
+  s.remove_inelastic(2);
+  EXPECT_TRUE(s.last_changed().empty());
+}
+
+TEST(StageState, LargestFreeRunTracksHoles) {
+  StageState s(100);
+  EXPECT_EQ(s.largest_free_run(), 100u);
+  s.add_inelastic(1, 10);
+  s.add_inelastic(2, 5);
+  s.add_inelastic(3, 7);
+  EXPECT_EQ(s.largest_free_run(), 78u);  // [22, 100)
+  s.remove_inelastic(2);
+  EXPECT_EQ(s.largest_free_run(), 78u);  // hole [10, 15) is smaller
+  s.remove_inelastic(3);
+  EXPECT_EQ(s.largest_free_run(), 90u);  // coalesced [10, 100)
+}
+
+TEST(StageState, MaxInelasticFitAccountsForElasticSqueeze) {
+  StageState s(100);
+  EXPECT_EQ(s.max_inelastic_fit(), 100u);
+  s.add_elastic(1, 30);  // takes the whole pool, squeezable back to 30
+  EXPECT_EQ(s.max_inelastic_fit(), 70u);
+  s.add_inelastic(2, 20);
+  EXPECT_EQ(s.max_inelastic_fit(), 50u);
+  s.remove_inelastic(2);
+  EXPECT_EQ(s.max_inelastic_fit(), 70u);
+}
+
+TEST(StageState, IncrementalAccountingMatchesRegionSum) {
+  // allocated_blocks()/fungible_blocks() are maintained incrementally;
+  // they must always agree with a from-scratch sum over regions().
+  StageState s(368);
+  s.add_inelastic(1, 40);
+  s.add_elastic(2, 10, 60);
+  s.add_elastic(3, 5);
+  s.remove_inelastic(1);
+  s.add_inelastic(4, 25);
+  s.remove_elastic(2);
+  u32 sum = 0;
+  for (const auto& [id, region] : s.regions()) sum += region.size();
+  EXPECT_EQ(s.allocated_blocks(), sum);
+  EXPECT_EQ(s.free_blocks(), 368u - sum);
+  // fungible = free + elastic squeeze (app 3 holds everything above min 5).
+  EXPECT_EQ(s.fungible_blocks(), s.free_blocks() + s.regions().at(3).size() - 5);
+}
+
 // Property: random churn keeps regions disjoint and within capacity.
 TEST(StageState, PropertyChurnKeepsInvariants) {
   StageState s(368);

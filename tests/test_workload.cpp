@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "workload/arrivals.hpp"
+#include "workload/churn.hpp"
 #include "workload/zipf.hpp"
 
 namespace artmt::workload {
@@ -109,6 +110,94 @@ TEST(Arrivals, KindNames) {
   EXPECT_STREQ(app_kind_name(AppKind::kCache), "cache");
   EXPECT_STREQ(app_kind_name(AppKind::kHeavyHitter), "heavy-hitter");
   EXPECT_STREQ(app_kind_name(AppKind::kLoadBalancer), "load-balancer");
+}
+
+TEST(Churn, DeterministicForSameSeed) {
+  ChurnConfig config;
+  config.seed = 9;
+  const auto a = PoissonChurn::generate(config, 500);
+  const auto b = PoissonChurn::generate(config, 500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].service, b[i].service);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  ChurnConfig other = config;
+  other.seed = 10;
+  const auto c = PoissonChurn::generate(other, 500);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.size() && !differs; ++i) {
+    differs = c[i].time != a[i].time || c[i].service != a[i].service;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Churn, EventsTimeOrderedAndPaired) {
+  ChurnConfig config;
+  config.arrival_rate = 5.0;
+  config.mean_lifetime = 2.0;
+  config.seed = 3;
+  PoissonChurn gen(config);
+  double last = 0.0;
+  std::map<u64, int> state;  // service -> 1 after arrival, 0 after departure
+  for (int i = 0; i < 2000; ++i) {
+    const auto event = gen.next();
+    ASSERT_GE(event.time, last);
+    last = event.time;
+    if (event.type == ChurnEvent::Type::kArrival) {
+      ASSERT_EQ(state.count(event.service), 0u) << "service re-arrived";
+      state[event.service] = 1;
+    } else {
+      ASSERT_EQ(state.at(event.service), 1) << "departure without arrival";
+      state[event.service] = 0;
+    }
+  }
+  u64 live = 0;
+  for (const auto& [svc, s] : state) live += static_cast<u64>(s);
+  EXPECT_EQ(live, gen.resident());
+}
+
+TEST(Churn, SteadyStateFollowsLittlesLaw) {
+  // L = lambda * W: at arrival rate 20/s and mean lifetime 5s the resident
+  // population should hover around 100 once warmed up.
+  ChurnConfig config;
+  config.arrival_rate = 20.0;
+  config.mean_lifetime = 5.0;
+  config.seed = 17;
+  PoissonChurn gen(config);
+  for (int i = 0; i < 4000; ++i) (void)gen.next();  // warm past ~10 lifetimes
+  double sum = 0;
+  const int samples = 8000;
+  for (int i = 0; i < samples; ++i) {
+    (void)gen.next();
+    sum += static_cast<double>(gen.resident());
+  }
+  EXPECT_NEAR(sum / samples, 100.0, 15.0);
+}
+
+TEST(Churn, KindWeightsShapeTheMix) {
+  ChurnConfig config;
+  config.kind_weights = {0.0, 1.0, 3.0};  // no caches, 1:3 hh:lb
+  config.seed = 29;
+  std::map<AppKind, int> counts;
+  for (const auto& event : PoissonChurn::generate(config, 6000)) {
+    if (event.type == ChurnEvent::Type::kArrival) counts[event.kind]++;
+  }
+  const int total = counts[AppKind::kHeavyHitter] + counts[AppKind::kLoadBalancer];
+  EXPECT_EQ(counts[AppKind::kCache], 0);
+  EXPECT_NEAR(static_cast<double>(counts[AppKind::kLoadBalancer]) / total,
+              0.75, 0.05);
+}
+
+TEST(Churn, InvalidRatesRejected) {
+  ChurnConfig config;
+  config.arrival_rate = 0.0;
+  EXPECT_THROW(PoissonChurn{config}, UsageError);
+  config.arrival_rate = 1.0;
+  config.mean_lifetime = -1.0;
+  EXPECT_THROW(PoissonChurn{config}, UsageError);
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   artmt_stats [--requests N] [--trace FILE] [--shards N]
-//               [--loss P] [--fault-seed S]
+//               [--loss P] [--fault-seed S] [--alloc]
 //     --requests N   data-plane requests per service (default 2000)
 //     --trace FILE   also write TraceSink JSON-lines (simulated
 //                    timestamps) for every control-plane/netsim event
@@ -23,6 +23,10 @@
 //                    the reliability.* retransmit schedules absorb the
 //                    loss (artmt_chaos runs the full scripted matrix)
 //     --fault-seed S seed for the loss plan's substreams (default 1)
+//     --alloc        instead of the metrics snapshot, dump the switch
+//                    allocator's state after the scenario: scheme, search
+//                    mode, resident count, and per-stage utilization +
+//                    fragmentation (largest free run / total free blocks)
 //
 // The snapshot goes to stdout; a human summary goes to stderr.
 #include <cstdio>
@@ -46,9 +50,45 @@
 
 using namespace artmt;
 
+namespace {
+
+// --alloc: the allocator's live state as JSON. Fragmentation per stage is
+// largest free run / total free blocks (1.0 = perfectly contiguous free
+// space; approaches 0 as holes shred it).
+void print_alloc_report(const alloc::Allocator& a) {
+  std::printf("{\n");
+  std::printf("  \"scheme\": \"%s\",\n", alloc::scheme_name(a.scheme()));
+  std::printf("  \"search_mode\": \"%s\",\n",
+              alloc::search_mode_name(a.search_mode()));
+  std::printf("  \"resident_apps\": %u,\n", a.resident_count());
+  std::printf("  \"utilization\": %.4f,\n", a.utilization());
+  std::printf("  \"stages\": [\n");
+  const u32 stages = a.geometry().logical_stages;
+  for (u32 s = 0; s < stages; ++s) {
+    const alloc::StageState& st = a.stage(s);
+    const u32 free = st.free_blocks();
+    const double frag =
+        free == 0 ? 1.0
+                  : static_cast<double>(st.largest_free_run()) /
+                        static_cast<double>(free);
+    std::printf(
+        "    {\"stage\": %u, \"capacity\": %u, \"allocated\": %u, "
+        "\"free\": %u, \"fungible\": %u, \"largest_free_run\": %u, "
+        "\"fragmentation\": %.4f, \"elastic_members\": %u, "
+        "\"inelastic_members\": %u}%s\n",
+        s, st.capacity(), st.allocated_blocks(), free, st.fungible_blocks(),
+        st.largest_free_run(), frag, st.elastic_member_count(),
+        st.inelastic_member_count(), s + 1 == stages ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   u32 requests = 2000;
   u32 shards = 0;  // 0 = the serial reference engine
+  bool alloc_report = false;
   double loss = 0.0;
   u64 fault_seed = 1;
   const char* trace_path = nullptr;
@@ -63,10 +103,12 @@ int main(int argc, char** argv) {
       loss = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       fault_seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--alloc") == 0) {
+      alloc_report = true;
     } else {
       std::fprintf(stderr,
                    "usage: artmt_stats [--requests N] [--trace FILE] "
-                   "[--shards N] [--loss P] [--fault-seed S]\n");
+                   "[--shards N] [--loss P] [--fault-seed S] [--alloc]\n");
       return 2;
     }
   }
@@ -263,7 +305,9 @@ int main(int argc, char** argv) {
     monitor->extract_reliability().export_metrics(reg, monitor_fid);
     monitor->handshake_reliability().export_metrics(reg, monitor_fid);
   };
-  if (ssim) {
+  if (alloc_report) {
+    print_alloc_report(sw->controller().allocator());
+  } else if (ssim) {
     telemetry::MetricsRegistry merged;
     ssim->merge_metrics_into(merged);
     ssim->export_shard_stats(merged);
