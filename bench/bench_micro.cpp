@@ -39,7 +39,9 @@
 #include "rmt/hash.hpp"
 #include "runtime/exec_batch.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 // --- global allocation counter -------------------------------------------
 // Counts every heap allocation made by this binary; the steady-state
@@ -276,6 +278,14 @@ int run_steady_state() {
 // gated off. Asserts (exit 1) that the instrumented path still performs
 // zero steady-state allocations and stays within 5% of the zero-copy
 // packets/sec baseline -- the CI `telemetry-overhead` gate.
+//
+// A fourth rig measures the always-on tracing configuration: span
+// emission live with the FlightRecorder ring armed (the production
+// forensic setup -- the full-capture SpanSink is an offline dump mode,
+// attached like a trace sink only when wanted), with metric/heatmap
+// recording gated off (the third rig already prices those). Gates: zero
+// steady-state allocations with the recorder armed (the ring is
+// preallocated) and within 5% of the zero-copy baseline with spans live.
 
 class SinkNode : public netsim::Node {
  public:
@@ -1013,27 +1023,139 @@ int run_e2e_datapath() {
   E2eRig legacy_rig(/*zero_copy=*/false);
   E2eRig zc_rig(/*zero_copy=*/true);
   E2eRig tel_rig(/*zero_copy=*/true, /*telemetry=*/true);
+  E2eRig spans_rig(/*zero_copy=*/true);
+  // The production always-on tracing configuration: every span event is
+  // emitted into the armed flight-recorder ring (preallocated, no dump
+  // dir -- recording only). The full-capture SpanSink is the offline
+  // forensic mode -- attached only when a dump is wanted, like a trace
+  // sink -- so it stays detached here; counters/heatmap stay gated off
+  // too (the third rig already prices those). The "spans" block thus
+  // prices exactly what a deployment pays to keep the recorder armed.
+  telemetry::FlightRecorder flight(telemetry::FlightRecorder::kDefaultCapacity,
+                                   1);
+  auto arm_spans = [&] { telemetry::set_flight_recorder(&flight); };
+  auto disarm_spans = [&] { telemetry::set_flight_recorder(nullptr); };
   // Warm-up: populates the program caches, the frame pools, the event
-  // queue capacity, and (for the instrumented rig) the per-FID counter
+  // queue capacity, and (for the instrumented rigs) the per-FID counter
   // memos, so the measured rounds see the steady state.
   telemetry::set_enabled(true);
   legacy_rig.pump(1000);
   zc_rig.pump(1000);
   tel_rig.pump(1000);
+  arm_spans();
+  spans_rig.pump(1000);
+  disarm_spans();
+  const u64 warmup_span_events = flight.recorded();
 
   E2eMeasurement legacy;
   E2eMeasurement zc;
+  E2eMeasurement tel_base;
   E2eMeasurement tel;
+  E2eMeasurement spans_base;
+  E2eMeasurement spans;
   // Interleaved rounds, best-of: ambient load skews all paths alike. The
-  // baselines run with recording gated off (one relaxed load per site);
-  // the telemetry rig runs with every counter and histogram live.
+  // two overhead gates (telemetry recording, span tracing) are same-rig
+  // paired A/Bs, like the chaos block's idle-injector gate: within each
+  // round the rig alternates recording-off / recording-on in
+  // sub-millisecond blocks so frequency ramps and scheduler quanta hit
+  // both sides, each adjacent off/on pair yields one overhead ratio, and
+  // the gate takes the MEDIAN over the pairs of the whole run. A
+  // cross-rig comparison (or an independent best-of per side) lets one
+  // lucky or stolen window on either side swing the measured cost by
+  // tens of percent on a noisy host; the median of paired ratios is
+  // robust in both directions.
+  struct AbPair {
+    double base_pps;  // the pair's recording-off throughput
+    double on_pps;    // the pair's recording-on throughput
+    double ratio;     // 1 - on/off for that pair
+  };
+  const u64 kAbBlocks = 5;
+  // One paired A/B round: appends one overhead ratio per adjacent
+  // off/on block pair and folds the block bests / alloc counts into the
+  // global accumulators -- individual pairs are noisy, but a scheduler
+  // steal poisons only the pairs it lands on, and the median shrugs
+  // those off.
+  const auto paired_round = [&](E2eRig& rig, auto&& off, auto&& on,
+                                E2eMeasurement* base_out,
+                                E2eMeasurement* on_out,
+                                std::vector<AbPair>* overheads) {
+    for (u64 k = 0; k < kAbBlocks; ++k) {
+      E2eMeasurement base_b;
+      E2eMeasurement on_b;
+      // ABBA order alternation: the second slot of a pair sits closer to
+      // the next scheduler quantum, so a fixed order would bias one side.
+      if (k % 2 == 0) {
+        off();
+        measure_e2e(rig, 1, kPerRound / kAbBlocks, &base_b);
+        on();
+        measure_e2e(rig, 1, kPerRound / kAbBlocks, &on_b);
+      } else {
+        on();
+        measure_e2e(rig, 1, kPerRound / kAbBlocks, &on_b);
+        off();
+        measure_e2e(rig, 1, kPerRound / kAbBlocks, &base_b);
+      }
+      base_out->packets_per_sec =
+          std::max(base_out->packets_per_sec, base_b.packets_per_sec);
+      base_out->allocs += base_b.allocs;
+      on_out->packets_per_sec =
+          std::max(on_out->packets_per_sec, on_b.packets_per_sec);
+      on_out->allocs += on_b.allocs;
+      overheads->push_back(
+          {base_b.packets_per_sec, on_b.packets_per_sec,
+           1.0 - on_b.packets_per_sec / base_b.packets_per_sec});
+    }
+    off();
+  };
+  std::vector<AbPair> tel_overheads;
+  std::vector<AbPair> spans_overheads;
+  tel_overheads.reserve(kRounds * kAbBlocks);
+  spans_overheads.reserve(kRounds * kAbBlocks);
   for (u64 r = 0; r < kRounds; ++r) {
     telemetry::set_enabled(false);
     measure_e2e(legacy_rig, 1, kPerRound, &legacy);
     measure_e2e(zc_rig, 1, kPerRound, &zc);
-    telemetry::set_enabled(true);
-    measure_e2e(tel_rig, 1, kPerRound, &tel);
+    paired_round(tel_rig, [] { telemetry::set_enabled(false); },
+                 [] { telemetry::set_enabled(true); }, &tel_base, &tel,
+                 &tel_overheads);
+    paired_round(spans_rig, disarm_spans, arm_spans, &spans_base, &spans,
+                 &spans_overheads);
   }
+  const u64 span_events = flight.recorded() - warmup_span_events;
+  telemetry::set_enabled(true);  // the blocks below manage their own state
+  // Median overhead over the clean-window pairs. A pair either of whose
+  // blocks ran far below the run's best for that side was hit by host
+  // throttling or a scheduler steal; such a pair's ratio is an outlier in
+  // whichever direction the steal landed. The filter must test BOTH
+  // sides: dropping only low-off-side pairs would remove the
+  // negative-ratio outliers (steal on the off block) while keeping the
+  // positive ones (steal on the on block), biasing the median upward.
+  // VM throttling is measurement noise, not system-under-test cost.
+  const auto median_overhead = [](const std::vector<AbPair>& pairs) {
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (const AbPair& p : pairs) {
+      best_off = std::max(best_off, p.base_pps);
+      best_on = std::max(best_on, p.on_pps);
+    }
+    std::vector<double> v;
+    v.reserve(pairs.size());
+    for (const AbPair& p : pairs) {
+      if (p.base_pps >= 0.6 * best_off && p.on_pps >= 0.6 * best_on) {
+        v.push_back(p.ratio);
+      }
+    }
+    if (v.size() < pairs.size() / 2) {
+      // Degenerate throttle profile: fall back to every pair rather than
+      // gate on a handful of samples.
+      v.clear();
+      for (const AbPair& p : pairs) v.push_back(p.ratio);
+    }
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n == 0) return 0.0;
+    return n % 2 != 0 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
 
   const double legacy_allocs_per_frame =
       static_cast<double>(legacy.allocs) / static_cast<double>(kPackets);
@@ -1042,9 +1164,14 @@ int run_e2e_datapath() {
   const double speedup = zc.packets_per_sec / legacy.packets_per_sec;
   const double tel_allocs_per_frame =
       static_cast<double>(tel.allocs) / static_cast<double>(kPackets);
-  const double tel_overhead_pct =
-      100.0 * (1.0 - tel.packets_per_sec / zc.packets_per_sec);
-  const bool tel_within_5pct = tel.packets_per_sec >= 0.95 * zc.packets_per_sec;
+  const double tel_overhead = median_overhead(tel_overheads);
+  const double tel_overhead_pct = 100.0 * tel_overhead;
+  const bool tel_within_5pct = tel_overhead <= 0.05;
+  const double spans_allocs_per_frame =
+      static_cast<double>(spans.allocs) / static_cast<double>(kPackets);
+  const double spans_overhead = median_overhead(spans_overheads);
+  const double spans_overhead_pct = 100.0 * spans_overhead;
+  const bool spans_within_5pct = spans_overhead <= 0.05;
 
   const auto& ss = zc_rig.sw->node_stats();
   const auto& cs = zc_rig.sw->program_cache().stats();
@@ -1063,7 +1190,7 @@ int run_e2e_datapath() {
   char chaos_json[1024];
   const int chaos_rc = run_chaos_block(chaos_json, sizeof(chaos_json));
 
-  char json[6144];
+  char json[8192];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -1079,8 +1206,14 @@ int run_e2e_datapath() {
       "\"allocs_per_frame_steady\": %.6f},\n"
       "  \"speedup\": %.2f,\n"
       "  \"telemetry\": {\"packets_per_sec\": %.0f, "
-      "\"allocs_per_frame_steady\": %.6f,\n"
+      "\"baseline_packets_per_sec\": %.0f,\n"
+      "               \"allocs_per_frame_steady\": %.6f,\n"
       "               \"overhead_pct\": %.2f, \"within_5pct\": %s},\n"
+      "  \"spans\": {\"packets_per_sec\": %.0f, "
+      "\"baseline_packets_per_sec\": %.0f,\n"
+      "           \"allocs_per_frame_steady\": %.6f,\n"
+      "           \"overhead_pct\": %.2f, \"within_5pct\": %s, "
+      "\"span_events\": %llu},\n"
       "  \"switch\": {\"forwarded\": %llu, \"returned\": %llu, \"dropped\": "
       "%llu,\n"
       "             \"malformed\": %llu, \"unknown_destination\": %llu,\n"
@@ -1100,8 +1233,12 @@ int run_e2e_datapath() {
       quick_mode() ? "true" : "false", kBenchPayloadBytes, zc_rig.wire.size(),
       static_cast<unsigned long long>(kPackets), legacy.packets_per_sec,
       legacy_allocs_per_frame, zc.packets_per_sec, zc_allocs_per_frame,
-      speedup, tel.packets_per_sec, tel_allocs_per_frame, tel_overhead_pct,
-      tel_within_5pct ? "true" : "false",
+      speedup, tel.packets_per_sec, tel_base.packets_per_sec,
+      tel_allocs_per_frame, tel_overhead_pct,
+      tel_within_5pct ? "true" : "false", spans.packets_per_sec,
+      spans_base.packets_per_sec, spans_allocs_per_frame, spans_overhead_pct,
+      spans_within_5pct ? "true" : "false",
+      static_cast<unsigned long long>(span_events),
       static_cast<unsigned long long>(ss.forwarded),
       static_cast<unsigned long long>(ss.returned),
       static_cast<unsigned long long>(ss.dropped),
@@ -1143,11 +1280,29 @@ int run_e2e_datapath() {
                  static_cast<unsigned long long>(kPackets));
     return 1;
   }
+  if (spans.allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: span-tracing datapath allocated %llu times over "
+                 "%llu frames (expected 0 in steady state with the flight "
+                 "recorder armed)\n",
+                 static_cast<unsigned long long>(spans.allocs),
+                 static_cast<unsigned long long>(kPackets));
+    return 1;
+  }
   if (!quick_mode() && !tel_within_5pct) {
     std::fprintf(stderr,
                  "FAIL: telemetry-enabled datapath ran at %.0f pps vs %.0f "
-                 "pps baseline (%.2f%% overhead, budget 5%%)\n",
-                 tel.packets_per_sec, zc.packets_per_sec, tel_overhead_pct);
+                 "pps disarmed baseline (%.2f%% overhead, budget 5%%)\n",
+                 tel.packets_per_sec, tel_base.packets_per_sec,
+                 tel_overhead_pct);
+    return 1;
+  }
+  if (!quick_mode() && !spans_within_5pct) {
+    std::fprintf(stderr,
+                 "FAIL: span-tracing datapath ran at %.0f pps vs %.0f pps "
+                 "disarmed baseline (%.2f%% overhead, budget 5%%)\n",
+                 spans.packets_per_sec, spans_base.packets_per_sec,
+                 spans_overhead_pct);
     return 1;
   }
   if (sharded_rc != 0) return sharded_rc;

@@ -62,14 +62,25 @@ run_telemetry_overhead() {
   cmake --preset default
   cmake --build --preset default
   # bench_micro measures the zero-copy datapath with telemetry recording
-  # gated off vs fully live and exits nonzero when the instrumented path
-  # allocates in steady state or loses more than 5% packets/sec; the gate
-  # double-checks the verdict recorded in BENCH_datapath.json.
+  # gated off, fully live, and with span tracing in its always-on shape
+  # (armed FlightRecorder, no capture sink). It
+  # exits nonzero when any instrumented path allocates in steady state or
+  # loses more than 5% packets/sec; the gate double-checks the verdicts
+  # recorded in BENCH_datapath.json -- both the "telemetry" and the
+  # "spans" blocks must report within_5pct and zero allocs per frame.
   ./build/bench/bench_micro --benchmark_filter=NONE
-  if ! grep -q '"within_5pct": true' BENCH_datapath.json; then
-    echo "telemetry-overhead: BENCH_datapath.json reports >5% regression" >&2
-    exit 1
-  fi
+  for block in telemetry spans; do
+    if ! grep -A2 "\"$block\":" BENCH_datapath.json \
+        | grep -q '"within_5pct": true'; then
+      echo "telemetry-overhead: '$block' block reports >5% regression" >&2
+      exit 1
+    fi
+    if ! grep -A2 "\"$block\":" BENCH_datapath.json \
+        | grep -q '"allocs_per_frame_steady": 0.000000'; then
+      echo "telemetry-overhead: '$block' block allocated per frame" >&2
+      exit 1
+    fi
+  done
 }
 
 run_bench_regression() {
@@ -94,11 +105,26 @@ run_chaos_soak() {
   # fault-free and under scripted chaos (uniform loss, two link flaps, a
   # switch brownout with register wipe) at shard counts 1, 2 and 4, and
   # exits nonzero unless every run converges to the same application-state
-  # digest with identical injected-fault counts per seed.
+  # digest with identical injected-fault counts per seed. The flight
+  # recorder is armed for every cell: each brownout up-edge dumps the
+  # wiped switch's final span events, and on a failing cell the dumps are
+  # surfaced in the job log before the matrix aborts.
   for seed in 1 7; do
     for loss in 0.005 0.01; do
       echo "-- chaos matrix: seed=$seed loss=$loss"
-      ./build/tools/artmt_chaos --requests 1000 --seed "$seed" --loss "$loss"
+      flight_dir="$(mktemp -d)"
+      if ! ./build/tools/artmt_chaos --requests 1000 --seed "$seed" \
+          --loss "$loss" --flight-dir "$flight_dir"; then
+        echo "-- chaos matrix FAILED (seed=$seed loss=$loss); flight dumps:" >&2
+        for dump in "$flight_dir"/flight_*.json; do
+          [ -e "$dump" ] || continue
+          echo "---- $dump" >&2
+          cat "$dump" >&2
+        done
+        rm -rf "$flight_dir"
+        exit 1
+      fi
+      rm -rf "$flight_dir"
     done
   done
 }

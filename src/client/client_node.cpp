@@ -1,8 +1,27 @@
 #include "client/client_node.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/span.hpp"
 
 namespace artmt::client {
+
+namespace {
+
+// A service claimed the delivered frame: terminate its span (the delivery
+// context set around on_frame carries the transmission's id).
+void emit_recv(netsim::Node& node, i32 fid) {
+  if (!telemetry::spans_active()) return;
+  telemetry::span_emit_with([&](telemetry::SpanEvent& event) {
+    event.ts = node.network().simulator().now();
+    event.span = telemetry::current_span();
+    event.fid = fid;
+    event.phase = telemetry::SpanPhase::kRecv;
+    event.node = static_cast<u16>(node.attach_index());
+  });
+}
+
+}  // namespace
 
 ClientNode::ClientNode(std::string name, packet::MacAddr mac,
                        packet::MacAddr switch_mac, u32 logical_stages)
@@ -45,6 +64,7 @@ void ClientNode::on_frame(netsim::Frame frame, u32 port) {
     for (auto& service : services_) {
       if (service->state() == Service::State::kNegotiating &&
           service->seq_ == pkt.initial.seq) {
+        emit_recv(*this, pkt.initial.fid);
         service->handle_active(pkt);
         return;
       }
@@ -54,6 +74,7 @@ void ClientNode::on_frame(netsim::Frame frame, u32 port) {
     for (auto& service : services_) {
       if (service->fid() == pkt.initial.fid &&
           service->state() != Service::State::kReleased) {
+        emit_recv(*this, pkt.initial.fid);
         service->handle_active(pkt);
         return;
       }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace artmt::client {
 
@@ -60,6 +62,10 @@ void ReliabilityTracker::track(u32 id, ResendFn resend) {
   Entry entry;
   entry.rto = opts_.rto;
   entry.deadline = sim_().now() + jittered(opts_.rto);
+  // The repo's idiom is send-then-track within one event handler, so the
+  // thread's latest transmit span is the capsule this entry guards;
+  // retransmits chain off it. (0 when spans are off or nothing was sent.)
+  entry.span = telemetry::spans_active() ? telemetry::last_tx_span() : 0;
   entry.resend = std::move(resend);
   entries_[id] = std::move(entry);
   ++stats_.tracked;
@@ -117,20 +123,52 @@ void ReliabilityTracker::on_timer(u64 generation) {
     }
     if (entry.attempts >= opts_.retry_budget) {
       ++stats_.give_ups;
+      const u64 span = entry.span;
+      const u32 attempts = entry.attempts;
       entries_.erase(it);
+      if (span != 0 && telemetry::spans_active()) {
+        telemetry::SpanEvent event;
+        event.ts = now;
+        event.span = span;
+        event.phase = telemetry::SpanPhase::kGiveUp;
+        event.a = attempts;
+        telemetry::span_emit(event);
+      }
       if (on_give_up) on_give_up(id);
       continue;
     }
     ++entry.attempts;
     ++stats_.retransmits;
     backoff_samples_.push_back(static_cast<u64>(entry.rto));
+    const SimTime expired_rto = entry.rto;
+    const u64 prev_span = entry.span;
     entry.rto = std::min<SimTime>(
         opts_.max_rto,
         static_cast<SimTime>(static_cast<double>(entry.rto) * opts_.backoff));
     entry.deadline = now + jittered(entry.rto);
     const u32 attempt = entry.attempts;
     ResendFn resend = entry.resend;  // copy: the callback may erase `id`
-    resend(id, attempt);
+    {
+      // The retransmit's send is causally a child of the lost attempt.
+      telemetry::SpanScope scope(prev_span);
+      resend(id, attempt);
+    }
+    if (prev_span != 0 && telemetry::spans_active()) {
+      const u64 new_span = telemetry::last_tx_span();
+      if (new_span != prev_span) {
+        telemetry::SpanEvent event;
+        event.ts = now;
+        event.span = new_span;
+        event.parent = prev_span;
+        event.phase = telemetry::SpanPhase::kRetry;
+        event.a = attempt;
+        event.b = static_cast<u64>(expired_rto);
+        telemetry::span_emit(event);
+        // The entry (if the callback kept it) now guards the new attempt.
+        const auto again = entries_.find(id);
+        if (again != entries_.end()) again->second.span = new_span;
+      }
+    }
   }
   arm();
 }

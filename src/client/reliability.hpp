@@ -97,6 +97,7 @@ class ReliabilityTracker {
     SimTime deadline = 0;
     SimTime rto = 0;
     u32 attempts = 0;
+    u64 span = 0;  // span of the latest transmission attempt
     ResendFn resend;
   };
 

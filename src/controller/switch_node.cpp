@@ -1,7 +1,9 @@
 #include "controller/switch_node.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace artmt::controller {
@@ -65,7 +67,8 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       default_recirc_budget_(config.default_recirc_budget),
       zero_copy_(config.zero_copy),
       batching_(config.batching),
-      batch_(runtime_) {
+      batch_(runtime_),
+      heatmap_(pipeline_.stage_count()) {
   runtime_.set_enforce_privilege(config.enforce_privilege);
   controller_.set_compute_model(config.compute_model);
   if (config.metrics != nullptr) {
@@ -76,6 +79,7 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
   }
   metrics_ = std::make_unique<SwitchMetrics>(*metrics_registry_);
   runtime_.set_metrics(metrics_registry_);
+  runtime_.set_heatmap(&heatmap_);
   controller_.set_metrics(metrics_registry_);
   program_cache_.set_metrics(metrics_registry_);
 }
@@ -119,6 +123,21 @@ runtime::PacketMeta derive_meta(const packet::EthernetHeader& eth,
   return meta;
 }
 
+// Span emission helper; call sites gate on telemetry::spans_active().
+void emit_span(telemetry::SpanPhase phase, SimTime ts, u64 span, u64 parent,
+               i32 fid, u32 node, u64 a = 0, u64 b = 0) {
+  telemetry::span_emit_with([&](telemetry::SpanEvent& event) {
+    event.ts = ts;
+    event.span = span;
+    event.parent = parent;
+    event.fid = fid;
+    event.phase = phase;
+    event.node = static_cast<u16>(node);
+    event.a = a;
+    event.b = b;
+  });
+}
+
 }  // namespace
 
 void SwitchNode::bind(packet::MacAddr mac, u32 port) {
@@ -140,6 +159,16 @@ u64 SwitchNode::wipe_registers() {
   if (auto* sink = telemetry::trace_sink()) {
     sink->emit("switch", "registers_wiped", telemetry::kNoFid,
                {{"node", name()}, {"words", wiped}});
+  }
+  if (telemetry::spans_active()) {
+    // Record the wipe itself, then dump: the forensic tail should contain
+    // the brownout marker as its last event.
+    emit_span(telemetry::SpanPhase::kWipe, network().simulator().now(),
+              /*span=*/0, /*parent=*/0, telemetry::kNoFid, attach_index(),
+              /*a=*/wiped);
+    if (auto* recorder = telemetry::flight_recorder()) {
+      recorder->dump(telemetry::span_lane(), "brownout");
+    }
   }
   return wiped;
 }
@@ -163,8 +192,12 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
     return;
   }
   network().simulator().schedule_after(
-      delay, [this, port, f = std::move(frame)]() mutable {
+      delay, [this, port, span = telemetry::current_span(),
+              f = std::move(frame)]() mutable {
         flush_batch();  // keep transmit order identical to per-packet mode
+        // The reply leaves under the inbound capsule's span, so the
+        // client-bound send is causally chained to the request.
+        telemetry::SpanScope scope(span);
         network().transmit(*this, port, std::move(f));
       });
 }
@@ -186,6 +219,10 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
       view.reset();
     }
     if (view) {
+      // No kParse span on this path: the in-place parse is part of the
+      // execution step, and the capsule's kSend (arrival) + kExec events
+      // already bound it. The materialized handle_program path -- where
+      // parsing is a real decode -- emits the explicit kParse marker.
       if (batching_) {
         stage_program_view(*std::move(view), std::move(frame));
       } else {
@@ -244,10 +281,25 @@ void SwitchNode::handle_program(ActivePacket pkt) {
   // packets injected without going through the caching parser.
   active::ExecCursor cursor;
   const SimTime now = network().simulator().now();
+  if (telemetry::spans_active()) {
+    emit_span(telemetry::SpanPhase::kParse, now, telemetry::current_span(),
+              /*parent=*/0, pkt.initial.fid, attach_index());
+  }
   const runtime::ExecutionResult result =
       pkt.compiled && !pkt.program
           ? runtime_.execute(*pkt.compiled, pkt, cursor, meta, now)
           : runtime_.execute(pkt, meta, now);
+  if (telemetry::spans_active()) {
+    const u64 span = telemetry::current_span();
+    emit_span(telemetry::SpanPhase::kExec, now, span, /*parent=*/0,
+              pkt.initial.fid, attach_index(), result.passes,
+              static_cast<u64>(result.latency));
+    for (u32 pass = 1; pass < result.passes; ++pass) {
+      emit_span(telemetry::SpanPhase::kRecirc, now,
+                telemetry::recirc_span_id(span, pass), span, pkt.initial.fid,
+                attach_index(), pass);
+    }
+  }
   metrics_->packets.at(pkt.initial.fid).inc();
   metrics_->legacy_frames->inc();
   metrics_->exec_latency_ns->record(static_cast<u64>(result.latency));
@@ -275,8 +327,10 @@ void SwitchNode::handle_program(ActivePacket pkt) {
     // select program stores server ports in the VIP pool).
     const u32 port = result.phv.dst_value;
     network().simulator().schedule_after(
-        result.latency, [this, port, f = std::move(frame)]() mutable {
+        result.latency, [this, port, span = telemetry::current_span(),
+                         f = std::move(frame)]() mutable {
           flush_batch();
+          telemetry::SpanScope scope(span);
           network().transmit(*this, port, std::move(f));
         });
     return;
@@ -300,6 +354,20 @@ void SwitchNode::emit_program_result(packet::ProgramView& view,
                                      netsim::Frame frame,
                                      active::ExecCursor& cursor,
                                      const runtime::ExecutionResult& result) {
+  if (telemetry::spans_active()) {
+    // Before the verdict switch, so dropped capsules keep their execution
+    // record (the phase breakdown needs exec cost even for drops).
+    const SimTime now = network().simulator().now();
+    const u64 span = telemetry::current_span();
+    emit_span(telemetry::SpanPhase::kExec, now, span, /*parent=*/0,
+              view.initial.fid, attach_index(), result.passes,
+              static_cast<u64>(result.latency));
+    for (u32 pass = 1; pass < result.passes; ++pass) {
+      emit_span(telemetry::SpanPhase::kRecirc, now,
+                telemetry::recirc_span_id(span, pass), span, view.initial.fid,
+                attach_index(), pass);
+    }
+  }
   metrics_->packets.at(view.initial.fid).inc();
   metrics_->exec_latency_ns->record(static_cast<u64>(result.latency));
   switch (result.verdict) {
@@ -328,8 +396,10 @@ void SwitchNode::emit_program_result(packet::ProgramView& view,
     // SET_DST: the program chose an egress port directly.
     const u32 port = result.phv.dst_value;
     network().simulator().schedule_after(
-        result.latency, [this, port, f = std::move(out)]() mutable {
+        result.latency, [this, port, span = telemetry::current_span(),
+                         f = std::move(out)]() mutable {
           flush_batch();
+          telemetry::SpanScope scope(span);
           network().transmit(*this, port, std::move(f));
         });
     return;
@@ -339,7 +409,8 @@ void SwitchNode::emit_program_result(packet::ProgramView& view,
 
 void SwitchNode::stage_program_view(packet::ProgramView view,
                                     netsim::Frame frame) {
-  pending_.push_back(PendingExec{std::move(view), std::move(frame)});
+  pending_.push_back(PendingExec{std::move(view), std::move(frame),
+                                 telemetry::current_span()});
   if (flush_scheduled_) return;
   flush_scheduled_ = true;
   // A plain event at `now` sorts after every delivery arriving at `now`
@@ -377,6 +448,9 @@ void SwitchNode::flush_batch() {
   metrics_->exec_batches->inc();
   metrics_->batch_size->record(static_cast<u64>(n));
   for (std::size_t i = 0; i < n; ++i) {
+    // Each reply runs under its capsule's delivery span (the flush event
+    // itself has no span context), matching the per-packet engine.
+    telemetry::SpanScope scope(pending_[i].span);
     emit_program_result(pending_[i].view, std::move(pending_[i].frame),
                         batch_cursors_[i], batch_.result(i));
   }

@@ -17,6 +17,7 @@
 #include "rmt/pipeline.hpp"
 #include "runtime/exec_batch.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/heatmap.hpp"
 
 namespace artmt::telemetry {
 class MetricsRegistry;
@@ -113,6 +114,12 @@ class SwitchNode : public netsim::Node {
   [[nodiscard]] telemetry::MetricsRegistry& metrics() const {
     return *metrics_registry_;
   }
+  // Per-(stage, FID) memory-access heatmap fed by the runtime's dispatch
+  // path (recording gated by telemetry::enabled()).
+  [[nodiscard]] telemetry::StageHeatmap& heatmap() { return heatmap_; }
+  [[nodiscard]] const telemetry::StageHeatmap& heatmap() const {
+    return heatmap_;
+  }
 
  private:
   struct ControlOp {
@@ -191,12 +198,14 @@ class SwitchNode : public netsim::Node {
   struct PendingExec {
     packet::ProgramView view;
     netsim::Frame frame;
+    u64 span = 0;  // the delivery's causal span, restored around the reply
   };
   std::vector<PendingExec> pending_;
   std::vector<runtime::ExecContext> batch_ctx_;
   std::vector<active::ExecCursor> batch_cursors_;
   std::vector<runtime::PacketMeta> batch_meta_;
   runtime::ExecBatch batch_;
+  telemetry::StageHeatmap heatmap_;
   bool flush_scheduled_ = false;
 };
 

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "netsim/sharded.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace artmt::netsim {
@@ -154,7 +156,12 @@ void Network::dispatch(const Endpoint& dest, Node& from, u64 tx_seq,
       const u32 shard = ctx->index;
       ctx->sim->schedule_delivery(
           arrival, send, from.attach_index_, tx_seq,
-          [this, node, port, shard, f = std::move(frame)]() mutable {
+          [this, node, port, shard,
+           span = telemetry::span_id(from.attach_index_, tx_seq),
+           f = std::move(frame)]() mutable {
+            // Delivery runs under the transmission's span, so anything the
+            // handler sends is causally parented to this frame.
+            telemetry::SpanScope scope(span);
             deliver(*node, port, std::move(f), shard);
           });
       return;
@@ -177,7 +184,9 @@ void Network::dispatch(const Endpoint& dest, Node& from, u64 tx_seq,
   }
   sim_->schedule_delivery(
       arrival, send, from.attach_index_, tx_seq,
-      [this, dest, f = std::move(frame)]() mutable {
+      [this, dest, span = telemetry::span_id(from.attach_index_, tx_seq),
+       f = std::move(frame)]() mutable {
+        telemetry::SpanScope scope(span);
         ++frames_delivered_;
         bytes_delivered_ += f.size();
         if (m_delivered_ != nullptr) {
@@ -212,10 +221,33 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
     send = sim_->now();
   }
 
+  // Span ids reuse the fault injector's (attach_index, tx_seq) key, so
+  // they are byte-identical across engines and shard counts. Noted before
+  // the hook runs: a dropped send still names a span, which is what lets
+  // the reliability layer chain retransmits of lost frames.
+  const bool spans = telemetry::spans_active();
+  u64 span = 0;
+  if (spans) {
+    span = telemetry::span_id(from.attach_index_, tx_seq);
+    telemetry::note_tx_span(span);
+  }
+
   TransmitHook::Verdict verdict;
   if (hook_ != nullptr) {
     verdict = hook_->on_transmit(from, *dest.node, send, tx_seq, frame, pool());
-    if (verdict.drop || verdict.copies == 0) return;
+    if (verdict.drop || verdict.copies == 0) {
+      if (spans) {
+        telemetry::span_emit_with([&](telemetry::SpanEvent& event) {
+          event.ts = send;
+          event.span = span;
+          event.parent = telemetry::current_span();
+          event.phase = telemetry::SpanPhase::kDrop;
+          event.node = static_cast<u16>(from.attach_index_);
+          event.b = frame.size();
+        });
+      }
+      return;
+    }
   }
 
   // Serialization delay: bytes * 8 / rate. At 40 Gbps a 256-byte frame
@@ -225,6 +257,19 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
       static_cast<SimTime>(bits / out.spec.gbps);  // Gbps -> bits/ns
   const SimTime nominal = send + serialize + out.spec.latency;
 
+  const auto emit_send = [&](u64 send_span, u64 parent, SimTime arrival,
+                             std::size_t bytes) {
+    telemetry::span_emit_with([&](telemetry::SpanEvent& event) {
+      event.ts = send;
+      event.span = send_span;
+      event.parent = parent;
+      event.phase = telemetry::SpanPhase::kSend;
+      event.node = static_cast<u16>(from.attach_index_);
+      event.a = static_cast<u64>(arrival);
+      event.b = bytes;
+    });
+  };
+
   if (verdict.copies > 1) {
     // Injected duplicates: independent deep copies on the same link, each
     // consuming its own tx sequence slot (cloned before the original is
@@ -233,16 +278,25 @@ void Network::transmit(Node& from, u32 port, Frame frame) {
     std::vector<Frame> dups;
     dups.reserve(verdict.copies - 1);
     for (u32 i = 1; i < verdict.copies; ++i) dups.push_back(pool().clone(frame));
-    dispatch(dest, from, tx_seq, send, nominal + verdict.extra_delay,
-             std::move(frame));
+    const SimTime arrival = nominal + verdict.extra_delay;
+    if (spans) emit_send(span, telemetry::current_span(), arrival, frame.size());
+    dispatch(dest, from, tx_seq, send, arrival, std::move(frame));
     for (auto& dup : dups) {
-      dispatch(dest, from, from.tx_seq_++, send, nominal + verdict.dup_delay,
-               std::move(dup));
+      const u64 dup_seq = from.tx_seq_++;
+      const SimTime dup_arrival = nominal + verdict.dup_delay;
+      if (spans) {
+        // A duplicate is its own transmission, causally a child of the
+        // original send.
+        emit_send(telemetry::span_id(from.attach_index_, dup_seq), span,
+                  dup_arrival, dup.size());
+      }
+      dispatch(dest, from, dup_seq, send, dup_arrival, std::move(dup));
     }
     return;
   }
-  dispatch(dest, from, tx_seq, send, nominal + verdict.extra_delay,
-           std::move(frame));
+  const SimTime arrival = nominal + verdict.extra_delay;
+  if (spans) emit_send(span, telemetry::current_span(), arrival, frame.size());
+  dispatch(dest, from, tx_seq, send, arrival, std::move(frame));
 }
 
 }  // namespace artmt::netsim

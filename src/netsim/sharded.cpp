@@ -7,7 +7,9 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace artmt::netsim {
 
@@ -274,7 +276,12 @@ void ShardedSimulator::schedule_delivery(Simulator& sim, MailMsg& msg,
   // dispatch position is independent of which barrier drained it -- the
   // property that lets same-shard traffic skip the mailbox entirely.
   sim.schedule_delivery(msg.arrival, msg.send, msg.src_index, msg.tx_seq,
-                        [net, dest, port, shard, f = std::move(frame)]() mutable {
+                        [net, dest, port, shard,
+                         span = telemetry::span_id(msg.src_index, msg.tx_seq),
+                         f = std::move(frame)]() mutable {
+                          // Cross-shard deliveries carry the same causal
+                          // span context the direct paths set.
+                          telemetry::SpanScope scope(span);
                           net->deliver(*dest, port, std::move(f), shard);
                         });
 }
@@ -319,6 +326,15 @@ void ShardedSimulator::drain_inboxes(u32 dst_idx) {
 }
 
 void ShardedSimulator::store_error(std::exception_ptr err) {
+  // The worker is about to abort the run: capture its flight-recorder
+  // lane first so the forensic tail ships with the error.
+  if (auto* recorder = telemetry::flight_recorder()) {
+    try {
+      recorder->dump(telemetry::span_lane(), "worker_exception");
+    } catch (...) {
+      // A failed dump must not mask the original error.
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(error_mu_);
     if (!first_error_) first_error_ = err;
@@ -378,6 +394,7 @@ void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
   Shard& shard = *shards_[shard_idx];
   const detail::ShardContext ctx{this, shard_idx, &shard.sim, &shard.pool};
   detail::tls_shard = &ctx;
+  telemetry::set_span_lane(shard_idx);
 
   while (true) {
     // Phase A: reclaim last epoch's outbox frames (their slabs return to
@@ -437,6 +454,7 @@ void ShardedSimulator::worker_loop(u32 shard_idx, SimTime limit) {
     if (done_) break;  // ordered by the barrier mutex
   }
 
+  telemetry::set_span_lane(0);
   detail::tls_shard = nullptr;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/exec_core.hpp"
+#include "telemetry/heatmap.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace artmt::runtime {
@@ -174,6 +175,12 @@ void ActiveRuntime::lane_step(LaneState& lane, StageMemo* memo) {
     if (target == nullptr) {
       lane.fault = Fault::kNoAllocation;
       phv.drop = true;
+      if (heatmap_ != nullptr && telemetry::enabled()) {
+        heatmap_->record_collision(op.next_access == kNoIndex
+                                       ? lane.logical_stage
+                                       : op.next_access % cfg.logical_stages,
+                                   ctx.fid);
+      }
       cursor.mark_done(lane.pc);
       lane.halted = true;
       return;
@@ -215,6 +222,23 @@ void ActiveRuntime::lane_step(LaneState& lane, StageMemo* memo) {
       lane.fault = Fault::kProtectionViolation;
       phv.drop = true;
       ok = false;
+    }
+    if (heatmap_ != nullptr && telemetry::enabled()) {
+      if (!ok) {
+        heatmap_->record_collision(lane.logical_stage, ctx.fid);
+      } else {
+        switch (op.kind) {
+          case active::FlatKind::kMemWrite:
+            heatmap_->record_write(lane.logical_stage, ctx.fid);
+            break;
+          case active::FlatKind::kMemIncrement:
+          case active::FlatKind::kMemMinreadinc:
+            heatmap_->record_read_write(lane.logical_stage, ctx.fid);
+            break;
+          default:  // kMemRead / kMemMinread and any future read-only op
+            heatmap_->record_read(lane.logical_stage, ctx.fid);
+        }
+      }
     }
   }
   if (ok) {

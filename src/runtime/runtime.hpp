@@ -26,6 +26,7 @@
 
 namespace artmt::telemetry {
 class MetricsRegistry;
+class StageHeatmap;
 }  // namespace artmt::telemetry
 
 namespace artmt::runtime {
@@ -191,6 +192,13 @@ class ActiveRuntime {
   // (packets and recirculations also per-FID); nullptr detaches.
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
+  // Attaches a per-(stage, FID) memory-access heatmap; every memory op in
+  // lane_step records a read/write/collision cell (gated by
+  // telemetry::enabled(), like the metric handles). nullptr detaches. The
+  // heatmap must be single-writer from this runtime's thread.
+  void set_heatmap(telemetry::StageHeatmap* heatmap) { heatmap_ = heatmap; }
+  [[nodiscard]] telemetry::StageHeatmap* heatmap() const { return heatmap_; }
+
  private:
   // The batch engine drives the same lane protocol the per-packet path
   // uses, so its results are byte-identical by construction.
@@ -227,6 +235,7 @@ class ActiveRuntime {
   std::unordered_map<Fid, BucketState> recirc_buckets_;
   bool enforce_privilege_ = false;
   TraceFn trace_;
+  telemetry::StageHeatmap* heatmap_ = nullptr;
 };
 
 }  // namespace artmt::runtime

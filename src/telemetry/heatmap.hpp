@@ -1,0 +1,103 @@
+// Per-(stage, FID) memory-access heatmaps for the runtime's dispatch hot
+// path, plus the decaying-counter hotness table the migration engine
+// (ROADMAP item 2) will consume.
+//
+// Recording is single-writer plain-u64: the owning runtime increments
+// cells from its shard's worker only, gated behind telemetry::enabled()
+// like every other hot-path recording site, and a one-slot FID memo makes
+// the steady state (one flow per sweep) a pointer compare plus an
+// increment. Merging follows the shard-registry idiom: commutative
+// merge_from while quiescent.
+#pragma once
+
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace artmt::telemetry {
+
+class StageHeatmap {
+ public:
+  struct Cell {
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 collisions = 0;  // protection faults on memory ops (kNoAllocation /
+                         // kProtectionViolation)
+    friend bool operator==(const Cell&, const Cell&) = default;
+  };
+
+  explicit StageHeatmap(u32 stages) : stages_(stages == 0 ? 1 : stages) {}
+
+  void record_read(u32 stage, i32 fid) { ++cell(stage, fid).reads; }
+  void record_write(u32 stage, i32 fid) { ++cell(stage, fid).writes; }
+  // Fused read-modify-write accounting (one cell lookup for both counts).
+  void record_read_write(u32 stage, i32 fid) {
+    Cell& c = cell(stage, fid);
+    ++c.reads;
+    ++c.writes;
+  }
+  void record_collision(u32 stage, i32 fid) { ++cell(stage, fid).collisions; }
+
+  [[nodiscard]] u32 stages() const { return stages_; }
+  // The FIDs with recorded activity, ascending.
+  [[nodiscard]] std::vector<i32> fids() const;
+  // nullptr when the (stage, fid) cell has no recorded activity.
+  [[nodiscard]] const Cell* find(u32 stage, i32 fid) const;
+  // Sum of reads + writes + collisions over every cell of `fid`.
+  [[nodiscard]] u64 total_accesses(i32 fid) const;
+
+  // Commutative quiescent merge (shard-registry idiom).
+  void merge_from(const StageHeatmap& other);
+  void clear();
+
+  // Exports every cell as heatmap.* counters:
+  //   heatmap.s<stage>_reads{fid=N} / _writes / _collisions
+  void export_metrics(MetricsRegistry& out) const;
+  // Deterministic JSON object {"fid":{"stage":{r,w,c},...},...} with keys
+  // ascending -- byte-comparable across engines and shard counts.
+  void snapshot_json(std::ostream& out) const;
+
+ private:
+  Cell& cell(u32 stage, i32 fid) {
+    std::vector<Cell>* row = fid == memo_fid_ ? memo_row_ : row_slow(fid);
+    return (*row)[stage < stages_ ? stage : stages_ - 1];
+  }
+  std::vector<Cell>* row_slow(i32 fid);
+
+  u32 stages_;
+  std::map<i32, std::vector<Cell>> rows_;  // fid -> per-stage cells
+  i32 memo_fid_ = std::numeric_limits<i32>::min();
+  std::vector<Cell>* memo_row_ = nullptr;
+};
+
+// Decaying per-FID access counters: observe() absorbs the delta of each
+// FID's total accesses since the previous observation, decay() halves
+// every score (a classic aging counter). ranked() yields hottest-first --
+// the input the elastic-memory migration engine needs to pick promotion /
+// demotion candidates.
+class HotnessTable {
+ public:
+  explicit HotnessTable(u32 decay_shift = 1) : shift_(decay_shift) {}
+
+  void observe(const StageHeatmap& heatmap);
+  void decay();
+
+  [[nodiscard]] u64 score(i32 fid) const;
+  // (fid, score) hottest first; equal scores order by ascending fid.
+  [[nodiscard]] std::vector<std::pair<i32, u64>> ranked() const;
+
+ private:
+  struct State {
+    u64 score = 0;
+    u64 last_total = 0;
+  };
+  u32 shift_;
+  std::map<i32, State> states_;
+};
+
+}  // namespace artmt::telemetry

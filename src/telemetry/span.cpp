@@ -1,0 +1,116 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace.hpp"
+
+namespace artmt::telemetry {
+
+namespace {
+
+constexpr const char* kPhaseNames[] = {
+    "send", "drop", "parse", "exec", "recirc",
+    "recv", "retry", "give_up", "wipe",
+};
+constexpr u16 kPhaseCount = sizeof(kPhaseNames) / sizeof(kPhaseNames[0]);
+
+void refresh_spans_on() {
+  detail::g_spans_on.store(
+      detail::g_span_sink.load(std::memory_order_relaxed) != nullptr ||
+          detail::g_flight.load(std::memory_order_relaxed) != nullptr,
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_spans_on{false};
+std::atomic<SpanSink*> g_span_sink{nullptr};
+std::atomic<FlightRecorder*> g_flight{nullptr};
+thread_local u32 tls_span_lane = 0;
+thread_local u64 tls_current_span = 0;
+thread_local u64 tls_last_tx_span = 0;
+}  // namespace detail
+
+const char* span_phase_name(SpanPhase phase) {
+  const auto i = static_cast<u16>(phase);
+  return i < kPhaseCount ? kPhaseNames[i] : "unknown";
+}
+
+bool span_phase_from_name(std::string_view name, SpanPhase* out) {
+  for (u16 i = 0; i < kPhaseCount; ++i) {
+    if (name == kPhaseNames[i]) {
+      *out = static_cast<SpanPhase>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool span_event_before(const SpanEvent& a, const SpanEvent& b) {
+  return std::tie(a.ts, a.span, a.parent, a.fid, a.phase, a.node, a.a, a.b) <
+         std::tie(b.ts, b.span, b.parent, b.fid, b.phase, b.node, b.a, b.b);
+}
+
+SpanSink::SpanSink(u32 lanes) : lanes_(lanes == 0 ? 1 : lanes) {}
+
+void SpanSink::reserve(std::size_t events_per_lane) {
+  for (Lane& lane : lanes_) lane.events.reserve(events_per_lane);
+}
+
+void SpanSink::clear() {
+  for (Lane& lane : lanes_) lane.events.clear();
+}
+
+u64 SpanSink::recorded() const {
+  u64 total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  return total;
+}
+
+std::vector<SpanEvent> SpanSink::sorted_events() const {
+  std::vector<SpanEvent> merged;
+  merged.reserve(static_cast<std::size_t>(recorded()));
+  for (const Lane& lane : lanes_) {
+    merged.insert(merged.end(), lane.events.begin(), lane.events.end());
+  }
+  std::sort(merged.begin(), merged.end(), span_event_before);
+  return merged;
+}
+
+void SpanSink::dump(std::ostream& out) const {
+  write_span_events(out, sorted_events());
+}
+
+void write_span_events(std::ostream& out,
+                       const std::vector<SpanEvent>& events) {
+  // Each line rides the TraceSink envelope, so span dumps and live traces
+  // share one schema (and one schema version).
+  TraceSink sink(out);
+  SimTime ts = 0;
+  sink.set_clock([&ts] { return ts; });
+  for (const SpanEvent& e : events) {
+    ts = e.ts;
+    sink.emit("span", span_phase_name(e.phase), e.fid,
+              {{"span", e.span},
+               {"parent", e.parent},
+               {"node", e.node},
+               {"a", e.a},
+               {"b", e.b}});
+  }
+}
+
+void set_span_sink(SpanSink* sink) {
+  detail::g_span_sink.store(sink, std::memory_order_release);
+  refresh_spans_on();
+}
+
+void set_flight_recorder(FlightRecorder* recorder) {
+  detail::g_flight.store(recorder, std::memory_order_release);
+  refresh_spans_on();
+}
+
+}  // namespace artmt::telemetry

@@ -1,0 +1,214 @@
+// Causal span tracing: one span per transmission, threaded through a
+// capsule's full lifecycle (client send -> link transit -> parse ->
+// execution -> recirculation hops -> reply -> client receive), with
+// parent/child links across recirculations and retransmits.
+//
+// Determinism contract: a span id is derived from the sending node's
+// (attach_index, tx_seq) pair -- the same simulation-state-only key the
+// fault injector uses -- so ids are byte-identical across the serial and
+// sharded engines and across shard counts. Every emitted SpanEvent is a
+// pure function of simulation state; the canonical dump sorts the merged
+// per-lane buffers over all fields, so the dump bytes are engine- and
+// shard-count-invariant too.
+//
+// Recording is multi-lane single-writer, mirroring the per-shard metric
+// registries: each sharded worker appends to its own lane (index set by
+// ShardedSimulator::worker_loop through set_span_lane), the serial engine
+// and quiescent tool code use lane 0. No locks, no read-modify-write.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace artmt::telemetry {
+
+// Lifecycle phases. The payload fields `a`/`b` are phase-specific:
+//   kSend    a = scheduled arrival time, b = frame bytes
+//   kDrop    b = frame bytes (transmit-hook loss; the send never dispatched)
+//   kParse   (none; materialized-decode path only -- the zero-copy fast
+//             path's in-place parse is bounded by kSend arrival + kExec)
+//   kExec    a = pipeline passes, b = modeled switch latency (ns)
+//   kRecirc  a = 1-based extra pass index
+//   kRecv    (none; a client service claimed the delivered frame)
+//   kRetry   a = attempt number, b = the rto (ns) that expired
+//   kGiveUp  a = attempts consumed
+//   kWipe    a = register words wiped (brownout up-edge)
+enum class SpanPhase : u16 {
+  kSend = 0,
+  kDrop = 1,
+  kParse = 2,
+  kExec = 3,
+  kRecirc = 4,
+  kRecv = 5,
+  kRetry = 6,
+  kGiveUp = 7,
+  kWipe = 8,
+};
+
+[[nodiscard]] const char* span_phase_name(SpanPhase phase);
+// Inverse of span_phase_name; false when `name` is unknown.
+[[nodiscard]] bool span_phase_from_name(std::string_view name,
+                                        SpanPhase* out);
+
+// One lifecycle event. Plain data; every field is simulation-determined.
+// Laid out wide-fields-first so the struct packs to exactly 48 bytes --
+// the ring and sink stores on the hot path copy whole events, so the
+// layout is part of the overhead budget.
+struct SpanEvent {
+  SimTime ts = 0;      // virtual time the event happened
+  u64 span = 0;        // the span this event belongs to
+  u64 parent = 0;      // causal parent span (0 = root / none)
+  u64 a = 0;           // phase-specific payload (see SpanPhase)
+  u64 b = 0;
+  i32 fid = kNoFid;    // flow id when known (netsim sends don't parse)
+  SpanPhase phase = SpanPhase::kSend;
+  u16 node = 0;        // attach index of the node (0 for node-less owners;
+                       // u16 -- simulations attach far fewer than 64k nodes)
+
+  friend bool operator==(const SpanEvent&, const SpanEvent&) = default;
+};
+static_assert(sizeof(SpanEvent) == 48);
+
+// Total order over all fields: the event multiset of a run is
+// simulation-determined, so sorting with this yields the same sequence --
+// hence the same dump bytes -- no matter how events were spread over lanes.
+[[nodiscard]] bool span_event_before(const SpanEvent& a, const SpanEvent& b);
+
+// A transmission's span id: attach order (biased by 1 so the id can never
+// be 0, the "no span" sentinel) in the high bits, the sender's per-node
+// transmit sequence in the low 40 (enough for ~10^12 frames).
+[[nodiscard]] constexpr u64 span_id(u32 attach_index, u64 tx_seq) {
+  return ((static_cast<u64>(attach_index) + 1) << 40) |
+         (tx_seq & ((1ull << 40) - 1));
+}
+
+// Derived child id for recirculation pass `pass` of `parent` (top bit set
+// so derived ids never collide with transmission ids).
+[[nodiscard]] constexpr u64 recirc_span_id(u64 parent, u32 pass) {
+  return 0x8000'0000'0000'0000ull |
+         ((parent * 0x100000001b3ull + pass) & ~0x8000'0000'0000'0000ull);
+}
+
+// Collects SpanEvents into per-lane single-writer buffers and produces
+// the canonical sorted dump. Install via set_span_sink while quiescent.
+class SpanSink {
+ public:
+  explicit SpanSink(u32 lanes = 1);
+
+  // Pre-sizes every lane so steady-state recording never allocates (the
+  // bench's 0-allocs/frame gate records through a reserved sink).
+  void reserve(std::size_t events_per_lane);
+
+  void record(u32 lane, const SpanEvent& event) {
+    lanes_[lane < lanes_.size() ? lane : 0].events.push_back(event);
+  }
+
+  void clear();
+  [[nodiscard]] u32 lanes() const { return static_cast<u32>(lanes_.size()); }
+  [[nodiscard]] u64 recorded() const;
+
+  // Quiescent-only: all lanes merged and canonically sorted.
+  [[nodiscard]] std::vector<SpanEvent> sorted_events() const;
+  // Canonical JSON-lines dump (one TraceSink-schema line per event).
+  void dump(std::ostream& out) const;
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<SpanEvent> events;
+  };
+  std::vector<Lane> lanes_;
+};
+
+// Serializes events through the existing TraceSink schema: component
+// "span", event = phase name, the span/parent/node/a/b payload as fields.
+// Shared by SpanSink::dump and the flight recorder's JSON dumps.
+void write_span_events(std::ostream& out,
+                       const std::vector<SpanEvent>& events);
+
+class FlightRecorder;  // flight_recorder.hpp
+
+// --- process-global emission state ---------------------------------------
+// Like the trace sink, span capture is process-global: set_span_sink /
+// set_flight_recorder attach consumers while quiescent; spans_active() is
+// the one-relaxed-load gate every emission site checks first, so with
+// neither attached the hot paths pay a load and a branch.
+//
+// The globals and per-thread context live in detail:: so the emission
+// path (span_emit and the TLS accessors below) inlines into every call
+// site -- at ~3 span events per packet, an out-of-line call per access
+// is measurable against the 5% overhead gate. Relaxed loads are enough:
+// consumers attach while the engines are quiescent, and worker threads
+// are started (or released from a barrier) afterwards, which publishes
+// the pointed-to state.
+
+namespace detail {
+extern std::atomic<bool> g_spans_on;
+extern std::atomic<SpanSink*> g_span_sink;
+extern std::atomic<FlightRecorder*> g_flight;
+extern thread_local u32 tls_span_lane;
+extern thread_local u64 tls_current_span;
+extern thread_local u64 tls_last_tx_span;
+}  // namespace detail
+
+[[nodiscard]] inline bool spans_active() {
+  return detail::g_spans_on.load(std::memory_order_relaxed);
+}
+
+void set_span_sink(SpanSink* sink);
+[[nodiscard]] inline SpanSink* span_sink() {
+  return detail::g_span_sink.load(std::memory_order_relaxed);
+}
+void set_flight_recorder(FlightRecorder* recorder);
+[[nodiscard]] inline FlightRecorder* flight_recorder() {
+  return detail::g_flight.load(std::memory_order_relaxed);
+}
+
+// Routes one event to the attached sink and/or flight recorder, into the
+// calling thread's lane. Call only after a spans_active() check. Defined
+// inline in flight_recorder.hpp (it needs FlightRecorder::record); every
+// emitting translation unit includes that header. Hot-path sites use the
+// span_emit_with template there instead, which builds the event in place
+// in the ring slot when the recorder is the only consumer.
+void span_emit(const SpanEvent& event);
+
+// --- per-thread causal context --------------------------------------------
+// The recording lane (shard index under the sharded engine, 0 otherwise).
+inline void set_span_lane(u32 lane) { detail::tls_span_lane = lane; }
+[[nodiscard]] inline u32 span_lane() { return detail::tls_span_lane; }
+
+// The span whose causal context the current code runs under: set around
+// every frame delivery (both engines) and restored by SpanScope in
+// deferred-send closures, so a transmit's parent is the delivery (or
+// retransmit) that caused it.
+[[nodiscard]] inline u64 current_span() { return detail::tls_current_span; }
+inline void set_current_span(u64 span) { detail::tls_current_span = span; }
+
+// The span id of the calling thread's most recent transmit (recorded by
+// Network::transmit while spans are active). Only meaningful within the
+// same event handler as the send: ReliabilityTracker::track reads it right
+// after the caller's initial send -- the repo's send-then-track idiom --
+// to link retransmit chains without touching any service code.
+[[nodiscard]] inline u64 last_tx_span() { return detail::tls_last_tx_span; }
+inline void note_tx_span(u64 span) { detail::tls_last_tx_span = span; }
+
+// RAII current-span context (restores the previous span on exit).
+class SpanScope {
+ public:
+  explicit SpanScope(u64 span) : prev_(current_span()) {
+    set_current_span(span);
+  }
+  ~SpanScope() { set_current_span(prev_); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  u64 prev_;
+};
+
+}  // namespace artmt::telemetry

@@ -1,6 +1,7 @@
 #include "telemetry/trace.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <ostream>
 
 namespace artmt::telemetry {
@@ -45,7 +46,8 @@ void TraceSink::emit(std::string_view component, std::string_view event,
                      i64 fid, std::initializer_list<Field> fields) {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostream& out = *out_;
-  out << "{\"ts\":" << (clock_ ? clock_() : 0) << ",\"component\":";
+  out << "{\"v\":" << kTraceSchemaVersion
+      << ",\"ts\":" << (clock_ ? clock_() : 0) << ",\"component\":";
   write_escaped(out, component);
   out << ",\"event\":";
   write_escaped(out, event);
@@ -81,5 +83,146 @@ void set_trace_sink(TraceSink* sink) {
 }
 
 TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+namespace {
+
+// A tiny cursor over one line of flat JSON -- exactly the subset emit()
+// produces (string keys, scalar values, no nesting).
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const { return s[i]; }
+  bool eat(char c) {
+    if (done() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+bool parse_string(Cursor& c, std::string* out) {
+  if (!c.eat('"')) return false;
+  out->clear();
+  while (!c.done()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c.done()) return false;
+    const char esc = c.s[c.i++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (c.i + 4 > c.s.size()) return false;
+        u32 code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = c.s[c.i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<u32>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<u32>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<u32>(h - 'A' + 10);
+          else return false;
+        }
+        // The writer only escapes control characters this way.
+        out->push_back(static_cast<char>(code & 0xff));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+// Scalar value as raw token text ("true", "-12", "3.5") or, for strings,
+// the unescaped contents.
+bool parse_value(Cursor& c, std::string* out) {
+  if (c.done()) return false;
+  if (c.peek() == '"') return parse_string(c, out);
+  const std::size_t start = c.i;
+  while (!c.done() && c.peek() != ',' && c.peek() != '}') ++c.i;
+  if (c.i == start) return false;
+  *out = std::string(c.s.substr(start, c.i - start));
+  return true;
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool TraceRecord::has(std::string_view key) const {
+  return fields.find(std::string(key)) != fields.end();
+}
+
+u64 TraceRecord::unum(std::string_view key) const {
+  const auto it = fields.find(std::string(key));
+  if (it == fields.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+i64 TraceRecord::num(std::string_view key) const {
+  const auto it = fields.find(std::string(key));
+  if (it == fields.end()) return 0;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::string_view TraceRecord::str(std::string_view key) const {
+  const auto it = fields.find(std::string(key));
+  return it == fields.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+bool parse_trace_line(std::string_view line, TraceRecord* out,
+                      std::string* error) {
+  *out = TraceRecord{};
+  // Tolerate a trailing newline so callers can hand getline() results or
+  // raw buffer slices interchangeably.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  Cursor c{line};
+  if (!c.eat('{')) return fail(error, "expected '{'");
+  std::string key;
+  std::string value;
+  bool first = true;
+  while (!c.eat('}')) {
+    if (!first && !c.eat(',')) return fail(error, "expected ','");
+    first = false;
+    if (!parse_string(c, &key)) return fail(error, "expected key string");
+    if (!c.eat(':')) return fail(error, "expected ':'");
+    if (!parse_value(c, &value)) return fail(error, "expected value");
+    if (key == "v") {
+      out->version =
+          static_cast<u32>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "ts") {
+      out->ts = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "component") {
+      out->component = value;
+    } else if (key == "event") {
+      out->event = value;
+    } else if (key == "fid") {
+      out->fid = static_cast<i32>(std::strtol(value.c_str(), nullptr, 10));
+    } else {
+      out->fields[key] = value;
+    }
+  }
+  if (!c.done()) return fail(error, "trailing bytes after '}'");
+  if (out->version != kTraceSchemaVersion) {
+    return fail(error, "trace schema version mismatch");
+  }
+  return true;
+}
 
 }  // namespace artmt::telemetry

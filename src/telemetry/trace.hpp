@@ -6,14 +6,23 @@
 // and the simulator are diffable line-by-line.
 //
 // Envelope (stable field order):
-//   {"ts":<ns>,"component":"...","event":"...","fid":N, <fields...>}
+//   {"v":2,"ts":<ns>,"component":"...","event":"...","fid":N, <fields...>}
 // `fid` is omitted for events not attached to a flow (pass kNoFid).
+//
+// `v` is kTraceSchemaVersion. Every producer -- the live sink here, the
+// debugger's artmt_trace --json writer, span dumps, flight-recorder dumps
+// -- stamps the same constant, and parse_trace_line() rejects lines from
+// another version, so the writer and the readers can never drift apart
+// silently again (they did once: artmt_trace --json predated the `ts`
+// field and nothing noticed until a consumer broke).
 #pragma once
 
 #include <functional>
 #include <initializer_list>
 #include <iosfwd>
+#include <map>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <type_traits>
 
@@ -21,6 +30,10 @@
 #include "telemetry/metrics.hpp"
 
 namespace artmt::telemetry {
+
+// Bump when the envelope's shape changes. v2 added the version stamp
+// itself (v1 lines carried no "v" field).
+inline constexpr u32 kTraceSchemaVersion = 2;
 
 class TraceSink {
  public:
@@ -88,5 +101,30 @@ class TraceSink {
 // the paths that offer it).
 void set_trace_sink(TraceSink* sink);
 TraceSink* trace_sink();
+
+// One parsed trace line. Values are stored as the raw JSON token text
+// (strings unescaped); typed accessors convert on demand. A flat map is
+// all the envelope needs -- emit() never nests.
+struct TraceRecord {
+  u32 version = 0;
+  SimTime ts = 0;
+  std::string component;
+  std::string event;
+  i32 fid = kNoFid;
+  std::map<std::string, std::string> fields;
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  // 0 when missing or non-numeric.
+  [[nodiscard]] u64 unum(std::string_view key) const;
+  [[nodiscard]] i64 num(std::string_view key) const;
+  // "" when missing.
+  [[nodiscard]] std::string_view str(std::string_view key) const;
+};
+
+// Parses one emit()-envelope line into `out`. Returns false (and sets
+// *error when non-null) on malformed JSON or a schema-version mismatch --
+// the round-trip contract every trace producer is tested against.
+bool parse_trace_line(std::string_view line, TraceRecord* out,
+                      std::string* error = nullptr);
 
 }  // namespace artmt::telemetry

@@ -273,9 +273,10 @@ TEST(TraceSinkTest, EmitsOneJsonObjectPerLine) {
   EXPECT_EQ(sink.emitted(), 2u);
 
   EXPECT_EQ(out.str(),
-            "{\"ts\":1500,\"component\":\"alloc\",\"event\":\"allocate\","
+            "{\"v\":2,\"ts\":1500,\"component\":\"alloc\","
+            "\"event\":\"allocate\","
             "\"fid\":3,\"app\":3,\"blocks\":12,\"elastic\":true}\n"
-            "{\"ts\":2500,\"component\":\"netsim\","
+            "{\"v\":2,\"ts\":2500,\"component\":\"netsim\","
             "\"event\":\"frame_dropped\",\"node\":\"switch\",\"delta\":-4}\n");
 }
 
@@ -284,8 +285,48 @@ TEST(TraceSinkTest, EscapesStringsAndDefaultsClockToZero) {
   TraceSink sink(out);
   sink.emit("c", "ev", kNoFid, {{"msg", "a\"b\\c\nd"}});
   EXPECT_EQ(out.str(),
-            "{\"ts\":0,\"component\":\"c\",\"event\":\"ev\","
+            "{\"v\":2,\"ts\":0,\"component\":\"c\",\"event\":\"ev\","
             "\"msg\":\"a\\\"b\\\\c\\nd\"}\n");
+}
+
+TEST(TraceSinkTest, ParseTraceLineRoundTrips) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  SimTime now = 1500;
+  sink.set_clock([&now] { return now; });
+  sink.emit("alloc", "allocate", 3,
+            {{"app", 3u}, {"blocks", 12u}, {"elastic", true},
+             {"msg", "a\"b\\c\nd"}, {"delta", -4}});
+
+  TraceRecord rec;
+  std::string error;
+  ASSERT_TRUE(parse_trace_line(out.str(), &rec, &error)) << error;
+  EXPECT_EQ(rec.version, kTraceSchemaVersion);
+  EXPECT_EQ(rec.ts, 1500);
+  EXPECT_EQ(rec.component, "alloc");
+  EXPECT_EQ(rec.event, "allocate");
+  EXPECT_EQ(rec.fid, 3);
+  EXPECT_EQ(rec.unum("app"), 3u);
+  EXPECT_EQ(rec.unum("blocks"), 12u);
+  EXPECT_EQ(rec.str("elastic"), "true");
+  EXPECT_EQ(rec.str("msg"), "a\"b\\c\nd");  // escapes round-trip
+  EXPECT_EQ(rec.num("delta"), -4);
+  EXPECT_FALSE(rec.has("absent"));
+  EXPECT_EQ(rec.unum("absent"), 0u);
+}
+
+TEST(TraceSinkTest, ParseTraceLineRejectsDriftAndGarbage) {
+  TraceRecord rec;
+  std::string error;
+  // v1 line (no "v" field): the schema-drift case the version stamp
+  // exists to catch.
+  EXPECT_FALSE(parse_trace_line(
+      "{\"ts\":0,\"component\":\"c\",\"event\":\"e\"}", &rec, &error));
+  EXPECT_EQ(error, "trace schema version mismatch");
+  EXPECT_FALSE(parse_trace_line("{\"v\":999,\"ts\":0}", &rec, &error));
+  EXPECT_FALSE(parse_trace_line("not json", &rec, &error));
+  EXPECT_FALSE(parse_trace_line("{\"v\":2,\"ts\":}", &rec, &error));
+  EXPECT_FALSE(parse_trace_line("{\"v\":2} trailing", &rec, &error));
 }
 
 TEST(TraceSinkTest, GlobalSinkInstallsAndDetaches) {

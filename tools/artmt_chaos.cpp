@@ -29,6 +29,7 @@
 // Usage:
 //   artmt_chaos [--requests N] [--seed S] [--loss P] [--hot H]
 //               [--shards a,b,c] [--trace FILE] [--snapshot FILE]
+//               [--flight-dir DIR]
 //     --requests N    data-plane requests per service (default 2000)
 //     --seed S        fault-plan seed (default 1); workload seed is fixed
 //     --loss P        uniform loss probability (default 0.01)
@@ -38,6 +39,11 @@
 //                     write every injected-fault/telemetry event there
 //     --snapshot FILE write the last faulty run's merged metrics snapshot
 //                     (faults.* and reliability.* included) as JSON
+//     --flight-dir DIR arm the fault flight recorder: every run records
+//                     span events into per-shard rings; the brownout
+//                     up-edge dumps the wiped switch's final events to
+//                     DIR, and a digest mismatch or gate failure dumps
+//                     the offending run's merged rings
 //
 // stdout: one JSON summary object (digests, injected counts, retransmit /
 // recovered / give-up totals, verdict). Exit 0 iff every faulty digest
@@ -63,7 +69,9 @@
 #include "controller/switch_node.hpp"
 #include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/zipf.hpp"
 
@@ -437,6 +445,7 @@ int main(int argc, char** argv) {
   std::vector<u32> shard_counts = {1, 2, 4};
   const char* trace_path = nullptr;
   const char* snapshot_path = nullptr;
+  const char* flight_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       config.requests = static_cast<u32>(std::stoul(argv[++i]));
@@ -457,11 +466,13 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
       snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+      flight_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: artmt_chaos [--requests N] [--seed S] [--loss P] "
                    "[--hot H] [--shards a,b,c] [--trace FILE] "
-                   "[--snapshot FILE]\n");
+                   "[--snapshot FILE] [--flight-dir DIR]\n");
       return 2;
     }
   }
@@ -474,6 +485,20 @@ int main(int argc, char** argv) {
   const SimTime window = SimTime{config.requests} * 100 * kMicrosecond;
   const faults::FaultPlan plan =
       chaos_plan(config, workload_start + window / 10, window);
+
+  // Flight recorder: one ring per worker lane, shared across every run in
+  // the gate (cleared between runs). The brownout up-edge dumps from
+  // inside wipe_registers; mismatches and gate failures dump from here.
+  std::unique_ptr<telemetry::FlightRecorder> recorder;
+  if (flight_dir != nullptr) {
+    u32 lanes = 1;
+    for (const u32 shards : shard_counts) {
+      lanes = std::max(lanes, std::max<u32>(shards, 1));
+    }
+    recorder = std::make_unique<telemetry::FlightRecorder>(4096, lanes);
+    recorder->set_dump_dir(flight_dir);
+    telemetry::set_flight_recorder(recorder.get());
+  }
 
   // Fault-free reference (first shard count in the gate list).
   const u32 reference_shards = shard_counts.empty() ? 1 : shard_counts[0];
@@ -488,8 +513,15 @@ int main(int argc, char** argv) {
   bool ok = clean.converged;
   std::vector<std::pair<u32, RunResult>> runs;
   for (const u32 shards : shard_counts) {
+    if (recorder) recorder->clear();
     RunResult run = run_scenario(shards, &plan, config, nullptr);
     const bool match = run.converged && run.digest == clean.digest;
+    if (!match && recorder) {
+      const std::string dump = recorder->dump_all("digest_mismatch");
+      if (!dump.empty()) {
+        std::fprintf(stderr, "flight recorder dump: %s\n", dump.c_str());
+      }
+    }
     ok = ok && match;
     std::fprintf(
         stderr,
@@ -524,6 +556,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     telemetry::TraceSink sink(trace_file);
+    if (recorder) recorder->clear();
     const RunResult serial = run_scenario(0, &plan, config, &sink);
     std::fprintf(stderr,
                  "serial trace run: digest 0x%016llx [%s], %llu events -> "
@@ -562,5 +595,17 @@ int main(int argc, char** argv) {
               << ", \"give_ups\": " << run.give_ups << "}";
   }
   std::cout << "\n  ],\n  \"match\": " << (ok ? "true" : "false") << "\n}\n";
+  if (recorder) {
+    if (!ok) {
+      const std::string dump = recorder->dump_all("gate_failure");
+      if (!dump.empty()) {
+        std::fprintf(stderr, "flight recorder dump: %s\n", dump.c_str());
+      }
+    }
+    std::fprintf(stderr, "flight recorder: %llu dump(s) in %s\n",
+                 static_cast<unsigned long long>(recorder->dumps_written()),
+                 flight_dir);
+    telemetry::set_flight_recorder(nullptr);
+  }
   return ok ? 0 : 1;
 }

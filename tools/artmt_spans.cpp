@@ -1,0 +1,97 @@
+// artmt_spans -- reconstruct causal capsule spans from a span dump and
+// print per-FID latency breakdowns (queue vs execute vs wire vs retry).
+//
+// A span dump is the JSON-lines file written by `artmt_stats --span-dump`,
+// a flight-recorder dump, or any TraceSink stream filtered to component
+// "span". Every line carries the shared trace schema version, so a dump
+// written by one build is rejected -- not misread -- by an incompatible
+// one.
+//
+// Usage:
+//   artmt_spans [--requests | --events] [file]   (stdin when no file)
+//     (default)    per-FID p50/p90/p99 phase-latency tables
+//     --requests   one line per reconstructed request: root span, fid,
+//                  attempts, recirculations, and the phase durations
+//     --events     re-emit the events canonically sorted (normalizes a
+//                  dump for byte comparison; also a validity check)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/span.hpp"
+#include "telemetry/span_analysis.hpp"
+
+using namespace artmt;
+
+int main(int argc, char** argv) {
+  bool requests_mode = false;
+  bool events_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0) {
+      requests_mode = true;
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      events_mode = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: artmt_spans [--requests | --events] [file]\n");
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::vector<telemetry::SpanEvent> events;
+  std::string error;
+  bool loaded;
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "artmt_spans: cannot open %s\n", path);
+      return 1;
+    }
+    loaded = telemetry::load_span_events(in, &events, &error);
+  } else {
+    loaded = telemetry::load_span_events(std::cin, &events, &error);
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "artmt_spans: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (events_mode) {
+    std::sort(events.begin(), events.end(), telemetry::span_event_before);
+    telemetry::write_span_events(std::cout, events);
+    return 0;
+  }
+
+  const std::vector<telemetry::SpanRequest> requests =
+      telemetry::reconstruct_requests(events);
+  if (requests_mode) {
+    std::printf(
+        "root              fid  att  rec  done  total      queue      exec"
+        "       wire       retry\n");
+    for (const auto& req : requests) {
+      std::printf(
+          "%016llx  %-3d  %-3u  %-3u  %-4s  %-9lld  %-9lld  %-9lld  %-9lld"
+          "  %lld\n",
+          static_cast<unsigned long long>(req.root), req.fid, req.attempts,
+          req.recircs, req.gave_up ? "gave" : (req.completed ? "yes" : "no"),
+          static_cast<long long>(req.total), static_cast<long long>(req.queue),
+          static_cast<long long>(req.exec), static_cast<long long>(req.wire),
+          static_cast<long long>(req.retry_wait));
+    }
+    std::fprintf(stderr, "%zu events, %zu requests\n", events.size(),
+                 requests.size());
+    return 0;
+  }
+
+  telemetry::print_span_breakdown(std::cout, requests);
+  std::fprintf(stderr, "%zu events, %zu requests\n", events.size(),
+               requests.size());
+  return 0;
+}

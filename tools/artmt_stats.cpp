@@ -27,6 +27,16 @@
 //                    allocator's state after the scenario: scheme, search
 //                    mode, resident count, and per-stage utilization +
 //                    fragmentation (largest free run / total free blocks)
+//     --heatmap      instead of the snapshot, print the per-(stage, FID)
+//                    memory-access heatmap the runtime recorded (reads /
+//                    writes / collisions per cell) plus the decaying
+//                    hotness ranking the migration engine consumes
+//     --spans FILE   no scenario: load a span dump (artmt_spans format /
+//                    --span-dump output) and print the per-FID
+//                    p50/p90/p99 phase latency breakdown
+//     --span-dump F  record causal spans during the scenario and write
+//                    the canonical sorted dump to F (byte-identical for
+//                    any engine and shard count)
 //
 // The snapshot goes to stdout; a human summary goes to stderr.
 #include <cstdio>
@@ -44,7 +54,10 @@
 #include "controller/switch_node.hpp"
 #include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
+#include "telemetry/heatmap.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/span_analysis.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/zipf.hpp"
 
@@ -83,15 +96,50 @@ void print_alloc_report(const alloc::Allocator& a) {
   std::printf("  ]\n}\n");
 }
 
+// --heatmap: the per-(stage, FID) access table plus the hotness ranking.
+void print_heatmap_report(const telemetry::StageHeatmap& heatmap) {
+  std::printf("%-6s", "fid");
+  for (u32 s = 0; s < heatmap.stages(); ++s) std::printf("  s%-2u r/w/c       ", s);
+  std::printf("  total\n");
+  telemetry::HotnessTable hotness;
+  hotness.observe(heatmap);
+  for (const i32 fid : heatmap.fids()) {
+    std::printf("%-6d", fid);
+    for (u32 s = 0; s < heatmap.stages(); ++s) {
+      const auto* cell = heatmap.find(s, fid);
+      if (cell == nullptr || (cell->reads | cell->writes | cell->collisions) == 0) {
+        std::printf("  %-15s", "-");
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu/%llu/%llu",
+                      static_cast<unsigned long long>(cell->reads),
+                      static_cast<unsigned long long>(cell->writes),
+                      static_cast<unsigned long long>(cell->collisions));
+        std::printf("  %-15s", buf);
+      }
+    }
+    std::printf("  %llu\n",
+                static_cast<unsigned long long>(heatmap.total_accesses(fid)));
+  }
+  std::printf("\nhotness (decaying access score, hottest first):\n");
+  for (const auto& [fid, score] : hotness.ranked()) {
+    std::printf("  fid %-5d score %llu\n", fid,
+                static_cast<unsigned long long>(score));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   u32 requests = 2000;
   u32 shards = 0;  // 0 = the serial reference engine
   bool alloc_report = false;
+  bool heatmap_report = false;
   double loss = 0.0;
   u64 fault_seed = 1;
   const char* trace_path = nullptr;
+  const char* spans_path = nullptr;
+  const char* span_dump_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       requests = static_cast<u32>(std::stoul(argv[++i]));
@@ -105,12 +153,37 @@ int main(int argc, char** argv) {
       fault_seed = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--alloc") == 0) {
       alloc_report = true;
+    } else if (std::strcmp(argv[i], "--heatmap") == 0) {
+      heatmap_report = true;
+    } else if (std::strcmp(argv[i], "--spans") == 0 && i + 1 < argc) {
+      spans_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--span-dump") == 0 && i + 1 < argc) {
+      span_dump_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: artmt_stats [--requests N] [--trace FILE] "
-                   "[--shards N] [--loss P] [--fault-seed S] [--alloc]\n");
+                   "[--shards N] [--loss P] [--fault-seed S] [--alloc] "
+                   "[--heatmap] [--spans FILE] [--span-dump FILE]\n");
       return 2;
     }
+  }
+
+  if (spans_path != nullptr) {
+    // Pure analysis mode: no scenario, just the phase breakdown.
+    std::ifstream in(spans_path);
+    if (!in) {
+      std::fprintf(stderr, "artmt_stats: cannot open %s\n", spans_path);
+      return 1;
+    }
+    std::vector<telemetry::SpanEvent> events;
+    std::string error;
+    if (!telemetry::load_span_events(in, &events, &error)) {
+      std::fprintf(stderr, "artmt_stats: %s: %s\n", spans_path, error.c_str());
+      return 1;
+    }
+    telemetry::print_span_breakdown(
+        std::cout, telemetry::reconstruct_requests(events));
+    return 0;
   }
   if (shards > 0 && trace_path != nullptr) {
     std::fprintf(stderr,
@@ -139,6 +212,15 @@ int main(int argc, char** argv) {
   if (sim) {
     sim->set_metrics(&registry);
     net.set_metrics(&registry);
+  }
+
+  // Span capture: one lane per shard worker (lane 0 for the serial
+  // engine); the canonical sorted dump is engine- and shard-invariant.
+  std::unique_ptr<telemetry::SpanSink> span_sink;
+  if (span_dump_path != nullptr) {
+    span_sink =
+        std::make_unique<telemetry::SpanSink>(shards > 0 ? shards : 1);
+    telemetry::set_span_sink(span_sink.get());
   }
 
   std::ofstream trace_file;
@@ -296,8 +378,22 @@ int main(int argc, char** argv) {
 
   // Fault and reliability metrics live outside the engine registries:
   // mirror them into whichever snapshot we emit.
+  if (span_sink != nullptr) {
+    telemetry::set_span_sink(nullptr);
+    std::ofstream out(span_dump_path);
+    if (!out) {
+      std::fprintf(stderr, "artmt_stats: cannot open %s\n", span_dump_path);
+      return 1;
+    }
+    span_sink->dump(out);
+    std::fprintf(stderr, "wrote %llu span events to %s\n",
+                 static_cast<unsigned long long>(span_sink->recorded()),
+                 span_dump_path);
+  }
+
   auto export_extras = [&](telemetry::MetricsRegistry& reg) {
     if (injector) injector->export_metrics(reg);
+    sw->heatmap().export_metrics(reg);
     const auto cache_fid = static_cast<i32>(cache->fid());
     const auto monitor_fid = static_cast<i32>(monitor->fid());
     cache->populate_reliability().export_metrics(reg, cache_fid);
@@ -307,6 +403,8 @@ int main(int argc, char** argv) {
   };
   if (alloc_report) {
     print_alloc_report(sw->controller().allocator());
+  } else if (heatmap_report) {
+    print_heatmap_report(sw->heatmap());
   } else if (ssim) {
     telemetry::MetricsRegistry merged;
     ssim->merge_metrics_into(merged);
