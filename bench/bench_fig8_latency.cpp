@@ -17,12 +17,25 @@
 namespace artmt::bench {
 namespace {
 
-void provisioning_time() {
-  std::printf("\n## Fig 8a: provisioning time per admission (s)\n");
+// Mean cost composition of one Fig. 8a run (seconds), for the per-entry
+// vs batched-updates comparison below.
+struct ProvisioningBreakdown {
+  double compute = 0.0;
+  double tables = 0.0;
+  double snapshot = 0.0;
+  double steady = 0.0;  // mean total of the last 50 admissions
+};
+
+ProvisioningBreakdown provisioning_time(bool batched_updates) {
+  std::printf("\n## Fig 8a: provisioning time per admission (s)%s\n",
+              batched_updates ? " -- batched+coalesced table updates" : "");
   rmt::PipelineConfig pipe_cfg;
   rmt::Pipeline pipeline(pipe_cfg);
   runtime::ActiveRuntime runtime(pipeline);
-  controller::Controller ctrl(pipeline, runtime);
+  controller::CostModel costs;
+  costs.batched_updates = batched_updates;
+  controller::Controller ctrl(pipeline, runtime, alloc::Scheme::kWorstFit,
+                              alloc::MutantPolicy::most_constrained(), costs);
 
   workload::ArrivalProcess process(2.0, 1.0, 7);
   Rng departure_rng(99);
@@ -82,6 +95,36 @@ void provisioning_time() {
       "P4 recompilation baseline (paper, 22-instance image): %.2f s -> "
       "ActiveRMT is %.0fx faster at steady state\n",
       p4_compile, p4_compile / steady);
+  return ProvisioningBreakdown{compute.mean_y(), tables.mean_y(),
+                               snapshot.mean_y(), steady};
+}
+
+// The paper's Fig. 8a composition is dominated by per-entry table
+// updates; batching+coalescing (CostModel::batched_updates) shifts it
+// toward allocator compute + snapshotting. Print the shift so
+// EXPERIMENTS.md can record both compositions side by side.
+void provisioning_composition_shift(const ProvisioningBreakdown& per_entry,
+                                    const ProvisioningBreakdown& batched) {
+  std::printf("\n## Fig 8a composition shift: per-entry vs batched updates\n");
+  const auto share = [](const ProvisioningBreakdown& b, double part) {
+    const double total = b.compute + b.tables + b.snapshot;
+    return total > 0.0 ? 100.0 * part / total : 0.0;
+  };
+  std::printf(
+      "per-entry: compute %.1f%% / tables %.1f%% / snapshot %.1f%% "
+      "(steady %.3f s)\n",
+      share(per_entry, per_entry.compute), share(per_entry, per_entry.tables),
+      share(per_entry, per_entry.snapshot), per_entry.steady);
+  std::printf(
+      "batched:   compute %.1f%% / tables %.1f%% / snapshot %.1f%% "
+      "(steady %.3f s)\n",
+      share(batched, batched.compute), share(batched, batched.tables),
+      share(batched, batched.snapshot), batched.steady);
+  std::printf(
+      "steady-state provisioning: %.3f s -> %.3f s (%.1fx) with batched "
+      "table updates\n",
+      per_entry.steady, batched.steady,
+      batched.steady > 0.0 ? per_entry.steady / batched.steady : 0.0);
 }
 
 void rtt_vs_program_length() {
@@ -154,7 +197,9 @@ void rtt_vs_program_length() {
 
 int main() {
   std::printf("=== Figure 8: latency overhead ===\n");
-  artmt::bench::provisioning_time();
+  const auto per_entry = artmt::bench::provisioning_time(false);
+  const auto batched = artmt::bench::provisioning_time(true);
+  artmt::bench::provisioning_composition_shift(per_entry, batched);
   artmt::bench::rtt_vs_program_length();
   return 0;
 }

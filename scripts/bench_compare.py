@@ -2,8 +2,10 @@
 """Throughput regression gate over the committed bench baselines.
 
 Collects every throughput leaf in the working-tree bench JSONs --
-``packets_per_sec`` in BENCH_datapath.json, ``indexed_allocs_per_sec``
-and ``speedup`` in BENCH_alloc.json -- and compares each against the
+``packets_per_sec`` in BENCH_datapath.json, ``indexed_allocs_per_sec``,
+``speedup`` and ``admissions_per_sec`` in BENCH_alloc.json, and the
+migration soak's ``sustained_utilization`` / ``rejection_reduction_pct``
+in BENCH_migration.json -- and compares each against the
 committed baseline (``git show HEAD:<file>`` by default). Exits nonzero
 when any section regresses by more than the threshold (10% unless
 --threshold says otherwise). Sections present on only one side are
@@ -16,6 +18,7 @@ Stdlib only; runs anywhere git and python3 exist.
 Usage: scripts/bench_compare.py [--threshold 0.10]
                                 [--file BENCH_datapath.json]
                                 [--alloc-file BENCH_alloc.json]
+                                [--migration-file BENCH_migration.json]
                                 [--baseline-ref HEAD]
 """
 
@@ -99,6 +102,7 @@ def main():
                         help="allowed fractional drop (default 0.10)")
     parser.add_argument("--file", default="BENCH_datapath.json")
     parser.add_argument("--alloc-file", default="BENCH_alloc.json")
+    parser.add_argument("--migration-file", default="BENCH_migration.json")
     parser.add_argument("--baseline-ref", default="HEAD")
     args = parser.parse_args()
 
@@ -144,7 +148,7 @@ def main():
     # The speedup ratio is intra-process (both sides timed in the same
     # run), so it stays meaningful on slow or contended runners where
     # absolute allocs/sec would flake.
-    alloc_keys = {"indexed_allocs_per_sec", "speedup"}
+    alloc_keys = {"indexed_allocs_per_sec", "speedup", "admissions_per_sec"}
     alloc = load_json(args.alloc_file)
     if alloc is None:
         print(f"bench_compare: NOTICE: {args.alloc_file} not present; "
@@ -159,6 +163,32 @@ def main():
             regressions += compare(
                 args.alloc_file, dict(metric_leaves(alloc, alloc_keys)),
                 dict(metric_leaves(alloc_baseline, alloc_keys)),
+                args.threshold)
+
+    # --- migration soak: sustained utilization + rejection reduction ---
+    # Both are virtual-time quantities (modeled compute), so a drop means
+    # the engine's steady-state win shrank, not that the runner was slow.
+    # The full-mode soak takes minutes, so an absent file is a loud skip,
+    # never a silent pass.
+    mig_keys = {"sustained_utilization", "rejection_reduction_pct"}
+    migration = load_json(args.migration_file)
+    if migration is None:
+        print("=" * 68, file=sys.stderr)
+        print(f"bench_compare: NOTICE: {args.migration_file} not present -- "
+              "migration soak sections\nSKIPPED, not compared. Run "
+              "bench_migration (full mode, no ARTMT_BENCH_QUICK)\nto "
+              "regenerate it.", file=sys.stderr)
+        print("=" * 68, file=sys.stderr)
+    else:
+        mig_baseline = load_baseline(args.baseline_ref, args.migration_file)
+        if mig_baseline is None:
+            print(f"bench_compare: no baseline {args.migration_file} at "
+                  f"{args.baseline_ref}; nothing to compare")
+        else:
+            compared_any = True
+            regressions += compare(
+                args.migration_file, dict(metric_leaves(migration, mig_keys)),
+                dict(metric_leaves(mig_baseline, mig_keys)),
                 args.threshold)
 
     if regressions:

@@ -7,7 +7,7 @@
 #
 # Usage: scripts/ci.sh
 #   [release|bench|perf-smoke|alloc-bench|telemetry-overhead|
-#    bench-regression|chaos-soak|sanitize|tsan|all]
+#    bench-regression|chaos-soak|migration-soak|sanitize|tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -129,6 +129,31 @@ run_chaos_soak() {
   done
 }
 
+run_migration_soak() {
+  echo "== migration soak: churn + faults matrix, disruption-bound gate =="
+  cmake --preset default
+  cmake --build --preset default
+  # bench_migration runs the PoissonChurn soak with the migration engine
+  # on vs off, then the live-migration scenario (cold tenant demoted, hot
+  # tenant promoted, bystander disturbed under traffic) fault-free and
+  # under a 2% uniform-loss FaultPlan, asserting byte-identical state
+  # across shard counts. ARTMT_BENCH_QUICK=1 shrinks the event counts and
+  # skips the soak perf gate (and leaves BENCH_migration.json alone), but
+  # the virtual-time gates stay at full strength: migrations must execute
+  # in both the fault-free and faulted runs, every disturbed service must
+  # recover within the 60-window (3 s) p99 bound, and any cross-shard
+  # divergence fails the job.
+  ARTMT_BENCH_QUICK=1 ./build/bench/bench_migration
+  # The e2e scenario with the engine on must produce the identical
+  # migration report at any shard count (modeled compute).
+  report2="$(./build/tools/artmt_stats --migration --shards 2 2>/dev/null)"
+  report4="$(./build/tools/artmt_stats --migration --shards 4 2>/dev/null)"
+  if [ "$report2" != "$report4" ]; then
+    echo "migration-soak: artmt_stats --migration diverges across shard counts" >&2
+    exit 1
+  fi
+}
+
 run_sanitize() {
   echo "== ASan+UBSan build + tests =="
   cmake --preset asan-ubsan
@@ -151,6 +176,7 @@ case "$job" in
   telemetry-overhead) run_telemetry_overhead ;;
   bench-regression) run_bench_regression ;;
   chaos-soak) run_chaos_soak ;;
+  migration-soak) run_migration_soak ;;
   sanitize) run_sanitize ;;
   tsan) run_tsan ;;
   all)
@@ -161,11 +187,12 @@ case "$job" in
     run_telemetry_overhead
     run_bench_regression
     run_chaos_soak
+    run_migration_soak
     run_sanitize
     run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|perf-smoke|alloc-bench|telemetry-overhead|bench-regression|chaos-soak|sanitize|tsan|all)" >&2
+    echo "unknown job '$job' (expected release|bench|perf-smoke|alloc-bench|telemetry-overhead|bench-regression|chaos-soak|migration-soak|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

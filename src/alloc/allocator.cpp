@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
@@ -68,6 +70,9 @@ void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
     m_deallocations_ = nullptr;
     m_dealloc_unknown_ = nullptr;
     m_search_pruned_ = nullptr;
+    m_app_moves_ = nullptr;
+    m_demotions_ = nullptr;
+    m_promotions_ = nullptr;
     m_blocks_allocated_ = nullptr;
     m_blocks_freed_ = nullptr;
     m_resident_ = nullptr;
@@ -80,6 +85,9 @@ void Allocator::set_metrics(telemetry::MetricsRegistry* metrics) {
   m_deallocations_ = &metrics->counter("alloc", "deallocations");
   m_dealloc_unknown_ = &metrics->counter("alloc", "dealloc_unknown");
   m_search_pruned_ = &metrics->counter("alloc", "search_pruned");
+  m_app_moves_ = &metrics->counter("alloc", "app_moves");
+  m_demotions_ = &metrics->counter("alloc", "demotions");
+  m_promotions_ = &metrics->counter("alloc", "promotions");
   m_blocks_allocated_ = &metrics->counter("alloc", "blocks_allocated");
   m_blocks_freed_ = &metrics->counter("alloc", "blocks_freed");
   m_resident_ = &metrics->gauge("alloc", "resident_apps");
@@ -221,22 +229,19 @@ std::vector<AppId> Allocator::collect_changed(const std::map<u32, u32>& touched,
   return changed;
 }
 
-AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
-  AllocationOutcome outcome;
-  Stopwatch watch;
+bool Allocator::search_placement(const AllocationRequest& request, Mutant& best,
+                                 u64& considered, bool& pruned) {
   const bool indexed = search_mode_ == SearchMode::kIndexed;
-
-  // --- Phase 1: systematic search over the mutant space. ---
   bool found = false;
-  Mutant best;
   double best_score = std::numeric_limits<double>::infinity();
+  considered = 0;
 
   // Global feasibility prune (indexed only): if the bottleneck access
   // cannot be placed on *any* stage, no mutant is feasible -- reject
   // without enumerating. This is the one intentional divergence from the
   // legacy path's accounting: hopeless failures report
   // mutants_considered == 0 where the rescan path enumerates them all.
-  bool pruned = false;
+  pruned = false;
   if (indexed) {
     u32 max_demand = 0;
     for (const auto& access : request.accesses) {
@@ -245,35 +250,71 @@ AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
     if (max_demand > 0 &&
         !index_.feasible_anywhere(request.elastic, max_demand)) {
       pruned = true;
+      if (m_search_pruned_ != nullptr) m_search_pruned_->inc();
+      return false;
     }
   }
 
-  if (!pruned) {
-    outcome.mutants_considered = for_each_mutant(
-        request, geometry_, policy_, [&](const Mutant& candidate) {
-          double s = 0.0;
-          if (indexed) {
-            if (!evaluate_indexed(request, candidate, s)) return true;
-          } else {
-            const auto demands = stage_demands(request, candidate);
-            if (!feasible(request, demands)) return true;
-            if (scheme_ != Scheme::kFirstFit) s = score(request, demands);
-          }
-          if (scheme_ == Scheme::kFirstFit) {
-            best = candidate;
-            found = true;
-            return false;  // stop at the first feasible mutant
-          }
-          if (!found || s < best_score) {
-            best = candidate;
-            best_score = s;
-            found = true;
-          }
-          return true;
-        });
-  } else if (m_search_pruned_ != nullptr) {
-    m_search_pruned_->inc();
+  // Least-constrained policies (extra_passes > 0) multiply the
+  // enumeration space per access; precompute the per-(access, stage)
+  // feasibility oracle once and prune subtrees instead of rejecting
+  // leaf-by-leaf. The default most-constrained policy skips the filter so
+  // its visit counts stay bit-compatible with the legacy rescan path.
+  StageFilter filter;
+  if (indexed && policy_.extra_passes > 0) {
+    const u32 n = geometry_.logical_stages;
+    const std::size_t m = request.accesses.size();
+    scratch_feasible_.assign(m * n, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const u32 demand = request.accesses[i].demand_blocks;
+      for (u32 s = 0; s < n; ++s) {
+        const StageState& state = stages_[s];
+        const bool fits = demand == 0 ||
+                          (request.elastic ? state.elastic_fits(demand)
+                                           : state.inelastic_fits(demand));
+        scratch_feasible_[i * n + s] = fits ? 1 : 0;
+      }
+    }
+    filter = [this, n](u32 index, u32 stage) {
+      return scratch_feasible_[index * n + stage] != 0;
+    };
   }
+
+  considered = for_each_mutant(
+      request, geometry_, policy_, filter, [&](const Mutant& candidate) {
+        double s = 0.0;
+        if (indexed) {
+          if (!evaluate_indexed(request, candidate, s)) return true;
+        } else {
+          const auto demands = stage_demands(request, candidate);
+          if (!feasible(request, demands)) return true;
+          if (scheme_ != Scheme::kFirstFit) s = score(request, demands);
+        }
+        if (scheme_ == Scheme::kFirstFit) {
+          best = candidate;
+          found = true;
+          return false;  // stop at the first feasible mutant
+        }
+        if (!found || s < best_score) {
+          best = candidate;
+          best_score = s;
+          found = true;
+        }
+        return true;
+      });
+  return found;
+}
+
+AllocationOutcome Allocator::allocate(const AllocationRequest& request) {
+  AllocationOutcome outcome;
+  Stopwatch watch;
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
+
+  // --- Phase 1: systematic search over the mutant space. ---
+  Mutant best;
+  bool pruned = false;
+  const bool found =
+      search_placement(request, best, outcome.mutants_considered, pruned);
   outcome.search_ms =
       compute_model_.modeled
           ? static_cast<double>(outcome.mutants_considered) *
@@ -388,6 +429,178 @@ std::vector<AppId> Allocator::deallocate(AppId id) {
                {{"app", id}, {"blocks", blocks}});
   }
   return changed;
+}
+
+std::vector<AppId> Allocator::demote_elastic(AppId id) {
+  const auto it = apps_.find(id);
+  if (it == apps_.end() || !it->second.elastic || it->second.demoted) return {};
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
+  std::map<AppId, std::map<u32, Interval>> before;
+  if (!indexed) before = snapshot();
+  for (const auto& [stage, demand] : it->second.stage_demand) {
+    stages_[stage].set_elastic_cap(id, demand);  // cap = minimum share
+    index_.refresh(stage, stages_[stage]);
+  }
+  it->second.demoted = true;
+  // Exclude nothing (AppId 0 is never issued): a demotion that shrinks the
+  // target's own share disturbs the target too, and the control plane must
+  // resync its entries like any other moved app.
+  auto changed = indexed ? collect_changed(it->second.stage_demand, 0)
+                         : diff_against(before, 0);
+  if (m_demotions_ != nullptr) m_demotions_->inc();
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("alloc", "demote", telemetry::kNoFid,
+               {{"app", id}, {"disturbed", changed.size()}});
+  }
+  return changed;
+}
+
+std::vector<AppId> Allocator::promote_elastic(AppId id) {
+  const auto it = apps_.find(id);
+  if (it == apps_.end() || !it->second.elastic || !it->second.demoted) {
+    return {};
+  }
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
+  std::map<AppId, std::map<u32, Interval>> before;
+  if (!indexed) before = snapshot();
+  for (const auto& [stage, demand] : it->second.stage_demand) {
+    stages_[stage].set_elastic_cap(id, it->second.request.elastic_cap_blocks);
+    index_.refresh(stage, stages_[stage]);
+  }
+  it->second.demoted = false;
+  auto changed = indexed ? collect_changed(it->second.stage_demand, 0)
+                         : diff_against(before, 0);
+  if (m_promotions_ != nullptr) m_promotions_->inc();
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("alloc", "promote", telemetry::kNoFid,
+               {{"app", id}, {"disturbed", changed.size()}});
+  }
+  return changed;
+}
+
+bool Allocator::demoted(AppId id) const {
+  const auto it = apps_.find(id);
+  return it != apps_.end() && it->second.demoted;
+}
+
+MoveOutcome Allocator::reallocate_app(AppId id) {
+  MoveOutcome out;
+  const auto it = apps_.find(id);
+  if (it == apps_.end()) return out;
+  AppRecord& record = it->second;
+  const bool indexed = search_mode_ == SearchMode::kIndexed;
+  Stopwatch watch;
+
+  out.success = true;
+  out.app = id;
+  out.old_regions = regions_of(id);
+
+  std::map<AppId, std::map<u32, Interval>> before;
+  if (!indexed) before = snapshot();
+
+  // Baseline regions of every resident in a stage this op may touch,
+  // captured before that stage first mutates. Comparing final regions
+  // against the baseline yields the NET disturbance: apps shuffled by the
+  // vacate but restored by the re-add (the no-move case) are not
+  // reported, so the control plane never quiesces a service whose layout
+  // did not actually change.
+  std::map<std::pair<u32, AppId>, Interval> baseline;
+  std::set<u32> touched;
+  auto capture = [&](u32 stage) {
+    if (!touched.insert(stage).second) return;
+    for (const auto& [app, region] : stages_[stage].regions()) {
+      baseline.try_emplace({stage, app}, region);
+    }
+  };
+  for (const auto& [stage, demand] : record.stage_demand) capture(stage);
+
+  // 1) Vacate the app (its record survives; only stage residency clears).
+  for (const auto& [stage, demand] : record.stage_demand) {
+    if (record.elastic) {
+      stages_[stage].remove_elastic(id);
+    } else {
+      stages_[stage].remove_inelastic(id);
+    }
+    index_.refresh(stage, stages_[stage]);
+  }
+
+  // 2) Re-run the admission search; the vacated placement keeps it
+  // feasible, so the fallback to the old mutant is pure paranoia.
+  Mutant best;
+  bool pruned = false;
+  if (!search_placement(record.request, best, out.mutants_considered,
+                        pruned)) {
+    best = record.chosen;
+  }
+  out.search_ms = compute_model_.modeled
+                      ? static_cast<double>(out.mutants_considered) *
+                            compute_model_.search_us_per_mutant / 1000.0
+                      : watch.elapsed_ms();
+  if (m_search_us_ != nullptr) {
+    m_search_us_->record(static_cast<u64>(out.search_ms * 1000.0));
+  }
+  watch.reset();
+
+  // 3) Re-admit under the same id (controller FID mappings survive).
+  const auto demands = stage_demands(record.request, best);
+  for (const auto& [stage, demand] : demands) capture(stage);
+  for (const auto& [stage, demand] : demands) {
+    if (record.elastic) {
+      const u32 cap =
+          record.demoted ? demand : record.request.elastic_cap_blocks;
+      stages_[stage].add_elastic(id, demand, cap);
+    } else {
+      stages_[stage].add_inelastic(id, demand);
+    }
+    index_.refresh(stage, stages_[stage]);
+  }
+  record.chosen = best;
+  record.stage_demand = demands;
+
+  out.chosen = best;
+  out.new_regions = regions_of(id);
+  out.moved = out.new_regions != out.old_regions;
+
+  if (indexed) {
+    std::vector<AppId> changed;
+    for (const u32 stage : touched) {
+      for (const auto& [app, region] : stages_[stage].regions()) {
+        if (app == id) continue;
+        const auto b = baseline.find({stage, app});
+        if (b == baseline.end() || b->second != region) {
+          changed.push_back(app);
+        }
+      }
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    out.reallocated = std::move(changed);
+  } else {
+    out.reallocated = diff_against(before, id);
+  }
+
+  if (compute_model_.modeled) {
+    u64 moved = region_blocks(out.new_regions);
+    for (const AppId other : out.reallocated) {
+      moved += region_blocks(regions_of(other));
+    }
+    out.assign_ms = static_cast<double>(moved) *
+                    compute_model_.assign_us_per_block / 1000.0;
+  } else {
+    out.assign_ms = watch.elapsed_ms();
+  }
+  if (out.moved && m_app_moves_ != nullptr) m_app_moves_->inc();
+  if (m_assign_us_ != nullptr) {
+    m_assign_us_->record(static_cast<u64>(out.assign_ms * 1000.0));
+  }
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("alloc", "reallocate_app", telemetry::kNoFid,
+               {{"app", id},
+                {"moved", out.moved},
+                {"disturbed", out.reallocated.size()},
+                {"mutants_considered", out.mutants_considered}});
+  }
+  return out;
 }
 
 double Allocator::utilization() const {

@@ -79,6 +79,7 @@ struct ComputeModel {
 struct AppRecord {
   AppId id = 0;
   bool elastic = false;
+  bool demoted = false;               // squeezed to minimum shares (cap=min)
   Mutant chosen;                      // global logical stage per access
   std::map<u32, u32> stage_demand;    // physical-logical stage -> blocks
   AllocationRequest request;
@@ -95,6 +96,22 @@ struct AllocationOutcome {
   double assign_ms = 0.0;  // final assignment for all (re)allocated apps
 };
 
+// Result of the migration engine's re-slide primitive (reallocate_app).
+struct MoveOutcome {
+  bool success = false;  // false only for a non-resident id
+  bool moved = false;    // any of the app's regions actually changed
+  AppId app = 0;
+  Mutant chosen;  // placement after the re-slide (== before when !moved)
+  std::map<u32, Interval> old_regions;
+  std::map<u32, Interval> new_regions;
+  // Other residents whose regions NET-changed (apps shuffled during the
+  // remove/re-add but restored to their original regions do not appear).
+  std::vector<AppId> reallocated;
+  u64 mutants_considered = 0;
+  double search_ms = 0.0;
+  double assign_ms = 0.0;
+};
+
 class Allocator {
  public:
   Allocator(const StageGeometry& geometry, u32 blocks_per_stage,
@@ -109,6 +126,24 @@ class Allocator {
   // `alloc.dealloc_unknown`): release retries and departure races are
   // expected under churn and must not wedge the control plane.
   std::vector<AppId> deallocate(AppId id);
+
+  // --- background migration primitives (ROADMAP item 2) ---
+  // Demotion: squeezes a resident elastic app to its minimum share in
+  // every stage it occupies (cap := min) so the freed share flows to hot
+  // members; promotion restores the request's cap. Both return every
+  // resident whose regions changed, INCLUDING the target itself when its
+  // share moved. Unknown, inelastic, or already-(un)demoted ids are
+  // graceful no-ops (empty result).
+  std::vector<AppId> demote_elastic(AppId id);
+  std::vector<AppId> promote_elastic(AppId id);
+  [[nodiscard]] bool demoted(AppId id) const;
+
+  // Re-slide: re-runs the admission search for a resident app as if it
+  // arrived now (same id, same request), freeing its regions first -- the
+  // defragmentation engine's compaction primitive. The vacated placement
+  // keeps the search feasible, so a resident id always succeeds; when the
+  // best placement is unchanged the op reports !moved with no disturbance.
+  MoveOutcome reallocate_app(AppId id);
 
   // --- queries (drive the evaluation figures) ---
   [[nodiscard]] double utilization() const;  // allocated / total blocks
@@ -172,6 +207,16 @@ class Allocator {
   [[nodiscard]] bool evaluate_indexed(const AllocationRequest& request,
                                       const Mutant& candidate, double& score);
 
+  // Phase-1 search shared by allocate() and reallocate_app(): global
+  // hopeless-prune (indexed only; reported via `pruned` with
+  // considered == 0), then the mutant walk. In indexed mode with a
+  // least-constrained policy (extra_passes > 0) the walk runs through the
+  // per-(access, stage) StageFilter so the blown-up enumeration space is
+  // pruned by subtree instead of leaf-by-leaf; the default
+  // most-constrained policy keeps the exact legacy visit counts.
+  bool search_placement(const AllocationRequest& request, Mutant& best,
+                        u64& considered, bool& pruned);
+
   // Snapshot of every app's regions (kRescan reallocation diffing).
   [[nodiscard]] std::map<AppId, std::map<u32, Interval>> snapshot() const;
   [[nodiscard]] std::vector<AppId> diff_against(
@@ -200,12 +245,18 @@ class Allocator {
   std::vector<u64> scratch_stamp_;
   std::vector<u32> scratch_stages_;
   u64 scratch_epoch_ = 0;
+  // Scratch for the least-constrained pruned walk: feasibility of access i
+  // on stage s, precomputed once per search (accesses * stages bytes).
+  std::vector<u8> scratch_feasible_;
 
   telemetry::Counter* m_allocations_ = nullptr;
   telemetry::Counter* m_failures_ = nullptr;
   telemetry::Counter* m_deallocations_ = nullptr;
   telemetry::Counter* m_dealloc_unknown_ = nullptr;
   telemetry::Counter* m_search_pruned_ = nullptr;
+  telemetry::Counter* m_app_moves_ = nullptr;
+  telemetry::Counter* m_demotions_ = nullptr;
+  telemetry::Counter* m_promotions_ = nullptr;
   telemetry::Counter* m_blocks_allocated_ = nullptr;
   telemetry::Counter* m_blocks_freed_ = nullptr;
   telemetry::Gauge* m_resident_ = nullptr;

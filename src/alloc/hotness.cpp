@@ -1,0 +1,95 @@
+#include "alloc/hotness.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "telemetry/heatmap.hpp"
+
+namespace artmt::alloc {
+
+HotnessTable::HotnessTable(HotnessConfig config) : config_(config) {
+  if (config_.decay_shift == 0 || config_.decay_shift >= 64) {
+    throw UsageError("HotnessTable: decay_shift must be in [1, 63]");
+  }
+}
+
+HotnessTable::Row& HotnessTable::row(i32 fid, u32 stages) {
+  Row& r = rows_[fid];
+  if (r.score.size() < stages) {
+    r.score.resize(stages, 0);
+    r.last_reads.resize(stages, 0);
+    r.last_writes.resize(stages, 0);
+  }
+  return r;
+}
+
+void HotnessTable::observe(const telemetry::StageHeatmap& heatmap) {
+  const u32 stages = heatmap.stages();
+  for (const i32 fid : heatmap.fids()) {
+    Row& r = row(fid, stages);
+    for (u32 s = 0; s < stages; ++s) {
+      const auto* cell = heatmap.find(s, fid);
+      if (cell == nullptr) continue;
+      // Cumulative counters never regress while the heatmap lives; a
+      // clear() resets them, so the delta base clamps rather than wraps.
+      const u64 reads = std::max(cell->reads, r.last_reads[s]);
+      const u64 writes = std::max(cell->writes, r.last_writes[s]);
+      const u64 delta = (reads - r.last_reads[s]) + (writes - r.last_writes[s]);
+      r.last_reads[s] = cell->reads;
+      r.last_writes[s] = cell->writes;
+      r.score[s] += delta;
+      r.total += delta;
+    }
+  }
+}
+
+void HotnessTable::decay() {
+  for (auto& [fid, r] : rows_) {
+    u64 total = 0;
+    for (u64& s : r.score) {
+      s >>= config_.decay_shift;
+      total += s;
+    }
+    r.total = total;
+    if (total <= config_.cold_threshold) {
+      ++r.cold_streak;
+    } else {
+      r.cold_streak = 0;
+    }
+  }
+}
+
+void HotnessTable::forget(i32 fid) { rows_.erase(fid); }
+
+u64 HotnessTable::score(i32 fid) const {
+  const auto it = rows_.find(fid);
+  return it == rows_.end() ? 0 : it->second.total;
+}
+
+u64 HotnessTable::stage_score(i32 fid, u32 stage) const {
+  const auto it = rows_.find(fid);
+  if (it == rows_.end() || stage >= it->second.score.size()) return 0;
+  return it->second.score[stage];
+}
+
+u32 HotnessTable::cold_streak(i32 fid) const {
+  const auto it = rows_.find(fid);
+  return it == rows_.end() ? 0 : it->second.cold_streak;
+}
+
+bool HotnessTable::is_cold(i32 fid) const {
+  const auto it = rows_.find(fid);
+  return it != rows_.end() && it->second.cold_streak >= config_.cold_ticks;
+}
+
+std::vector<std::pair<i32, u64>> HotnessTable::ranked() const {
+  std::vector<std::pair<i32, u64>> out;
+  out.reserve(rows_.size());
+  for (const auto& [fid, r] : rows_) out.emplace_back(fid, r.total);
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace artmt::alloc

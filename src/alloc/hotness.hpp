@@ -1,0 +1,80 @@
+// Decayed per-(FID, stage) access scores driving the background migration
+// engine (ROADMAP item 2). Where telemetry::HotnessTable ranks FIDs by
+// total traffic, this table keeps the per-stage resolution the planner
+// needs (a re-slide candidate is judged by the activity in the stage being
+// compacted) plus hysteretic coldness detection: a FID is cold only after
+// `cold_ticks` consecutive epochs below `cold_threshold`, so one quiet
+// interval does not demote a bursty service.
+//
+// Feeding follows the heatmap idiom: observe() absorbs the per-cell
+// read/write delta since the previous observation (collisions are faults,
+// not demand, and stay out of the score), decay() ages every cell by
+// `decay_shift` (shift 1 = one-tick half-life under silence). tick() is
+// one migration epoch: observe, then age, then advance cold streaks.
+// Deterministic: plain maps, no clocks, no randomness.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::telemetry {
+class StageHeatmap;
+}  // namespace artmt::telemetry
+
+namespace artmt::alloc {
+
+struct HotnessConfig {
+  u32 decay_shift = 1;     // per-tick aging: score >>= decay_shift
+  u64 cold_threshold = 8;  // total score at/below this marks a cold epoch
+  u32 cold_ticks = 3;      // consecutive cold epochs before is_cold()
+};
+
+class HotnessTable {
+ public:
+  explicit HotnessTable(HotnessConfig config = {});
+
+  // Absorbs each cell's read+write delta since the previous observation.
+  void observe(const telemetry::StageHeatmap& heatmap);
+  // Ages every score, then advances or resets each FID's cold streak.
+  void decay();
+  // One migration epoch: new traffic in, then age.
+  void tick(const telemetry::StageHeatmap& heatmap) {
+    observe(heatmap);
+    decay();
+  }
+  // The FID departed; drop its row (a reused FID starts fresh).
+  void forget(i32 fid);
+
+  [[nodiscard]] u64 score(i32 fid) const;  // sum across stages
+  [[nodiscard]] u64 stage_score(i32 fid, u32 stage) const;
+  [[nodiscard]] u32 cold_streak(i32 fid) const;
+  // Only FIDs with observed traffic are ever cold: a row is created by
+  // activity, so a service that never sent a packet is not demoted on the
+  // strength of an empty table.
+  [[nodiscard]] bool is_cold(i32 fid) const;
+  [[nodiscard]] bool tracked(i32 fid) const { return rows_.contains(fid); }
+  [[nodiscard]] std::size_t tracked_count() const { return rows_.size(); }
+  // (fid, total score) hottest first; equal scores order by ascending fid.
+  [[nodiscard]] std::vector<std::pair<i32, u64>> ranked() const;
+  [[nodiscard]] const HotnessConfig& config() const { return config_; }
+
+ private:
+  struct Row {
+    std::vector<u64> score;        // per-stage decayed read+write score
+    std::vector<u64> last_reads;   // cumulative heatmap counts at the
+    std::vector<u64> last_writes;  // previous observation (delta base)
+    u64 total = 0;                 // sum of score[]
+    u32 cold_streak = 0;
+  };
+
+  Row& row(i32 fid, u32 stages);
+
+  HotnessConfig config_;
+  std::map<i32, Row> rows_;
+};
+
+}  // namespace artmt::alloc

@@ -92,6 +92,13 @@ MutantConstraints derive_constraints(const AllocationRequest& request,
 u64 for_each_mutant(const AllocationRequest& request,
                     const StageGeometry& geometry, const MutantPolicy& policy,
                     const std::function<bool(const Mutant&)>& visit) {
+  return for_each_mutant(request, geometry, policy, StageFilter{}, visit);
+}
+
+u64 for_each_mutant(const AllocationRequest& request,
+                    const StageGeometry& geometry, const MutantPolicy& policy,
+                    const StageFilter& filter,
+                    const std::function<bool(const Mutant&)>& visit) {
   const MutantConstraints c = derive_constraints(request, geometry, policy);
   const u32 m = request.access_count();
   // Infeasible geometry (e.g. UB < LB) yields no mutants.
@@ -122,14 +129,18 @@ u64 for_each_mutant(const AllocationRequest& request,
     // Same-stage aliasing (e.g. a value read in pass 1 and updated in pass
     // 2): only offsets congruent to the aliased access modulo the pipeline
     // depth are admissible.
+    const u32 n = geometry.logical_stages;
     const i32 alias = request.accesses[depth].alias;
     if (alias >= 0) {
-      const u32 n = geometry.logical_stages;
       const u32 target = x[static_cast<u32>(alias)] % n;
       lo += (target + n - lo % n) % n;
       step = n;
     }
     for (u32 v = lo; v <= c.upper_bounds[depth] && !stop; v += step) {
+      // Subtree prune: an assignment the filter rejects can never appear
+      // in a feasible mutant (see StageFilter), so the whole branch is
+      // skipped without visiting its leaves.
+      if (filter && !filter(depth, v % n)) continue;
       x[depth] = v;
       recurse(depth + 1);
     }

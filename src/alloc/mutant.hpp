@@ -50,6 +50,23 @@ u64 for_each_mutant(const AllocationRequest& request,
                     const StageGeometry& geometry, const MutantPolicy& policy,
                     const std::function<bool(const Mutant&)>& visit);
 
+// Per-(access, physical-stage) feasibility oracle for the pruned
+// enumeration below: false means access `index` cannot be placed in stage
+// `stage` even on its own. Pruning on it is sound because same-stage
+// demands collapse to their maximum, so a stage that cannot fit one
+// access's demand cannot fit any collapsed demand including it.
+using StageFilter = std::function<bool(u32 index, u32 stage)>;
+
+// Pruned enumeration: skips every subtree whose next assignment the
+// filter rejects, so mutant counts shrink with stage pressure while the
+// surviving mutants appear in the exact lexicographic order of the
+// unpruned walk (placement parity with the full enumeration). An empty
+// filter degenerates to the plain overload.
+u64 for_each_mutant(const AllocationRequest& request,
+                    const StageGeometry& geometry, const MutantPolicy& policy,
+                    const StageFilter& filter,
+                    const std::function<bool(const Mutant&)>& visit);
+
 // Whether a mutant keeps the request's RTS instruction in an ingress
 // half-pass (the mutated RTS index inherits the shift of its segment).
 bool rts_at_ingress(const AllocationRequest& request,

@@ -103,6 +103,22 @@ void StageState::remove_elastic(AppId id) {
   rebalance();
 }
 
+void StageState::set_elastic_cap(AppId id, u32 cap_blocks) {
+  const auto it =
+      std::find_if(elastic_.begin(), elastic_.end(),
+                   [id](const ElasticMember& m) { return m.id == id; });
+  if (it == elastic_.end()) throw UsageError("StageState: unknown elastic app");
+  if (cap_blocks != 0 && cap_blocks < it->min_blocks) {
+    throw UsageError("StageState: elastic cap below minimum");
+  }
+  if (it->cap_blocks == cap_blocks) {
+    changed_.clear();  // no-op: nothing rebalances, nobody is disturbed
+    return;
+  }
+  it->cap_blocks = cap_blocks;
+  rebalance();
+}
+
 void StageState::rebalance() {
   const u32 pool = capacity_ - frontier_;
   // Progressive filling (the paper's max-min approximation): start every

@@ -43,6 +43,11 @@ class StageState {
   [[nodiscard]] bool elastic_fits(u32 min_blocks) const;
   void add_elastic(AppId id, u32 min_blocks, u32 cap_blocks = 0);
   void remove_elastic(AppId id);
+  // Overrides the member's share cap (0 = uncapped) and rebalances. The
+  // migration engine's demotion path squeezes cold members to cap ==
+  // min_blocks; promotion restores the request's cap. Throws on an
+  // unknown member or a nonzero cap below the member's minimum.
+  void set_elastic_cap(AppId id, u32 cap_blocks);
 
   // Recomputes elastic shares (progressive filling) and the elastic layout.
   // Must be called after any membership or frontier change; add/remove do

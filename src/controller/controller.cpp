@@ -22,6 +22,9 @@ struct ControllerMetrics {
         table_update_batches(&r.counter("controller", "table_update_batches")),
         blocks_snapshotted(&r.counter("controller", "blocks_snapshotted")),
         extraction_timeouts(&r.counter("controller", "extraction_timeouts")),
+        migrations(&r.counter("controller", "migrations")),
+        migration_noops(&r.counter("controller", "migration_noops")),
+        blocks_migrated(&r.counter("controller", "blocks_migrated")),
         compute_us(&r.histogram("controller", "admit_compute_us")),
         provisioning_ns(&r.histogram("controller", "provisioning_ns")) {}
 
@@ -35,6 +38,9 @@ struct ControllerMetrics {
   telemetry::Counter* table_update_batches;
   telemetry::Counter* blocks_snapshotted;
   telemetry::Counter* extraction_timeouts;
+  telemetry::Counter* migrations;
+  telemetry::Counter* migration_noops;
+  telemetry::Counter* blocks_migrated;
   telemetry::Histogram* compute_us;
   telemetry::Histogram* provisioning_ns;
 };
@@ -72,6 +78,26 @@ packet::AllocResponseHeader Controller::response_for(Fid fid) const {
     header.regions[stage].limit_word = region.end * block_words;
   }
   return header;
+}
+
+std::vector<Fid> Controller::resident_fids() const {
+  std::vector<Fid> fids;
+  fids.reserve(fid_to_app_.size());
+  for (const auto& [fid, app] : fid_to_app_) fids.push_back(fid);
+  std::sort(fids.begin(), fids.end());
+  return fids;
+}
+
+alloc::AppId Controller::app_of(Fid fid) const {
+  const auto it = fid_to_app_.find(fid);
+  if (it == fid_to_app_.end()) throw UsageError("Controller: unknown FID");
+  return it->second;
+}
+
+Fid Controller::fid_of(alloc::AppId app) const {
+  const auto it = app_to_fid_.find(app);
+  if (it == app_to_fid_.end()) throw UsageError("Controller: unknown app");
+  return it->second;
 }
 
 const alloc::Mutant* Controller::mutant_of(Fid fid) const {
@@ -328,6 +354,8 @@ void Controller::apply_pending() {
 
 void Controller::finalize() {
   if (!pending_) throw UsageError("Controller: nothing to finalize");
+  // new_fid == 0 is the background-migration sentinel: no admission rides
+  // this transaction, only the disturbed apps re-sync.
   const Fid new_fid = pending_->new_fid;
 
   // Re-sync entries for every app whose layout changed, then the new app.
@@ -337,7 +365,7 @@ void Controller::finalize() {
     if (runtime_->is_deactivated(fid)) disturbed.push_back(fid);
   }
   for (const Fid fid : disturbed) sync_entries(fid);
-  install_with_advance(new_fid);
+  if (new_fid != 0) install_with_advance(new_fid);
 
   // Zero the regions that changed hands: the new app's and the disturbed
   // apps' new regions (content migration is the clients' job, from the
@@ -350,7 +378,7 @@ void Controller::finalize() {
                                             region.size() * block_words, 0);
     }
   };
-  clear_regions(new_fid);
+  if (new_fid != 0) clear_regions(new_fid);
   for (const Fid fid : disturbed) clear_regions(fid);
 
   for (const Fid fid : disturbed) runtime_->reactivate(fid);
@@ -359,6 +387,150 @@ void Controller::finalize() {
                {{"reactivated", disturbed.size()}});
   }
   pending_.reset();
+}
+
+MigrationResult Controller::migrate(const RemapRequest& request) {
+  if (pending_) {
+    throw UsageError("Controller: migration while a transaction is pending");
+  }
+  MigrationResult result;
+  result.fid = request.fid;
+  result.kind = request.kind;
+  const auto fit = fid_to_app_.find(request.fid);
+  if (fit == fid_to_app_.end()) return result;  // departed: graceful no-op
+  const alloc::AppId app = fit->second;
+
+  std::vector<alloc::AppId> changed;
+  switch (request.kind) {
+    case RemapKind::kDemote: {
+      const bool was = alloc_.demoted(app);
+      changed = alloc_.demote_elastic(app);
+      result.applied = !was && alloc_.demoted(app);
+      break;
+    }
+    case RemapKind::kPromote: {
+      const bool was = alloc_.demoted(app);
+      changed = alloc_.promote_elastic(app);
+      result.applied = was && !alloc_.demoted(app);
+      break;
+    }
+    case RemapKind::kReslide: {
+      // TCAM guard: the re-slid app may enter stages it did not occupy
+      // before, each costing one range entry while the old one is still
+      // installed elsewhere. Requiring one slot of headroom everywhere is
+      // conservative but placement-independent -- the search has not run
+      // yet -- and a skipped re-slide is merely re-proposed later.
+      for (u32 s = 0; s < pipeline_->stage_count(); ++s) {
+        const rmt::Stage& stage = pipeline_->stage(s);
+        if (stage.tcam_used() >= stage.tcam_capacity()) {
+          ++stats_.migration_tcam_skips;
+          if (auto* sink = telemetry::trace_sink()) {
+            sink->emit("controller", "migration_tcam_skip", request.fid,
+                       {{"stage", s}});
+          }
+          return result;
+        }
+      }
+      const alloc::MoveOutcome move = alloc_.reallocate_app(app);
+      result.applied = move.success;
+      result.moved = move.moved;
+      result.compute_ms = move.search_ms + move.assign_ms;
+      changed = move.reallocated;
+      if (move.moved) {
+        changed.push_back(app);  // the target's own layout changed
+        mutants_[request.fid] = move.chosen;
+      }
+      break;
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+
+  if (changed.empty()) {
+    ++stats_.migration_noops;
+    if (metrics_) metrics_->migration_noops->inc();
+    if (auto* sink = telemetry::trace_sink()) {
+      sink->emit("controller", "migration_noop", request.fid,
+                 {{"kind", remap_kind_name(request.kind)},
+                  {"applied", result.applied}});
+    }
+    return result;
+  }
+
+  ++stats_.migrations;
+  switch (request.kind) {
+    case RemapKind::kDemote:
+      ++stats_.migration_demotions;
+      break;
+    case RemapKind::kPromote:
+      ++stats_.migration_promotions;
+      break;
+    case RemapKind::kReslide:
+      ++stats_.migration_reslides;
+      break;
+  }
+  for (const alloc::AppId a : changed) {
+    result.disturbed.push_back(app_to_fid_.at(a));
+  }
+  stats_.reallocations += result.disturbed.size();
+  if (metrics_) {
+    metrics_->migrations->inc();
+    metrics_->reallocations->inc(result.disturbed.size());
+  }
+
+  // Cost accounting (mirrors admit, minus a new app): removals are what
+  // the tables still hold, installs and clears follow the new layout.
+  const u32 block_words = pipeline_->config().block_words;
+  u64 entry_ops = 0;
+  u64 blocks_cleared = 0;
+  u64 blocks_snapshotted = 0;
+  for (const Fid dfid : result.disturbed) {
+    for (u32 s = 0; s < pipeline_->stage_count(); ++s) {
+      const rmt::FidEntry* entry = pipeline_->stage(s).lookup(dfid);
+      if (entry != nullptr) {
+        ++entry_ops;  // removal
+        blocks_snapshotted += entry->words() / block_words;
+      }
+    }
+    for (const auto& [stage, region] :
+         alloc_.regions_of(fid_to_app_.at(dfid))) {
+      ++entry_ops;  // install
+      blocks_cleared += region.size();
+    }
+  }
+  result.table_update_batches = result.disturbed.size();
+  result.table_update_cost =
+      costs_.table_update_time(entry_ops, result.table_update_batches);
+  stats_.table_update_batches += result.table_update_batches;
+  result.snapshot_cost =
+      static_cast<SimTime>(blocks_snapshotted) * costs_.snapshot_per_block;
+  result.clear_cost =
+      static_cast<SimTime>(blocks_cleared) * costs_.clear_per_block;
+  result.blocks_moved = blocks_cleared;
+  stats_.blocks_migrated += blocks_cleared;
+  if (metrics_) {
+    metrics_->table_update_batches->inc(result.table_update_batches);
+    metrics_->blocks_migrated->inc(blocks_cleared);
+  }
+
+  // Handshake: quiesce and snapshot every disturbed app, then wait for
+  // extraction like any admission; new_fid = 0 marks the migration.
+  PendingAdmission pending;
+  pending.new_fid = 0;
+  for (const Fid dfid : result.disturbed) {
+    runtime_->deactivate(dfid);
+    take_snapshot(dfid);
+    pending.awaiting.insert(dfid);
+  }
+  pending_ = pending;
+  result.pending = true;
+  if (auto* sink = telemetry::trace_sink()) {
+    sink->emit("controller", "migration", request.fid,
+               {{"kind", remap_kind_name(request.kind)},
+                {"disturbed", result.disturbed.size()},
+                {"blocks", blocks_cleared}});
+  }
+  return result;
 }
 
 ReleaseResult Controller::release(Fid fid) {

@@ -22,6 +22,7 @@
 
 #include "alloc/allocator.hpp"
 #include "controller/cost_model.hpp"
+#include "controller/migration.hpp"
 #include "packet/active_packet.hpp"
 #include "rmt/pipeline.hpp"
 #include "runtime/runtime.hpp"
@@ -71,6 +72,34 @@ struct ControllerStats {
   u64 blocks_snapshotted = 0;
   u64 extraction_timeouts = 0;
   u64 tcam_rejections = 0;  // admissions denied for range-entry headroom
+  // --- background migration (ROADMAP item 2) ---
+  u64 migrations = 0;            // migrate() calls that changed a layout
+  u64 migration_noops = 0;       // plans that resolved to no layout change
+  u64 migration_demotions = 0;   // by kind, among `migrations`
+  u64 migration_promotions = 0;
+  u64 migration_reslides = 0;
+  u64 migration_tcam_skips = 0;  // re-slides skipped by the TCAM guard
+  u64 blocks_migrated = 0;       // blocks handed to new regions by migration
+};
+
+// Outcome of one background-migration step (Controller::migrate).
+struct MigrationResult {
+  bool applied = false;  // the allocator operation took effect
+  bool pending = false;  // extraction handshake outstanding (finalize later)
+  Fid fid = 0;
+  RemapKind kind = RemapKind::kReslide;
+  bool moved = false;          // re-slide changed the target's regions
+  std::vector<Fid> disturbed;  // every FID whose layout changed (target incl.)
+  double compute_ms = 0.0;     // allocator search + assign (re-slides)
+  SimTime table_update_cost = 0;
+  SimTime snapshot_cost = 0;
+  SimTime clear_cost = 0;
+  u64 table_update_batches = 0;
+  u64 blocks_moved = 0;
+
+  [[nodiscard]] SimTime apply_time() const {
+    return table_update_cost + clear_cost;
+  }
 };
 
 class Controller {
@@ -106,6 +135,20 @@ class Controller {
 
   ReleaseResult release(Fid fid);
 
+  // --- background migration (ROADMAP item 2) ---
+  // Executes one remap request as a live state migration: the allocator
+  // op runs immediately, every FID whose layout changed is deactivated
+  // and snapshotted, and the new layout is applied through the same
+  // extraction handshake admissions use (extraction_complete /
+  // force_finalize), with PendingAdmission::new_fid == 0 as the
+  // no-admission sentinel. A request whose FID departed, or whose plan
+  // resolves to no layout change, is a graceful no-op (!pending). Throws
+  // while an admission or another migration is pending (the engine
+  // serializes). Re-slides are skipped (counted, !applied) unless every
+  // stage has TCAM headroom for one entry -- the target may enter stages
+  // it did not previously occupy.
+  MigrationResult migrate(const RemapRequest& request);
+
   // --- snapshot access (control-plane state extraction, Section 4.3) ---
   // Available for disturbed FIDs between deactivation and their client's
   // re-population; stage -> words of the app's old region.
@@ -123,6 +166,11 @@ class Controller {
   [[nodiscard]] const alloc::Allocator& allocator() const { return alloc_; }
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] bool resident(Fid fid) const { return fid_to_app_.contains(fid); }
+  // Resident FIDs, ascending (deterministic planner scans).
+  [[nodiscard]] std::vector<Fid> resident_fids() const;
+  // FID <-> allocator AppId translation; throws on unknown ids.
+  [[nodiscard]] alloc::AppId app_of(Fid fid) const;
+  [[nodiscard]] Fid fid_of(alloc::AppId app) const;
   [[nodiscard]] std::map<u32, Interval> regions_of(Fid fid) const;
   // Word-level response header for the app's current regions.
   [[nodiscard]] packet::AllocResponseHeader response_for(Fid fid) const;

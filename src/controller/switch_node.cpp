@@ -27,6 +27,8 @@ struct SwitchMetrics {
         legacy_frames(&r.counter("switch", "legacy_frames")),
         register_wipes(&r.counter("switch", "register_wipes")),
         exec_batches(&r.counter("switch", "exec_batches")),
+        migration_ticks(&r.counter("switch", "migration_ticks")),
+        migration_deferred(&r.counter("switch", "migration_deferred")),
         exec_latency_ns(&r.histogram("switch", "exec_latency_ns")),
         batch_size(&r.histogram("switch", "batch_size")) {}
 
@@ -41,6 +43,8 @@ struct SwitchMetrics {
   telemetry::Counter* legacy_frames;
   telemetry::Counter* register_wipes;
   telemetry::Counter* exec_batches;
+  telemetry::Counter* migration_ticks;
+  telemetry::Counter* migration_deferred;
   telemetry::Histogram* exec_latency_ns;
   telemetry::Histogram* batch_size;
 };
@@ -68,7 +72,17 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       zero_copy_(config.zero_copy),
       batching_(config.batching),
       batch_(runtime_),
-      heatmap_(pipeline_.stage_count()) {
+      heatmap_(pipeline_.stage_count()),
+      migration_enabled_(config.migration.enabled),
+      migration_interval_(config.migration.interval),
+      hotness_(config.migration.hotness),
+      remap_queue_(config.migration.queue_depth),
+      planner_(config.migration.policy) {
+  if (migration_enabled_ && migration_interval_ <= 0) {
+    throw UsageError("SwitchNode: migration interval must be positive");
+  }
+  mig_quiesce_ticks_ = config.migration.hotness.cold_ticks +
+                       config.migration.policy.cooldown_cycles + 1;
   runtime_.set_enforce_privilege(config.enforce_privilege);
   controller_.set_compute_model(config.compute_model);
   if (config.metrics != nullptr) {
@@ -208,6 +222,17 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
   // control queue, program cache) is only ever touched by its owning
   // shard's worker.
   assert_confined();
+  if (migration_enabled_ && !migration_armed_) {
+    // Armed lazily from the first frame, not the constructor: by now the
+    // node is attached and its scheduled closures resolve to the owning
+    // shard, so the tick train is deterministic across shard counts.
+    // Also how the engine re-arms after quiescing on an idle switch.
+    migration_armed_ = true;
+    mig_idle_streak_ = 0;
+    network().simulator().schedule_after(migration_interval_,
+                                         [this] { migration_tick(); });
+  }
+  if (migration_enabled_) ++mig_frames_since_tick_;
   if (zero_copy_ && packet::ProgramView::is_program_frame(frame)) {
     // Fast path: parse the capsule in place -- no ActivePacket, no byte
     // copies. An unparseable program-typed frame falls through to the
@@ -576,6 +601,107 @@ void SwitchNode::run_admission(const ControlOp& op) {
       });
 }
 
+void SwitchNode::migration_tick() {
+  assert_confined();
+  flush_batch();  // the tick observes everything delivered before it
+  ++mig_ticks_;
+  metrics_->migration_ticks->inc();
+  // Absorb the heatmap delta and decay every tick, busy or not: hotness
+  // time advances with virtual time, not with control-plane luck.
+  hotness_.tick(heatmap_);
+  bool acted = false;
+  if (control_busy_ || txn_ || controller_.has_pending()) {
+    // Admissions/releases own the control plane; migration yields.
+    ++mig_deferred_;
+    metrics_->migration_deferred->inc();
+    acted = true;  // a busy control plane is not an idle switch
+  } else {
+    acted = planner_.plan(controller_, hotness_, remap_queue_) > 0;
+    while (auto request = remap_queue_.pop()) {
+      if (!controller_.resident(request->fid)) {
+        ++mig_departed_;
+        continue;
+      }
+      // At most one live handshake per tick: the interval is the engine's
+      // rate limit, and the planner re-proposes anything still worth doing.
+      if (start_migration(*request)) {
+        acted = true;
+        break;
+      }
+    }
+  }
+  // De-arm once the switch has been fully idle long enough that no plan
+  // can ever materialize (every cold streak matured, every cooldown
+  // expired); otherwise run()-style drains would never terminate. The
+  // next frame re-arms the train.
+  if (mig_frames_since_tick_ == 0 && !acted && remap_queue_.empty()) {
+    if (++mig_idle_streak_ >= mig_quiesce_ticks_) {
+      migration_armed_ = false;
+      return;
+    }
+  } else {
+    mig_idle_streak_ = 0;
+  }
+  mig_frames_since_tick_ = 0;
+  network().simulator().schedule_after(migration_interval_,
+                                       [this] { migration_tick(); });
+}
+
+bool SwitchNode::start_migration(const RemapRequest& request) {
+  const MigrationResult result = controller_.migrate(request);
+  if (!result.pending) {
+    ++mig_noops_;
+    return false;
+  }
+  ++mig_executed_;
+  // The handshake occupies the control plane exactly like an admission:
+  // arriving control ops queue behind it, kExtractComplete jumps the queue.
+  control_busy_ = true;
+  PendingTxn txn;
+  txn.id = ++txn_counter_;
+  txn.new_fid = 0;
+  txn.requester = 0;
+  txn.disturbed = result.disturbed;
+  txn.apply_cost = result.apply_time();
+  txn.migration = true;
+  txn_ = txn;
+
+  const auto compute_delay =
+      static_cast<SimTime>(result.compute_ms * kMillisecond);
+  const u64 txn_id = txn.id;
+  network().simulator().schedule_after(compute_delay, [this, txn_id] {
+    flush_batch();
+    if (!txn_ || txn_->id != txn_id) return;
+    for (const Fid fid : txn_->disturbed) {
+      const auto it = client_of_.find(fid);
+      if (it == client_of_.end()) continue;
+      send_to_mac(it->second,
+                  ActivePacket::make_control(fid, ActiveType::kReallocNotice));
+    }
+  });
+  network().simulator().schedule_after(
+      compute_delay + controller_.costs().extraction_timeout,
+      [this, txn_id] {
+        flush_batch();
+        if (!txn_ || txn_->id != txn_id || txn_->applying) return;
+        controller_.timeout_pending();
+        ready_to_apply();
+      });
+  return true;
+}
+
+SwitchNode::MigrationEngineStats SwitchNode::migration_stats() const {
+  MigrationEngineStats stats;
+  stats.ticks = mig_ticks_;
+  stats.deferred = mig_deferred_;
+  stats.executed = mig_executed_;
+  stats.noops = mig_noops_;
+  stats.departed = mig_departed_;
+  stats.planner = planner_.stats();
+  stats.queue = remap_queue_.stats();
+  return stats;
+}
+
 void SwitchNode::ready_to_apply() {
   assert_confined();
   if (!txn_ || txn_->applying) return;
@@ -583,11 +709,15 @@ void SwitchNode::ready_to_apply() {
   network().simulator().schedule_after(txn_->apply_cost, [this] {
     flush_batch();  // packets staged before the apply see the old layout
     controller_.apply_pending();
-    // New allocations for the requester and every moved app.
-    send_to_mac(txn_->requester,
-                proto::encode_response(
-                    txn_->new_fid, controller_.response_for(txn_->new_fid),
-                    *controller_.mutant_of(txn_->new_fid), txn_->seq));
+    // New allocations for the requester and every moved app. A migration
+    // has no requester (and FID 0 has no mutant); only the disturbed
+    // responses go out.
+    if (!txn_->migration) {
+      send_to_mac(txn_->requester,
+                  proto::encode_response(
+                      txn_->new_fid, controller_.response_for(txn_->new_fid),
+                      *controller_.mutant_of(txn_->new_fid), txn_->seq));
+    }
     for (const Fid fid : txn_->disturbed) {
       const auto it = client_of_.find(fid);
       if (it == client_of_.end()) continue;
@@ -610,6 +740,12 @@ void SwitchNode::run_release(const ControlOp& op) {
   const SimTime delay = result.table_update_cost + result.snapshot_cost;
   client_of_.erase(fid);
   runtime_.clear_recirc_budget(fid);
+  if (migration_enabled_) {
+    // The FID is gone: purge any queued remap and its hotness history so
+    // a recycled FID starts cold instead of inheriting scores.
+    remap_queue_.drop_fid(fid);
+    hotness_.forget(static_cast<i32>(fid));
+  }
 
   // Capture only what the continuation needs (requester MAC + fid), not
   // the whole ControlOp: copying the embedded ActivePacket would drag its

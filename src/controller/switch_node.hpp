@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "alloc/hotness.hpp"
 #include "controller/controller.hpp"
 #include "netsim/network.hpp"
 #include "proto/wire.hpp"
@@ -72,6 +73,31 @@ class SwitchNode : public netsim::Node {
     // matter how many switches share the process; tools and benches pass
     // &telemetry::registry() to aggregate into the process-wide snapshot.
     telemetry::MetricsRegistry* metrics = nullptr;
+    // Background migration & defragmentation engine (ROADMAP item 2).
+    // Every `interval` of virtual time the node folds the heatmap into
+    // the hotness table, runs one planning cycle, and drives at most one
+    // migration through the extraction handshake -- only while the
+    // control plane is idle, so admissions always win the race. Off by
+    // default: migration is a deployment policy, not a datapath cost.
+    struct MigrationConfig {
+      bool enabled = false;
+      SimTime interval = 10 * kMillisecond;
+      alloc::HotnessConfig hotness;
+      MigrationPolicy policy;
+      u32 queue_depth = 64;
+    };
+    MigrationConfig migration;
+  };
+
+  // Snapshot of the background engine (tick loop + planner + queue).
+  struct MigrationEngineStats {
+    u64 ticks = 0;
+    u64 deferred = 0;  // ticks that found the control plane busy
+    u64 executed = 0;  // handshakes driven to completion start
+    u64 noops = 0;     // popped requests that changed no layout
+    u64 departed = 0;  // popped requests whose FID had released
+    PlannerStats planner;
+    RemapQueueStats queue;
   };
 
   // Snapshot view over the node's registry counters (built per call; the
@@ -120,6 +146,9 @@ class SwitchNode : public netsim::Node {
   [[nodiscard]] const telemetry::StageHeatmap& heatmap() const {
     return heatmap_;
   }
+  // Background-migration observability (zeroed when the engine is off).
+  [[nodiscard]] MigrationEngineStats migration_stats() const;
+  [[nodiscard]] const alloc::HotnessTable& hotness() const { return hotness_; }
 
  private:
   struct ControlOp {
@@ -154,6 +183,12 @@ class SwitchNode : public netsim::Node {
   void run_admission(const ControlOp& op);
   void run_release(const ControlOp& op);
   void ready_to_apply();  // handshake complete or timed out
+  // Background engine: the periodic tick (armed lazily from the first
+  // frame so scheduling lands on the owning shard), and the step that
+  // turns one remap request into a live handshake. Returns true when a
+  // handshake started (the tick stops draining until it completes).
+  void migration_tick();
+  bool start_migration(const RemapRequest& request);
   void send_to_mac(packet::MacAddr dst, packet::ActivePacket pkt,
                    SimTime delay = 0);
   // Transmits an already-synthesized frame toward `dst`'s port.
@@ -184,6 +219,7 @@ class SwitchNode : public netsim::Node {
     std::vector<Fid> disturbed;
     SimTime apply_cost = 0;
     bool applying = false;
+    bool migration = false;  // no requester response on apply
   };
   std::optional<PendingTxn> txn_;
   u64 txn_counter_ = 0;
@@ -207,6 +243,27 @@ class SwitchNode : public netsim::Node {
   runtime::ExecBatch batch_;
   telemetry::StageHeatmap heatmap_;
   bool flush_scheduled_ = false;
+
+  // Background migration engine state.
+  bool migration_enabled_ = false;
+  SimTime migration_interval_ = 0;
+  bool migration_armed_ = false;
+  alloc::HotnessTable hotness_;
+  RemapQueue remap_queue_;
+  MigrationPlanner planner_;
+  u64 mig_ticks_ = 0;
+  u64 mig_deferred_ = 0;
+  u64 mig_executed_ = 0;
+  u64 mig_noops_ = 0;
+  u64 mig_departed_ = 0;
+  // Quiescence: after this many consecutive fully-idle ticks (no frames,
+  // no plans, no handshake, empty queue) nothing can ever be planned
+  // again -- every tracked FID has had time to go cold and every cooldown
+  // has expired -- so the tick train de-arms and the simulation can
+  // drain. The next frame re-arms it (the lazy-arming path in on_frame).
+  u64 mig_quiesce_ticks_ = 0;
+  u64 mig_idle_streak_ = 0;
+  u64 mig_frames_since_tick_ = 0;
 };
 
 }  // namespace artmt::controller

@@ -31,6 +31,11 @@
 //                    memory-access heatmap the runtime recorded (reads /
 //                    writes / collisions per cell) plus the decaying
 //                    hotness ranking the migration engine consumes
+//     --migration    run with the background migration & defragmentation
+//                    engine enabled and dump its report instead of the
+//                    snapshot: tick/plan/execute counters, remap-queue
+//                    stats, the controller's per-kind migration totals,
+//                    and the live hotness table with cold streaks
 //     --spans FILE   no scenario: load a span dump (artmt_spans format /
 //                    --span-dump output) and print the per-FID
 //                    p50/p90/p99 phase latency breakdown
@@ -128,6 +133,65 @@ void print_heatmap_report(const telemetry::StageHeatmap& heatmap) {
   }
 }
 
+// --migration: the background engine's full observability surface.
+void print_migration_report(controller::SwitchNode& sw) {
+  const auto engine = sw.migration_stats();
+  const controller::ControllerStats& ctrl = sw.controller().stats();
+  std::printf("{\n");
+  std::printf(
+      "  \"engine\": {\"ticks\": %llu, \"deferred\": %llu, "
+      "\"executed\": %llu, \"noops\": %llu, \"departed\": %llu},\n",
+      static_cast<unsigned long long>(engine.ticks),
+      static_cast<unsigned long long>(engine.deferred),
+      static_cast<unsigned long long>(engine.executed),
+      static_cast<unsigned long long>(engine.noops),
+      static_cast<unsigned long long>(engine.departed));
+  std::printf(
+      "  \"planner\": {\"cycles\": %llu, \"demotions_planned\": %llu, "
+      "\"promotions_planned\": %llu, \"reslides_planned\": %llu, "
+      "\"cooldown_skips\": %llu},\n",
+      static_cast<unsigned long long>(engine.planner.cycles),
+      static_cast<unsigned long long>(engine.planner.demotions_planned),
+      static_cast<unsigned long long>(engine.planner.promotions_planned),
+      static_cast<unsigned long long>(engine.planner.reslides_planned),
+      static_cast<unsigned long long>(engine.planner.cooldown_skips));
+  std::printf(
+      "  \"queue\": {\"enqueued\": %llu, \"popped\": %llu, "
+      "\"congestion_drops\": %llu, \"duplicates\": %llu, \"purged\": %llu, "
+      "\"high_water\": %u},\n",
+      static_cast<unsigned long long>(engine.queue.enqueued),
+      static_cast<unsigned long long>(engine.queue.popped),
+      static_cast<unsigned long long>(engine.queue.congestion_drops),
+      static_cast<unsigned long long>(engine.queue.duplicates),
+      static_cast<unsigned long long>(engine.queue.purged),
+      engine.queue.high_water);
+  std::printf(
+      "  \"controller\": {\"migrations\": %llu, \"demotions\": %llu, "
+      "\"promotions\": %llu, \"reslides\": %llu, \"noops\": %llu, "
+      "\"tcam_skips\": %llu, \"blocks_migrated\": %llu},\n",
+      static_cast<unsigned long long>(ctrl.migrations),
+      static_cast<unsigned long long>(ctrl.migration_demotions),
+      static_cast<unsigned long long>(ctrl.migration_promotions),
+      static_cast<unsigned long long>(ctrl.migration_reslides),
+      static_cast<unsigned long long>(ctrl.migration_noops),
+      static_cast<unsigned long long>(ctrl.migration_tcam_skips),
+      static_cast<unsigned long long>(ctrl.blocks_migrated));
+  std::printf("  \"hotness\": [\n");
+  const alloc::HotnessTable& hotness = sw.hotness();
+  const auto ranked = hotness.ranked();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto [fid, score] = ranked[i];
+    std::printf(
+        "    {\"fid\": %d, \"score\": %llu, \"cold_streak\": %llu, "
+        "\"cold\": %s}%s\n",
+        fid, static_cast<unsigned long long>(score),
+        static_cast<unsigned long long>(hotness.cold_streak(fid)),
+        hotness.is_cold(fid) ? "true" : "false",
+        i + 1 == ranked.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +199,7 @@ int main(int argc, char** argv) {
   u32 shards = 0;  // 0 = the serial reference engine
   bool alloc_report = false;
   bool heatmap_report = false;
+  bool migration_report = false;
   double loss = 0.0;
   u64 fault_seed = 1;
   const char* trace_path = nullptr;
@@ -155,6 +220,8 @@ int main(int argc, char** argv) {
       alloc_report = true;
     } else if (std::strcmp(argv[i], "--heatmap") == 0) {
       heatmap_report = true;
+    } else if (std::strcmp(argv[i], "--migration") == 0) {
+      migration_report = true;
     } else if (std::strcmp(argv[i], "--spans") == 0 && i + 1 < argc) {
       spans_path = argv[++i];
     } else if (std::strcmp(argv[i], "--span-dump") == 0 && i + 1 < argc) {
@@ -163,7 +230,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: artmt_stats [--requests N] [--trace FILE] "
                    "[--shards N] [--loss P] [--fault-seed S] [--alloc] "
-                   "[--heatmap] [--spans FILE] [--span-dump FILE]\n");
+                   "[--heatmap] [--migration] [--spans FILE] "
+                   "[--span-dump FILE]\n");
       return 2;
     }
   }
@@ -237,6 +305,7 @@ int main(int argc, char** argv) {
   }
 
   controller::SwitchNode::Config cfg;
+  if (migration_report) cfg.migration.enabled = true;
   if (ssim) {
     // The switch lives on shard 0; its components record there. Modeled
     // compute makes the timeline -- and therefore the snapshot --
@@ -403,6 +472,8 @@ int main(int argc, char** argv) {
   };
   if (alloc_report) {
     print_alloc_report(sw->controller().allocator());
+  } else if (migration_report) {
+    print_migration_report(*sw);
   } else if (heatmap_report) {
     print_heatmap_report(sw->heatmap());
   } else if (ssim) {
