@@ -5,7 +5,9 @@ Collects every throughput leaf in the working-tree bench JSONs --
 ``packets_per_sec`` in BENCH_datapath.json, ``indexed_allocs_per_sec``,
 ``speedup`` and ``admissions_per_sec`` in BENCH_alloc.json, and the
 migration soak's ``sustained_utilization`` / ``rejection_reduction_pct``
-in BENCH_migration.json -- and compares each against the
+in BENCH_migration.json, and the fabric failure drill's
+``downtime_p99_ms`` / ``downtime_max_ms`` / ``zero_state_loss_fraction``
+in BENCH_fabric.json -- and compares each against the
 committed baseline (``git show HEAD:<file>`` by default). Exits nonzero
 when any section regresses by more than the threshold (10% unless
 --threshold says otherwise). Sections present on only one side are
@@ -19,6 +21,7 @@ Usage: scripts/bench_compare.py [--threshold 0.10]
                                 [--file BENCH_datapath.json]
                                 [--alloc-file BENCH_alloc.json]
                                 [--migration-file BENCH_migration.json]
+                                [--fabric-file BENCH_fabric.json]
                                 [--baseline-ref HEAD]
 """
 
@@ -64,8 +67,13 @@ def load_baseline(ref, path):
         return None
 
 
-def compare(name, current, baseline, threshold, skip_section=None):
-    """Prints the per-section report; returns the regression list."""
+def compare(name, current, baseline, threshold, skip_section=None,
+            lower_is_better=frozenset()):
+    """Prints the per-section report; returns the regression list.
+
+    Sections whose leaf key is in `lower_is_better` regress when they
+    grow (latency-style metrics) instead of when they shrink.
+    """
     regressions = []
     skipped = []
     for section in sorted(current.keys() | baseline.keys()):
@@ -83,6 +91,8 @@ def compare(name, current, baseline, threshold, skip_section=None):
         if base <= 0:
             continue
         delta = cur / base - 1.0
+        if section.rsplit(".", 1)[-1] in lower_is_better:
+            delta = -delta
         mark = ""
         if delta < -threshold:
             regressions.append((section, base, cur, delta))
@@ -103,6 +113,7 @@ def main():
     parser.add_argument("--file", default="BENCH_datapath.json")
     parser.add_argument("--alloc-file", default="BENCH_alloc.json")
     parser.add_argument("--migration-file", default="BENCH_migration.json")
+    parser.add_argument("--fabric-file", default="BENCH_fabric.json")
     parser.add_argument("--baseline-ref", default="HEAD")
     args = parser.parse_args()
 
@@ -190,6 +201,36 @@ def main():
                 args.migration_file, dict(metric_leaves(migration, mig_keys)),
                 dict(metric_leaves(mig_baseline, mig_keys)),
                 args.threshold)
+
+    # --- fabric failure drill: downtime percentiles + state-loss ---
+    # Virtual-time quantities from the deterministic fabric drill, so any
+    # movement is a behavior change, not runner noise. Downtime regresses
+    # when it GROWS; zero_state_loss_fraction regresses when it shrinks.
+    # The full-mode drill rewrites BENCH_fabric.json; an absent file is a
+    # loud skip, never a silent pass.
+    fabric_keys = {"downtime_p99_ms", "downtime_max_ms",
+                   "zero_state_loss_fraction"}
+    fabric = load_json(args.fabric_file)
+    if fabric is None:
+        print("=" * 68, file=sys.stderr)
+        print(f"bench_compare: NOTICE: {args.fabric_file} not present -- "
+              "fabric failure-drill sections\nSKIPPED, not compared. Run "
+              "bench_fabric (full mode, no ARTMT_BENCH_QUICK)\nto "
+              "regenerate it.", file=sys.stderr)
+        print("=" * 68, file=sys.stderr)
+    else:
+        fab_baseline = load_baseline(args.baseline_ref, args.fabric_file)
+        if fab_baseline is None:
+            print(f"bench_compare: no baseline {args.fabric_file} at "
+                  f"{args.baseline_ref}; nothing to compare")
+        else:
+            compared_any = True
+            regressions += compare(
+                args.fabric_file, dict(metric_leaves(fabric, fabric_keys)),
+                dict(metric_leaves(fab_baseline, fabric_keys)),
+                args.threshold,
+                lower_is_better=frozenset(
+                    {"downtime_p99_ms", "downtime_max_ms"}))
 
     if regressions:
         return 1

@@ -2,12 +2,14 @@
 # CI entry point: release build + full test suite, a bench smoke job, an
 # allocator parity/churn gate, a telemetry-overhead gate, a
 # throughput-regression gate, a chaos soak
-# (fault-injection digest-equality matrix), an ASan+UBSan job, then a
-# ThreadSanitizer job (the sharded engine's worker threads).
+# (fault-injection digest-equality matrix), a migration soak, a fabric
+# soak (multi-switch failure drill + leaf-spine chaos), an ASan+UBSan
+# job, then a ThreadSanitizer job (the sharded engine's worker threads).
 #
 # Usage: scripts/ci.sh
 #   [release|bench|perf-smoke|alloc-bench|telemetry-overhead|
-#    bench-regression|chaos-soak|migration-soak|sanitize|tsan|all]
+#    bench-regression|chaos-soak|migration-soak|fabric-soak|sanitize|
+#    tsan|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -154,6 +156,27 @@ run_migration_soak() {
   fi
 }
 
+run_fabric_soak() {
+  echo "== fabric soak: multi-switch failure drill + leaf-spine chaos =="
+  cmake --preset default
+  cmake --build --preset default
+  # bench_fabric runs the 4-leaf/2-spine failure drill: a leaf is killed
+  # under live traffic, its services are evacuated and re-placed by the
+  # global controller, then a spine flaps while clients keep sending.
+  # ARTMT_BENCH_QUICK=1 shrinks the request schedule and leaves
+  # BENCH_fabric.json alone, but the gates stay at full strength: p99
+  # re-placement downtime within bound, zero state loss for
+  # reliability-protected services, the victim serving again after
+  # re-placement, and byte-identical digests across shard counts.
+  ARTMT_BENCH_QUICK=1 ./build/bench/bench_fabric
+  # The e2e chaos scenario must also converge on the leaf-spine fabric:
+  # same application-state digest at shard counts 1, 2 and 4 with faults
+  # injected identically, now with the brownout wiping one leaf of a
+  # two-leaf fabric instead of the lone switch.
+  ./build/tools/artmt_chaos --topology leaf-spine --requests 600 \
+      --seed 3 --loss 0.005
+}
+
 run_sanitize() {
   echo "== ASan+UBSan build + tests =="
   cmake --preset asan-ubsan
@@ -177,6 +200,7 @@ case "$job" in
   bench-regression) run_bench_regression ;;
   chaos-soak) run_chaos_soak ;;
   migration-soak) run_migration_soak ;;
+  fabric-soak) run_fabric_soak ;;
   sanitize) run_sanitize ;;
   tsan) run_tsan ;;
   all)
@@ -188,11 +212,12 @@ case "$job" in
     run_bench_regression
     run_chaos_soak
     run_migration_soak
+    run_fabric_soak
     run_sanitize
     run_tsan
     ;;
   *)
-    echo "unknown job '$job' (expected release|bench|perf-smoke|alloc-bench|telemetry-overhead|bench-regression|chaos-soak|migration-soak|sanitize|tsan|all)" >&2
+    echo "unknown job '$job' (expected release|bench|perf-smoke|alloc-bench|telemetry-overhead|bench-regression|chaos-soak|migration-soak|fabric-soak|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

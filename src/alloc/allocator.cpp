@@ -229,11 +229,21 @@ std::vector<AppId> Allocator::collect_changed(const std::map<u32, u32>& touched,
   return changed;
 }
 
+void Allocator::set_stage_bias(std::vector<u64> bias) {
+  if (!bias.empty() && bias.size() != geometry_.logical_stages) {
+    throw UsageError("Allocator::set_stage_bias: bias size mismatch");
+  }
+  stage_bias_ = std::move(bias);
+}
+
 bool Allocator::search_placement(const AllocationRequest& request, Mutant& best,
                                  u64& considered, bool& pruned) {
   const bool indexed = search_mode_ == SearchMode::kIndexed;
   bool found = false;
   double best_score = std::numeric_limits<double>::infinity();
+  // Integer bias totals (not doubles): the sum is order-independent, so
+  // the indexed and rescan paths agree bit-for-bit on every tie-break.
+  u64 best_bias = std::numeric_limits<u64>::max();
   considered = 0;
 
   // Global feasibility prune (indexed only): if the bottleneck access
@@ -283,21 +293,32 @@ bool Allocator::search_placement(const AllocationRequest& request, Mutant& best,
   considered = for_each_mutant(
       request, geometry_, policy_, filter, [&](const Mutant& candidate) {
         double s = 0.0;
+        u64 bias = 0;
         if (indexed) {
           if (!evaluate_indexed(request, candidate, s)) return true;
+          if (!stage_bias_.empty()) {
+            for (const u32 stage : scratch_stages_) bias += stage_bias_[stage];
+          }
         } else {
           const auto demands = stage_demands(request, candidate);
           if (!feasible(request, demands)) return true;
           if (scheme_ != Scheme::kFirstFit) s = score(request, demands);
+          if (!stage_bias_.empty()) {
+            for (const auto& [stage, demand] : demands) {
+              bias += stage_bias_[stage];
+            }
+          }
         }
         if (scheme_ == Scheme::kFirstFit) {
           best = candidate;
           found = true;
           return false;  // stop at the first feasible mutant
         }
-        if (!found || s < best_score) {
+        if (!found || s < best_score ||
+            (s == best_score && bias < best_bias)) {
           best = candidate;
           best_score = s;
+          best_bias = bias;
           found = true;
         }
         return true;

@@ -183,6 +183,17 @@ class Allocator {
   void set_search_mode(SearchMode mode) { search_mode_ = mode; }
   [[nodiscard]] SearchMode search_mode() const { return search_mode_; }
 
+  // Hotness-directed placement: a per-stage tie-break bias for the
+  // placement search. When two candidate mutants score identically under
+  // the scheme, the one whose touched stages carry the smaller bias total
+  // wins; scheme scores always dominate. Empty (the default) keeps the
+  // legacy first-in-enumeration-order tie-break, and kFirstFit never
+  // compares scores at all. Must be empty or logical_stages long.
+  void set_stage_bias(std::vector<u64> bias);
+  [[nodiscard]] const std::vector<u64>& stage_bias() const {
+    return stage_bias_;
+  }
+
  private:
   // Per-stage demand of a request under a mutant (accesses in the same
   // physical stage collapse to their maximum demand: one object per stage).
@@ -236,6 +247,7 @@ class Allocator {
   StageScoreIndex index_;
   ComputeModel compute_model_;
   SearchMode search_mode_ = SearchMode::kIndexed;
+  std::vector<u64> stage_bias_;
   std::unordered_map<AppId, AppRecord> apps_;
   AppId next_id_ = 1;
 

@@ -92,4 +92,19 @@ std::vector<std::pair<i32, u64>> HotnessTable::ranked() const {
   return out;
 }
 
+std::vector<u64> HotnessTable::stage_totals(u32 stages) const {
+  std::vector<u64> totals(stages, 0);
+  for (const auto& [fid, r] : rows_) {
+    const std::size_t n = std::min<std::size_t>(stages, r.score.size());
+    for (std::size_t s = 0; s < n; ++s) totals[s] += r.score[s];
+  }
+  return totals;
+}
+
+u64 HotnessTable::total_score() const {
+  u64 total = 0;
+  for (const auto& [fid, r] : rows_) total += r.total;
+  return total;
+}
+
 }  // namespace artmt::alloc

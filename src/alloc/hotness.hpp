@@ -60,6 +60,12 @@ class HotnessTable {
   [[nodiscard]] std::size_t tracked_count() const { return rows_.size(); }
   // (fid, total score) hottest first; equal scores order by ascending fid.
   [[nodiscard]] std::vector<std::pair<i32, u64>> ranked() const;
+  // Aggregate per-stage pressure across every tracked FID: the
+  // hotness-directed placement bias (a re-slide target prefers calmer
+  // stages) and the fabric scoreboard's load signal.
+  [[nodiscard]] std::vector<u64> stage_totals(u32 stages) const;
+  // Sum of every tracked FID's score (whole-switch pressure).
+  [[nodiscard]] u64 total_score() const;
   [[nodiscard]] const HotnessConfig& config() const { return config_; }
 
  private:

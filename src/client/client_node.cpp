@@ -37,7 +37,16 @@ void ClientNode::register_service(std::shared_ptr<Service> service) {
 }
 
 void ClientNode::send_active(packet::ActivePacket pkt) {
-  send_active_to(switch_mac_, std::move(pkt));
+  packet::MacAddr dst = switch_mac_;
+  // Program capsules execute on the switch that holds the FID's memory;
+  // control capsules (allocation, extraction, dealloc) go to the control
+  // plane (in a fabric, the global controller's MAC).
+  if (pkt.initial.type == packet::ActiveType::kProgram &&
+      pkt.initial.fid != 0) {
+    const auto it = steering_.find(pkt.initial.fid);
+    if (it != steering_.end()) dst = it->second;
+  }
+  send_active_to(dst, std::move(pkt));
 }
 
 void ClientNode::send_active_to(packet::MacAddr dst,
@@ -46,7 +55,50 @@ void ClientNode::send_active_to(packet::MacAddr dst,
   pkt.ethernet.dst = dst;
   // Pooled copy: the switch's in-place reply then recycles the very slab
   // this send warmed up.
-  network().transmit(*this, 0, network().pool().copy(pkt.serialize()));
+  network().transmit(*this, active_uplink_,
+                     network().pool().copy(pkt.serialize()));
+}
+
+packet::MacAddr ClientNode::steering_of(Fid fid) const {
+  const auto it = steering_.find(fid);
+  return it == steering_.end() ? 0 : it->second;
+}
+
+void ClientNode::enable_uplink_probe(const UplinkProbeConfig& config) {
+  if (config.primary_mac == 0 || config.backup_mac == 0)
+    throw UsageError("enable_uplink_probe: both leaf MACs required");
+  if (config.interval == 0 || config.miss_threshold == 0 ||
+      config.until == 0)
+    throw UsageError("enable_uplink_probe: zero interval/threshold/until");
+  probe_ = config;
+  probing_ = true;
+}
+
+void ClientNode::probe_tick() {
+  if (!probing_) throw UsageError("probe_tick: probe not enabled");
+  if (network().simulator().now() >= probe_.until) return;
+  if (probe_outstanding_) {
+    if (++probe_misses_ >= probe_.miss_threshold) {
+      // The current leaf went quiet: swing to the other uplink. The next
+      // frame out re-teaches the fabric (L2 learning) where we live now.
+      active_uplink_ = active_uplink_ == 0 ? 1 : 0;
+      ++failovers_;
+      probe_misses_ = 0;
+      log(LogLevel::kInfo, name(), ": uplink failover -> port ",
+          active_uplink_);
+    }
+  } else {
+    probe_misses_ = 0;
+  }
+  packet::ActivePacket probe = packet::ActivePacket::make_control(
+      0, packet::ActiveType::kHealthProbe);
+  probe.initial.seq = ++probe_seq_;
+  probe_outstanding_ = true;
+  const packet::MacAddr leaf =
+      active_uplink_ == 0 ? probe_.primary_mac : probe_.backup_mac;
+  send_active_to(leaf, std::move(probe));
+  network().simulator().schedule_after(probe_.interval,
+                                       [this] { probe_tick(); });
 }
 
 void ClientNode::on_frame(netsim::Frame frame, u32 port) {
@@ -59,10 +111,34 @@ void ClientNode::on_frame(netsim::Frame frame, u32 port) {
     return;
   }
 
+  // Uplink health acks are addressed to the client itself (FID 0), never
+  // to a service.
+  if (pkt.initial.type == packet::ActiveType::kHealthAck &&
+      pkt.initial.fid == 0) {
+    probe_outstanding_ = false;
+    return;
+  }
+
+  // Fabric steering: a successful allocation response's source MAC names
+  // the switch that owns the FID (single-switch responses carry src 0).
+  if (pkt.initial.type == packet::ActiveType::kAllocResponse &&
+      pkt.initial.fid != 0 && pkt.ethernet.src != 0 &&
+      (pkt.initial.flags & packet::kFlagAllocFailed) == 0) {
+    steering_[pkt.initial.fid] = pkt.ethernet.src;
+  }
+
   // Negotiation responses match on seq; everything else matches on FID.
+  // Seq matching covers any live service, not just negotiating ones: an
+  // evacuation re-placement arrives as a response with a *new* FID, and
+  // the requester's seq is the only stable handle back to the service.
   if (pkt.initial.type == packet::ActiveType::kAllocResponse) {
+    const bool denial = (pkt.initial.flags & packet::kFlagAllocFailed) != 0;
     for (auto& service : services_) {
-      if (service->state() == Service::State::kNegotiating &&
+      // Denials only ever answer an in-flight negotiation; never let a
+      // stray failure flag tear down an operational service.
+      if (denial && service->state() != Service::State::kNegotiating)
+        continue;
+      if (service->state() != Service::State::kReleased &&
           service->seq_ == pkt.initial.seq) {
         emit_recv(*this, pkt.initial.fid);
         service->handle_active(pkt);

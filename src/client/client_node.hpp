@@ -2,9 +2,16 @@
 // their capsules onto the wire (the paper's VirtIO shim), and dispatches
 // arriving active frames to the right service by FID or negotiation
 // sequence number.
+//
+// Fabric extensions (src/fabric): a per-FID steering table learned from
+// allocation responses routes switch-addressed program capsules to the
+// owning switch, and a dual-homed client can health-probe its current
+// leaf, failing over to the backup uplink after consecutive missed acks
+// (the fabric re-learns its location from the first frame out).
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -24,6 +31,8 @@ class ClientNode : public netsim::Node {
   void register_service(std::shared_ptr<Service> service);
 
   // Sends an active packet to the switch (fills Ethernet addressing).
+  // Program capsules with a steering entry go to their owning switch
+  // instead (identical when no entry exists -- the single-switch case).
   void send_active(packet::ActivePacket pkt);
   // Sends an active packet to an arbitrary destination (e.g. a server).
   void send_active_to(packet::MacAddr dst, packet::ActivePacket pkt);
@@ -34,6 +43,30 @@ class ClientNode : public netsim::Node {
   [[nodiscard]] packet::MacAddr switch_mac() const { return switch_mac_; }
   [[nodiscard]] u32 logical_stages() const { return logical_stages_; }
   [[nodiscard]] netsim::Simulator& sim() { return network().simulator(); }
+
+  // --- fabric steering / failover ---
+  // Owning-switch MAC learned for `fid` (0 = none; capsules fall back to
+  // switch_mac_).
+  [[nodiscard]] packet::MacAddr steering_of(Fid fid) const;
+
+  // Dual-homed uplink failover: the client health-probes its current leaf
+  // every `interval`; after `miss_threshold` consecutive unanswered
+  // probes it toggles to the other uplink (port 0 <-> port 1) and keeps
+  // probing the new leaf. `until` bounds the probe train in virtual time
+  // so deterministic runs drain. enable_uplink_probe() only installs the
+  // config; schedule the first probe_tick() on this node's shard.
+  struct UplinkProbeConfig {
+    packet::MacAddr primary_mac = 0;  // leaf reachable on uplink port 0
+    packet::MacAddr backup_mac = 0;   // leaf reachable on uplink port 1
+    SimTime interval = 5 * kMillisecond;
+    u32 miss_threshold = 2;
+    SimTime until = 0;  // probing stops at this virtual time
+  };
+  void enable_uplink_probe(const UplinkProbeConfig& config);
+  void probe_tick();
+
+  [[nodiscard]] u32 active_uplink() const { return active_uplink_; }
+  [[nodiscard]] u64 failovers() const { return failovers_; }
 
   // Frames no service claimed (e.g. app-level server responses).
   std::function<void(packet::ActivePacket&)> on_unclaimed;
@@ -46,6 +79,17 @@ class ClientNode : public netsim::Node {
   u32 logical_stages_;
   u32 next_seq_ = 1;
   std::vector<std::shared_ptr<Service>> services_;
+
+  // Fabric state (inert in single-switch runs: responses carry src 0, so
+  // the steering table stays empty, and nothing arms the probe train).
+  std::map<Fid, packet::MacAddr> steering_;
+  u32 active_uplink_ = 0;
+  UplinkProbeConfig probe_;
+  bool probing_ = false;
+  bool probe_outstanding_ = false;
+  u32 probe_misses_ = 0;
+  u32 probe_seq_ = 0;
+  u64 failovers_ = 0;
 };
 
 }  // namespace artmt::client

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "common/error.hpp"
 #include "controller/cost_model.hpp"
 #include "controller/migration.hpp"
 #include "packet/active_packet.hpp"
@@ -160,6 +161,22 @@ class Controller {
   // host-load independent.
   void set_compute_model(const alloc::ComputeModel& model) {
     alloc_.set_compute_model(model);
+  }
+
+  // Fabric support: start FID assignment at `base` so every switch in a
+  // multi-switch topology mints from a disjoint range (a capsule's FID
+  // then names its owning switch unambiguously). Call before the first
+  // admission.
+  void set_fid_base(Fid base) {
+    if (base == 0) throw UsageError("Controller::set_fid_base: zero base");
+    next_fid_ = base;
+  }
+
+  // Hotness-directed placement: forwards a per-stage tie-break bias to
+  // the allocator (lower = preferred; empty disables). Scheme scores
+  // always dominate; the bias only orders ties.
+  void set_stage_bias(std::vector<u64> bias) {
+    alloc_.set_stage_bias(std::move(bias));
   }
 
   // --- queries ---

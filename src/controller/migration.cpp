@@ -90,29 +90,45 @@ u32 MigrationPlanner::plan(const Controller& controller,
     ++planned;
   };
 
-  // 1) Share flips by coldness: promotions first (returning capacity to a
-  // recovered service beats squeezing another cold one), then demotions.
+  // 1) Share flips, hotness-directed: promotions first (returning
+  // capacity to a recovered service beats squeezing another cold one)
+  // ordered hottest-recovery-first, then demotions coldest-first -- the
+  // budget goes to the flips with the most headroom to win. Ties keep the
+  // legacy ascending-FID scan order (stable sort over the FID-ordered
+  // candidate list), so tied scores plan byte-identically to the
+  // first-fit era.
+  struct Flip {
+    Fid fid = 0;
+    u64 score = 0;
+    bool promote = false;
+  };
+  std::vector<Flip> flips;
   for (const Fid fid : controller.resident_fids()) {
-    if (planned >= policy_.max_plans_per_cycle) break;
     const auto it = records.find(controller.app_of(fid));
     if (it == records.end() || !it->second.elastic) continue;
     const i32 hfid = static_cast<i32>(fid);
     if (it->second.demoted) {
       if (hotness.score(hfid) < policy_.promote_score) continue;
-      if (!cooled_down(fid)) {
-        ++stats_.cooldown_skips;
-        continue;
-      }
-      submit({fid, RemapKind::kPromote, 0, hotness.score(hfid)},
-             stats_.promotions_planned);
+      flips.push_back({fid, hotness.score(hfid), true});
     } else if (hotness.is_cold(hfid)) {
-      if (!cooled_down(fid)) {
-        ++stats_.cooldown_skips;
-        continue;
-      }
-      submit({fid, RemapKind::kDemote, 0, hotness.score(hfid)},
-             stats_.demotions_planned);
+      flips.push_back({fid, hotness.score(hfid), false});
     }
+  }
+  std::stable_sort(flips.begin(), flips.end(),
+                   [](const Flip& a, const Flip& b) {
+                     if (a.promote != b.promote) return a.promote;
+                     return a.promote ? a.score > b.score : a.score < b.score;
+                   });
+  for (const Flip& flip : flips) {
+    if (planned >= policy_.max_plans_per_cycle) break;
+    if (!cooled_down(flip.fid)) {
+      ++stats_.cooldown_skips;
+      continue;
+    }
+    submit({flip.fid, flip.promote ? RemapKind::kPromote : RemapKind::kDemote,
+            0, flip.score},
+           flip.promote ? stats_.promotions_planned
+                        : stats_.demotions_planned);
   }
 
   // 2) Compaction by fragmentation: in every fragmented stage, re-slide

@@ -66,6 +66,11 @@ class RemapQueue {
   void drop_fid(Fid fid);
 
   [[nodiscard]] bool contains(Fid fid) const { return queued_.contains(fid); }
+  // Queued requests in FIFO order (admission control peeks for re-slides
+  // that are about to free contiguous blocks).
+  [[nodiscard]] const std::deque<RemapRequest>& pending() const {
+    return queue_;
+  }
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] u32 max_depth() const { return max_depth_; }
@@ -105,11 +110,12 @@ class MigrationPlanner {
  public:
   explicit MigrationPlanner(MigrationPolicy policy = {});
 
-  // One planning cycle: coldness-driven demotions/promotions first (they
-  // are cheap share flips), then fragmentation-driven re-slides, at most
-  // policy.max_plans_per_cycle requests pushed into `queue`. Returns the
-  // number enqueued. Deterministic: residents scan by ascending FID,
-  // stages ascend, ties break toward the lower FID.
+  // One planning cycle: coldness-driven promotions/demotions first (cheap
+  // share flips, ordered by hotness: hottest recoveries promote first,
+  // coldest services demote first), then fragmentation-driven re-slides,
+  // at most policy.max_plans_per_cycle requests pushed into `queue`.
+  // Returns the number enqueued. Deterministic: candidates collect by
+  // ascending FID and tied scores keep that order, stages ascend.
   u32 plan(const Controller& controller, const alloc::HotnessTable& hotness,
            RemapQueue& queue);
 

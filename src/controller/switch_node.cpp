@@ -29,6 +29,9 @@ struct SwitchMetrics {
         exec_batches(&r.counter("switch", "exec_batches")),
         migration_ticks(&r.counter("switch", "migration_ticks")),
         migration_deferred(&r.counter("switch", "migration_deferred")),
+        transit_frames(&r.counter("switch", "transit_frames")),
+        health_acks(&r.counter("switch", "health_acks")),
+        admission_deferred(&r.counter("alloc", "admission_deferred")),
         exec_latency_ns(&r.histogram("switch", "exec_latency_ns")),
         batch_size(&r.histogram("switch", "batch_size")) {}
 
@@ -45,6 +48,9 @@ struct SwitchMetrics {
   telemetry::Counter* exec_batches;
   telemetry::Counter* migration_ticks;
   telemetry::Counter* migration_deferred;
+  telemetry::Counter* transit_frames;   // fabric: forwarded through, unexecuted
+  telemetry::Counter* health_acks;      // fabric: probes answered
+  telemetry::Counter* admission_deferred;  // parked for a pending re-slide
   telemetry::Histogram* exec_latency_ns;
   telemetry::Histogram* batch_size;
 };
@@ -68,6 +74,8 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
       controller_(pipeline_, runtime_, config.scheme, config.policy,
                   effective_costs(config)),
       program_cache_(config.program_cache_entries),
+      mac_(config.mac),
+      l2_learning_(config.l2_learning),
       default_recirc_budget_(config.default_recirc_budget),
       zero_copy_(config.zero_copy),
       batching_(config.batching),
@@ -85,6 +93,7 @@ SwitchNode::SwitchNode(std::string name, const Config& config)
                        config.migration.policy.cooldown_cycles + 1;
   runtime_.set_enforce_privilege(config.enforce_privilege);
   controller_.set_compute_model(config.compute_model);
+  if (config.fid_base != 0) controller_.set_fid_base(config.fid_base);
   if (config.metrics != nullptr) {
     metrics_registry_ = config.metrics;
   } else {
@@ -158,6 +167,11 @@ void SwitchNode::bind(packet::MacAddr mac, u32 port) {
   l2_table_[mac] = port;
 }
 
+void SwitchNode::bind_pinned(packet::MacAddr mac, u32 port) {
+  l2_table_[mac] = port;
+  l2_pinned_.insert(mac);
+}
+
 u64 SwitchNode::wipe_registers() {
   assert_confined();
   // Staged packets were delivered before the wipe; they must see the
@@ -190,6 +204,11 @@ u64 SwitchNode::wipe_registers() {
 void SwitchNode::send_to_mac(packet::MacAddr dst, ActivePacket pkt,
                              SimTime delay) {
   pkt.ethernet.dst = dst;
+  // Fabric mode stamps the switch's identity on control replies: clients
+  // learn per-FID steering from the src of their AllocResponse, and the
+  // global controller attributes health acks to the right switch. The
+  // legacy single-switch wire format (src 0) is preserved when mac_ == 0.
+  if (mac_ != 0) pkt.ethernet.src = mac_;
   send_frame_to_mac(dst, pkt.serialize(), delay);
 }
 
@@ -217,11 +236,19 @@ void SwitchNode::send_frame_to_mac(packet::MacAddr dst, netsim::Frame frame,
 }
 
 void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
-  (void)port;
   // Sharded engine tripwire: the pipeline's state (runtime, allocator,
   // control queue, program cache) is only ever touched by its owning
   // shard's worker.
   assert_confined();
+  if (l2_learning_ && mac_ != 0 &&
+      frame.size() >= packet::EthernetHeader::kWireSize) {
+    ByteReader in(frame);
+    const auto eth = packet::EthernetHeader::parse(in);
+    if (eth.src != 0 && eth.src != mac_ && !l2_pinned_.contains(eth.src)) {
+      l2_table_[eth.src] = port;
+    }
+  }
+  (void)port;
   if (migration_enabled_ && !migration_armed_) {
     // Armed lazily from the first frame, not the constructor: by now the
     // node is attached and its scheduled closures resolve to the owning
@@ -233,6 +260,21 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
                                          [this] { migration_tick(); });
   }
   if (migration_enabled_) ++mig_frames_since_tick_;
+  if (mac_ != 0 && packet::ProgramView::is_program_frame(frame)) {
+    // Fabric transit: a program capsule whose FID is not resident here is
+    // someone else's traffic -- forward it by destination untouched. The
+    // peek is two fixed-offset header reads; the frame is never decoded
+    // or interned, so transit at a spine costs no program-cache churn.
+    ByteReader in(frame);
+    const auto eth = packet::EthernetHeader::parse(in);
+    const Fid fid = in.get_u16();
+    if (!controller_.resident(fid)) {
+      flush_batch();  // a transit ends the burst: send order stays causal
+      metrics_->transit_frames->inc();
+      send_frame_to_mac(eth.dst, std::move(frame), 0);
+      return;
+    }
+  }
   if (zero_copy_ && packet::ProgramView::is_program_frame(frame)) {
     // Fast path: parse the capsule in place -- no ActivePacket, no byte
     // copies. An unparseable program-typed frame falls through to the
@@ -275,6 +317,26 @@ void SwitchNode::on_frame(netsim::Frame frame, u32 port) {
       }
     }
     metrics_->malformed->inc();
+    return;
+  }
+
+  if (mac_ != 0 && pkt.ethernet.dst != 0 && pkt.ethernet.dst != mac_) {
+    // Control traffic addressed to another node (a sibling switch, the
+    // global controller, or a client): plain L2 transit.
+    metrics_->transit_frames->inc();
+    send_frame_to_mac(pkt.ethernet.dst, std::move(frame), 0);
+    return;
+  }
+  if (mac_ != 0 && pkt.initial.type == ActiveType::kHealthProbe) {
+    // Health epoch: answer from the data plane immediately -- liveness
+    // must not queue behind control ops -- with the allocator scoreboard
+    // riding in the payload.
+    ActivePacket ack =
+        ActivePacket::make_control(0, ActiveType::kHealthAck);
+    ack.initial.seq = pkt.initial.seq;
+    if (scoreboard_provider_) ack.payload = scoreboard_provider_();
+    metrics_->health_acks->inc();
+    send_to_mac(pkt.ethernet.src, std::move(ack));
     return;
   }
 
@@ -538,6 +600,28 @@ void SwitchNode::run_admission(const ControlOp& op) {
       static_cast<SimTime>(result.compute_ms * kMillisecond);
 
   if (!result.admitted) {
+    if (migration_enabled_ && !op.deferred && reslide_may_unblock(request)) {
+      // Migration-pressure feedback: a queued re-slide is about to compact
+      // the very contiguity this admission is missing. Park the op for one
+      // migration interval instead of denying outright; the retry runs
+      // the search again (front of the queue, so no newer op overtakes it)
+      // and a second failure denies for real.
+      metrics_->admission_deferred->inc();
+      ControlOp retry = op;
+      retry.deferred = true;
+      network().simulator().schedule_after(compute_delay, [this] {
+        flush_batch();
+        finish_control();  // free the control plane so the re-slide can run
+      });
+      network().simulator().schedule_after(
+          compute_delay + migration_interval_,
+          [this, retry = std::move(retry)]() mutable {
+            flush_batch();
+            control_queue_.push_front(std::move(retry));
+            if (!control_busy_) process_next_control();
+          });
+      return;
+    }
     send_to_mac(op.requester, proto::encode_denial(op.pkt.initial.seq),
                 compute_delay);
     network().simulator().schedule_after(compute_delay, [this] {
@@ -647,8 +731,34 @@ void SwitchNode::migration_tick() {
                                        [this] { migration_tick(); });
 }
 
+bool SwitchNode::reslide_may_unblock(
+    const alloc::AllocationRequest& request) const {
+  if (request.elastic) return false;  // capacity problem, not contiguity
+  u32 need = 0;
+  for (const auto& access : request.accesses) {
+    need = std::max(need, access.demand_blocks);
+  }
+  if (need == 0) return false;
+  for (const RemapRequest& queued : remap_queue_.pending()) {
+    if (queued.kind != RemapKind::kReslide) continue;
+    const alloc::StageState& st = controller_.allocator().stage(queued.stage);
+    // Enough free blocks in total, just not contiguous: compaction could
+    // merge them into a run the bottleneck access fits.
+    if (st.free_blocks() >= need && st.largest_free_run() < need) return true;
+  }
+  return false;
+}
+
 bool SwitchNode::start_migration(const RemapRequest& request) {
+  // Hotness-directed placement: a re-slide's target search prefers calmer
+  // stages when scheme scores tie, so compaction steers load away from
+  // the hottest memory. The bias lives only for the synchronous allocator
+  // op inside migrate().
+  if (request.kind == RemapKind::kReslide) {
+    controller_.set_stage_bias(hotness_.stage_totals(pipeline_.stage_count()));
+  }
   const MigrationResult result = controller_.migrate(request);
+  controller_.set_stage_bias({});
   if (!result.pending) {
     ++mig_noops_;
     return false;

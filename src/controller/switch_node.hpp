@@ -6,7 +6,9 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
+#include <set>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -87,6 +89,24 @@ class SwitchNode : public netsim::Node {
       u32 queue_depth = 64;
     };
     MigrationConfig migration;
+    // --- fabric mode (src/fabric) ---
+    // The switch's own MAC. Zero (the default) keeps the legacy
+    // single-switch behavior: every frame reaching the node is consumed
+    // and synthesized control replies leave with src 0. Nonzero enables
+    // transit forwarding (control frames addressed elsewhere, and program
+    // capsules whose FID is not resident here, follow the L2 table),
+    // health-probe acks, and src-stamping of control replies -- which is
+    // how clients and the global controller learn steering.
+    packet::MacAddr mac = 0;
+    // Learn src MAC -> ingress port from every arriving frame (overrides
+    // plain binds, never pinned ones). A dual-homed client's uplink
+    // failover then re-teaches the fabric with its first frame, no
+    // controller involvement. Deterministic; fabric mode only.
+    bool l2_learning = false;
+    // First FID this switch mints (0 keeps the default base of 1). Fabric
+    // topologies hand each switch a disjoint range so a FID names its
+    // owning switch unambiguously.
+    Fid fid_base = 0;
   };
 
   // Snapshot of the background engine (tick loop + planner + queue).
@@ -116,8 +136,15 @@ class SwitchNode : public netsim::Node {
   SwitchNode(std::string name, const Config& config);
   ~SwitchNode() override;
 
-  // Static L2 table: which port reaches `mac`.
+  // Static L2 table: which port reaches `mac`. Plain binds are cold-start
+  // seeds that L2 learning may override (host mobility, uplink failover);
+  // pinned binds are authoritative infrastructure routes that learning
+  // must never move -- the global controller forwards frames whose src is
+  // a *different* switch (steering-bearing grants, grant resends), and a
+  // learned entry from such a frame would poison the fabric's route to
+  // that switch.
   void bind(packet::MacAddr mac, u32 port);
+  void bind_pinned(packet::MacAddr mac, u32 port);
 
   // Models the up-edge of a power cycle ("brownout", src/faults): every
   // stage's register array is zeroed -- SRAM does not survive the restart
@@ -150,10 +177,21 @@ class SwitchNode : public netsim::Node {
   [[nodiscard]] MigrationEngineStats migration_stats() const;
   [[nodiscard]] const alloc::HotnessTable& hotness() const { return hotness_; }
 
+  // Fabric health epochs: every kHealthProbe addressed to this switch is
+  // answered with a kHealthAck whose payload comes from this hook
+  // (typically a serialized fabric::Scoreboard). Unset = empty payload.
+  void set_scoreboard_provider(std::function<std::vector<u8>()> provider) {
+    scoreboard_provider_ = std::move(provider);
+  }
+  [[nodiscard]] packet::MacAddr mac() const { return mac_; }
+
  private:
   struct ControlOp {
     packet::ActivePacket pkt;
     packet::MacAddr requester = 0;
+    // Admission already failed once and was parked for a pending re-slide
+    // (migration-pressure feedback); the retry denies outright.
+    bool deferred = false;
   };
 
   void handle_program(packet::ActivePacket pkt);
@@ -189,6 +227,11 @@ class SwitchNode : public netsim::Node {
   // handshake started (the tick stops draining until it completes).
   void migration_tick();
   bool start_migration(const RemapRequest& request);
+  // True when a queued re-slide targets a stage whose free blocks could
+  // cover this (inelastic) request's bottleneck demand once compacted --
+  // the admission is deferred one migration interval instead of denied.
+  [[nodiscard]] bool reslide_may_unblock(
+      const alloc::AllocationRequest& request) const;
   void send_to_mac(packet::MacAddr dst, packet::ActivePacket pkt,
                    SimTime delay = 0);
   // Transmits an already-synthesized frame toward `dst`'s port.
@@ -205,7 +248,13 @@ class SwitchNode : public netsim::Node {
   std::unique_ptr<SwitchMetrics> metrics_;
 
   std::map<packet::MacAddr, u32> l2_table_;
+  std::set<packet::MacAddr> l2_pinned_;  // learning may not move these
   std::map<Fid, packet::MacAddr> client_of_;
+
+  // Fabric mode (Config::mac != 0).
+  packet::MacAddr mac_ = 0;
+  bool l2_learning_ = false;
+  std::function<std::vector<u8>()> scoreboard_provider_;
 
   std::deque<ControlOp> control_queue_;
   bool control_busy_ = false;

@@ -1,0 +1,57 @@
+#include "fabric/scoreboard.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "controller/switch_node.hpp"
+
+namespace artmt::fabric {
+
+std::vector<u8> Scoreboard::encode() const {
+  ByteWriter out(28 + residents.size() * 2);
+  out.put_u32(stages);
+  out.put_u32(blocks_per_stage);
+  out.put_u32(free_blocks);
+  out.put_u32(fungible_blocks);
+  out.put_u32(largest_free_run);
+  out.put_u32(static_cast<u32>(hotness_total >> 32));
+  out.put_u32(static_cast<u32>(hotness_total));
+  out.put_u16(static_cast<u16>(residents.size()));
+  for (const Fid fid : residents) out.put_u16(fid);
+  return out.take();
+}
+
+Scoreboard Scoreboard::decode(std::span<const u8> bytes) {
+  ByteReader in(bytes);
+  Scoreboard board;
+  board.stages = in.get_u32();
+  board.blocks_per_stage = in.get_u32();
+  board.free_blocks = in.get_u32();
+  board.fungible_blocks = in.get_u32();
+  board.largest_free_run = in.get_u32();
+  board.hotness_total = static_cast<u64>(in.get_u32()) << 32;
+  board.hotness_total |= in.get_u32();
+  const u32 count = in.get_u16();
+  board.residents.reserve(count);
+  for (u32 i = 0; i < count; ++i) board.residents.push_back(in.get_u16());
+  return board;
+}
+
+Scoreboard build_scoreboard(controller::SwitchNode& node) {
+  const alloc::Allocator& alloc = node.controller().allocator();
+  Scoreboard board;
+  board.stages = alloc.geometry().logical_stages;
+  board.blocks_per_stage = alloc.blocks_per_stage();
+  for (u32 s = 0; s < board.stages; ++s) {
+    const alloc::StageState& stage = alloc.stage(s);
+    board.free_blocks += stage.free_blocks();
+    board.fungible_blocks += stage.fungible_blocks();
+    board.largest_free_run =
+        std::max(board.largest_free_run, stage.largest_free_run());
+  }
+  board.hotness_total = node.hotness().total_score();
+  board.residents = node.controller().resident_fids();
+  return board;
+}
+
+}  // namespace artmt::fabric

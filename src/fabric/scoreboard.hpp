@@ -1,0 +1,44 @@
+// Per-switch allocator scoreboard: the compact capacity summary every
+// switch piggybacks on its health acks (src/fabric health epochs). The
+// global controller ranks admission and evacuation targets on these
+// summaries alone -- they are heuristics for *ranking*, not feasibility
+// proofs; the chosen switch's own allocator still has the final word and
+// a denial makes the controller fall through to the next-best candidate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace artmt::controller {
+class SwitchNode;
+}  // namespace artmt::controller
+
+namespace artmt::fabric {
+
+struct Scoreboard {
+  u32 stages = 0;
+  u32 blocks_per_stage = 0;
+  u32 free_blocks = 0;      // sum over stages
+  u32 fungible_blocks = 0;  // sum over stages (worst/best-fit currency)
+  u32 largest_free_run = 0; // max over stages (contiguity headroom)
+  u64 hotness_total = 0;    // decayed access pressure (background engine)
+  std::vector<Fid> residents;  // ascending FIDs (revival reconciliation)
+
+  [[nodiscard]] u32 total_blocks() const { return stages * blocks_per_stage; }
+
+  // Wire form rides in a kHealthAck payload (big-endian, like every
+  // other active header).
+  [[nodiscard]] std::vector<u8> encode() const;
+  static Scoreboard decode(std::span<const u8> bytes);
+
+  friend bool operator==(const Scoreboard&, const Scoreboard&) = default;
+};
+
+// Summarizes a switch's current allocator + hotness state. This is what
+// SwitchNode::set_scoreboard_provider should serialize (fabric::Topology
+// wires it for every switch it builds).
+Scoreboard build_scoreboard(controller::SwitchNode& node);
+
+}  // namespace artmt::fabric

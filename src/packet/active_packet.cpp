@@ -16,7 +16,7 @@ InitialHeader InitialHeader::parse(ByteReader& in) {
   InitialHeader header;
   header.fid = in.get_u16();
   const u8 type = in.get_u8();
-  if (type > static_cast<u8>(ActiveType::kReactivated)) {
+  if (type > static_cast<u8>(ActiveType::kHealthAck)) {
     throw ParseError("InitialHeader: unknown active packet type " +
                      std::to_string(type));
   }

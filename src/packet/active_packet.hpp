@@ -31,6 +31,11 @@ enum class ActiveType : u8 {
   kReallocNotice = 5,    // switch -> client: yield memory, snapshot ready
   kExtractComplete = 6,  // client -> switch: done extracting state
   kReactivated = 7,      // switch -> client: new allocation applied
+  // Fabric health epochs (src/fabric): a probe is echoed as an ack whose
+  // payload carries the switch's allocator scoreboard. Both are
+  // control-only frames (initial header + opaque payload).
+  kHealthProbe = 8,  // controller/client -> switch: are you alive?
+  kHealthAck = 9,    // switch -> prober: alive; payload = scoreboard
 };
 
 // Control-flag bits in the initial header.

@@ -27,9 +27,15 @@
 // ReliabilityTracker schedules must converge through it.
 //
 // Usage:
-//   artmt_chaos [--requests N] [--seed S] [--loss P] [--hot H]
-//               [--shards a,b,c] [--trace FILE] [--snapshot FILE]
-//               [--flight-dir DIR]
+//   artmt_chaos [--topology single|leaf-spine] [--requests N] [--seed S]
+//               [--loss P] [--hot H] [--shards a,b,c] [--trace FILE]
+//               [--snapshot FILE] [--flight-dir DIR]
+//     --topology T    single (default): everything on one switch.
+//                     leaf-spine: the same services placed by the fabric's
+//                     global controller across a 2-leaf/1-spine fabric;
+//                     the flaps and the brownout move to the client's leaf
+//                     and backend links, and the digest reads each
+//                     service's registers from whichever leaf owns it.
 //     --requests N    data-plane requests per service (default 2000)
 //     --seed S        fault-plan seed (default 1); workload seed is fixed
 //     --loss P        uniform loss probability (default 0.01)
@@ -67,6 +73,7 @@
 #include "apps/server_node.hpp"
 #include "client/client_node.hpp"
 #include "controller/switch_node.hpp"
+#include "fabric/topology.hpp"
 #include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -102,6 +109,7 @@ struct ChaosConfig {
   u32 hot = 50;
   u64 fault_seed = 1;
   double loss = 0.01;
+  bool leaf_spine = false;  // --topology leaf-spine
 };
 
 struct RunResult {
@@ -128,22 +136,26 @@ faults::FaultPlan chaos_plan(const ChaosConfig& config, SimTime window_start,
   loss.from = window_start;  // setup (no-retry control plane) stays clean
   plan.link_faults.push_back(loss);
 
+  // In leaf-spine mode the same three scripted faults land on fabric node
+  // names: the client hangs off leaf0 (which also takes the brownout),
+  // and the dual-homed backend1 loses every link at once (wildcard peer)
+  // so the flap bites no matter which leaf the LB was placed on.
   faults::LinkFlap flap1;
   flap1.node_a = "client";
-  flap1.node_b = "switch";
+  flap1.node_b = config.leaf_spine ? "leaf0" : "switch";
   flap1.down_at = window_start + window / 5;
   flap1.up_at = flap1.down_at + window / 20;
   plan.flaps.push_back(flap1);
 
   faults::LinkFlap flap2;
   flap2.node_a = "backend1";
-  flap2.node_b = "switch";
+  flap2.node_b = config.leaf_spine ? "" : "switch";
   flap2.down_at = window_start + window / 2;
   flap2.up_at = flap2.down_at + window / 20;
   plan.flaps.push_back(flap2);
 
   faults::Brownout brownout;
-  brownout.node = "switch";
+  brownout.node = config.leaf_spine ? "leaf0" : "switch";
   brownout.at = window_start + (window * 7) / 10;
   brownout.duration = window / 16;
   plan.brownouts.push_back(brownout);
@@ -175,32 +187,71 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
     telemetry::set_trace_sink(sink);
   }
 
+  // Timeline (see header): setup, then a workload window the fault plan
+  // overlaps, then recovery.
+  const SimTime workload_start = 300 * kMillisecond;
+  const SimTime window = SimTime{config.requests} * 100 * kMicrosecond;
+  const SimTime recovery_at = workload_start + window + 100 * kMillisecond;
+
   controller::SwitchNode::Config cfg;
   cfg.costs.table_entry_update = 100 * kMicrosecond;
   cfg.costs.snapshot_per_block = 1 * kMicrosecond;
   cfg.costs.clear_per_block = 1 * kMicrosecond;
   cfg.compute_model = alloc::ComputeModel::deterministic();
-  cfg.metrics = ssim ? &ssim->shard_metrics(0) : &serial_registry;
-  auto sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+
+  std::shared_ptr<controller::SwitchNode> sw;          // single mode
+  std::unique_ptr<fabric::Topology> topo;              // leaf-spine mode
+  packet::MacAddr control_target = kSwitchMac;
+  if (config.leaf_spine) {
+    fabric::TopologyConfig tcfg;
+    tcfg.leaves = 2;
+    tcfg.spines = 1;
+    tcfg.switch_config = cfg;  // per-switch registries: leaves span shards
+    tcfg.controller.epoch = 2 * kMillisecond;
+    // The leaf0 brownout silences its health acks for its whole duration.
+    // This soak gates digest convergence, not re-placement (bench_fabric
+    // owns that), so the death threshold must outlast the brownout.
+    tcfg.controller.miss_threshold =
+        static_cast<u32>((window / 16) / tcfg.controller.epoch) + 4;
+    topo = std::make_unique<fabric::Topology>(net, tcfg);
+    control_target = topo->controller_mac();
+  } else {
+    cfg.metrics = ssim ? &ssim->shard_metrics(0) : &serial_registry;
+    sw = std::make_shared<controller::SwitchNode>("switch", cfg);
+    net.attach(sw);
+  }
   auto server = std::make_shared<apps::ServerNode>("server", kServerMac);
   auto backend1 = std::make_shared<apps::ServerNode>("backend1", kBackend1Mac);
   auto backend2 = std::make_shared<apps::ServerNode>("backend2", kBackend2Mac);
   auto client = std::make_shared<client::ClientNode>("client", kClientMac,
-                                                     kSwitchMac);
-  net.attach(sw);
+                                                     control_target);
   net.attach(server);
   net.attach(backend1);
   net.attach(backend2);
   net.attach(client);
-  net.connect(*sw, 0, *server, 0);
-  net.connect(*sw, 8, *backend1, 0);
-  net.connect(*sw, 9, *backend2, 0);
-  net.connect(*sw, 1, *client, 0);
-  sw->bind(kServerMac, 0);
-  sw->bind(kBackend1Mac, 8);
-  sw->bind(kBackend2Mac, 9);
-  sw->bind(kClientMac, 1);
-  if (ssim) ssim->pin(*sw, 0);
+  if (topo) {
+    // Client on leaf0, server on leaf1 (service traffic crosses the
+    // spine). The backends are dual-homed at matching port numbers --
+    // host ports 2 and 3 on BOTH leaves -- so the LB's VIP pool of
+    // egress ports is valid on whichever leaf the controller places it.
+    topo->attach_host(*client, 0, 0, kClientMac);      // leaf0 port 1
+    topo->attach_host(*backend1, 0, 0, kBackend1Mac);  // leaf0 port 2
+    topo->attach_host(*backend2, 0, 0, kBackend2Mac);  // leaf0 port 3
+    topo->attach_host(*server, 0, 1, kServerMac);      // leaf1 port 1
+    topo->attach_host(*backend1, 1, 1, kBackend1Mac);  // leaf1 port 2
+    topo->attach_host(*backend2, 1, 1, kBackend2Mac);  // leaf1 port 3
+    if (ssim) topo->pin(*ssim);
+  } else {
+    net.connect(*sw, 0, *server, 0);
+    net.connect(*sw, 8, *backend1, 0);
+    net.connect(*sw, 9, *backend2, 0);
+    net.connect(*sw, 1, *client, 0);
+    sw->bind(kServerMac, 0);
+    sw->bind(kBackend1Mac, 8);
+    sw->bind(kBackend2Mac, 9);
+    sw->bind(kClientMac, 1);
+    if (ssim) ssim->pin(*sw, 0);
+  }
 
   std::unique_ptr<faults::FaultInjector> injector;
   if (plan != nullptr) {
@@ -209,12 +260,13 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
     net.set_transmit_hook(injector.get());
     // The up-edge of a brownout is a power cycle: SRAM is gone. Table and
     // allocator state live on the controller and persist.
+    controller::SwitchNode* wiped = topo ? &topo->leaf(0) : sw.get();
     for (const faults::Brownout& brownout : plan->brownouts) {
       if (ssim) {
-        ssim->schedule_on(*sw, brownout.up_at(),
-                          [&sw] { sw->wipe_registers(); });
+        ssim->schedule_on(*wiped, brownout.up_at(),
+                          [wiped] { wiped->wipe_registers(); });
       } else {
-        sim->schedule_at(brownout.up_at(), [&sw] { sw->wipe_registers(); });
+        sim->schedule_at(brownout.up_at(), [wiped] { wiped->wipe_registers(); });
       }
     }
   }
@@ -264,13 +316,11 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
     }
     cache->populate(hot);
   };
-  lb->on_ready = [&] { lb->configure({8, 9}); };
-
-  // Timeline (see header): setup, then a workload window the fault plan
-  // overlaps, then recovery.
-  const SimTime workload_start = 300 * kMillisecond;
-  const SimTime window = SimTime{config.requests} * 100 * kMicrosecond;
-  const SimTime recovery_at = workload_start + window + 100 * kMillisecond;
+  // VIP pool: the backends' switch egress ports ({2, 3} on either leaf in
+  // fabric mode thanks to the dual-homing above).
+  const std::vector<u32> lb_pool =
+      topo ? std::vector<u32>{2, 3} : std::vector<u32>{8, 9};
+  lb->on_ready = [&] { lb->configure(lb_pool); };
 
   std::function<void(u32)> get_next = [&](u32 remaining) {
     if (remaining == 0) return;
@@ -307,7 +357,7 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
   };
   auto recover = [&] {
     cache->populate(hot, [&] { cache_populated = true; });
-    lb->configure({8, 9}, [&] { lb_configured = true; });
+    lb->configure(lb_pool, [&] { lb_configured = true; });
     ensure_flows();
     monitor->extract(
         [&](std::vector<std::pair<u64, u32>> items) {
@@ -337,6 +387,16 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
   };
 
   cache->request_allocation();
+  // Fabric mode: run the controller's health epochs across the fault
+  // window and the recovery tail, then let the event queue drain.
+  if (topo) {
+    const SimTime probe_until = recovery_at + 500 * kMillisecond;
+    if (ssim) {
+      topo->start(*ssim, 1 * kMillisecond, probe_until);
+    } else {
+      topo->start(*sim, 1 * kMillisecond, probe_until);
+    }
+  }
   auto start_all = [&] {
     if (ssim) {
       ssim->schedule_on(*client, 50 * kMillisecond,
@@ -363,9 +423,20 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
                   lb->cookies().size() >= kFlows &&
                   cache->populate_reliability().outstanding() == 0;
 
-  const u32 logical = sw->pipeline().config().logical_stages;
-  auto word_at = [&](u32 stage, u32 address) {
-    return sw->pipeline().stage(stage % logical).memory().read(address);
+  // In fabric mode each service's registers live on whichever leaf the
+  // global controller placed it; in single mode everything is on `sw`.
+  auto pipeline_of = [&](Fid fid) -> rmt::Pipeline& {
+    if (!topo) return sw->pipeline();
+    const packet::MacAddr owner = topo->controller().owner_of(fid);
+    for (u32 i = 0; i < topo->leaves(); ++i) {
+      if (topo->leaf_mac(i) == owner) return topo->leaf(i).pipeline();
+    }
+    return topo->leaf(0).pipeline();  // unplaced: `converged` gates anyway
+  };
+  auto word_at = [&](Fid fid, u32 stage, u32 address) {
+    rmt::Pipeline& pipe = pipeline_of(fid);
+    const u32 logical = pipe.config().logical_stages;
+    return pipe.stage(stage % logical).memory().read(address);
   };
   Digest digest;
   // Cache buckets: key halves + value, one word per access per bucket.
@@ -374,16 +445,17 @@ RunResult run_scenario(u32 shards, const faults::FaultPlan* plan,
     digest.mix(key);
     digest.mix(value);
     for (u32 access = 0; access < 3; ++access) {
-      digest.mix(word_at((*cache->mutant())[access],
+      digest.mix(word_at(cache->fid(), (*cache->mutant())[access],
                          cache->synthesized()->access_base[access] + bucket));
     }
   }
   // LB pool-size word and pool words (accesses 0 and 2; the round-robin
   // counter at access 1 is runtime state, not configured state).
-  digest.mix(word_at((*lb->mutant())[0], lb->synthesized()->access_base[0]));
+  digest.mix(word_at(lb->fid(), (*lb->mutant())[0],
+                     lb->synthesized()->access_base[0]));
   for (u32 i = 0; i < 2; ++i) {
-    digest.mix(
-        word_at((*lb->mutant())[2], lb->synthesized()->access_base[2] + i));
+    digest.mix(word_at(lb->fid(), (*lb->mutant())[2],
+                       lb->synthesized()->access_base[2] + i));
   }
   digest.mix(lb->cookies().size());
   digest.mix(extraction_done ? 1 : 0);
@@ -447,7 +519,18 @@ int main(int argc, char** argv) {
   const char* snapshot_path = nullptr;
   const char* flight_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "single") {
+        config.leaf_spine = false;
+      } else if (value == "leaf-spine") {
+        config.leaf_spine = true;
+      } else {
+        std::fprintf(stderr,
+                     "artmt_chaos: --topology must be single or leaf-spine\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       config.requests = static_cast<u32>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       config.fault_seed = std::stoull(argv[++i]);
@@ -470,7 +553,8 @@ int main(int argc, char** argv) {
       flight_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: artmt_chaos [--requests N] [--seed S] [--loss P] "
+                   "usage: artmt_chaos [--topology single|leaf-spine] "
+                   "[--requests N] [--seed S] [--loss P] "
                    "[--hot H] [--shards a,b,c] [--trace FILE] "
                    "[--snapshot FILE] [--flight-dir DIR]\n");
       return 2;
@@ -577,7 +661,9 @@ int main(int argc, char** argv) {
   }
 
   // Machine-readable summary.
-  std::cout << "{\n  \"seed\": " << config.fault_seed
+  std::cout << "{\n  \"topology\": \""
+            << (config.leaf_spine ? "leaf-spine" : "single")
+            << "\",\n  \"seed\": " << config.fault_seed
             << ",\n  \"loss\": " << config.loss
             << ",\n  \"requests\": " << config.requests
             << ",\n  \"clean_digest\": \"0x" << std::hex << clean.digest

@@ -42,21 +42,38 @@
 //     --span-dump F  record causal spans during the scenario and write
 //                    the canonical sorted dump to F (byte-identical for
 //                    any engine and shard count)
+//     --fabric       no single-switch scenario: run the multi-switch
+//                    fabric story instead -- four cache tenants placed by
+//                    the federated global controller across a 4-leaf /
+//                    2-spine fabric, leaf0 killed mid-run so the
+//                    failure-driven re-placement path executes -- and
+//                    dump the controller's FabricReport (placements,
+//                    evacuations, downtime percentiles, state loss) plus
+//                    the fabric.* metrics snapshot as JSON. Honors
+//                    --shards (default 1); the outcome is byte-identical
+//                    for any shard count.
 //
 // The snapshot goes to stdout; a human summary goes to stderr.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/cache_service.hpp"
 #include "apps/hh_service.hpp"
 #include "apps/server_node.hpp"
 #include "client/client_node.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "controller/switch_node.hpp"
+#include "fabric/topology.hpp"
+#include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "netsim/sharded.hpp"
 #include "telemetry/heatmap.hpp"
@@ -192,6 +209,194 @@ void print_migration_report(controller::SwitchNode& sw) {
   std::printf("  ]\n}\n");
 }
 
+double downtime_percentile_ms(std::vector<SimTime> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return static_cast<double>(samples[idx]) / static_cast<double>(kMillisecond);
+}
+
+// --fabric: the multi-switch observability surface. Four cache tenants on
+// a 4-leaf / 2-spine fabric, placed by the federated global controller;
+// leaf0 loses every link at 500ms and is never restored, so the health
+// epochs declare it dead and the evacuation/re-placement machinery runs
+// inside the dump window. Deterministic for any shard count.
+int run_fabric_report(u32 shards) {
+  const u32 workers = std::max<u32>(shards, 1);
+  netsim::ShardedSimulator ssim(workers);
+  netsim::Network net(ssim);
+
+  faults::FaultPlan plan;
+  plan.flaps.push_back({"leaf0", "", 500 * kMillisecond, 10 * kSecond});
+  faults::FaultInjector injector(plan, workers);
+  net.set_transmit_hook(&injector);
+
+  telemetry::MetricsRegistry fabric_registry;
+  fabric::TopologyConfig tcfg;
+  tcfg.leaves = 4;
+  tcfg.spines = 2;
+  tcfg.switch_config.costs.table_entry_update = 100 * kMicrosecond;
+  tcfg.switch_config.costs.snapshot_per_block = 1 * kMicrosecond;
+  tcfg.switch_config.costs.clear_per_block = 1 * kMicrosecond;
+  tcfg.switch_config.costs.extraction_timeout = 50 * kMillisecond;
+  tcfg.switch_config.compute_model = alloc::ComputeModel::deterministic();
+  tcfg.controller.epoch = 2 * kMillisecond;
+  tcfg.controller.metrics = &fabric_registry;
+  fabric::Topology topo(net, tcfg);
+  topo.pin(ssim);
+
+  constexpr packet::MacAddr kFabServerMac = 0x5E00;
+  constexpr packet::MacAddr kFabClientBase = 0xC100;
+  auto server = std::make_shared<apps::ServerNode>("server", kFabServerMac);
+  net.attach(server);
+  topo.attach_host(*server, 0, 2, kFabServerMac);
+  ssim.pin(*server, 2 % workers);
+
+  // Tenant 0 lands on the doomed leaf0 (round-robin admission places
+  // service i on leaf i), so its service is the evacuation victim.
+  const std::vector<u32> client_leaf = {1, 2, 3, 1};
+  const u32 n = static_cast<u32>(client_leaf.size());
+  struct Tenant {
+    std::shared_ptr<client::ClientNode> client;
+    std::shared_ptr<apps::CacheService> cache;
+    workload::ZipfGenerator zipf{512, 1.2};
+    Rng rng{0};
+    u64 hits = 0;
+    u64 misses = 0;
+    SimTime stop_time = 0;
+    std::function<void()> drive;
+  };
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  const auto key_of = [](u32 tenant, u32 rank) {
+    return (static_cast<u64>(tenant + 1) << 40) ^
+           workload::ZipfGenerator::key_for_rank(rank);
+  };
+  constexpr SimTime kStop = 1'200 * kMillisecond;
+  const SimTime drive_stop = kStop - 300 * kMillisecond;
+  for (u32 i = 0; i < n; ++i) {
+    auto t = std::make_unique<Tenant>();
+    t->rng = Rng(1000 + i);
+    t->client = std::make_shared<client::ClientNode>(
+        "tenant" + std::to_string(i), kFabClientBase + i,
+        topo.controller_mac());
+    net.attach(t->client);
+    topo.attach_host(*t->client, 0, client_leaf[i], kFabClientBase + i);
+    ssim.pin(*t->client, client_leaf[i] % workers);
+    t->cache = std::make_shared<apps::CacheService>(
+        "cache" + std::to_string(i), kFabServerMac);
+    t->client->register_service(t->cache);
+    tenants.push_back(std::move(t));
+    for (u32 rank = 0; rank < tenants.back()->zipf.universe(); ++rank) {
+      server->put(key_of(i, rank), rank + 1);
+    }
+  }
+  for (u32 i = 0; i < n; ++i) {
+    Tenant& t = *tenants[i];
+    t.client->on_passive = [&t](netsim::Frame& frame) {
+      const auto msg = apps::KvMessage::parse(
+          std::span<const u8>(frame).subspan(
+              packet::EthernetHeader::kWireSize));
+      if (msg) t.cache->handle_server_reply(*msg);
+    };
+    t.cache->on_result = [&t](u32, u64, u32, bool hit) {
+      (hit ? t.hits : t.misses)++;
+    };
+    const auto hot_set = [&t, i, key_of] {
+      const u32 k = std::min(t.cache->bucket_count(), t.zipf.universe());
+      std::vector<std::pair<u64, u32>> out;
+      out.reserve(k);
+      for (u32 rank = k; rank-- > 0;)
+        out.emplace_back(key_of(i, rank), rank + 1);
+      return out;
+    };
+    t.cache->on_relocated = [&t, hot_set] { t.cache->populate(hot_set()); };
+    t.drive = [&t, &net, i, key_of] {
+      if (net.simulator().now() >= t.stop_time) return;
+      t.cache->get(key_of(i, t.zipf.next_rank(t.rng)));
+      net.simulator().schedule_after(500 * kMicrosecond, [&t] { t.drive(); });
+    };
+    t.cache->on_ready = [&t, hot_set, drive_stop] {
+      t.cache->populate(hot_set());
+      t.stop_time = drive_stop;
+      t.drive();
+    };
+    ssim.schedule_on(*t.client, (i + 1) * 100 * kMillisecond,
+                     [&t] { t.cache->request_allocation(); });
+  }
+
+  topo.start(ssim, 1 * kMillisecond, kStop);
+  ssim.run_until(kStop + 500 * kMillisecond);
+
+  const fabric::FabricReport report = topo.controller().report();
+  const auto leaf_of = [&](packet::MacAddr mac) -> std::string {
+    for (u32 i = 0; i < topo.leaves(); ++i) {
+      if (topo.leaf_mac(i) == mac) return "leaf" + std::to_string(i);
+    }
+    return mac == 0 ? "unplaced" : "?";
+  };
+  // Queries carry the origin server as their L2 destination so a miss
+  // continues there unassisted; a cache therefore intercepts them only
+  // when its leaf is on the client->server path (client leaf or server
+  // leaf). Off-path placements still serve every request -- management
+  // capsules are steered to the owner, misses fall through to the origin.
+  const auto on_path = [&](u32 tenant) {
+    const packet::MacAddr owner =
+        topo.controller().owner_of(tenants[tenant]->cache->fid());
+    return owner == topo.leaf_mac(client_leaf[tenant]) ||
+           owner == topo.leaf_mac(2);  // server leaf
+  };
+  std::fprintf(stderr,
+               "fabric scenario done at t=%.3fs (%u leaves, %u spines, "
+               "%u tenants, leaf0 killed at 0.5s)\n",
+               ssim.now() / 1e9, topo.leaves(), topo.spines(), n);
+  for (u32 i = 0; i < n; ++i) {
+    const Tenant& t = *tenants[i];
+    std::fprintf(stderr,
+                 "  tenant%u: fid %u on %s (%s), %llu hits / %llu misses%s\n",
+                 i, t.cache->fid(),
+                 leaf_of(topo.controller().owner_of(t.cache->fid())).c_str(),
+                 on_path(i) ? "on-path" : "off-path: origin serves queries",
+                 static_cast<unsigned long long>(t.hits),
+                 static_cast<unsigned long long>(t.misses),
+                 t.cache->operational() ? "" : " [NOT OPERATIONAL]");
+  }
+
+  std::printf("{\n");
+  std::printf(
+      "  \"topology\": {\"leaves\": %u, \"spines\": %u, \"tenants\": %u, "
+      "\"leaf_kill_at_ms\": 500},\n",
+      topo.leaves(), topo.spines(), n);
+  std::printf(
+      "  \"report\": {\"placements\": %llu, \"evacuations\": %llu, "
+      "\"replaced\": %llu, \"unplaced\": %llu, \"state_loss_services\": "
+      "%llu, \"switch_deaths\": %llu, \"revivals\": %llu, "
+      "\"downtime_p50_ms\": %.3f, \"downtime_p99_ms\": %.3f, "
+      "\"downtime_max_ms\": %.3f},\n",
+      static_cast<unsigned long long>(report.placements),
+      static_cast<unsigned long long>(report.evacuations),
+      static_cast<unsigned long long>(report.replaced),
+      static_cast<unsigned long long>(report.unplaced),
+      static_cast<unsigned long long>(report.state_loss_services),
+      static_cast<unsigned long long>(report.switch_deaths),
+      static_cast<unsigned long long>(report.revivals),
+      downtime_percentile_ms(report.downtimes, 0.50),
+      downtime_percentile_ms(report.downtimes, 0.99),
+      downtime_percentile_ms(report.downtimes, 1.0));
+  std::printf("  \"owners\": [");
+  for (u32 i = 0; i < n; ++i) {
+    const Fid fid = tenants[i]->cache->fid();
+    std::printf("%s{\"tenant\": %u, \"fid\": %u, \"owner\": \"%s\"}",
+                i == 0 ? "" : ", ", i, fid,
+                leaf_of(topo.controller().owner_of(fid)).c_str());
+  }
+  std::printf("],\n");
+  std::ostringstream metrics;
+  fabric_registry.snapshot_json(metrics);
+  std::printf("  \"metrics\": %s}\n", metrics.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +405,7 @@ int main(int argc, char** argv) {
   bool alloc_report = false;
   bool heatmap_report = false;
   bool migration_report = false;
+  bool fabric_report = false;
   double loss = 0.0;
   u64 fault_seed = 1;
   const char* trace_path = nullptr;
@@ -222,6 +428,8 @@ int main(int argc, char** argv) {
       heatmap_report = true;
     } else if (std::strcmp(argv[i], "--migration") == 0) {
       migration_report = true;
+    } else if (std::strcmp(argv[i], "--fabric") == 0) {
+      fabric_report = true;
     } else if (std::strcmp(argv[i], "--spans") == 0 && i + 1 < argc) {
       spans_path = argv[++i];
     } else if (std::strcmp(argv[i], "--span-dump") == 0 && i + 1 < argc) {
@@ -230,7 +438,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: artmt_stats [--requests N] [--trace FILE] "
                    "[--shards N] [--loss P] [--fault-seed S] [--alloc] "
-                   "[--heatmap] [--migration] [--spans FILE] "
+                   "[--heatmap] [--migration] [--fabric] [--spans FILE] "
                    "[--span-dump FILE]\n");
       return 2;
     }
@@ -253,6 +461,7 @@ int main(int argc, char** argv) {
         std::cout, telemetry::reconstruct_requests(events));
     return 0;
   }
+  if (fabric_report) return run_fabric_report(shards);
   if (shards > 0 && trace_path != nullptr) {
     std::fprintf(stderr,
                  "artmt_stats: --trace requires the serial engine (the "
